@@ -1,0 +1,75 @@
+// Ablation 3 — honest-graph mixing structure.
+//
+// Community-based Sybil defenses assume the honest region is fast
+// mixing. Real OSNs (Renren's school/city networks) are not: they have
+// strong regional communities. This ablation runs trust propagation on
+// *honest-only* graphs with increasing regional affinity, seeding trust
+// in one region, and reports how many honest users in remote regions a
+// structural detector would sacrifice — collateral damage that exists
+// even before a single Sybil signs up.
+#include "bench_common.h"
+
+#include "detectors/sybilrank.h"
+#include "graph/conductance.h"
+#include "graph/generators.h"
+#include "stats/summary.h"
+
+int main(int, char**) {
+  using namespace sybil;
+  bench::print_header(
+      "Ablation — regional structure vs trust propagation",
+      "40k honest users, 8 regions, trust seeded in region 0 only");
+
+  std::printf("%-22s %16s %22s %20s\n", "affinity", "modularity",
+              "home-region rejected", "remote rejected");
+  for (double affinity : {0.0, 0.5, 0.8, 0.95}) {
+    graph::OsnGraphParams params{.nodes = 40'000,
+                                 .mean_links = 10.0,
+                                 .triadic_closure = 0.2,
+                                 .pa_beta = 1.0,
+                                 .communities = 8,
+                                 .community_affinity = affinity};
+    stats::Rng rng(77);
+    const auto g = graph::CsrGraph::from(osn_like_graph(params, rng));
+
+    std::vector<std::uint32_t> labels(g.node_count());
+    for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+      labels[v] = community_of(v, params);
+    }
+    const double q = graph::modularity(g, labels);
+
+    // Seeds: 30 verified users, all in region 0.
+    std::vector<graph::NodeId> seeds;
+    for (graph::NodeId i = 0; i < 30; ++i) {
+      seeds.push_back(i * 8);  // community_of == 0 under round-robin
+    }
+    const auto scores = detect::sybilrank_scores(g, seeds);
+
+    // Rejection threshold: bottom 10% of ALL scores (a platform culling
+    // its lowest-trust decile).
+    std::vector<double> sorted(scores);
+    std::sort(sorted.begin(), sorted.end());
+    const double cut = sorted[sorted.size() / 10];
+    std::uint64_t home = 0, home_rejected = 0;
+    std::uint64_t remote = 0, remote_rejected = 0;
+    for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+      if (labels[v] == 0) {
+        ++home;
+        home_rejected += scores[v] < cut;
+      } else {
+        ++remote;
+        remote_rejected += scores[v] < cut;
+      }
+    }
+    std::printf("%-22.2f %16.3f %19.1f%% %19.1f%%\n", affinity, q,
+                100.0 * static_cast<double>(home_rejected) /
+                    static_cast<double>(home),
+                100.0 * static_cast<double>(remote_rejected) /
+                    static_cast<double>(remote));
+  }
+  std::printf(
+      "\n# reading: as regional affinity grows, the bottom-trust decile\n"
+      "# concentrates on honest users who merely live far from the seeds\n"
+      "# — structural defenses pay this cost before any Sybil exists.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation 2 (DESIGN.md §5): threshold rule composition. How much of the
+// detector's accuracy comes from each of the three features, and what
+// does the conjunction buy over single-feature rules?
+#include <memory>
+
+#include "bench_common.h"
+#include "core/threshold_detector.h"
+#include "ml/metrics.h"
+#include "ml/roc.h"
+
+int main(int argc, char** argv) {
+  using namespace sybil;
+  auto config = bench::ground_truth_config(argc, argv);
+  bench::print_header("Ablation — threshold rule composition",
+                      bench::describe(config));
+  osn::GroundTruthSimulator sim(config);
+  sim.run();
+  const ml::Dataset data = core::build_ground_truth_dataset(
+      sim.network(), sim.subject_normals(), sim.subject_sybils());
+
+  struct Variant {
+    const char* name;
+    bool use_rate, use_accept, use_cc;
+  };
+  const Variant variants[] = {
+      {"rate only (>=20/hr)", true, false, false},
+      {"accept only (<0.5)", false, true, false},
+      {"cc only (<0.01)", false, false, true},
+      {"rate AND accept", true, true, false},
+      {"rate AND cc", true, false, true},
+      {"accept AND cc", false, true, true},
+      {"full conjunction (paper)", true, true, true},
+  };
+
+  std::printf("%-28s %14s %14s %10s\n", "rule", "sybil recall",
+              "false pos.", "accuracy");
+  const core::ThresholdRule rule;  // paper constants
+  for (const Variant& v : variants) {
+    ml::ConfusionMatrix cm;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const auto row = data.row(i);
+      bool flag = true;
+      if (v.use_rate) flag = flag && row[0] >= rule.invite_rate_min;
+      if (v.use_accept) flag = flag && row[1] < rule.outgoing_accept_max;
+      if (v.use_cc) flag = flag && row[3] < rule.clustering_max;
+      cm.record(data.label(i), flag ? ml::kSybilLabel : ml::kNormalLabel);
+    }
+    std::printf("%-28s %13.1f%% %13.2f%% %9.1f%%\n", v.name,
+                100.0 * cm.sybil_recall(),
+                100.0 * cm.false_positive_rate(), 100.0 * cm.accuracy());
+  }
+  // Threshold-free view: ROC AUC of each feature as a raw score.
+  std::printf("\n# single-feature ROC (threshold-free separability)\n");
+  std::printf("%-28s %8s %22s\n", "feature", "AUC", "recall @ 0.5%% FPR");
+  std::vector<int> labels;
+  labels.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) labels.push_back(data.label(i));
+  const auto feature_roc = [&](const char* name, std::size_t column,
+                               double sign) {
+    std::vector<double> scores;
+    scores.reserve(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      scores.push_back(sign * data.row(i)[column]);
+    }
+    const auto curve = ml::roc_curve(scores, labels);
+    std::printf("%-28s %8.4f %21.1f%%\n", name, curve.auc,
+                100.0 * curve.tpr_at_fpr(0.005));
+  };
+  feature_roc("invitation rate (higher)", 0, +1.0);
+  feature_roc("outgoing accept (lower)", 1, -1.0);
+  feature_roc("incoming accept (higher)", 2, +1.0);
+  feature_roc("clustering coeff (lower)", 3, -1.0);
+
+  std::printf(
+      "\n# reading: single features already separate well (Figs 1-4), but\n"
+      "# the conjunction suppresses the marketer-like honest users that\n"
+      "# cross any one threshold — the paper's low-false-positive design.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Shared helpers for the per-figure/table bench binaries.
+//
+// Every bench prints (a) a header with the experiment id and the
+// workload parameters, (b) the series/rows the paper's figure or table
+// reports (tab-separated, gnuplot-ready), and (c) the headline summary
+// statistics next to the paper's values. Scale knobs are positional CLI
+// arguments so `bench_x` runs the calibrated default and
+// `bench_x <normals> <sybils> <hours>` runs a custom scale.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "attack/campaign.h"
+#include "core/ground_truth.h"
+#include "osn/simulator.h"
+#include "stats/cdf.h"
+
+namespace sybil::bench {
+
+inline void print_header(const char* experiment, const std::string& workload) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("workload: %s\n", workload.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Prints a CDF as "x<TAB>percent" rows under a series label.
+inline void print_cdf(const char* label, const std::vector<double>& sample,
+                      std::size_t points = 25, bool log_x = false) {
+  const stats::EmpiricalCdf cdf(sample);
+  std::printf("# series: %s (n=%zu, mean=%.4g)\n", label, cdf.size(),
+              cdf.mean());
+  std::printf("%s", cdf.to_tsv(points, log_x && cdf.min() > 0.0).c_str());
+}
+
+/// Ground-truth simulation at paper scale (1000 + 1000 subjects over a
+/// 60k-user background, 400 h), overridable as:
+///   bench <background> <subjects_per_class> [seed]
+inline osn::GroundTruthConfig ground_truth_config(int argc, char** argv) {
+  osn::GroundTruthConfig config;
+  config.subject_normals = 1000;
+  config.subject_sybils = 1000;
+  if (argc > 1) {
+    config.background_users =
+        static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10));
+  }
+  if (argc > 2) {
+    const auto subjects =
+        static_cast<std::uint32_t>(std::strtoul(argv[2], nullptr, 10));
+    config.subject_normals = subjects;
+    config.subject_sybils = subjects;
+  }
+  if (argc > 3) config.seed = std::strtoull(argv[3], nullptr, 10);
+  return config;
+}
+
+inline std::string describe(const osn::GroundTruthConfig& c) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "ground-truth sim: %u background users, %u+%u subjects, "
+                "%.0f h, seed %llu",
+                c.background_users, c.subject_normals, c.subject_sybils,
+                c.sim_hours, static_cast<unsigned long long>(c.seed));
+  return buf;
+}
+
+/// Campaign simulation at the calibrated topology scale, overridable as:
+///   bench <normals> <sybils> <hours> [seed]
+inline attack::CampaignConfig campaign_config(int argc, char** argv) {
+  attack::CampaignConfig config;
+  if (argc > 1) {
+    config.normal_users =
+        static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10));
+  }
+  if (argc > 2) {
+    config.sybils =
+        static_cast<std::uint32_t>(std::strtoul(argv[2], nullptr, 10));
+  }
+  if (argc > 3) config.campaign_hours = std::strtod(argv[3], nullptr);
+  if (argc > 4) config.seed = std::strtoull(argv[4], nullptr, 10);
+  return config;
+}
+
+inline std::string describe(const attack::CampaignConfig& c) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "campaign sim: %u normal users, %u Sybils, %.0f h window, "
+                "seed %llu",
+                c.normal_users, c.sybils, c.campaign_hours,
+                static_cast<unsigned long long>(c.seed));
+  return buf;
+}
+
+}  // namespace sybil::bench

@@ -1,0 +1,104 @@
+// Extension — structural diagnostics behind the paper's argument.
+//
+// The community-defense assumption has two measurable halves:
+//   (1) the honest region mixes fast (lazy-walk spectral gap bounded
+//       away from zero), and
+//   (2) the Sybil region traps random walks (low escape probability).
+// We measure both on a synthetic injected community and on the wild
+// campaign's giant Sybil component, plus embedding diagnostics
+// (k-cores, assortativity): wild Sybils sit in the same cores as
+// normal users and their "region" leaks walks immediately.
+#include <algorithm>
+
+#include "bench_common.h"
+#include "core/topology.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "graph/mixing.h"
+#include "stats/summary.h"
+
+int main(int, char**) {
+  using namespace sybil;
+  bench::print_header("Extension — mixing & embedding diagnostics",
+                      "synthetic: 30k honest + 3k injected; "
+                      "wild: campaign at 30k/3k");
+
+  // --- Synthetic injected community. ---
+  stats::Rng rng(7);
+  const auto honest = graph::osn_like_graph(
+      {.nodes = 30'000, .mean_links = 12.0, .triadic_closure = 0.2,
+       .pa_beta = 1.0},
+      rng);
+  const auto synthetic = graph::CsrGraph::from(
+      graph::inject_sybil_community(honest, 3'000, 40.0 / 3'000.0, 60, rng));
+  std::vector<graph::NodeId> synthetic_sybils;
+  for (graph::NodeId v = 30'000; v < 33'000; ++v) {
+    synthetic_sybils.push_back(v);
+  }
+
+  // --- Wild campaign. ---
+  attack::CampaignConfig cfg;
+  cfg.normal_users = 30'000;
+  cfg.sybils = 3'000;
+  cfg.campaign_hours = 12'000.0;
+  const auto wild = attack::run_campaign(cfg);
+  const core::TopologyAnalyzer topo(*wild.network, wild.sybil_ids);
+  const auto& wild_g = topo.snapshot();
+  const auto giant = topo.component_members(0);
+
+  std::printf("\n%-34s %14s %14s\n", "quantity", "synthetic", "wild");
+
+  // Escape probability of the Sybil region (20-step walks).
+  stats::Rng wrng(9);
+  const double esc_syn =
+      graph::escape_probability(synthetic, synthetic_sybils, 20, 5'000, wrng);
+  const double esc_wild =
+      giant.empty() ? 1.0
+                    : graph::escape_probability(wild_g, giant, 20, 5'000,
+                                                wrng);
+  std::printf("%-34s %13.1f%% %13.1f%%\n",
+              "walk escape from Sybil region", 100.0 * esc_syn,
+              100.0 * esc_wild);
+
+  // Spectral gap of the honest substrate (identical generator).
+  const double l2 =
+      graph::lazy_walk_lambda2(graph::CsrGraph::from(honest), 150);
+  std::printf("%-34s %14.4f %14s\n", "honest lazy-walk lambda2", l2,
+              "(same)");
+
+  // Degree assortativity of the combined graphs.
+  std::printf("%-34s %14.3f %14.3f\n", "degree assortativity",
+              graph::degree_assortativity(synthetic),
+              graph::degree_assortativity(wild_g));
+
+  // Core numbers: median core of Sybils vs normals.
+  const auto median_core = [](const graph::CsrGraph& g,
+                              const std::vector<graph::NodeId>& nodes) {
+    const auto core = graph::core_numbers(g);
+    std::vector<double> values;
+    values.reserve(nodes.size());
+    for (auto v : nodes) values.push_back(core[v]);
+    return stats::median(values);
+  };
+  std::vector<graph::NodeId> synthetic_normals, wild_normals;
+  for (graph::NodeId v = 0; v < 30'000; v += 10) {
+    synthetic_normals.push_back(v);
+  }
+  for (std::size_t i = 0; i < wild.normal_ids.size(); i += 10) {
+    wild_normals.push_back(wild.normal_ids[i]);
+  }
+  std::printf("%-34s %7.0f vs %-4.0f %7.0f vs %-4.0f\n",
+              "median core: sybil vs normal",
+              median_core(synthetic, synthetic_sybils),
+              median_core(synthetic, synthetic_normals),
+              median_core(wild_g, wild.sybil_ids),
+              median_core(wild_g, wild_normals));
+
+  std::printf(
+      "\n# reading: the synthetic region traps walks (low escape) — the\n"
+      "# precondition for every random-walk defense. The wild 'region'\n"
+      "# leaks almost every walk on the first hops, while wild Sybils\n"
+      "# embed in cores as deep as ordinary users: structurally, there\n"
+      "# is nothing to cut out.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Extension — countermeasure evaluation: platform-wide invitation rate
+// caps, the obvious defense the paper's frequency feature (Fig 1)
+// suggests. Two attacker models per cap:
+//   naive    — the tools keep bursting; requests over the cap are lost;
+//   adaptive — the tools throttle to the cap and spend their (finite)
+//              active lifetime instead.
+// Reported: total attack edges (harm proxy), distinct victims, and the
+// accidental Sybil-edge volume.
+#include "bench_common.h"
+#include "core/topology.h"
+
+int main(int, char**) {
+  using namespace sybil;
+  bench::print_header("Extension — platform invitation rate caps",
+                      "campaigns at 30k users / 3k Sybils / 12k h");
+
+  attack::CampaignConfig base;
+  base.normal_users = 30'000;
+  base.sybils = 3'000;
+  base.campaign_hours = 12'000.0;
+
+  std::printf("%-26s %14s %16s %13s\n", "variant", "attack edges",
+              "distinct victims", "Sybil edges");
+  const auto run = [&](const char* label, std::uint32_t cap, bool adapts) {
+    attack::CampaignConfig cfg = base;
+    cfg.platform_rate_cap = cap;
+    cfg.attacker_adapts = adapts;
+    cfg.seed = 900 + cap + (adapts ? 1 : 0);
+    const auto result = attack::run_campaign(cfg);
+    const core::TopologyAnalyzer topo(*result.network, result.sybil_ids);
+    // Distinct victims = union of component audiences + isolated-Sybil
+    // neighbors; count directly.
+    std::vector<bool> victim(result.network->account_count(), false);
+    std::uint64_t victims = 0;
+    const auto& g = result.network->graph();
+    for (auto s : result.sybil_ids) {
+      for (const auto& nb : g.neighbors(s)) {
+        if (!result.network->account(nb.node).is_sybil() &&
+            !victim[nb.node]) {
+          victim[nb.node] = true;
+          ++victims;
+        }
+      }
+    }
+    std::printf("%-26s %14llu %16llu %13llu\n", label,
+                static_cast<unsigned long long>(topo.total_attack_edges()),
+                static_cast<unsigned long long>(victims),
+                static_cast<unsigned long long>(topo.total_sybil_edges()));
+  };
+
+  run("no cap", 0, false);
+  for (std::uint32_t cap : {40u, 20u, 10u, 5u}) {
+    char label[48];
+    std::snprintf(label, sizeof(label), "cap %u/hr, naive tool", cap);
+    run(label, cap, false);
+    std::snprintf(label, sizeof(label), "cap %u/hr, adaptive tool", cap);
+    run(label, cap, true);
+  }
+  std::printf(
+      "\n# reading: rate caps hurt bursty naive tools, but an adaptive\n"
+      "# attacker recovers most of the harm by spreading requests over\n"
+      "# the account's lifetime — rate limits alone do not stop Sybils,\n"
+      "# they only slow them down (and push rates under the Fig 1\n"
+      "# detection threshold, making behavioral detection harder).\n");
+  return 0;
+}

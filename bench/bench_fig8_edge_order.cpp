@@ -1,0 +1,62 @@
+// Figure 8: the order in which Sybils of the largest component added
+// their Sybil friends. Each column of the paper's figure is one Sybil's
+// chronological friend sequence with Sybil edges marked.
+// Paper: Sybil-edge positions are near-uniformly random (accidental
+// creation); a handful of circled columns show solid vertical runs
+// (intentional fleet wiring).
+#include <algorithm>
+
+#include "bench_common.h"
+#include "core/edge_order.h"
+#include "core/topology.h"
+#include "stats/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace sybil;
+  const auto config = bench::campaign_config(argc, argv);
+  bench::print_header("Figure 8 — Sybil-edge creation order (giant component)",
+                      bench::describe(config));
+  const auto result = attack::run_campaign(config);
+  const core::TopologyAnalyzer topo(*result.network, result.sybil_ids);
+  if (topo.component_stats().empty()) {
+    std::printf("no Sybil components at this scale\n");
+    return 0;
+  }
+
+  auto members = topo.component_members(0);
+  // The paper samples 1,000 random members of the giant component.
+  stats::Rng rng(config.seed + 99);
+  for (std::size_t i = members.size(); i > 1; --i) {
+    std::swap(members[i - 1], members[rng.uniform_index(i)]);
+  }
+  if (members.size() > 1000) members.resize(1000);
+
+  const auto rows =
+      core::edge_order_rows(*result.network, members, topo.sybil_mask());
+  const auto summary = core::summarize_edge_order(rows);
+
+  // Compact rendering: one line per sampled Sybil (first 40 shown),
+  // '#' = Sybil edge, '.' = attack edge, sequence truncated at 60.
+  std::printf("# first 40 columns (rows here), '#'=Sybil edge '.'=attack\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(40, rows.size()); ++i) {
+    std::string line;
+    for (std::size_t j = 0; j < std::min<std::size_t>(60, rows[i].degree());
+         ++j) {
+      line += rows[i].flags[j] ? '#' : '.';
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::printf("\n# headline numbers (paper value in brackets)\n");
+  std::printf("Mean normalized Sybil-edge position: %.3f  "
+              "[~0.5, uniform random]\n",
+              summary.mean_position);
+  std::printf("KS statistic vs Uniform(0,1): %.3f  [small]\n",
+              summary.ks_statistic);
+  std::printf("Rows flagged intentional (run >= 3): %zu of %zu  "
+              "[a handful of circled columns]\n",
+              summary.intentional_rows, summary.rows);
+  std::printf("Fleet-wired (meshed) Sybils in whole graph: %zu\n",
+              result.meshed_sybil_ids.size());
+  return 0;
+}

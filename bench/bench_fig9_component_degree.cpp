@@ -1,0 +1,43 @@
+// Figure 9: degree distribution inside the largest Sybil component —
+// Sybil-edge degree vs all-edge degree.
+// Paper: 34.5% of members connect to exactly 1 other Sybil; 93.7%
+// connect to <= 10. The loose internal wiring is the second argument
+// against intentional construction.
+#include "bench_common.h"
+#include "core/topology.h"
+
+int main(int argc, char** argv) {
+  using namespace sybil;
+  const auto config = bench::campaign_config(argc, argv);
+  bench::print_header("Figure 9 — degree distribution of the giant component",
+                      bench::describe(config));
+  const auto result = attack::run_campaign(config);
+  const core::TopologyAnalyzer topo(*result.network, result.sybil_ids);
+  if (topo.component_stats().empty()) {
+    std::printf("no Sybil components at this scale\n");
+    return 0;
+  }
+
+  const auto degrees = topo.component_degrees(0);
+  bench::print_cdf("Sybil edges (degree within the component)",
+                   degrees.sybil_degree, 30, /*log_x=*/true);
+  bench::print_cdf("All edges (total degree of members)",
+                   degrees.total_degree, 30, /*log_x=*/true);
+
+  std::size_t deg1 = 0, deg10 = 0;
+  double max_deg = 0.0;
+  for (double d : degrees.sybil_degree) {
+    deg1 += d == 1.0;
+    deg10 += d <= 10.0;
+    max_deg = std::max(max_deg, d);
+  }
+  const auto n = static_cast<double>(degrees.sybil_degree.size());
+  std::printf("\n# headline numbers (paper value in brackets)\n");
+  std::printf("Members with exactly 1 Sybil edge: %.1f%%  [34.5%%]\n",
+              100.0 * static_cast<double>(deg1) / n);
+  std::printf("Members with <= 10 Sybil edges: %.1f%%  [93.7%%]\n",
+              100.0 * static_cast<double>(deg10) / n);
+  std::printf("Maximum Sybil-edge degree (the 'magnet' hubs): %.0f\n",
+              max_deg);
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Microbenchmarks (google-benchmark) of the hot operations behind the
+// experiment pipeline: graph construction, feature extraction, component
+// decomposition, clustering, random routes, max-flow, alias sampling.
+#include <benchmark/benchmark.h>
+
+#include "core/features.h"
+#include "osn/simulator.h"
+#include "graph/clustering.h"
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "graph/maxflow.h"
+#include "graph/walks.h"
+#include "stats/distributions.h"
+
+namespace {
+
+using namespace sybil;
+
+const graph::TimestampedGraph& shared_graph() {
+  static const graph::TimestampedGraph g = [] {
+    stats::Rng rng(1);
+    return graph::osn_like_graph(
+        {.nodes = 50'000, .mean_links = 12.0, .triadic_closure = 0.2,
+         .pa_beta = 1.0},
+        rng);
+  }();
+  return g;
+}
+
+const graph::CsrGraph& shared_csr() {
+  static const graph::CsrGraph csr = graph::CsrGraph::from(shared_graph());
+  return csr;
+}
+
+void BM_CsrSnapshot(benchmark::State& state) {
+  const auto& g = shared_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::CsrGraph::from(g));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.edge_count()));
+}
+BENCHMARK(BM_CsrSnapshot);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  const auto& csr = shared_csr();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::connected_components(csr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(csr.edge_count()));
+}
+BENCHMARK(BM_ConnectedComponents);
+
+void BM_FirstKClustering(benchmark::State& state) {
+  const auto& g = shared_graph();
+  const auto& csr = shared_csr();
+  graph::NodeId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::first_k_clustering(g, csr, u, 50));
+    u = (u + 1) % csr.node_count();
+  }
+}
+BENCHMARK(BM_FirstKClustering);
+
+void BM_TriangleCount(benchmark::State& state) {
+  const auto& csr = shared_csr();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::triangle_count(csr));
+  }
+}
+BENCHMARK(BM_TriangleCount);
+
+void BM_RandomWalk(benchmark::State& state) {
+  const auto& csr = shared_csr();
+  stats::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::random_walk_endpoint(csr, 0, static_cast<std::size_t>(state.range(0)), rng));
+  }
+}
+BENCHMARK(BM_RandomWalk)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_RouteTableBuild(benchmark::State& state) {
+  const auto& csr = shared_csr();
+  for (auto _ : state) {
+    stats::Rng rng(3);
+    benchmark::DoNotOptimize(graph::RouteTable(csr, rng));
+  }
+}
+BENCHMARK(BM_RouteTableBuild);
+
+void BM_AliasSamplerBuild(benchmark::State& state) {
+  const auto& csr = shared_csr();
+  std::vector<double> weights(csr.node_count());
+  for (graph::NodeId u = 0; u < csr.node_count(); ++u) {
+    weights[u] = csr.degree(u) + 1.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::AliasSampler(weights));
+  }
+}
+BENCHMARK(BM_AliasSamplerBuild);
+
+void BM_AliasSamplerDraw(benchmark::State& state) {
+  const auto& csr = shared_csr();
+  std::vector<double> weights(csr.node_count());
+  for (graph::NodeId u = 0; u < csr.node_count(); ++u) {
+    weights[u] = csr.degree(u) + 1.0;
+  }
+  const stats::AliasSampler alias(weights);
+  stats::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alias(rng));
+  }
+}
+BENCHMARK(BM_AliasSamplerDraw);
+
+void BM_MaxFlowGrid(benchmark::State& state) {
+  // k x k grid, unit capacities, corner to corner.
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    graph::FlowNetwork net(static_cast<std::size_t>(k) * k);
+    const auto id = [k](int r, int c) {
+      return static_cast<std::size_t>(r) * k + c;
+    };
+    for (int r = 0; r < k; ++r) {
+      for (int c = 0; c < k; ++c) {
+        if (c + 1 < k) net.add_undirected(id(r, c), id(r, c + 1), 1);
+        if (r + 1 < k) net.add_undirected(id(r, c), id(r + 1, c), 1);
+      }
+    }
+    benchmark::DoNotOptimize(net.max_flow(0, id(k - 1, k - 1)));
+  }
+}
+BENCHMARK(BM_MaxFlowGrid)->Arg(16)->Arg(64);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  static const osn::GroundTruthSimulator* sim = [] {
+    osn::GroundTruthConfig cfg;
+    cfg.background_users = 5'000;
+    cfg.subject_normals = 200;
+    cfg.subject_sybils = 200;
+    cfg.sim_hours = 120.0;
+    auto* s = new osn::GroundTruthSimulator(cfg);
+    s->run();
+    return s;
+  }();
+  const core::FeatureExtractor fx(sim->network());
+  std::size_t i = 0;
+  const auto& ids = sim->subject_sybils();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.extract(ids[i % ids.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Table 3: the commercial Sybil creation/management tools and, beyond
+// the paper's static survey, a behavioral measurement of each tool
+// profile: (a) the popularity bias of its snowball target selection,
+// and (b) the accidental Sybil-edge rate it induces when an entire
+// campaign runs on that tool alone.
+#include "bench_common.h"
+
+#include "attack/tools.h"
+#include "core/topology.h"
+#include "graph/generators.h"
+#include "graph/sampling.h"
+
+int main(int, char**) {
+  using namespace sybil;
+  bench::print_header("Table 3 — Sybil creation and management tools",
+                      "tool survey + snowball-bias measurement");
+
+  std::printf("%-36s %-9s %-15s %5s %8s\n", "Tool", "Platform", "Cost",
+              "bias", "explore");
+  for (const auto& tool : attack::table3_tools()) {
+    std::printf("%-36s %-9s %-15s %5.1f %7.0f%%\n", tool.name.c_str(),
+                tool.platform.c_str(), tool.cost.c_str(), tool.target_bias,
+                100.0 * tool.uniform_mix);
+  }
+
+  // --- (a) Popularity bias of snowball sampling per tool. ---
+  std::printf("\n# snowball sampling bias on a 50k-user OSN-like graph\n");
+  std::printf("%-36s %18s %22s\n", "Tool", "mean target degree",
+              "vs graph mean (factor)");
+  stats::Rng graph_rng(2024);
+  const auto base = graph::osn_like_graph(
+      {.nodes = 50'000, .mean_links = 12.0, .triadic_closure = 0.2,
+       .pa_beta = 1.0},
+      graph_rng);
+  const auto csr = graph::CsrGraph::from(base);
+  const double graph_mean =
+      2.0 * static_cast<double>(csr.edge_count()) / csr.node_count();
+  for (const auto& tool : attack::table3_tools()) {
+    stats::Rng rng(7 + static_cast<std::uint64_t>(tool.target_bias * 10));
+    graph::BiasedSnowballSampler sampler(csr, /*seed=*/1, tool.target_bias,
+                                         rng);
+    const auto targets = sampler.sample(2'000);
+    double mean_deg = 0.0;
+    for (auto t : targets) mean_deg += csr.degree(t);
+    mean_deg /= static_cast<double>(targets.size());
+    std::printf("%-36s %18.1f %22.2f\n", tool.name.c_str(), mean_deg,
+                mean_deg / graph_mean);
+  }
+
+  // --- (b) Accidental Sybil-edge rate per tool (single-tool campaigns,
+  // reduced scale). ---
+  std::printf("\n# single-tool campaigns (30k users, 3k Sybils, 12k h)\n");
+  std::printf("%-36s %14s %20s\n", "Tool (bias)", "Sybil edges",
+              "Sybils w/ Sybil edge");
+  const attack::CampaignConfig base_cfg = [&] {
+    attack::CampaignConfig c;
+    c.normal_users = 30'000;
+    c.sybils = 3'000;
+    c.campaign_hours = 12'000.0;
+    return c;
+  }();
+  for (const auto& tool : attack::table3_tools()) {
+    attack::CampaignConfig cfg = base_cfg;
+    cfg.tools = {{tool.target_bias, tool.uniform_mix, 1.0}};
+    cfg.seed = 31 + static_cast<std::uint64_t>(tool.target_bias * 100);
+    const auto result = attack::run_campaign(cfg);
+    const core::TopologyAnalyzer topo(*result.network, result.sybil_ids);
+    char label[64];
+    std::snprintf(label, sizeof(label), "%.28s (%.1f)", tool.name.c_str(),
+                  tool.target_bias);
+    std::printf("%-36s %14llu %19.1f%%\n", label,
+                static_cast<unsigned long long>(topo.total_sybil_edges()),
+                100.0 * topo.fraction_with_sybil_edge());
+  }
+  std::printf("\n# reading: stronger popularity bias -> more accidental "
+              "Sybil edges,\n# the paper's Section 3.4 mechanism.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// File-driven Sybil topology analysis — the adoption path for real data.
+//
+// A platform exports (a) an anonymized friendship edge list with
+// creation timestamps and (b) the node ids of its banned/confirmed
+// Sybil accounts; this tool runs the paper's full Section-3 analysis on
+// those files. No simulation involved.
+//
+// Usage:
+//   analyze_graph <edges.txt> <sybil_ids.txt>
+//   analyze_graph --demo <output_dir>     # write sample inputs and exit
+//
+// Edge file format (graph::save_edge_list):
+//   nodes N
+//   u v timestamp
+// Sybil id file: one node id per line; '#' comments allowed.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "attack/campaign.h"
+#include "core/edge_order.h"
+#include "core/topology.h"
+#include "graph/io.h"
+
+namespace {
+
+std::vector<sybil::osn::NodeId> load_ids(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open: " + path);
+  std::vector<sybil::osn::NodeId> ids;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ids.push_back(static_cast<sybil::osn::NodeId>(std::stoul(line)));
+  }
+  return ids;
+}
+
+int write_demo(const std::string& dir) {
+  using namespace sybil;
+  std::printf("Generating demo inputs (small campaign)...\n");
+  attack::CampaignConfig cfg;
+  cfg.normal_users = 10'000;
+  cfg.sybils = 1'000;
+  cfg.campaign_hours = 5'000.0;
+  const auto result = attack::run_campaign(cfg);
+  const std::string edges = dir + "/demo_edges.txt";
+  const std::string sybils = dir + "/demo_sybils.txt";
+  graph::save_edge_list(result.network->graph(), edges);
+  std::ofstream os(sybils);
+  os << "# demo Sybil ids\n";
+  for (auto s : result.sybil_ids) os << s << '\n';
+  std::printf("Wrote %s and %s\nRun: analyze_graph %s %s\n", edges.c_str(),
+              sybils.c_str(), edges.c_str(), sybils.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sybil;
+  if (argc == 3 && std::strcmp(argv[1], "--demo") == 0) {
+    return write_demo(argv[2]);
+  }
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: %s <edges.txt> <sybil_ids.txt>\n"
+                 "       %s --demo <output_dir>\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+
+  const graph::TimestampedGraph g = graph::load_edge_list(argv[1]);
+  const auto sybil_ids = load_ids(argv[2]);
+  std::printf("Loaded %u nodes, %llu edges, %zu Sybil ids\n", g.node_count(),
+              static_cast<unsigned long long>(g.edge_count()),
+              sybil_ids.size());
+  for (auto s : sybil_ids) {
+    if (s >= g.node_count()) {
+      std::fprintf(stderr, "sybil id %u out of range\n", s);
+      return 2;
+    }
+  }
+
+  const core::TopologyAnalyzer topo(g, sybil_ids);
+  std::printf("\nSybil edges:   %llu\n",
+              static_cast<unsigned long long>(topo.total_sybil_edges()));
+  std::printf("Attack edges:  %llu\n",
+              static_cast<unsigned long long>(topo.total_attack_edges()));
+  std::printf("Sybils with >=1 Sybil edge: %.1f%%\n",
+              100.0 * topo.fraction_with_sybil_edge());
+
+  const auto& comps = topo.component_stats();
+  std::printf("\nSybil components (size >= 2): %zu\n", comps.size());
+  std::printf("%10s %12s %13s %10s\n", "Sybils", "Sybil edges",
+              "Attack edges", "Audience");
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, comps.size()); ++i) {
+    std::printf("%10u %12llu %13llu %10llu\n", comps[i].sybils,
+                static_cast<unsigned long long>(comps[i].sybil_edges),
+                static_cast<unsigned long long>(comps[i].attack_edges),
+                static_cast<unsigned long long>(comps[i].audience));
+  }
+
+  if (!comps.empty()) {
+    const auto members = topo.component_members(0);
+    const auto rows = core::edge_order_rows(g, members, topo.sybil_mask());
+    const auto summary = core::summarize_edge_order(rows);
+    std::printf("\nGiant-component edge order: mean position %.3f "
+                "(0.5 = accidental), KS %.3f, intentional rows %zu/%zu\n",
+                summary.mean_position, summary.ks_statistic,
+                summary.intentional_rows, summary.rows);
+  }
+
+  std::size_t above = 0;
+  for (const auto& cs : comps) above += cs.attack_edges > cs.sybil_edges;
+  std::printf("\nVerdict: %zu/%zu components have more attack than Sybil "
+              "edges;\ncommunity-based detection %s viable on this data.\n",
+              above, comps.size(),
+              above == comps.size() ? "is NOT" : "may be");
+  return 0;
+}

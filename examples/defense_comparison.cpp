@@ -1,0 +1,89 @@
+// Defense comparison (paper Section 3.1 + conclusion): why the feature-
+// based detector succeeds where graph-structural defenses fail.
+//
+// Runs one wild campaign, then evaluates two families of defenses on the
+// SAME population:
+//   1. structural: SybilRank trust propagation (the canonical community-
+//      assumption detector), and
+//   2. behavioral: the paper's threshold detector over the four features.
+//
+// Usage: defense_comparison [normals] [sybils] [hours]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "attack/campaign.h"
+#include "core/features.h"
+#include "core/threshold_detector.h"
+#include "detectors/evaluation.h"
+#include "detectors/sybilrank.h"
+
+int main(int argc, char** argv) {
+  using namespace sybil;
+
+  attack::CampaignConfig config;
+  config.normal_users = 60'000;
+  config.sybils = 6'000;
+  config.campaign_hours = 20'000.0;
+  if (argc > 1) {
+    config.normal_users =
+        static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10));
+  }
+  if (argc > 2) {
+    config.sybils =
+        static_cast<std::uint32_t>(std::strtoul(argv[2], nullptr, 10));
+  }
+  if (argc > 3) config.campaign_hours = std::strtod(argv[3], nullptr);
+
+  std::printf("Campaign: %u normals, %u Sybils, %.0f h...\n",
+              config.normal_users, config.sybils, config.campaign_hours);
+  const auto result = attack::run_campaign(config);
+  const osn::Network& net = *result.network;
+
+  std::vector<bool> is_sybil(net.account_count(), false);
+  for (auto s : result.sybil_ids) is_sybil[s] = true;
+
+  // --- Structural defense: SybilRank from 50 verified honest seeds. ---
+  const auto csr = graph::CsrGraph::from(net.graph());
+  std::vector<graph::NodeId> seeds;
+  for (std::size_t i = 0; i < 50; ++i) {
+    seeds.push_back(result.normal_ids[(i * 1009 + 3) %
+                                      result.normal_ids.size()]);
+  }
+  const auto scores = detect::sybilrank_scores(csr, seeds);
+  const auto structural = detect::evaluate_scores(scores, is_sybil);
+  std::printf("\nStructural (SybilRank):  AUC %.3f, catches %.1f%% of "
+              "Sybils at a 5%% honest-cost budget\n",
+              structural.auc, 100.0 * structural.sybil_rejection);
+
+  // --- Behavioral defense: the paper's threshold detector. ---
+  const core::FeatureExtractor fx(net);
+  const core::ThresholdDetector detector;
+  std::size_t caught = 0, false_flags = 0;
+  for (auto s : result.sybil_ids) {
+    caught += detector.is_sybil(fx.extract(s), net.ledger(s).sent());
+  }
+  // Evaluate false positives on a normal sample (full scan is identical,
+  // just slower).
+  const std::size_t normal_sample =
+      std::min<std::size_t>(20'000, result.normal_ids.size());
+  for (std::size_t i = 0; i < normal_sample; ++i) {
+    const auto u = result.normal_ids[i];
+    false_flags += detector.is_sybil(fx.extract(u), net.ledger(u).sent());
+  }
+  std::printf("Behavioral (threshold):  catches %.1f%% of Sybils, "
+              "%.2f%% false positives\n",
+              100.0 * static_cast<double>(caught) /
+                  static_cast<double>(result.sybil_ids.size()),
+              100.0 * static_cast<double>(false_flags) /
+                  static_cast<double>(normal_sample));
+
+  std::printf(
+      "\nReading the numbers: AUC 0.5 is chance. Wild Sybils not only\n"
+      "evade trust propagation — because their tools hunt popular,\n"
+      "well-trusted targets, they often rank ABOVE the median honest\n"
+      "user (AUC < 0.5). The behavioral detector keys on how Sybils\n"
+      "must act to operate at all, and is unaffected by where in the\n"
+      "graph they sit.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Deployment scenario (paper Section 2.3): the real-time threshold
+// detector running against a live OSN.
+//
+// The detector sweeps the network every 24 simulated hours *while the
+// simulation runs*, newly flagged accounts go to manual verification
+// (the simulator's ground truth stands in for Renren's verification
+// team), verified Sybils are banned on the spot, and every verdict
+// feeds the adaptive threshold tuner. At the end we report cumulative
+// precision/recall and detection latency — the deployment-quality
+// numbers behind the paper's "100,000 Sybils banned in six months".
+//
+// Usage: realtime_detection [background_users] [sybils] [hours]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/realtime_detector.h"
+#include "osn/simulator.h"
+#include "stats/summary.h"
+
+int main(int argc, char** argv) {
+  using namespace sybil;
+
+  osn::GroundTruthConfig config;
+  config.background_users = 30'000;
+  config.subject_normals = 800;
+  config.subject_sybils = 800;
+  config.sim_hours = 400.0;
+  // Renren's prior techniques are switched off: OUR detector is now the
+  // banning mechanism, so Sybils live until we catch them.
+  config.sybil.ban_after_min = 1e9;
+  config.sybil.ban_after_max = 2e9;
+  if (argc > 1) {
+    config.background_users =
+        static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10));
+  }
+  if (argc > 2) {
+    config.subject_sybils =
+        static_cast<std::uint32_t>(std::strtoul(argv[2], nullptr, 10));
+  }
+  if (argc > 3) config.sim_hours = std::strtod(argv[3], nullptr);
+
+  std::printf("Deploying real-time detector on a %u-user OSN with %u Sybils "
+              "for %.0f h (sweep every 24 h)...\n\n",
+              config.background_users + config.subject_normals,
+              config.subject_sybils, config.sim_hours);
+
+  osn::GroundTruthSimulator sim(config);
+  core::RealTimeDetector detector;
+
+  std::vector<osn::NodeId> candidates = sim.subject_normals();
+  candidates.insert(candidates.end(), sim.subject_sybils().begin(),
+                    sim.subject_sybils().end());
+
+  std::size_t true_flags = 0, false_flags = 0, sweeps = 0;
+  std::vector<double> latencies;
+
+  std::printf("%-8s %-9s %-14s %-12s %s\n", "hour", "flagged",
+              "verified sybil", "cum.recall", "rule rate>=");
+  sim.set_hour_hook([&](osn::Time now, osn::Network& net) {
+    if (static_cast<std::uint64_t>(now) % 24 != 0) return;
+    ++sweeps;
+    const auto flagged = detector.sweep(net, candidates);
+    if (flagged.empty()) return;
+    const core::FeatureExtractor fx(net);
+    std::size_t sybil_flags = 0;
+    for (osn::NodeId id : flagged) {
+      const bool is_sybil = net.account(id).is_sybil();
+      detector.confirm(fx.extract(id), is_sybil);  // manual verification
+      if (is_sybil) {
+        ++true_flags;
+        ++sybil_flags;
+        net.ban(id, now);  // the detector is live: flagged Sybils go down
+        latencies.push_back(now - net.account(id).created_at);
+      } else {
+        ++false_flags;
+      }
+    }
+    std::printf("%-8.0f %-9zu %-14zu %6.1f%%      %.1f/hr\n", now,
+                flagged.size(), sybil_flags,
+                100.0 * static_cast<double>(true_flags) /
+                    static_cast<double>(config.subject_sybils),
+                detector.rule().invite_rate_min);
+  });
+  sim.run();
+
+  std::printf("\n=== Deployment summary (%zu sweeps) ===\n", sweeps);
+  std::printf("Sybils caught:      %zu of %u (%.1f%%)\n", true_flags,
+              config.subject_sybils,
+              100.0 * static_cast<double>(true_flags) /
+                  static_cast<double>(config.subject_sybils));
+  std::printf("False flags:        %zu (precision %.2f%%)\n", false_flags,
+              100.0 * static_cast<double>(true_flags) /
+                  static_cast<double>(std::max<std::size_t>(
+                      1, true_flags + false_flags)));
+  if (!latencies.empty()) {
+    std::printf("Detection latency:  mean %.0f h, max %.0f h after account "
+                "creation\n",
+                stats::summarize(latencies).mean(),
+                stats::summarize(latencies).max());
+  }
+  std::printf("Final tuned rule:   accept < %.2f AND rate >= %.1f/hr AND "
+              "cc < %.4f\n",
+              detector.rule().outgoing_accept_max,
+              detector.rule().invite_rate_min,
+              detector.rule().clustering_max);
+  return 0;
+}

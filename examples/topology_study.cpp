@@ -1,0 +1,109 @@
+// Topology study (paper Section 3): characterize how Sybils embed in the
+// social graph — the full measurement pipeline from a simulated
+// multi-year attack campaign to the paper's structural findings.
+//
+// Usage: topology_study [normals] [sybils] [hours]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "attack/campaign.h"
+#include "core/edge_order.h"
+#include "core/topology.h"
+#include "graph/conductance.h"
+#include "graph/degree.h"
+#include "stats/summary.h"
+
+int main(int argc, char** argv) {
+  using namespace sybil;
+
+  attack::CampaignConfig config;
+  config.normal_users = 80'000;
+  config.sybils = 8'000;
+  config.campaign_hours = 30'000.0;
+  if (argc > 1) {
+    config.normal_users =
+        static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10));
+  }
+  if (argc > 2) {
+    config.sybils =
+        static_cast<std::uint32_t>(std::strtoul(argv[2], nullptr, 10));
+  }
+  if (argc > 3) config.campaign_hours = std::strtod(argv[3], nullptr);
+
+  std::printf("Simulating a %.0f-hour Sybil campaign: %u normal users, "
+              "%u Sybils...\n",
+              config.campaign_hours, config.normal_users, config.sybils);
+  const auto result = attack::run_campaign(config);
+  const core::TopologyAnalyzer topo(*result.network, result.sybil_ids);
+
+  std::printf("\n--- Do Sybils befriend each other? (Section 3.2) ---\n");
+  std::printf("Sybil accounts:          %zu\n", topo.sybil_count());
+  std::printf("Attack edges:            %llu\n",
+              static_cast<unsigned long long>(topo.total_attack_edges()));
+  std::printf("Sybil edges:             %llu\n",
+              static_cast<unsigned long long>(topo.total_sybil_edges()));
+  std::printf("Sybils with a Sybil edge: %.1f%% (paper: ~20%%)\n",
+              100.0 * topo.fraction_with_sybil_edge());
+
+  std::printf("\n--- Sybil communities (Section 3.3) ---\n");
+  const auto& comps = topo.component_stats();
+  std::printf("Components (size >= 2): %zu\n", comps.size());
+  const auto& g = topo.snapshot();
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, comps.size()); ++i) {
+    const auto members = topo.component_members(i);
+    const auto cut = graph::cut_stats(g, members);
+    std::printf("  #%zu: %u sybils, %llu sybil edges, %llu attack edges, "
+                "audience %llu, conductance %.3f\n",
+                i + 1, comps[i].sybils,
+                static_cast<unsigned long long>(comps[i].sybil_edges),
+                static_cast<unsigned long long>(comps[i].attack_edges),
+                static_cast<unsigned long long>(comps[i].audience),
+                cut.conductance(graph::total_volume(g)));
+  }
+  std::size_t above_line = 0;
+  for (const auto& cs : comps) above_line += cs.attack_edges > cs.sybil_edges;
+  std::printf("Components with more attack than Sybil edges: %zu/%zu "
+              "(paper: all)\n",
+              above_line, comps.size());
+
+  if (!comps.empty()) {
+    std::printf("\n--- Edge formation in the giant component "
+                "(Section 3.4) ---\n");
+    const auto members = topo.component_members(0);
+    const auto rows =
+        core::edge_order_rows(*result.network, members, topo.sybil_mask());
+    const auto summary = core::summarize_edge_order(rows);
+    std::printf("Mean normalized Sybil-edge position: %.3f "
+                "(0.5 = uniformly random)\n",
+                summary.mean_position);
+    std::printf("KS distance from Uniform(0,1):       %.3f\n",
+                summary.ks_statistic);
+    std::printf("Members with intentional-looking runs: %zu of %zu\n",
+                summary.intentional_rows, summary.rows);
+    std::printf("Fleet-wired Sybils across the graph:   %zu "
+                "(%llu intentional edges)\n",
+                result.meshed_sybil_ids.size(),
+                static_cast<unsigned long long>(
+                    result.intentional_sybil_edges));
+
+    const auto cd = topo.component_degrees(0);
+    std::size_t deg1 = 0, deg10 = 0;
+    for (double d : cd.sybil_degree) {
+      deg1 += d == 1.0;
+      deg10 += d <= 10.0;
+    }
+    const auto n = static_cast<double>(cd.sybil_degree.size());
+    std::printf("Giant-component internal degree: %.1f%% have exactly 1, "
+                "%.1f%% have <= 10 (paper: 34.5%% / 93.7%%)\n",
+                100.0 * static_cast<double>(deg1) / n,
+                100.0 * static_cast<double>(deg10) / n);
+  }
+
+  std::printf("\n--- Conclusion ---\n");
+  std::printf(
+      "Wild Sybils integrate into the social graph instead of clustering;\n"
+      "their components are loose, accidental, and sit behind attack-edge\n"
+      "cuts far too wide for community-based detection.\n");
+  return 0;
+}

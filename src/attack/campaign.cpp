@@ -1,0 +1,247 @@
+#include "attack/campaign.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sybil::attack {
+
+namespace {
+
+struct SybilPlan {
+  Time arrival;
+  Time banned_at;
+  double invite_rate;
+  bool meshed;         // attacker wires this block intentionally
+  std::uint32_t block; // attacker id
+  std::uint8_t tool;   // index into CampaignConfig::tools
+};
+
+std::uint8_t pick_tool(const CampaignConfig& cfg, stats::Rng& rng) {
+  double total = 0.0;
+  for (const auto& t : cfg.tools) total += t.share;
+  double mark = rng.uniform() * total;
+  for (std::size_t i = 0; i < cfg.tools.size(); ++i) {
+    mark -= cfg.tools[i].share;
+    if (mark <= 0.0) return static_cast<std::uint8_t>(i);
+  }
+  return static_cast<std::uint8_t>(cfg.tools.size() - 1);
+}
+
+std::vector<SybilPlan> plan_sybils(const CampaignConfig& cfg,
+                                   stats::Rng& rng) {
+  std::vector<SybilPlan> plans;
+  plans.reserve(cfg.sybils);
+  std::uint32_t block_id = 0;
+  while (plans.size() < cfg.sybils) {
+    const auto block_size = std::min<std::uint64_t>(
+        1 + stats::sample_poisson(rng,
+                                  std::max(0.0, cfg.attacker_block_mean - 1)),
+        cfg.sybils - plans.size());
+    const bool meshed = rng.bernoulli(cfg.mesh_block_prob);
+    const std::uint8_t tool = pick_tool(cfg, rng);
+    const double window =
+        std::max(1.0, cfg.campaign_hours - cfg.lifetime_max - 24.0);
+    const Time block_start = rng.uniform(0.0, window);
+    for (std::uint64_t i = 0; i < block_size; ++i) {
+      SybilPlan p;
+      // Fleet members come online over the attacker's first day.
+      p.arrival = block_start + rng.uniform(0.0, 24.0);
+      p.banned_at =
+          p.arrival + (rng.bernoulli(cfg.longlived_fraction)
+                           ? rng.uniform(cfg.longlived_min, cfg.longlived_max)
+                           : rng.uniform(cfg.lifetime_min, cfg.lifetime_max));
+      p.invite_rate = stats::sample_lognormal(
+          rng, std::log(cfg.invites_mu), cfg.invites_sigma);
+      p.meshed = meshed;
+      p.block = block_id;
+      p.tool = tool;
+      plans.push_back(p);
+    }
+    ++block_id;
+  }
+  std::sort(plans.begin(), plans.end(),
+            [](const SybilPlan& a, const SybilPlan& b) {
+              return a.arrival < b.arrival;
+            });
+  return plans;
+}
+
+/// Popularity index: alias table over (degree + 1)^bias, excluding
+/// banned accounts. The bias == 1 case avoids pow() on the hot rebuild.
+std::unique_ptr<stats::AliasSampler> build_popularity(
+    const osn::Network& net, double bias) {
+  const auto& g = net.graph();
+  std::vector<double> weights(net.account_count());
+  for (NodeId id = 0; id < weights.size(); ++id) {
+    if (net.account(id).banned()) {
+      weights[id] = 0.0;
+    } else if (bias == 1.0) {
+      weights[id] = static_cast<double>(g.degree(id)) + 1.0;
+    } else {
+      weights[id] = std::pow(static_cast<double>(g.degree(id)) + 1.0, bias);
+    }
+  }
+  return std::make_unique<stats::AliasSampler>(weights);
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  stats::Rng rng(config.seed);
+  CampaignResult result;
+  result.network = std::make_unique<osn::Network>();
+  osn::Network& net = *result.network;
+
+  // --- Established normal user base with a static social graph. ---
+  for (std::uint32_t i = 0; i < config.normal_users; ++i) {
+    result.normal_ids.push_back(
+        net.add_account(osn::make_normal_account(config.normal, 0.0, rng)));
+  }
+  {
+    graph::OsnGraphParams gp = config.normal_graph;
+    gp.nodes = config.normal_users;
+    stats::Rng graph_rng = rng.fork();
+    const graph::TimestampedGraph base = osn_like_graph(gp, graph_rng);
+    const double span = std::max(1.0, static_cast<double>(base.edge_count()));
+    for (NodeId u = 0; u < base.node_count(); ++u) {
+      for (const graph::Neighbor& nb : base.neighbors(u)) {
+        if (u < nb.node) {
+          net.add_friendship(u, nb.node, -1.0 - (span - nb.created_at));
+        }
+      }
+    }
+  }
+
+  // --- Sybil arrival plan. ---
+  const std::vector<SybilPlan> plans = plan_sybils(config, rng);
+
+  if (config.tools.empty()) {
+    throw std::invalid_argument("campaign: tools must be non-empty");
+  }
+  std::vector<std::unique_ptr<stats::AliasSampler>> popularity(
+      config.tools.size());
+  const auto rebuild_all = [&] {
+    for (std::size_t i = 0; i < config.tools.size(); ++i) {
+      popularity[i] = build_popularity(net, config.tools[i].bias);
+    }
+  };
+  rebuild_all();
+  double next_rebuild = config.popularity_rebuild_hours;
+
+  struct ActiveSybil {
+    NodeId id;
+    Time banned_at;
+    double invite_rate;
+    std::uint8_t tool;
+  };
+  std::vector<ActiveSybil> active;
+  std::size_t next_plan = 0;
+  // Last created Sybil of each *meshed* block, for chain wiring.
+  std::uint32_t block_count = 0;
+  for (const SybilPlan& p : plans) {
+    block_count = std::max(block_count, p.block + 1);
+  }
+  std::vector<NodeId> block_tail(block_count, 0xffffffffu);
+
+  const auto decide = [&](NodeId target, NodeId requester,
+                          std::uint8_t tag) -> bool {
+    const osn::Account& tgt = net.account(target);
+    if (tgt.is_sybil() && config.sybil_accept_all) return true;
+    return osn::normal_accepts(config.normal, tgt, net.account(requester),
+                               tag, rng);
+  };
+
+  const auto hours = static_cast<std::uint64_t>(config.campaign_hours);
+  for (std::uint64_t h = 0; h < hours; ++h) {
+    const Time t = static_cast<Time>(h);
+
+    // Ban expired Sybils (before this hour's sends).
+    for (std::size_t i = 0; i < active.size();) {
+      if (t >= active[i].banned_at) {
+        net.ban(active[i].id, active[i].banned_at);
+        active[i] = active.back();
+        active.pop_back();
+      } else {
+        ++i;
+      }
+    }
+
+    // Activate new arrivals.
+    while (next_plan < plans.size() && plans[next_plan].arrival <= t) {
+      const SybilPlan& p = plans[next_plan];
+      osn::Account acc = osn::make_sybil_account(config.sybil, p.arrival, rng);
+      acc.invite_rate = p.invite_rate;
+      if (!config.sybil_accept_all) {
+        // Ablation: Sybils answer incoming requests with ordinary-user
+        // openness instead of accepting everything.
+        acc.openness = rng.uniform();
+      }
+      const NodeId id = net.add_account(acc, p.arrival);
+      result.sybil_ids.push_back(id);
+      active.push_back({id, p.banned_at, p.invite_rate, p.tool});
+      if (p.meshed) {
+        result.meshed_sybil_ids.push_back(id);
+        const NodeId tail = block_tail[p.block];
+        if (tail != 0xffffffffu &&
+            net.add_friendship(tail, id, p.arrival + 1e-3)) {
+          ++result.intentional_sybil_edges;
+        }
+        block_tail[p.block] = id;
+      }
+      ++next_plan;
+    }
+
+    if (t >= next_rebuild) {
+      rebuild_all();
+      next_rebuild = t + std::max(1.0, config.popularity_rebuild_hours);
+    }
+
+    // Active Sybils run their tools.
+    for (const ActiveSybil& s : active) {
+      // An adaptive attacker throttles to the cap but runs the tool for
+      // proportionally more hours, preserving total volume; a naive
+      // tool keeps bursting and loses everything above the cap.
+      double rate = s.invite_rate;
+      double online_prob = config.online_prob;
+      if (config.platform_rate_cap > 0 && config.attacker_adapts &&
+          rate > config.platform_rate_cap) {
+        online_prob = std::min(
+            1.0, online_prob * rate /
+                     static_cast<double>(config.platform_rate_cap));
+        rate = static_cast<double>(config.platform_rate_cap);
+      }
+      if (!rng.bernoulli(online_prob)) continue;
+      const auto& tool = config.tools[s.tool];
+      auto invites = stats::sample_poisson(rng, rate);
+      if (config.platform_rate_cap > 0) {
+        invites = std::min<std::uint64_t>(invites, config.platform_rate_cap);
+      }
+      for (std::uint64_t k = 0; k < invites; ++k) {
+        NodeId target;
+        if (rng.bernoulli(tool.uniform_mix)) {
+          target = static_cast<NodeId>(rng.uniform_index(net.account_count()));
+        } else {
+          target = static_cast<NodeId>((*popularity[s.tool])(rng));
+        }
+        if (target == s.id || net.account(target).banned()) continue;
+        const Time sent_at = t + rng.uniform();
+        const Time respond_at =
+            sent_at + stats::sample_exponential(
+                          rng, 1.0 / config.response_delay_mean);
+        net.send_request(s.id, target, sent_at, respond_at,
+                         osn::kTagStranger);
+      }
+    }
+
+    net.process_responses(t + 1.0, decide);
+  }
+
+  // Final drain and final bans.
+  for (const ActiveSybil& s : active) net.ban(s.id, s.banned_at);
+  net.process_responses(config.campaign_hours + 1e9, decide);
+  return result;
+}
+
+}  // namespace sybil::attack

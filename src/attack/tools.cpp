@@ -1,0 +1,17 @@
+#include "attack/tools.h"
+
+namespace sybil::attack {
+
+const std::vector<ToolProfile>& table3_tools() {
+  static const std::vector<ToolProfile> kTools = {
+      {"Renren Marketing Assistant V1.0", "Windows", "$37",
+       /*target_bias=*/1.0, /*uniform_mix=*/0.10, /*crawl_batch=*/50},
+      {"Renren Super Node Collector V1.0", "Windows", "Contact Author",
+       /*target_bias=*/2.0, /*uniform_mix=*/0.02, /*crawl_batch=*/100},
+      {"Renren Almighty Assistant V5.8", "Windows", "Contact Author",
+       /*target_bias=*/0.6, /*uniform_mix=*/0.25, /*crawl_batch=*/30},
+  };
+  return kTools;
+}
+
+}  // namespace sybil::attack

@@ -1,0 +1,35 @@
+// Sybil creation/management tool profiles (paper Table 3).
+//
+// The paper surveys three commercial Windows tools that create and drive
+// Renren Sybils; all advertise snowball-sampling the social graph for
+// *popular* targets. We model each tool as a parameterized targeting
+// strategy. The parameters are inferred from the advertised feature
+// lists the paper describes — the survey itself (names, prices) is data
+// we reproduce as a static table; the *behavior* is what the campaign
+// simulator executes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sybil::attack {
+
+struct ToolProfile {
+  std::string name;
+  std::string platform;
+  std::string cost;
+  /// Popularity-bias exponent of target selection (degree^beta).
+  double target_bias;
+  /// Fraction of targets picked uniformly at random (exploration mix).
+  double uniform_mix;
+  /// Snowball frontier batch: targets gathered per crawl step.
+  std::size_t crawl_batch;
+};
+
+/// The three tools of Table 3, with behavior parameters inferred from
+/// their advertised functionality ("collect super nodes" → strong bias;
+/// "marketing assistant" → broad but popularity-directed; "almighty
+/// assistant" → mixed-mode automation).
+const std::vector<ToolProfile>& table3_tools();
+
+}  // namespace sybil::attack

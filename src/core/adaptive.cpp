@@ -1,0 +1,100 @@
+#include "core/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sybil::core {
+
+AdaptiveThresholdTuner::AdaptiveThresholdTuner(AdaptiveConfig config)
+    : config_(config), rule_(config.initial), rng_(config.seed) {}
+
+void AdaptiveThresholdTuner::reservoir_add(Reservoir& r,
+                                           const SybilFeatures& f,
+                                           std::size_t seen_before) {
+  const auto push = [&](std::vector<double>& vec, double value) {
+    if (vec.size() < config_.reservoir_capacity) {
+      vec.push_back(value);
+    } else {
+      // Vitter's algorithm R.
+      const std::size_t slot = rng_.uniform_index(seen_before + 1);
+      if (slot < vec.size()) vec[slot] = value;
+    }
+  };
+  push(r.invite_rate, f.invite_rate_short);
+  push(r.out_accept, f.outgoing_accept_ratio);
+  push(r.clustering, f.clustering_coefficient);
+}
+
+void AdaptiveThresholdTuner::observe(const SybilFeatures& f,
+                                     bool confirmed_sybil) {
+  if (confirmed_sybil) {
+    reservoir_add(sybil_, f, sybil_seen_++);
+  } else {
+    reservoir_add(normal_, f, normal_seen_++);
+  }
+}
+
+double AdaptiveThresholdTuner::quantile_of(std::vector<double> values,
+                                           double q) {
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  return values[std::min(std::max<std::size_t>(rank, 1), values.size()) - 1];
+}
+
+const ThresholdRule& AdaptiveThresholdTuner::retune() {
+  if (normal_seen_ < config_.min_observations) return rule_;
+  const double q = config_.fp_quantile;
+  const double a = std::clamp(config_.smoothing, 0.0, 1.0);
+  const auto blend = [a](double current, double target) {
+    return current + a * (target - current);
+  };
+  // With enough confirmed-Sybil feedback the threshold is placed at the
+  // geometric midpoint of the two populations' facing quantiles;
+  // otherwise it anchors on the normal quantile alone (FP-conservative).
+  const bool have_sybils =
+      sybil_seen_ >= std::max<std::size_t>(1, config_.min_observations / 2);
+  const auto midpoint = [](double normal_side, double sybil_side) {
+    if (!(normal_side > 0.0) || !(sybil_side > 0.0)) {
+      return (normal_side + sybil_side) / 2.0;
+    }
+    return std::sqrt(normal_side * sybil_side);
+  };
+
+  // Invitation rate: above nearly all normals, below most Sybils.
+  const double normal_rate_hi = quantile_of(normal_.invite_rate, q);
+  double rate_target = 1.2 * normal_rate_hi;
+  if (have_sybils) {
+    rate_target = std::max(
+        normal_rate_hi,
+        midpoint(normal_rate_hi, quantile_of(sybil_.invite_rate, 0.1)));
+  }
+  rule_.invite_rate_min = blend(rule_.invite_rate_min, rate_target);
+
+  // Outgoing accept: below nearly all normals, above most Sybils.
+  const double normal_acc_lo = quantile_of(normal_.out_accept, 1.0 - q);
+  double accept_target = normal_acc_lo;
+  if (have_sybils) {
+    accept_target = std::min(
+        normal_acc_lo,
+        midpoint(normal_acc_lo, quantile_of(sybil_.out_accept, 0.9)));
+  }
+  rule_.outgoing_accept_max =
+      blend(rule_.outgoing_accept_max, std::max(0.05, accept_target));
+
+  // Clustering: below nearly all normals, above most Sybils; never so
+  // low that typical Sybil values (≈0) stop qualifying.
+  const double normal_cc_lo =
+      std::max(quantile_of(normal_.clustering, 1.0 - q), 1e-4);
+  double cc_target = normal_cc_lo;
+  if (have_sybils) {
+    cc_target = std::min(
+        normal_cc_lo,
+        midpoint(normal_cc_lo,
+                 std::max(quantile_of(sybil_.clustering, 0.9), 1e-5)));
+  }
+  rule_.clustering_max = blend(rule_.clustering_max, std::max(1e-4, cc_target));
+  return rule_;
+}
+
+}  // namespace sybil::core

@@ -1,0 +1,120 @@
+#include "core/edge_order.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sybil::core {
+
+std::size_t EdgeOrderRow::sybil_edge_count() const {
+  return static_cast<std::size_t>(
+      std::count(flags.begin(), flags.end(), true));
+}
+
+std::size_t EdgeOrderRow::longest_sybil_run() const {
+  std::size_t best = 0, run = 0;
+  for (bool f : flags) {
+    run = f ? run + 1 : 0;
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+std::size_t EdgeOrderRow::leading_sybil_run() const {
+  std::size_t run = 0;
+  for (bool f : flags) {
+    if (!f) break;
+    ++run;
+  }
+  return run;
+}
+
+double EdgeOrderRow::mean_sybil_position() const {
+  if (flags.size() < 2) return -1.0;
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    if (flags[i]) {
+      total += static_cast<double>(i) / static_cast<double>(flags.size() - 1);
+      ++count;
+    }
+  }
+  return count == 0 ? -1.0 : total / static_cast<double>(count);
+}
+
+std::vector<EdgeOrderRow> edge_order_rows(
+    const graph::TimestampedGraph& g, std::span<const osn::NodeId> sybils,
+    const std::vector<bool>& sybil_mask) {
+  if (sybil_mask.size() != g.node_count()) {
+    throw std::invalid_argument("edge_order: mask size mismatch");
+  }
+  std::vector<EdgeOrderRow> rows;
+  rows.reserve(sybils.size());
+  std::vector<graph::Neighbor> nbrs;
+  for (osn::NodeId s : sybils) {
+    const auto adjacency = g.neighbors(s);
+    nbrs.assign(adjacency.begin(), adjacency.end());
+    std::stable_sort(nbrs.begin(), nbrs.end(),
+                     [](const graph::Neighbor& a, const graph::Neighbor& b) {
+                       return a.created_at < b.created_at;
+                     });
+    EdgeOrderRow row;
+    row.sybil = s;
+    row.flags.reserve(nbrs.size());
+    for (const graph::Neighbor& nb : nbrs) {
+      row.flags.push_back(sybil_mask[nb.node]);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+EdgeOrderSummary summarize_edge_order(std::span<const EdgeOrderRow> rows,
+                                      std::size_t run_threshold) {
+  EdgeOrderSummary s;
+  s.rows = rows.size();
+  std::vector<double> positions;
+  double position_total = 0.0;
+  std::size_t position_rows = 0;
+  for (const EdgeOrderRow& row : rows) {
+    const std::size_t count = row.sybil_edge_count();
+    if (count == 0) continue;
+    ++s.rows_with_sybil_edges;
+    if ((row.leading_sybil_run() >= std::min<std::size_t>(run_threshold,
+                                                          row.degree()) &&
+         row.degree() >= 2) ||
+        row.longest_sybil_run() >= run_threshold) {
+      ++s.intentional_rows;
+    }
+    const double mp = row.mean_sybil_position();
+    if (mp >= 0.0) {
+      position_total += mp;
+      ++position_rows;
+      for (std::size_t i = 0; i < row.flags.size(); ++i) {
+        if (row.flags[i]) {
+          positions.push_back(static_cast<double>(i) /
+                              static_cast<double>(row.flags.size() - 1));
+        }
+      }
+    }
+  }
+  s.mean_position =
+      position_rows == 0 ? -1.0
+                         : position_total / static_cast<double>(position_rows);
+
+  if (!positions.empty()) {
+    std::sort(positions.begin(), positions.end());
+    double d = 0.0;
+    const auto n = static_cast<double>(positions.size());
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      const double cdf_lo = static_cast<double>(i) / n;
+      const double cdf_hi = static_cast<double>(i + 1) / n;
+      d = std::max({d, std::abs(positions[i] - cdf_lo),
+                    std::abs(positions[i] - cdf_hi)});
+    }
+    s.ks_statistic = d;
+  }
+  return s;
+}
+
+}  // namespace sybil::core

@@ -1,0 +1,41 @@
+#include "core/features.h"
+
+namespace sybil::core {
+
+FeatureExtractor::FeatureExtractor(const osn::Network& net,
+                                   double long_window_hours,
+                                   std::size_t first_friends)
+    : net_(net),
+      csr_(graph::CsrGraph::from(net.graph())),
+      long_window_(long_window_hours),
+      first_friends_(first_friends) {}
+
+SybilFeatures FeatureExtractor::extract(osn::NodeId account) const {
+  const osn::RequestLedger& led = net_.ledger(account);
+  SybilFeatures f;
+  f.invite_rate_short = led.short_term_rate();
+  f.invite_rate_long = led.long_term_rate(long_window_);
+  // Accounts with no outgoing (or incoming) request history are treated
+  // as fully accepted: the detector must not flag inactive users.
+  f.outgoing_accept_ratio =
+      led.sent() == 0 ? 1.0
+                      : static_cast<double>(led.sent_accepted()) /
+                            static_cast<double>(led.sent());
+  f.incoming_accept_ratio =
+      led.received() == 0 ? 1.0
+                          : static_cast<double>(led.received_accepted()) /
+                                static_cast<double>(led.received());
+  f.clustering_coefficient = graph::first_k_clustering(
+      net_.graph(), csr_, account, first_friends_);
+  return f;
+}
+
+std::vector<SybilFeatures> FeatureExtractor::extract(
+    const std::vector<osn::NodeId>& accounts) const {
+  std::vector<SybilFeatures> out;
+  out.reserve(accounts.size());
+  for (osn::NodeId id : accounts) out.push_back(extract(id));
+  return out;
+}
+
+}  // namespace sybil::core

@@ -1,0 +1,35 @@
+#include "core/ground_truth.h"
+
+namespace sybil::core {
+
+ml::Dataset build_ground_truth_dataset(
+    const osn::Network& net, const std::vector<osn::NodeId>& normals,
+    const std::vector<osn::NodeId>& sybils) {
+  const FeatureExtractor extractor(net);
+  ml::Dataset data(SybilFeatures::kFeatureCount);
+  for (osn::NodeId id : normals) {
+    data.add(extractor.extract(id).as_vector(), ml::kNormalLabel);
+  }
+  for (osn::NodeId id : sybils) {
+    data.add(extractor.extract(id).as_vector(), ml::kSybilLabel);
+  }
+  return data;
+}
+
+FeatureColumns feature_columns(const osn::Network& net,
+                               const std::vector<osn::NodeId>& accounts) {
+  const FeatureExtractor extractor(net);
+  FeatureColumns cols;
+  cols.invite_rate_short.reserve(accounts.size());
+  for (osn::NodeId id : accounts) {
+    const SybilFeatures f = extractor.extract(id);
+    cols.invite_rate_short.push_back(f.invite_rate_short);
+    cols.invite_rate_long.push_back(f.invite_rate_long);
+    cols.outgoing_accept.push_back(f.outgoing_accept_ratio);
+    cols.incoming_accept.push_back(f.incoming_accept_ratio);
+    cols.clustering.push_back(f.clustering_coefficient);
+  }
+  return cols;
+}
+
+}  // namespace sybil::core

@@ -1,0 +1,32 @@
+// Ground-truth dataset construction: turns simulator output into the
+// labeled feature dataset that Table 1's classifiers train on.
+#pragma once
+
+#include <vector>
+
+#include "core/features.h"
+#include "ml/dataset.h"
+#include "osn/network.h"
+
+namespace sybil::core {
+
+/// Extracts the 4-feature vectors of the given accounts and assembles a
+/// labeled ml::Dataset (+1 Sybil / -1 normal).
+ml::Dataset build_ground_truth_dataset(
+    const osn::Network& net, const std::vector<osn::NodeId>& normals,
+    const std::vector<osn::NodeId>& sybils);
+
+/// Per-population feature columns, for the CDF figures. Index matches
+/// the input id order.
+struct FeatureColumns {
+  std::vector<double> invite_rate_short;
+  std::vector<double> invite_rate_long;
+  std::vector<double> outgoing_accept;
+  std::vector<double> incoming_accept;
+  std::vector<double> clustering;
+};
+
+FeatureColumns feature_columns(const osn::Network& net,
+                               const std::vector<osn::NodeId>& accounts);
+
+}  // namespace sybil::core

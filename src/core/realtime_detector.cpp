@@ -1,0 +1,36 @@
+#include "core/realtime_detector.h"
+
+namespace sybil::core {
+
+RealTimeDetector::RealTimeDetector(RealTimeConfig config)
+    : config_(config), detector_(config.rule), tuner_([&] {
+        AdaptiveConfig t = config.tuner;
+        t.initial = config.rule;
+        return t;
+      }()) {}
+
+std::vector<osn::NodeId> RealTimeDetector::sweep(
+    const osn::Network& net, const std::vector<osn::NodeId>& candidates) {
+  const FeatureExtractor extractor(net);
+  std::vector<osn::NodeId> newly_flagged;
+  for (osn::NodeId id : candidates) {
+    if (flagged_.contains(id) || net.account(id).banned()) continue;
+    const SybilFeatures f = extractor.extract(id);
+    if (detector_.is_sybil(f, net.ledger(id).sent())) {
+      flagged_.insert(id);
+      newly_flagged.push_back(id);
+    }
+  }
+  return newly_flagged;
+}
+
+void RealTimeDetector::confirm(const SybilFeatures& features,
+                               bool confirmed_sybil) {
+  if (!config_.adaptive) return;
+  tuner_.observe(features, confirmed_sybil);
+  if (++confirmations_ % config_.retune_every == 0) {
+    detector_.set_rule(tuner_.retune());
+  }
+}
+
+}  // namespace sybil::core

@@ -1,0 +1,58 @@
+// Real-time Sybil detection pipeline (Section 2.3).
+//
+// Deployed form of the threshold detector: it periodically sweeps the
+// accounts that have been active since the last sweep, extracts the four
+// features, applies the (optionally adaptively tuned) threshold rule,
+// and reports accounts to flag. Renren's workflow — flag, manual
+// verification, ban, feedback into the tuner — is modeled by the caller
+// confirming flags back into the pipeline.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/adaptive.h"
+#include "core/features.h"
+#include "core/threshold_detector.h"
+#include "osn/network.h"
+
+namespace sybil::core {
+
+struct RealTimeConfig {
+  ThresholdRule rule{};
+  bool adaptive = true;
+  AdaptiveConfig tuner{};
+  /// Retune after this many confirmations.
+  std::size_t retune_every = 200;
+};
+
+class RealTimeDetector {
+ public:
+  explicit RealTimeDetector(RealTimeConfig config = {});
+
+  /// Evaluates `candidates` against the current rule using a fresh
+  /// feature snapshot of `net`. Returns newly flagged account ids
+  /// (accounts flagged in earlier sweeps are skipped).
+  std::vector<osn::NodeId> sweep(const osn::Network& net,
+                                 const std::vector<osn::NodeId>& candidates);
+
+  /// Manual-verification feedback: the account's features at flag time
+  /// plus the verdict. Drives the adaptive tuner.
+  void confirm(const SybilFeatures& features, bool confirmed_sybil);
+
+  const ThresholdRule& rule() const noexcept { return detector_.rule(); }
+  std::size_t flagged_count() const noexcept { return flagged_.size(); }
+  bool already_flagged(osn::NodeId id) const {
+    return flagged_.contains(id);
+  }
+
+ private:
+  RealTimeConfig config_;
+  ThresholdDetector detector_;
+  AdaptiveThresholdTuner tuner_;
+  std::unordered_set<osn::NodeId> flagged_;
+  std::size_t confirmations_ = 0;
+};
+
+}  // namespace sybil::core

@@ -1,0 +1,167 @@
+#include "core/stream_detector.h"
+
+#include <algorithm>
+
+namespace sybil::core {
+
+namespace {
+
+std::uint64_t edge_key(osn::NodeId a, osn::NodeId b) noexcept {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+StreamDetector::StreamDetector(Config config)
+    : config_(config), detector_(config.rule) {}
+
+void StreamDetector::ensure(osn::NodeId id) {
+  if (id >= accounts_.size()) {
+    accounts_.resize(id + 1);
+    watchers_.resize(id + 1);
+  }
+}
+
+void StreamDetector::on_request_sent(osn::NodeId from, osn::NodeId to,
+                                     graph::Time t) {
+  ensure(std::max(from, to));
+  accounts_[from].ledger.record_sent(t);
+  accounts_[to].ledger.record_received();
+  maybe_flag(from);
+}
+
+void StreamDetector::on_request_rejected(osn::NodeId from, osn::NodeId to,
+                                         graph::Time) {
+  ensure(std::max(from, to));
+  // Rejection changes no counter (the ledger tracks sent vs accepted),
+  // but it is the moment the outgoing ratio's shortfall becomes
+  // observable — re-check the sender.
+  maybe_flag(from);
+}
+
+void StreamDetector::on_request_accepted(osn::NodeId from, osn::NodeId to,
+                                         graph::Time t) {
+  ensure(std::max(from, to));
+  accounts_[from].ledger.record_sent_accepted();
+  accounts_[to].ledger.record_received_accepted();
+  add_edge(from, to, t);
+  maybe_flag(from);
+  maybe_flag(to);
+}
+
+void StreamDetector::on_friendship(osn::NodeId u, osn::NodeId v,
+                                   graph::Time t) {
+  ensure(std::max(u, v));
+  add_edge(u, v, t);
+}
+
+void StreamDetector::on_account_banned(osn::NodeId who) {
+  ensure(who);
+  accounts_[who].banned = true;
+}
+
+void StreamDetector::attach_friend(osn::NodeId u, osn::NodeId v) {
+  AccountState& acc = accounts_[u];
+  if (acc.first_friends.size() >= config_.first_friends) return;
+  // Count existing links between the newcomer and the already-watched
+  // friends before inserting.
+  for (osn::NodeId f : acc.first_friends) {
+    if (edges_.contains(edge_key(f, v))) ++acc.internal_links;
+  }
+  acc.first_friends.push_back(v);
+  watchers_[v].push_back(u);
+}
+
+void StreamDetector::add_edge(osn::NodeId u, osn::NodeId v, graph::Time) {
+  if (u == v || !edges_.insert(edge_key(u, v)).second) return;
+
+  // Accounts (other than the endpoints) watching BOTH endpoints gain an
+  // internal link. Scan the smaller watcher list.
+  const auto& wa = watchers_[u].size() <= watchers_[v].size() ? watchers_[u]
+                                                              : watchers_[v];
+  const osn::NodeId other =
+      watchers_[u].size() <= watchers_[v].size() ? v : u;
+  for (osn::NodeId w : wa) {
+    if (w == u || w == v) continue;
+    const auto& friends = accounts_[w].first_friends;
+    if (std::find(friends.begin(), friends.end(), other) != friends.end()) {
+      ++accounts_[w].internal_links;
+    }
+  }
+
+  attach_friend(u, v);
+  attach_friend(v, u);
+}
+
+SybilFeatures StreamDetector::features(osn::NodeId account) const {
+  SybilFeatures f;
+  if (account >= accounts_.size()) {
+    f.outgoing_accept_ratio = 1.0;
+    f.incoming_accept_ratio = 1.0;
+    return f;
+  }
+  const AccountState& acc = accounts_[account];
+  f.invite_rate_short = acc.ledger.short_term_rate();
+  f.invite_rate_long = acc.ledger.long_term_rate(400.0);
+  f.outgoing_accept_ratio =
+      acc.ledger.sent() == 0
+          ? 1.0
+          : static_cast<double>(acc.ledger.sent_accepted()) /
+                static_cast<double>(acc.ledger.sent());
+  f.incoming_accept_ratio =
+      acc.ledger.received() == 0
+          ? 1.0
+          : static_cast<double>(acc.ledger.received_accepted()) /
+                static_cast<double>(acc.ledger.received());
+  const auto n = static_cast<double>(acc.first_friends.size());
+  f.clustering_coefficient =
+      n < 2.0 ? 0.0
+              : 2.0 * static_cast<double>(acc.internal_links) /
+                    (n * (n - 1.0));
+  return f;
+}
+
+void StreamDetector::maybe_flag(osn::NodeId id) {
+  AccountState& acc = accounts_[id];
+  if (acc.flagged || acc.banned) return;
+  if (detector_.is_sybil(features(id), acc.ledger.sent())) {
+    acc.flagged = true;
+    ++flagged_total_;
+    newly_flagged_.push_back(id);
+  }
+}
+
+std::vector<osn::NodeId> StreamDetector::take_flagged() {
+  std::vector<osn::NodeId> out;
+  out.swap(newly_flagged_);
+  return out;
+}
+
+void StreamDetector::replay(const osn::EventLog& log) {
+  for (const osn::Event& e : log.events()) {
+    switch (e.type) {
+      case osn::EventType::kRequestSent:
+        on_request_sent(e.actor, e.subject, e.time);
+        break;
+      case osn::EventType::kRequestAccepted:
+        // Log convention: actor = target (who accepted), subject = sender.
+        on_request_accepted(e.subject, e.actor, e.time);
+        break;
+      case osn::EventType::kRequestRejected:
+        on_request_rejected(e.subject, e.actor, e.time);
+        break;
+      case osn::EventType::kFriendshipSeeded:
+        on_friendship(e.actor, e.subject, e.time);
+        break;
+      case osn::EventType::kAccountBanned:
+        on_account_banned(e.actor);
+        break;
+      case osn::EventType::kAccountCreated:
+      case osn::EventType::kRequestDropped:
+        break;  // no feature effect
+    }
+  }
+}
+
+}  // namespace sybil::core

@@ -1,0 +1,94 @@
+// Streaming Sybil detector: the production form of the paper's
+// real-time system.
+//
+// Where FeatureExtractor computes features from a graph snapshot, this
+// detector consumes the platform's request event stream *incrementally*
+// — O(1) amortized work per event, no snapshots — and keeps every
+// account's four features current:
+//
+//   * invitation rates: the same hour-bucket ledger the batch path uses;
+//   * accept ratios: plain counters;
+//   * clustering coefficient of the first K friends: each account
+//     "watches" its first K friends; a reverse index (node → watching
+//     accounts) lets a new friendship (a, b) update the internal-link
+//     counter of exactly the accounts that watch both endpoints.
+//
+// Feeding the detector a network's event log reproduces the batch
+// features exactly (tested in stream_detector_test.cpp), so a deployment
+// can run either path and trust they agree.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/features.h"
+#include "core/threshold_detector.h"
+#include "osn/events.h"
+#include "osn/ledger.h"
+
+namespace sybil::core {
+
+class StreamDetector {
+ public:
+  struct Config {
+    ThresholdRule rule{};
+    /// Clustering prefix length (the paper's 50 first friends).
+    std::size_t first_friends = 50;
+  };
+
+  StreamDetector() : StreamDetector(Config{}) {}
+  explicit StreamDetector(Config config);
+
+  /// Event-stream entry points. Events must arrive in nondecreasing
+  /// time order per account (the order a platform log provides).
+  void on_request_sent(osn::NodeId from, osn::NodeId to, graph::Time t);
+  void on_request_rejected(osn::NodeId from, osn::NodeId to, graph::Time t);
+  /// `from`'s request was accepted by `to` at time t (creates an edge).
+  void on_request_accepted(osn::NodeId from, osn::NodeId to, graph::Time t);
+  /// Pre-existing friendship without request mechanics (seeded edge).
+  void on_friendship(osn::NodeId u, osn::NodeId v, graph::Time t);
+  void on_account_banned(osn::NodeId who);
+
+  /// Replays a whole event log (convenience for batch catch-up).
+  void replay(const osn::EventLog& log);
+
+  /// Current streaming features of an account (zero-state for accounts
+  /// never seen).
+  SybilFeatures features(osn::NodeId account) const;
+
+  /// Accounts newly crossing the threshold rule since the last call;
+  /// each account is reported at most once, banned accounts never.
+  std::vector<osn::NodeId> take_flagged();
+
+  std::size_t flagged_total() const noexcept { return flagged_total_; }
+  std::size_t accounts_seen() const noexcept { return accounts_.size(); }
+
+ private:
+  struct AccountState {
+    osn::RequestLedger ledger;
+    std::vector<osn::NodeId> first_friends;  // chronological, size <= K
+    std::uint32_t internal_links = 0;  // edges among first_friends
+    bool flagged = false;
+    bool banned = false;
+  };
+
+  void ensure(osn::NodeId id);
+  void add_edge(osn::NodeId u, osn::NodeId v, graph::Time t);
+  /// Registers v as a (possibly) watched friend of u and updates u's
+  /// internal link count against the already-watched friends.
+  void attach_friend(osn::NodeId u, osn::NodeId v);
+  void maybe_flag(osn::NodeId id);
+
+  Config config_;
+  ThresholdDetector detector_;
+  std::vector<AccountState> accounts_;
+  /// watchers_[v] = accounts whose first-K friend set contains v.
+  std::vector<std::vector<osn::NodeId>> watchers_;
+  /// Existing edges, for the internal-link update (canonical u<v keys).
+  std::unordered_set<std::uint64_t> edges_;
+  std::vector<osn::NodeId> newly_flagged_;
+  std::size_t flagged_total_ = 0;
+};
+
+}  // namespace sybil::core

@@ -1,0 +1,125 @@
+#include "core/topology.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sybil::core {
+
+TopologyAnalyzer::TopologyAnalyzer(const graph::TimestampedGraph& g,
+                                   std::vector<osn::NodeId> sybil_ids)
+    : csr_(graph::CsrGraph::from(g)),
+      sybils_(std::move(sybil_ids)),
+      mask_(csr_.node_count(), false) {
+  for (osn::NodeId s : sybils_) mask_.at(s) = true;
+
+  for (osn::NodeId s : sybils_) {
+    for (osn::NodeId v : csr_.neighbors(s)) {
+      if (mask_[v]) {
+        if (s < v) ++sybil_edges_;
+      } else {
+        ++attack_edges_;
+      }
+    }
+  }
+
+  comps_ = graph::connected_components_masked(csr_, mask_);
+
+  // Per-component tallies (skip singletons afterwards).
+  std::vector<ComponentStats> all(comps_.count());
+  for (std::uint32_t c = 0; c < all.size(); ++c) {
+    all[c].component = c;
+    all[c].sybils = comps_.size[c];
+  }
+  // Audience needs distinct normal neighbors per component; a per-node
+  // pass with one hash set keyed by (component, normal) would be large,
+  // so collect normal-neighbor pairs then sort-unique.
+  std::vector<std::pair<std::uint32_t, osn::NodeId>> audience_pairs;
+  for (osn::NodeId s : sybils_) {
+    const std::uint32_t c = comps_.label[s];
+    for (osn::NodeId v : csr_.neighbors(s)) {
+      if (mask_[v]) {
+        if (s < v) ++all[c].sybil_edges;
+      } else {
+        ++all[c].attack_edges;
+        audience_pairs.emplace_back(c, v);
+      }
+    }
+  }
+  std::sort(audience_pairs.begin(), audience_pairs.end());
+  audience_pairs.erase(
+      std::unique(audience_pairs.begin(), audience_pairs.end()),
+      audience_pairs.end());
+  for (const auto& [c, v] : audience_pairs) ++all[c].audience;
+
+  for (const ComponentStats& cs : all) {
+    if (cs.sybils >= 2) stats_.push_back(cs);
+  }
+  std::sort(stats_.begin(), stats_.end(),
+            [](const ComponentStats& a, const ComponentStats& b) {
+              return a.sybils != b.sybils ? a.sybils > b.sybils
+                                          : a.component < b.component;
+            });
+}
+
+std::vector<double> TopologyAnalyzer::sybil_total_degrees() const {
+  std::vector<double> out;
+  out.reserve(sybils_.size());
+  for (osn::NodeId s : sybils_) {
+    out.push_back(static_cast<double>(csr_.degree(s)));
+  }
+  return out;
+}
+
+std::vector<double> TopologyAnalyzer::sybil_edge_degrees() const {
+  std::vector<double> out;
+  out.reserve(sybils_.size());
+  for (osn::NodeId s : sybils_) {
+    std::uint64_t d = 0;
+    for (osn::NodeId v : csr_.neighbors(s)) d += mask_[v] ? 1 : 0;
+    out.push_back(static_cast<double>(d));
+  }
+  return out;
+}
+
+double TopologyAnalyzer::fraction_with_sybil_edge() const {
+  if (sybils_.empty()) return 0.0;
+  std::size_t connected = 0;
+  for (osn::NodeId s : sybils_) {
+    for (osn::NodeId v : csr_.neighbors(s)) {
+      if (mask_[v]) {
+        ++connected;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(connected) / static_cast<double>(sybils_.size());
+}
+
+std::vector<double> TopologyAnalyzer::component_sizes() const {
+  std::vector<double> out;
+  out.reserve(stats_.size());
+  for (const ComponentStats& cs : stats_) {
+    out.push_back(static_cast<double>(cs.sybils));
+  }
+  return out;
+}
+
+std::vector<osn::NodeId> TopologyAnalyzer::component_members(
+    std::size_t size_rank) const {
+  if (size_rank >= stats_.size()) return {};
+  return comps_.members(stats_[size_rank].component);
+}
+
+TopologyAnalyzer::ComponentDegrees TopologyAnalyzer::component_degrees(
+    std::size_t size_rank) const {
+  ComponentDegrees out;
+  for (osn::NodeId s : component_members(size_rank)) {
+    std::uint64_t sd = 0;
+    for (osn::NodeId v : csr_.neighbors(s)) sd += mask_[v] ? 1 : 0;
+    out.sybil_degree.push_back(static_cast<double>(sd));
+    out.total_degree.push_back(static_cast<double>(csr_.degree(s)));
+  }
+  return out;
+}
+
+}  // namespace sybil::core

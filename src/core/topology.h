@@ -1,0 +1,86 @@
+// Sybil topology analysis (Section 3): everything behind Figs 5-7, 9
+// and Table 2.
+//
+// Terminology from the paper: a "Sybil edge" connects two Sybils; an
+// "attack edge" connects a Sybil to a normal user; a component's
+// "audience" is the set of distinct normal users adjacent to it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/components.h"
+#include "graph/csr.h"
+#include "osn/network.h"
+
+namespace sybil::core {
+
+class TopologyAnalyzer {
+ public:
+  /// Analyzes a friendship graph with the given Sybil node set. Only
+  /// the graph structure is needed, so the analysis also runs on graphs
+  /// loaded from disk (see examples/analyze_graph.cpp).
+  TopologyAnalyzer(const graph::TimestampedGraph& g,
+                   std::vector<osn::NodeId> sybil_ids);
+
+  TopologyAnalyzer(const osn::Network& net, std::vector<osn::NodeId> ids)
+      : TopologyAnalyzer(net.graph(), std::move(ids)) {}
+
+  std::size_t sybil_count() const noexcept { return sybils_.size(); }
+
+  /// Fig 5 series: total degree of every Sybil.
+  std::vector<double> sybil_total_degrees() const;
+  /// Fig 5 series: Sybil-edge-only degree of every Sybil.
+  std::vector<double> sybil_edge_degrees() const;
+
+  /// Fraction of Sybils with at least one Sybil edge (paper: ≈20%).
+  double fraction_with_sybil_edge() const;
+
+  std::uint64_t total_sybil_edges() const noexcept { return sybil_edges_; }
+  std::uint64_t total_attack_edges() const noexcept { return attack_edges_; }
+
+  /// Per-component statistics of the Sybil-induced subgraph. Singleton
+  /// "components" (Sybils with no Sybil edges) are excluded, matching
+  /// the paper's component analysis.
+  struct ComponentStats {
+    std::uint32_t component;     // id into components()
+    std::uint32_t sybils;
+    std::uint64_t sybil_edges;   // internal edges
+    std::uint64_t attack_edges;  // edges to normal users
+    std::uint64_t audience;      // distinct normal neighbors
+  };
+
+  /// Component stats sorted by size descending (Table 2 rows are the
+  /// first five). Audience computation is O(sum of member degrees).
+  const std::vector<ComponentStats>& component_stats() const {
+    return stats_;
+  }
+
+  /// Fig 6 series: sizes of non-singleton Sybil components.
+  std::vector<double> component_sizes() const;
+
+  /// Member ids of the size-rank-th largest component (0 = largest).
+  std::vector<osn::NodeId> component_members(std::size_t size_rank) const;
+
+  /// Fig 9 series for one component: per-member Sybil-edge degree and
+  /// total degree.
+  struct ComponentDegrees {
+    std::vector<double> sybil_degree;
+    std::vector<double> total_degree;
+  };
+  ComponentDegrees component_degrees(std::size_t size_rank) const;
+
+  const graph::CsrGraph& snapshot() const noexcept { return csr_; }
+  const std::vector<bool>& sybil_mask() const noexcept { return mask_; }
+
+ private:
+  graph::CsrGraph csr_;
+  std::vector<osn::NodeId> sybils_;
+  std::vector<bool> mask_;
+  graph::Components comps_;
+  std::vector<ComponentStats> stats_;       // sorted by size desc
+  std::uint64_t sybil_edges_ = 0;
+  std::uint64_t attack_edges_ = 0;
+};
+
+}  // namespace sybil::core

@@ -1,0 +1,59 @@
+#include "detectors/community.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace sybil::detect {
+
+CommunityRanking community_expand(const graph::CsrGraph& g,
+                                  graph::NodeId seed,
+                                  CommunityParams params) {
+  if (seed >= g.node_count()) throw std::out_of_range("community: bad seed");
+  const double two_m =
+      std::max<double>(1.0, 2.0 * static_cast<double>(g.edge_count()));
+
+  CommunityRanking out;
+  out.rank.assign(g.node_count(), CommunityRanking::kUnranked);
+  std::vector<std::uint32_t> links_in(g.node_count(), 0);  // edges into S
+  std::vector<bool> member(g.node_count(), false);
+
+  // Lazy min-heap over (cut delta, node); stale entries skipped at pop.
+  using Entry = std::pair<std::int64_t, graph::NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+
+  double volume = 0.0, cut = 0.0;
+  const auto include = [&](graph::NodeId v) {
+    member[v] = true;
+    out.rank[v] = static_cast<std::uint32_t>(out.order.size());
+    out.order.push_back(v);
+    const double d = g.degree(v);
+    cut += d - 2.0 * static_cast<double>(links_in[v]);
+    volume += d;
+    out.conductance_trace.push_back(
+        cut / std::max(1.0, std::min(volume, two_m - volume)));
+    for (graph::NodeId w : g.neighbors(v)) {
+      if (member[w]) continue;
+      ++links_in[w];
+      const std::int64_t delta = static_cast<std::int64_t>(g.degree(w)) -
+                                 2 * static_cast<std::int64_t>(links_in[w]);
+      heap.push({delta, w});
+    }
+  };
+
+  include(seed);
+  const std::size_t limit =
+      params.max_size == 0 ? g.node_count() : params.max_size;
+  while (!heap.empty() && out.order.size() < limit) {
+    const auto [delta, v] = heap.top();
+    heap.pop();
+    if (member[v]) continue;
+    const std::int64_t current = static_cast<std::int64_t>(g.degree(v)) -
+                                 2 * static_cast<std::int64_t>(links_in[v]);
+    if (current != delta) continue;  // stale; a fresher entry exists
+    include(v);
+  }
+  return out;
+}
+
+}  // namespace sybil::detect

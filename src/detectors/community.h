@@ -1,0 +1,39 @@
+// Conductance-based local community detection (the common core that
+// Viswanath et al., SIGCOMM 2010 showed all social Sybil defenses reduce
+// to). Greedily grows a community around a trusted seed, adding at each
+// step the frontier node that yields the lowest community conductance;
+// a node's rank in the inclusion order is its trust score. Sybils behind
+// a small cut are ranked late (or never included).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace sybil::detect {
+
+struct CommunityParams {
+  /// Stop after including this many nodes (0 → whole component).
+  std::size_t max_size = 0;
+};
+
+struct CommunityRanking {
+  /// Inclusion order (first = seed). Nodes never reached are absent.
+  std::vector<graph::NodeId> order;
+  /// Conductance after each inclusion (parallel to order).
+  std::vector<double> conductance_trace;
+  /// rank[v] = position in `order`, or UINT32_MAX if never included.
+  std::vector<std::uint32_t> rank;
+
+  static constexpr std::uint32_t kUnranked = 0xffffffffu;
+};
+
+/// Greedy conductance expansion from `seed`. O((V + E) log V)-ish with
+/// a lazy priority queue; intended for graphs up to a few hundred
+/// thousand edges.
+CommunityRanking community_expand(const graph::CsrGraph& g,
+                                  graph::NodeId seed,
+                                  CommunityParams params = {});
+
+}  // namespace sybil::detect

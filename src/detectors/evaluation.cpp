@@ -1,0 +1,89 @@
+#include "detectors/evaluation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sybil::detect {
+
+DefenseMetrics evaluate_scores(std::span<const double> scores,
+                               const std::vector<bool>& is_sybil,
+                               std::span<const graph::NodeId> eval_nodes,
+                               double honest_budget) {
+  if (scores.size() != is_sybil.size()) {
+    throw std::invalid_argument("evaluate: size mismatch");
+  }
+  std::vector<double> honest, sybil;
+  const auto consider = [&](graph::NodeId v) {
+    (is_sybil[v] ? sybil : honest).push_back(scores[v]);
+  };
+  if (eval_nodes.empty()) {
+    for (graph::NodeId v = 0; v < scores.size(); ++v) consider(v);
+  } else {
+    for (graph::NodeId v : eval_nodes) consider(v);
+  }
+  if (honest.empty() || sybil.empty()) {
+    throw std::invalid_argument("evaluate: need both classes");
+  }
+
+  DefenseMetrics m;
+  // AUC via rank statistic: merge-sort both samples.
+  std::sort(honest.begin(), honest.end());
+  std::sort(sybil.begin(), sybil.end());
+  // For each sybil score, count honest scores strictly above it (+0.5
+  // for ties) — P(sybil < honest).
+  double wins = 0.0;
+  for (double s : sybil) {
+    const auto lo = std::lower_bound(honest.begin(), honest.end(), s);
+    const auto hi = std::upper_bound(honest.begin(), honest.end(), s);
+    wins += static_cast<double>(honest.end() - hi) +
+            0.5 * static_cast<double>(hi - lo);
+  }
+  m.auc = wins / (static_cast<double>(honest.size()) *
+                  static_cast<double>(sybil.size()));
+
+  // Threshold at the honest_budget quantile of honest scores: rejecting
+  // everything below it rejects at most that fraction of honest nodes.
+  const auto cut_rank = static_cast<std::size_t>(
+      honest_budget * static_cast<double>(honest.size()));
+  const double threshold = honest[std::min(cut_rank, honest.size() - 1)];
+  const auto below = [threshold](std::span<const double> v) {
+    return static_cast<double>(
+               std::lower_bound(v.begin(), v.end(), threshold) - v.begin()) /
+           static_cast<double>(v.size());
+  };
+  m.sybil_rejection = below(sybil);
+  m.honest_rejection = below(honest);
+  return m;
+}
+
+DefenseMetrics evaluate_decisions(std::span<const graph::NodeId> nodes,
+                                  const std::vector<bool>& accepted,
+                                  const std::vector<bool>& is_sybil) {
+  if (nodes.size() != accepted.size()) {
+    throw std::invalid_argument("evaluate: size mismatch");
+  }
+  std::uint64_t sybils = 0, sybils_rejected = 0;
+  std::uint64_t honests = 0, honest_rejected = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (is_sybil[nodes[i]]) {
+      ++sybils;
+      sybils_rejected += accepted[i] ? 0 : 1;
+    } else {
+      ++honests;
+      honest_rejected += accepted[i] ? 0 : 1;
+    }
+  }
+  if (sybils == 0 || honests == 0) {
+    throw std::invalid_argument("evaluate: need both classes");
+  }
+  DefenseMetrics m;
+  m.sybil_rejection =
+      static_cast<double>(sybils_rejected) / static_cast<double>(sybils);
+  m.honest_rejection =
+      static_cast<double>(honest_rejected) / static_cast<double>(honests);
+  // Binary decisions: AUC equals balanced accuracy against rejection.
+  m.auc = 0.5 * (m.sybil_rejection + (1.0 - m.honest_rejection));
+  return m;
+}
+
+}  // namespace sybil::detect

@@ -1,0 +1,39 @@
+// Evaluation harness for the baseline Sybil defenses: turns per-node
+// scores (higher = more honest) or binary decisions into the metrics
+// the defense-evaluation bench reports — ranking AUC and Sybil-recall
+// at a fixed honest-node false-reject budget.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace sybil::detect {
+
+struct DefenseMetrics {
+  /// Probability a random Sybil scores below a random honest node
+  /// (1.0 = perfect separation, 0.5 = chance).
+  double auc = 0.0;
+  /// Fraction of Sybils rejected when the threshold is set so that at
+  /// most `honest_budget` honest nodes are rejected.
+  double sybil_rejection = 0.0;
+  /// Fraction of honest nodes rejected at that threshold.
+  double honest_rejection = 0.0;
+};
+
+/// Computes metrics from honesty scores. `is_sybil` marks ground truth.
+/// `eval_nodes` restricts evaluation to a node subset (empty = all).
+/// `honest_budget` is the tolerated honest false-rejection rate.
+DefenseMetrics evaluate_scores(std::span<const double> scores,
+                               const std::vector<bool>& is_sybil,
+                               std::span<const graph::NodeId> eval_nodes = {},
+                               double honest_budget = 0.05);
+
+/// Metrics from binary accept decisions over an evaluated node sample.
+DefenseMetrics evaluate_decisions(std::span<const graph::NodeId> nodes,
+                                  const std::vector<bool>& accepted,
+                                  const std::vector<bool>& is_sybil);
+
+}  // namespace sybil::detect

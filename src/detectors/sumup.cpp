@@ -1,0 +1,86 @@
+#include "detectors/sumup.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace sybil::detect {
+
+SumUpResult sumup_collect(const graph::CsrGraph& g, graph::NodeId collector,
+                          const std::vector<graph::NodeId>& voters,
+                          SumUpParams params) {
+  if (collector >= g.node_count()) {
+    throw std::out_of_range("sumup: collector out of range");
+  }
+  const std::uint64_t c_max =
+      params.c_max == 0 ? std::max<std::uint64_t>(1, voters.size())
+                        : params.c_max;
+
+  // BFS levels from the collector, for the vote envelope.
+  std::vector<std::uint32_t> level(g.node_count(), 0xffffffffu);
+  std::vector<std::uint64_t> width;  // nodes per level
+  {
+    std::queue<graph::NodeId> q;
+    level[collector] = 0;
+    q.push(collector);
+    width.push_back(1);
+    while (!q.empty()) {
+      const graph::NodeId u = q.front();
+      q.pop();
+      for (graph::NodeId v : g.neighbors(u)) {
+        if (level[v] == 0xffffffffu) {
+          level[v] = level[u] + 1;
+          if (level[v] >= width.size()) width.push_back(0);
+          ++width[level[v]];
+          q.push(v);
+        }
+      }
+    }
+  }
+  // Envelope radius: grow until a level is wide enough to carry c_max.
+  std::uint32_t radius = params.envelope_radius;
+  if (radius == 0) {
+    radius = 1;
+    while (radius < width.size() && width[radius] < c_max) ++radius;
+  }
+
+  // Flow network: graph nodes + super source.
+  const std::size_t source = g.node_count();
+  graph::FlowNetwork net(g.node_count() + 1);
+  for (graph::NodeId u = 0; u < g.node_count(); ++u) {
+    for (graph::NodeId v : g.neighbors(u)) {
+      if (u >= v) continue;
+      const std::uint32_t lmin = std::min(level[u], level[v]);
+      std::int64_t cap = 1;
+      if (lmin < radius) {
+        // Envelope links share c_max across the level's width.
+        const std::uint64_t w = std::max<std::uint64_t>(
+            1, width[std::min<std::size_t>(lmin + 1, width.size() - 1)]);
+        cap = static_cast<std::int64_t>(
+            std::max<std::uint64_t>(1, (c_max + w - 1) / w));
+      }
+      net.add_undirected(u, v, cap);
+    }
+  }
+  std::vector<std::size_t> voter_arcs;
+  voter_arcs.reserve(voters.size());
+  for (graph::NodeId v : voters) {
+    if (v >= g.node_count()) throw std::out_of_range("sumup: voter id");
+    voter_arcs.push_back(net.add_arc(source, v, 1));
+  }
+
+  net.max_flow(source, collector);
+
+  SumUpResult result;
+  result.accepted.resize(voters.size(), false);
+  for (std::size_t i = 0; i < voters.size(); ++i) {
+    if (net.residual(voter_arcs[i]) == 0) {
+      result.accepted[i] = true;
+      ++result.accepted_count;
+    }
+  }
+  return result;
+}
+
+}  // namespace sybil::detect

@@ -1,0 +1,39 @@
+// SumUp (Tran et al., NSDI 2009) — Sybil-resilient vote collection.
+//
+// Votes flow over social links (unit capacities) toward a trusted vote
+// collector; a Sybil region behind a small attack-edge cut can deliver
+// at most cut-many votes no matter how many Sybils vote. We implement
+// the max-flow core with SumUp's pruned "vote envelope": capacities
+// within distance d of the collector are scaled up so that up to Cmax
+// honest votes can be collected without congestion near the collector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/maxflow.h"
+
+namespace sybil::detect {
+
+struct SumUpParams {
+  /// Number of votes the collector expects to gather (sets the envelope
+  /// capacity). 0 → number of voters.
+  std::uint64_t c_max = 0;
+  /// Envelope radius (BFS hops from the collector with boosted
+  /// capacity); 0 → grows until the envelope frontier exceeds c_max.
+  std::uint32_t envelope_radius = 0;
+};
+
+struct SumUpResult {
+  /// accepted[i] == true iff voter i's vote reached the collector.
+  std::vector<bool> accepted;
+  std::uint64_t accepted_count = 0;
+};
+
+/// Collects votes from `voters` toward `collector` over graph `g`.
+SumUpResult sumup_collect(const graph::CsrGraph& g, graph::NodeId collector,
+                          const std::vector<graph::NodeId>& voters,
+                          SumUpParams params = {});
+
+}  // namespace sybil::detect

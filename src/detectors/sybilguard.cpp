@@ -1,0 +1,55 @@
+#include "detectors/sybilguard.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sybil::detect {
+
+namespace {
+stats::Rng make_table_rng(std::uint64_t seed) { return stats::Rng(seed); }
+}  // namespace
+
+SybilGuard::SybilGuard(const graph::CsrGraph& g, SybilGuardParams params)
+    : g_(g), params_(params), length_(params.route_length), table_([&] {
+        stats::Rng rng = make_table_rng(params.seed);
+        return graph::RouteTable(g, rng);
+      }()) {
+  if (length_ == 0) {
+    const double n = std::max<double>(2.0, g.node_count());
+    length_ = static_cast<std::size_t>(std::ceil(std::sqrt(n * std::log(n))));
+  }
+}
+
+std::vector<graph::NodeId> SybilGuard::routes_from(graph::NodeId node) const {
+  std::vector<graph::NodeId> visited;
+  const std::size_t routes =
+      std::min<std::size_t>(g_.degree(node), params_.max_routes_per_node);
+  visited.reserve(routes * (length_ + 1));
+  for (std::size_t e = 0; e < routes; ++e) {
+    const auto route = table_.route(g_, node, e, length_);
+    visited.insert(visited.end(), route.begin(), route.end());
+  }
+  return visited;
+}
+
+double SybilGuard::intersection_score(graph::NodeId verifier,
+                                      graph::NodeId suspect) const {
+  if (g_.degree(verifier) == 0 || g_.degree(suspect) == 0) return 0.0;
+  const auto suspect_nodes = routes_from(suspect);
+  const std::unordered_set<graph::NodeId> suspect_set(suspect_nodes.begin(),
+                                                      suspect_nodes.end());
+  const std::size_t routes =
+      std::min<std::size_t>(g_.degree(verifier), params_.max_routes_per_node);
+  std::size_t intersecting = 0;
+  for (std::size_t e = 0; e < routes; ++e) {
+    for (graph::NodeId u : table_.route(g_, verifier, e, length_)) {
+      if (suspect_set.contains(u)) {
+        ++intersecting;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(intersecting) / static_cast<double>(routes);
+}
+
+}  // namespace sybil::detect

@@ -1,0 +1,63 @@
+// SybilGuard (Yu et al., SIGCOMM 2006) — random-route intersection.
+//
+// Every node registers random routes through the graph; a verifier V
+// accepts a suspect S when S's routes intersect V's. Honest nodes in a
+// fast-mixing honest region intersect with high probability; Sybils
+// behind a small attack-edge cut rarely reach the honest region's
+// routes. Route length defaults to the paper's Θ(√(n·log n)).
+//
+// This implementation centralizes the protocol (we hold the whole graph)
+// but preserves its decision structure: per-edge random routes derived
+// from per-node routing permutations (graph::RouteTable).
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/walks.h"
+#include "stats/rng.h"
+
+namespace sybil::detect {
+
+struct SybilGuardParams {
+  /// Route length; 0 → ceil(sqrt(n * log n)).
+  std::size_t route_length = 0;
+  /// Cap on routes per node (high-degree verifiers get expensive).
+  std::size_t max_routes_per_node = 32;
+  /// Fraction of suspect routes that must intersect the verifier's
+  /// route set for acceptance.
+  double accept_fraction = 0.5;
+  std::uint64_t seed = 11;
+};
+
+class SybilGuard {
+ public:
+  SybilGuard(const graph::CsrGraph& g, SybilGuardParams params = {});
+
+  /// Fraction of the verifier's routes that intersect the suspect's
+  /// routes (the acceptance score, in [0, 1]). SybilGuard votes per
+  /// verifier route: even if one verifier route strays into a Sybil
+  /// region (and so intersects every Sybil there), the majority of
+  /// verifier routes stay in the honest region and out-vote it.
+  double intersection_score(graph::NodeId verifier,
+                            graph::NodeId suspect) const;
+
+  /// Accept/reject decision.
+  bool accepts(graph::NodeId verifier, graph::NodeId suspect) const {
+    return intersection_score(verifier, suspect) >= params_.accept_fraction;
+  }
+
+  std::size_t route_length() const noexcept { return length_; }
+
+ private:
+  std::vector<graph::NodeId> routes_from(graph::NodeId node) const;
+
+  const graph::CsrGraph& g_;
+  SybilGuardParams params_;
+  std::size_t length_;
+  graph::RouteTable table_;
+};
+
+}  // namespace sybil::detect

@@ -1,0 +1,158 @@
+#include "detectors/sybilinfer_mcmc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/walks.h"
+
+namespace sybil::detect {
+
+namespace {
+
+struct Trace {
+  graph::NodeId start;
+  graph::NodeId end;
+};
+
+/// Chain state: membership plus the aggregates the likelihood needs.
+struct ChainState {
+  std::vector<bool> honest;        // X membership
+  double vol_x = 0.0, vol_y = 0.0;
+  // Trace counts by (start side, end side); X = honest.
+  double n_xx = 0.0, n_xy = 0.0, n_yx = 0.0, n_yy = 0.0;
+};
+
+double log_likelihood(const ChainState& s, double stay, double log_vol_total) {
+  // Σ log deg(e) is membership-independent and omitted. Same-side
+  // endpoints are modeled as fast mixing within the side (density
+  // deg(e)/vol(side)); cross-side escapes are spread over the whole
+  // graph (density deg(e)/vol(total)) — normalizing escapes by the tiny
+  // receiving side would make one-node partitions spuriously likely.
+  // Degenerate states (same-side traces on an empty side) get -inf.
+  if ((s.vol_x <= 0.0 && s.n_xx > 0) || (s.vol_y <= 0.0 && s.n_yy > 0)) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  double ll = 0.0;
+  if (s.n_xx > 0) ll += s.n_xx * (std::log(stay) - std::log(s.vol_x));
+  if (s.n_yy > 0) ll += s.n_yy * (std::log(stay) - std::log(s.vol_y));
+  ll += (s.n_xy + s.n_yx) * (std::log1p(-stay) - log_vol_total);
+  return ll;
+}
+
+}  // namespace
+
+std::vector<double> sybilinfer_mcmc_scores(
+    const graph::CsrGraph& g, const std::vector<graph::NodeId>& honest_seeds,
+    SybilInferMcmcParams params) {
+  const graph::NodeId n = g.node_count();
+  if (n < 2) throw std::invalid_argument("sybilinfer-mcmc: graph too small");
+  if (honest_seeds.empty()) {
+    throw std::invalid_argument("sybilinfer-mcmc: no honest seeds");
+  }
+  if (!(params.stay_prob > 0.0) || !(params.stay_prob < 1.0)) {
+    throw std::invalid_argument("sybilinfer-mcmc: stay_prob must be in (0,1)");
+  }
+  std::size_t length = params.walk_length;
+  if (length == 0) {
+    length = static_cast<std::size_t>(
+        std::ceil(params.length_factor * std::log2(std::max<double>(2.0, n))));
+  }
+
+  stats::Rng rng(params.seed);
+
+  // --- Sample traces. ---
+  std::vector<Trace> traces;
+  traces.reserve(static_cast<std::size_t>(n) * params.walks_per_node);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (g.degree(v) == 0) continue;
+    for (std::size_t w = 0; w < params.walks_per_node; ++w) {
+      traces.push_back({v, graph::random_walk_endpoint(g, v, length, rng)});
+    }
+  }
+  // Per-node incident trace ids (start or end touches the node).
+  std::vector<std::vector<std::uint32_t>> incident(n);
+  for (std::uint32_t t = 0; t < traces.size(); ++t) {
+    incident[traces[t].start].push_back(t);
+    if (traces[t].end != traces[t].start) {
+      incident[traces[t].end].push_back(t);
+    }
+  }
+
+  // --- Initial state: everyone honest. ---
+  ChainState state;
+  state.honest.assign(n, true);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    state.vol_x += g.degree(v);
+  }
+  state.n_xx = static_cast<double>(traces.size());
+
+  std::vector<bool> pinned(n, false);
+  for (graph::NodeId s : honest_seeds) pinned.at(s) = true;
+
+  const auto count_of = [&](bool s_honest, bool e_honest) -> double& {
+    if (s_honest) return e_honest ? state.n_xx : state.n_xy;
+    return e_honest ? state.n_yx : state.n_yy;
+  };
+  const auto apply_flip = [&](graph::NodeId v) {
+    // Remove incident traces, flip, re-add.
+    for (std::uint32_t t : incident[v]) {
+      count_of(state.honest[traces[t].start],
+               state.honest[traces[t].end]) -= 1.0;
+    }
+    const double d = g.degree(v);
+    if (state.honest[v]) {
+      state.vol_x -= d;
+      state.vol_y += d;
+    } else {
+      state.vol_y -= d;
+      state.vol_x += d;
+    }
+    state.honest[v] = !state.honest[v];
+    for (std::uint32_t t : incident[v]) {
+      count_of(state.honest[traces[t].start],
+               state.honest[traces[t].end]) += 1.0;
+    }
+  };
+
+  // --- Metropolis-Hastings over membership flips. ---
+  const double log_vol_total = std::log(state.vol_x + state.vol_y);
+  double current_ll = log_likelihood(state, params.stay_prob, log_vol_total);
+  std::vector<std::uint32_t> honest_samples(n, 0);
+  std::size_t samples_taken = 0;
+  const std::size_t total_sweeps =
+      params.burn_in_sweeps + params.sample_sweeps;
+  for (std::size_t sweep = 0; sweep < total_sweeps; ++sweep) {
+    for (graph::NodeId step = 0; step < n; ++step) {
+      const auto v = static_cast<graph::NodeId>(rng.uniform_index(n));
+      if (pinned[v]) continue;
+      apply_flip(v);
+      const double proposed_ll =
+          log_likelihood(state, params.stay_prob, log_vol_total);
+      const double log_accept = proposed_ll - current_ll;
+      if (log_accept >= 0.0 || rng.uniform() < std::exp(log_accept)) {
+        current_ll = proposed_ll;
+      } else {
+        apply_flip(v);  // revert
+      }
+    }
+    if (sweep >= params.burn_in_sweeps) {
+      ++samples_taken;
+      for (graph::NodeId v = 0; v < n; ++v) {
+        honest_samples[v] += state.honest[v] ? 1 : 0;
+      }
+    }
+  }
+
+  std::vector<double> scores(n, 1.0);
+  if (samples_taken > 0) {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      scores[v] = static_cast<double>(honest_samples[v]) /
+                  static_cast<double>(samples_taken);
+    }
+  }
+  return scores;
+}
+
+}  // namespace sybil::detect

@@ -1,0 +1,87 @@
+#include "detectors/sybillimit.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sybil::detect {
+
+SybilLimit::SybilLimit(const graph::CsrGraph& g, SybilLimitParams params)
+    : g_(g), params_(params), routes_(params.routes),
+      length_(params.route_length) {
+  const double n = std::max<double>(2.0, g.node_count());
+  const double m = std::max<double>(1.0, static_cast<double>(g.edge_count()));
+  if (routes_ == 0) {
+    routes_ = static_cast<std::size_t>(
+        std::ceil(params_.r_factor * std::sqrt(m)));
+  }
+  if (length_ == 0) {
+    length_ = static_cast<std::size_t>(
+        std::ceil(params_.w_factor * std::log2(n)));
+  }
+}
+
+std::uint64_t SybilLimit::edge_key(graph::NodeId a, graph::NodeId b) noexcept {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+std::vector<std::uint64_t> SybilLimit::tails_of(graph::NodeId node) const {
+  std::vector<std::uint64_t> tails;
+  if (g_.degree(node) == 0) return tails;
+  tails.reserve(routes_);
+  std::uint64_t mix = params_.seed ^ (0x9e3779b97f4a7c15ULL * (node + 1));
+  stats::Rng rng(stats::splitmix64_next(mix));
+  for (std::size_t r = 0; r < routes_; ++r) {
+    graph::NodeId prev = node, cur = node;
+    for (std::size_t step = 0; step < length_; ++step) {
+      const auto nbrs = g_.neighbors(cur);
+      prev = cur;
+      cur = nbrs[rng.uniform_index(nbrs.size())];
+    }
+    if (prev != cur) tails.push_back(edge_key(prev, cur));
+  }
+  return tails;
+}
+
+SybilLimit::Verifier SybilLimit::make_verifier(graph::NodeId verifier) const {
+  Verifier v;
+  v.owner_ = this;
+  for (std::uint64_t tail : tails_of(verifier)) v.tail_load_.emplace(tail, 0);
+  return v;
+}
+
+double SybilLimit::Verifier::tail_score(graph::NodeId suspect) const {
+  const auto tails = owner_->tails_of(suspect);
+  if (tails.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::uint64_t t : tails) hits += tail_load_.contains(t) ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(tails.size());
+}
+
+bool SybilLimit::Verifier::accepts(graph::NodeId suspect) {
+  const auto tails = owner_->tails_of(suspect);
+  if (tail_load_.empty() || tails.empty()) return false;
+  const double per_tail_budget = std::max<double>(
+      static_cast<double>(owner_->params_.balance_floor),
+      owner_->params_.balance_alpha *
+          (static_cast<double>(accepted_total_) + 1.0) /
+          static_cast<double>(tail_load_.size()));
+  // Pick the intersecting tail with the least load (the protocol routes
+  // the suspect to its least-loaded intersection).
+  std::unordered_map<std::uint64_t, std::uint32_t>::iterator best =
+      tail_load_.end();
+  for (std::uint64_t t : tails) {
+    const auto it = tail_load_.find(t);
+    if (it != tail_load_.end() &&
+        (best == tail_load_.end() || it->second < best->second)) {
+      best = it;
+    }
+  }
+  if (best == tail_load_.end()) return false;
+  if (static_cast<double>(best->second) + 1.0 > per_tail_budget) return false;
+  ++best->second;
+  ++accepted_total_;
+  return true;
+}
+
+}  // namespace sybil::detect

@@ -1,0 +1,79 @@
+// SybilLimit (Yu et al., S&P 2008) — tail intersection with balance.
+//
+// Each node runs r independent random routes of length w = O(log n) and
+// registers only the route *tails* (the final edge). A verifier accepts
+// a suspect when one of the suspect's tails lands on a verifier tail
+// edge, subject to the balance condition that caps how many suspects a
+// single tail may admit. Honest pairs share tails w.h.p. when
+// r = Θ(√m) (birthday bound on edges); Sybils are limited to O(log n)
+// accepted suspects per attack edge.
+//
+// Simplification (documented in DESIGN.md): the r protocol instances
+// use independent random walks rather than r per-instance routing
+// permutations. The tail distribution — and therefore the birthday-
+// intersection and escape-probability arguments — is unchanged; walks
+// are deterministic per (seed, node) so tails are stable registrations.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr.h"
+#include "stats/rng.h"
+
+namespace sybil::detect {
+
+struct SybilLimitParams {
+  /// Number of routes per node; 0 → ceil(r_factor * sqrt(m)).
+  std::size_t routes = 0;
+  double r_factor = 1.0;
+  /// Route length; 0 → ceil(w_factor * log2(n)).
+  std::size_t route_length = 0;
+  double w_factor = 2.0;
+  /// Balance: a tail admits at most
+  /// max(balance_floor, balance_alpha * accepted_total / tail_count).
+  double balance_alpha = 4.0;
+  std::size_t balance_floor = 4;
+  std::uint64_t seed = 13;
+};
+
+class SybilLimit {
+ public:
+  SybilLimit(const graph::CsrGraph& g, SybilLimitParams params = {});
+
+  /// Per-verifier acceptance state (the balance condition is stateful).
+  class Verifier {
+   public:
+    /// Tail intersection + balance; accepting mutates balance counters.
+    bool accepts(graph::NodeId suspect);
+    /// Intersection-only score: fraction of suspect tails hitting the
+    /// verifier's tail set.
+    double tail_score(graph::NodeId suspect) const;
+
+   private:
+    friend class SybilLimit;
+    const SybilLimit* owner_ = nullptr;
+    std::unordered_map<std::uint64_t, std::uint32_t> tail_load_;
+    std::size_t accepted_total_ = 0;
+  };
+
+  Verifier make_verifier(graph::NodeId verifier) const;
+
+  std::size_t routes() const noexcept { return routes_; }
+  std::size_t route_length() const noexcept { return length_; }
+
+  /// Tail edges (canonical undirected keys) of a node's routes;
+  /// deterministic in (params.seed, node).
+  std::vector<std::uint64_t> tails_of(graph::NodeId node) const;
+
+ private:
+  static std::uint64_t edge_key(graph::NodeId a, graph::NodeId b) noexcept;
+
+  const graph::CsrGraph& g_;
+  SybilLimitParams params_;
+  std::size_t routes_;
+  std::size_t length_;
+};
+
+}  // namespace sybil::detect

@@ -1,0 +1,39 @@
+#include "detectors/sybilrank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sybil::detect {
+
+std::vector<double> sybilrank_scores(const graph::CsrGraph& g,
+                                     const std::vector<graph::NodeId>& seeds,
+                                     SybilRankParams params) {
+  if (seeds.empty()) throw std::invalid_argument("sybilrank: no seeds");
+  std::size_t iters = params.iterations;
+  if (iters == 0) {
+    iters = static_cast<std::size_t>(
+        std::ceil(std::log2(std::max<double>(2.0, g.node_count()))));
+  }
+  std::vector<double> trust(g.node_count(), 0.0);
+  const double share = 1.0 / static_cast<double>(seeds.size());
+  for (graph::NodeId s : seeds) trust[s] += share;
+
+  std::vector<double> next(g.node_count());
+  for (std::size_t it = 0; it < iters; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (graph::NodeId u = 0; u < g.node_count(); ++u) {
+      const auto d = static_cast<double>(g.degree(u));
+      if (trust[u] == 0.0 || d == 0.0) continue;
+      const double out = trust[u] / d;
+      for (graph::NodeId v : g.neighbors(u)) next[v] += out;
+    }
+    trust.swap(next);
+  }
+  for (graph::NodeId u = 0; u < g.node_count(); ++u) {
+    if (g.degree(u) > 0) trust[u] /= static_cast<double>(g.degree(u));
+  }
+  return trust;
+}
+
+}  // namespace sybil::detect

@@ -1,0 +1,28 @@
+// SybilRank (Cao et al., NSDI 2012) — early-terminated trust propagation.
+//
+// Extension baseline beyond the paper's four: the detector that became
+// the canonical "community assumption" ranker after this paper was
+// published. Trust is seeded at verified honest nodes and spread by
+// O(log n) power iterations (early termination keeps trust from fully
+// mixing into a Sybil region); nodes are ranked by degree-normalized
+// trust, low rank → Sybil.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace sybil::detect {
+
+struct SybilRankParams {
+  /// Power iterations; 0 → ceil(log2(n)).
+  std::size_t iterations = 0;
+};
+
+/// Returns degree-normalized trust per node (higher = more honest).
+std::vector<double> sybilrank_scores(const graph::CsrGraph& g,
+                                     const std::vector<graph::NodeId>& seeds,
+                                     SybilRankParams params = {});
+
+}  // namespace sybil::detect

@@ -1,0 +1,113 @@
+#include "graph/clustering.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sybil::graph {
+
+namespace {
+
+/// Counts edges among the given candidate set using a hash set of the
+/// candidates and scanning each candidate's adjacency once.
+std::uint64_t edges_within(const CsrGraph& g, std::span<const NodeId> nodes) {
+  std::unordered_set<NodeId> member(nodes.begin(), nodes.end());
+  std::uint64_t twice_edges = 0;
+  for (NodeId u : nodes) {
+    for (NodeId v : g.neighbors(u)) {
+      if (v != u && member.contains(v)) ++twice_edges;
+    }
+  }
+  return twice_edges / 2;
+}
+
+}  // namespace
+
+double local_clustering(const CsrGraph& g, NodeId u) {
+  const auto nbrs = g.neighbors(u);
+  const std::size_t d = nbrs.size();
+  if (d < 2) return 0.0;
+  const std::uint64_t links = edges_within(g, nbrs);
+  return 2.0 * static_cast<double>(links) /
+         (static_cast<double>(d) * static_cast<double>(d - 1));
+}
+
+double clustering_of_subset(const CsrGraph& g,
+                            std::span<const NodeId> subset) {
+  const std::size_t d = subset.size();
+  if (d < 2) return 0.0;
+  const std::uint64_t links = edges_within(g, subset);
+  return 2.0 * static_cast<double>(links) /
+         (static_cast<double>(d) * static_cast<double>(d - 1));
+}
+
+double first_k_clustering(const TimestampedGraph& tg, const CsrGraph& g,
+                          NodeId u, std::size_t k) {
+  const auto nbrs = tg.neighbors(u);  // chronological order
+  std::vector<NodeId> first;
+  first.reserve(std::min(k, nbrs.size()));
+  for (const Neighbor& n : nbrs) {
+    if (first.size() >= k) break;
+    first.push_back(n.node);
+  }
+  return clustering_of_subset(g, first);
+}
+
+double average_clustering(const CsrGraph& g) {
+  double total = 0.0;
+  std::uint64_t counted = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (g.degree(u) < 2) continue;
+    total += local_clustering(g, u);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+std::uint64_t triangle_count(const CsrGraph& g) {
+  // Forward algorithm: orient edges from lower-degree to higher-degree
+  // (ties by id), intersect sorted forward-neighbor lists.
+  const NodeId n = g.node_count();
+  const auto precedes = [&g](NodeId a, NodeId b) {
+    return g.degree(a) != g.degree(b) ? g.degree(a) < g.degree(b) : a < b;
+  };
+  std::vector<std::vector<NodeId>> fwd(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (precedes(u, v)) fwd[u].push_back(v);
+    }
+    std::sort(fwd[u].begin(), fwd[u].end());
+  }
+  std::uint64_t triangles = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : fwd[u]) {
+      // Count |fwd[u] ∩ fwd[v]| with a sorted merge.
+      auto a = fwd[u].begin();
+      auto b = fwd[v].begin();
+      while (a != fwd[u].end() && b != fwd[v].end()) {
+        if (*a < *b) {
+          ++a;
+        } else if (*b < *a) {
+          ++b;
+        } else {
+          ++triangles;
+          ++a;
+          ++b;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+double transitivity(const CsrGraph& g) {
+  std::uint64_t wedges = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const std::uint64_t d = g.degree(u);
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(triangle_count(g)) /
+         static_cast<double>(wedges);
+}
+
+}  // namespace sybil::graph

@@ -1,0 +1,43 @@
+// Clustering coefficients.
+//
+// The paper's fourth detection feature (Fig 4) is the local clustering
+// coefficient computed over a user's *first 50 friends sorted by time* —
+// a deliberately streaming-friendly variant that only needs invitation
+// data. Both that variant and the standard full-neighborhood coefficient
+// are provided.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/graph.h"
+
+namespace sybil::graph {
+
+/// Standard local clustering coefficient of u over its full neighborhood:
+/// (# edges among neighbors) / (deg*(deg-1)/2). Zero for degree < 2.
+double local_clustering(const CsrGraph& g, NodeId u);
+
+/// Local clustering over an explicit friend subset (e.g. the first k
+/// friends by time). Links are looked up in `g`. Zero for < 2 friends.
+double clustering_of_subset(const CsrGraph& g, std::span<const NodeId> subset);
+
+/// The paper's metric: clustering coefficient of u's first `k` friends in
+/// edge-creation order. Requires the timestamped graph (neighbor lists
+/// are chronological by construction) plus a CSR snapshot for the
+/// mutual-link lookups.
+double first_k_clustering(const TimestampedGraph& tg, const CsrGraph& g,
+                          NodeId u, std::size_t k = 50);
+
+/// Mean local clustering over all nodes of degree >= 2 (0 if none).
+double average_clustering(const CsrGraph& g);
+
+/// Global transitivity: 3 * triangles / wedges (0 if no wedges).
+double transitivity(const CsrGraph& g);
+
+/// Exact triangle count via node-ordered neighbor intersection.
+std::uint64_t triangle_count(const CsrGraph& g);
+
+}  // namespace sybil::graph

@@ -1,0 +1,100 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace sybil::graph {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), rank_(n, 0), size_(n, 1), sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0u);
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  parent_[b] = static_cast<std::uint32_t>(a);
+  size_[a] += size_[b];
+  if (rank_[a] == rank_[b]) ++rank_[a];
+  --sets_;
+  return true;
+}
+
+std::size_t UnionFind::set_size(std::size_t x) { return size_[find(x)]; }
+
+std::vector<std::uint32_t> Components::by_size_desc() const {
+  std::vector<std::uint32_t> ids(size.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::sort(ids.begin(), ids.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return size[a] != size[b] ? size[a] > size[b] : a < b;
+  });
+  return ids;
+}
+
+std::uint32_t Components::largest() const {
+  if (size.empty()) throw std::logic_error("components: empty decomposition");
+  return static_cast<std::uint32_t>(
+      std::max_element(size.begin(), size.end()) - size.begin());
+}
+
+std::vector<NodeId> Components::members(std::uint32_t component) const {
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < label.size(); ++u) {
+    if (label[u] == component) out.push_back(u);
+  }
+  return out;
+}
+
+namespace {
+
+Components decompose(const CsrGraph& g, const std::vector<bool>* mask) {
+  const NodeId n = g.node_count();
+  UnionFind uf(n);
+  for (NodeId u = 0; u < n; ++u) {
+    if (mask && !(*mask)[u]) continue;
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v && (!mask || (*mask)[v])) uf.unite(u, v);
+    }
+  }
+  Components out;
+  out.label.assign(n, Components::kNone);
+  std::vector<std::uint32_t> root_to_id(n, Components::kNone);
+  for (NodeId u = 0; u < n; ++u) {
+    if (mask && !(*mask)[u]) continue;
+    const auto root = static_cast<std::uint32_t>(uf.find(u));
+    if (root_to_id[root] == Components::kNone) {
+      root_to_id[root] = static_cast<std::uint32_t>(out.size.size());
+      out.size.push_back(0);
+    }
+    out.label[u] = root_to_id[root];
+    ++out.size[out.label[u]];
+  }
+  return out;
+}
+
+}  // namespace
+
+Components connected_components(const CsrGraph& g) {
+  return decompose(g, nullptr);
+}
+
+Components connected_components_masked(const CsrGraph& g,
+                                       const std::vector<bool>& mask) {
+  if (mask.size() != g.node_count()) {
+    throw std::invalid_argument("components: mask size mismatch");
+  }
+  return decompose(g, &mask);
+}
+
+}  // namespace sybil::graph

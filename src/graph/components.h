@@ -1,0 +1,63 @@
+// Connected components via union-find, plus subgraph-restricted variants.
+//
+// The topology analysis (Figs 5-7, Table 2) needs components of the
+// *Sybil-induced* subgraph — components over a node subset — so the API
+// supports both whole-graph and mask-restricted decomposition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace sybil::graph {
+
+/// Weighted-union + path-halving disjoint-set forest.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+
+  std::size_t find(std::size_t x);
+  /// Returns true if the two sets were merged (false if already joined).
+  bool unite(std::size_t a, std::size_t b);
+  bool connected(std::size_t a, std::size_t b) { return find(a) == find(b); }
+  std::size_t set_count() const noexcept { return sets_; }
+  std::size_t size() const noexcept { return parent_.size(); }
+  /// Number of elements in x's set.
+  std::size_t set_size(std::size_t x);
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> rank_;
+  std::vector<std::uint32_t> size_;
+  std::size_t sets_;
+};
+
+/// Result of a component decomposition.
+struct Components {
+  /// component id per node; nodes excluded by the mask get kNone.
+  std::vector<std::uint32_t> label;
+  /// size of each component, indexed by component id.
+  std::vector<std::uint32_t> size;
+
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  std::size_t count() const noexcept { return size.size(); }
+  /// Component ids sorted by decreasing size.
+  std::vector<std::uint32_t> by_size_desc() const;
+  /// Id of the largest component. Precondition: count() > 0.
+  std::uint32_t largest() const;
+  /// Node ids belonging to the given component.
+  std::vector<NodeId> members(std::uint32_t component) const;
+};
+
+/// Components of the whole graph.
+Components connected_components(const CsrGraph& g);
+
+/// Components of the subgraph induced by nodes with mask[node] == true.
+/// Edges with either endpoint unmasked are ignored. mask.size() must
+/// equal g.node_count().
+Components connected_components_masked(const CsrGraph& g,
+                                       const std::vector<bool>& mask);
+
+}  // namespace sybil::graph

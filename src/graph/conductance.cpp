@@ -1,0 +1,66 @@
+#include "graph/conductance.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sybil::graph {
+
+double CutStats::conductance(std::uint64_t total_volume) const {
+  const std::uint64_t complement = total_volume - volume;
+  const std::uint64_t denom = std::min(volume, complement);
+  if (denom == 0) return cut_edges == 0 ? 0.0 : 1.0;
+  return static_cast<double>(cut_edges) / static_cast<double>(denom);
+}
+
+CutStats cut_stats(const CsrGraph& g, const std::vector<bool>& mask) {
+  if (mask.size() != g.node_count()) {
+    throw std::invalid_argument("cut_stats: mask size mismatch");
+  }
+  CutStats s;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (!mask[u]) continue;
+    s.volume += g.degree(u);
+    for (NodeId v : g.neighbors(u)) {
+      if (mask[v]) {
+        if (u < v) ++s.internal_edges;
+      } else {
+        ++s.cut_edges;
+      }
+    }
+  }
+  return s;
+}
+
+CutStats cut_stats(const CsrGraph& g, std::span<const NodeId> members) {
+  std::vector<bool> mask(g.node_count(), false);
+  for (NodeId u : members) mask.at(u) = true;
+  return cut_stats(g, mask);
+}
+
+std::uint64_t total_volume(const CsrGraph& g) { return 2 * g.edge_count(); }
+
+double modularity(const CsrGraph& g, std::span<const std::uint32_t> labels) {
+  if (labels.size() != g.node_count()) {
+    throw std::invalid_argument("modularity: label size mismatch");
+  }
+  const double m2 = static_cast<double>(total_volume(g));
+  if (m2 == 0.0) return 0.0;
+  std::unordered_map<std::uint32_t, double> internal, volume;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const std::uint32_t cu = labels[u];
+    if (cu == kNoLabel) continue;
+    volume[cu] += g.degree(u);
+    for (NodeId v : g.neighbors(u)) {
+      if (labels[v] == cu) internal[cu] += 1.0;  // counted twice per edge
+    }
+  }
+  double q = 0.0;
+  for (const auto& [c, vol] : volume) {
+    const double in = internal.count(c) ? internal.at(c) : 0.0;
+    q += in / m2 - (vol / m2) * (vol / m2);
+  }
+  return q;
+}
+
+}  // namespace sybil::graph

@@ -1,0 +1,42 @@
+// Cut metrics: internal/cut edge counts and conductance.
+//
+// Community-based Sybil detection fundamentally hinges on the Sybil
+// region being separated by a small cut — equivalently, on the Sybil set
+// having low conductance. The paper's Fig 7 / Table 2 argument is that
+// wild Sybil components have MORE cut (attack) edges than internal
+// (Sybil) edges, i.e. conductance far too high for detection.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace sybil::graph {
+
+struct CutStats {
+  std::uint64_t internal_edges = 0;  // both endpoints inside the set
+  std::uint64_t cut_edges = 0;       // exactly one endpoint inside
+  std::uint64_t volume = 0;          // sum of degrees of the set
+
+  /// cut / min(volume, total_volume - volume); in [0, 1].
+  double conductance(std::uint64_t total_volume) const;
+};
+
+/// Computes cut statistics for the node set given as a boolean mask.
+/// mask.size() must equal g.node_count().
+CutStats cut_stats(const CsrGraph& g, const std::vector<bool>& mask);
+
+/// Same, for an explicit member list (internally builds the mask).
+CutStats cut_stats(const CsrGraph& g, std::span<const NodeId> members);
+
+/// Total graph volume (2 * edge_count).
+std::uint64_t total_volume(const CsrGraph& g);
+
+/// Newman modularity of a labelled partition (labels may be arbitrary
+/// uint32 values; kNoLabel nodes are ignored).
+double modularity(const CsrGraph& g, std::span<const std::uint32_t> labels);
+inline constexpr std::uint32_t kNoLabel = 0xffffffffu;
+
+}  // namespace sybil::graph

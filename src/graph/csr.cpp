@@ -1,0 +1,64 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sybil::graph {
+
+CsrGraph CsrGraph::from(const TimestampedGraph& g) {
+  CsrGraph csr;
+  const NodeId n = g.node_count();
+  csr.offsets_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    csr.offsets_[u + 1] = csr.offsets_[u] + g.degree(u);
+  }
+  csr.targets_.resize(csr.offsets_[n]);
+  for (NodeId u = 0; u < n; ++u) {
+    std::uint64_t at = csr.offsets_[u];
+    for (const Neighbor& nb : g.neighbors(u)) csr.targets_[at++] = nb.node;
+  }
+  return csr;
+}
+
+CsrGraph CsrGraph::from_edges(
+    NodeId node_count, std::span<const std::pair<NodeId, NodeId>> edges) {
+  CsrGraph csr;
+  csr.offsets_.assign(static_cast<std::size_t>(node_count) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    if (u >= node_count || v >= node_count) {
+      throw std::out_of_range("csr: edge endpoint out of range");
+    }
+    if (u == v) throw std::invalid_argument("csr: self-loop");
+    ++csr.offsets_[u + 1];
+    ++csr.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i < csr.offsets_.size(); ++i) {
+    csr.offsets_[i] += csr.offsets_[i - 1];
+  }
+  csr.targets_.resize(csr.offsets_.back());
+  std::vector<std::uint64_t> cursor(csr.offsets_.begin(),
+                                    csr.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    csr.targets_[cursor[u]++] = v;
+    csr.targets_[cursor[v]++] = u;
+  }
+  return csr;
+}
+
+bool CsrGraph::has_edge(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+std::vector<std::pair<NodeId, NodeId>> CsrGraph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(edge_count());
+  for (NodeId u = 0; u < node_count(); ++u) {
+    for (NodeId v : neighbors(u)) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace sybil::graph

@@ -1,0 +1,57 @@
+// Immutable compressed-sparse-row snapshot of an undirected graph.
+//
+// All read-heavy algorithms (components, clustering, random walks,
+// max-flow construction, sampling) run over this representation: one
+// contiguous offsets array plus one contiguous targets array, which is
+// dramatically more cache-friendly than per-node vectors for the
+// multi-hundred-thousand-node runs the benches perform.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sybil::graph {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Snapshot of a timestamped graph (timestamps are dropped; neighbor
+  /// order within a row is preserved).
+  static CsrGraph from(const TimestampedGraph& g);
+
+  /// Builds from an explicit undirected edge list over nodes [0, n).
+  /// Self-loops and duplicate edges must already be removed.
+  static CsrGraph from_edges(NodeId node_count,
+                             std::span<const std::pair<NodeId, NodeId>> edges);
+
+  NodeId node_count() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+  }
+  std::uint64_t edge_count() const noexcept { return targets_.size() / 2; }
+
+  std::span<const NodeId> neighbors(NodeId u) const {
+    return {targets_.data() + offsets_[u],
+            targets_.data() + offsets_[u + 1]};
+  }
+
+  NodeId degree(NodeId u) const {
+    return static_cast<NodeId>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// O(degree) membership test.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// All undirected edges as (u, v) with u < v, in row order.
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+ private:
+  std::vector<std::uint64_t> offsets_;  // size node_count()+1
+  std::vector<NodeId> targets_;         // size 2*edge_count()
+};
+
+}  // namespace sybil::graph

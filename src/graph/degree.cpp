@@ -1,0 +1,67 @@
+#include "graph/degree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sybil::graph {
+
+std::vector<double> degree_sequence(const CsrGraph& g) {
+  std::vector<double> out(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    out[u] = static_cast<double>(g.degree(u));
+  }
+  return out;
+}
+
+std::vector<double> degree_sequence(const CsrGraph& g,
+                                    std::span<const NodeId> nodes) {
+  std::vector<double> out;
+  out.reserve(nodes.size());
+  for (NodeId u : nodes) out.push_back(static_cast<double>(g.degree(u)));
+  return out;
+}
+
+std::vector<double> masked_degree_sequence(const CsrGraph& g,
+                                           std::span<const NodeId> nodes,
+                                           const std::vector<bool>& mask) {
+  if (mask.size() != g.node_count()) {
+    throw std::invalid_argument("masked_degree: mask size mismatch");
+  }
+  std::vector<double> out;
+  out.reserve(nodes.size());
+  for (NodeId u : nodes) {
+    std::uint64_t d = 0;
+    for (NodeId v : g.neighbors(u)) d += mask[v] ? 1 : 0;
+    out.push_back(static_cast<double>(d));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> degree_histogram(const CsrGraph& g) {
+  NodeId max_deg = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    max_deg = std::max(max_deg, g.degree(u));
+  }
+  std::vector<std::uint64_t> hist(static_cast<std::size_t>(max_deg) + 1, 0);
+  for (NodeId u = 0; u < g.node_count(); ++u) ++hist[g.degree(u)];
+  return hist;
+}
+
+double fit_power_law_alpha(std::span<const double> degrees, double x_min) {
+  if (!(x_min > 0.0)) throw std::invalid_argument("power-law: x_min <= 0");
+  double log_sum = 0.0;
+  std::uint64_t n = 0;
+  for (double d : degrees) {
+    if (d >= x_min) {
+      log_sum += std::log(d / x_min);
+      ++n;
+    }
+  }
+  if (n < 2 || !(log_sum > 0.0)) {
+    throw std::domain_error("power-law: insufficient tail data");
+  }
+  return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+}  // namespace sybil::graph

@@ -1,0 +1,33 @@
+// Degree distribution utilities (Figs 5 and 9 are degree CDFs).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace sybil::graph {
+
+/// Degrees of all nodes, as doubles (ready for EmpiricalCdf).
+std::vector<double> degree_sequence(const CsrGraph& g);
+
+/// Degrees of a node subset.
+std::vector<double> degree_sequence(const CsrGraph& g,
+                                    std::span<const NodeId> nodes);
+
+/// For each node in `nodes`, the number of its neighbors that are inside
+/// `mask` — e.g. the "Sybil degree" of each Sybil (edges to other Sybils).
+std::vector<double> masked_degree_sequence(const CsrGraph& g,
+                                           std::span<const NodeId> nodes,
+                                           const std::vector<bool>& mask);
+
+/// Histogram of degree -> node count (index = degree).
+std::vector<std::uint64_t> degree_histogram(const CsrGraph& g);
+
+/// Maximum-likelihood power-law exponent fit (Clauset-style, continuous
+/// approximation) for degrees >= x_min. Returns alpha; requires at least
+/// two qualifying observations.
+double fit_power_law_alpha(std::span<const double> degrees, double x_min = 1.0);
+
+}  // namespace sybil::graph

@@ -1,0 +1,218 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distributions.h"
+
+namespace sybil::graph {
+
+TimestampedGraph erdos_renyi(NodeId n, double p, stats::Rng& rng) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("er: p out of range");
+  TimestampedGraph g(n);
+  Time t = 0.0;
+  if (p <= 0.0) return g;
+  // Geometric skipping (Batagelj-Brandes) for O(n + m) generation.
+  const double log_q = std::log1p(-std::min(p, 1.0 - 1e-15));
+  std::int64_t v = 1, w = -1;
+  const auto nn = static_cast<std::int64_t>(n);
+  while (v < nn) {
+    const double r = 1.0 - rng.uniform();  // in (0, 1]
+    w += 1 + static_cast<std::int64_t>(std::floor(std::log(r) / log_q));
+    while (w >= v && v < nn) {
+      w -= v;
+      ++v;
+    }
+    if (v < nn) {
+      g.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(w), t);
+      t += 1.0;
+    }
+  }
+  return g;
+}
+
+TimestampedGraph barabasi_albert(NodeId n, NodeId m, stats::Rng& rng) {
+  if (m < 1 || n <= m) throw std::invalid_argument("ba: need n > m >= 1");
+  TimestampedGraph g(n);
+  Time t = 0.0;
+  // Repeated-endpoints trick: sampling a uniform entry of `endpoints`
+  // is sampling proportional to degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2 * static_cast<std::size_t>(n) * m);
+  // Seed clique over the first m+1 nodes.
+  for (NodeId u = 0; u <= m; ++u) {
+    for (NodeId v = u + 1; v <= m; ++v) {
+      g.add_edge(u, v, t);
+      t += 1.0;
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (NodeId u = m + 1; u < n; ++u) {
+    std::vector<NodeId> chosen;
+    chosen.reserve(m);
+    std::size_t guard = 0;
+    while (chosen.size() < m && guard++ < 50u * m) {
+      const NodeId cand = endpoints[rng.uniform_index(endpoints.size())];
+      if (std::find(chosen.begin(), chosen.end(), cand) == chosen.end()) {
+        chosen.push_back(cand);
+      }
+    }
+    for (NodeId v : chosen) {
+      if (g.add_edge(u, v, t)) {
+        t += 1.0;
+        endpoints.push_back(u);
+        endpoints.push_back(v);
+      }
+    }
+  }
+  return g;
+}
+
+TimestampedGraph watts_strogatz(NodeId n, NodeId k, double beta,
+                                stats::Rng& rng) {
+  if (k % 2 != 0 || k == 0 || k >= n) {
+    throw std::invalid_argument("ws: need even k in (0, n)");
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    throw std::invalid_argument("ws: beta out of range");
+  }
+  TimestampedGraph g(n);
+  Time t = 0.0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId j = 1; j <= k / 2; ++j) {
+      NodeId v = (u + j) % n;
+      if (rng.bernoulli(beta)) {
+        // Rewire to a uniform non-self, non-duplicate target.
+        std::size_t guard = 0;
+        NodeId w;
+        do {
+          w = static_cast<NodeId>(rng.uniform_index(n));
+        } while ((w == u || g.has_edge(u, w)) && guard++ < 64);
+        if (w != u && !g.has_edge(u, w)) v = w;
+      }
+      g.add_edge(u, v, t);
+      t += 1.0;
+    }
+  }
+  return g;
+}
+
+TimestampedGraph osn_like_graph(const OsnGraphParams& params,
+                                stats::Rng& rng) {
+  const NodeId n = params.nodes;
+  if (n < 3) throw std::invalid_argument("osn graph: too few nodes");
+  if (params.communities > 1 && n < 2 * params.communities) {
+    throw std::invalid_argument("osn graph: fewer than 2 nodes/community");
+  }
+  TimestampedGraph g(n);
+  Time t = 0.0;
+  std::vector<NodeId> endpoints;  // degree-proportional pool (global)
+  // Per-community pools for the regional-affinity picks.
+  const NodeId ncomm = std::max<NodeId>(1, params.communities);
+  std::vector<std::vector<NodeId>> community_pool(ncomm);
+  const auto record_endpoint = [&](NodeId v) {
+    endpoints.push_back(v);
+    if (ncomm > 1) community_pool[community_of(v, params)].push_back(v);
+  };
+  g.add_edge(0, 1, t);
+  t += 1.0;
+  record_endpoint(0);
+  record_endpoint(1);
+
+  const auto pick_pa_global = [&](NodeId self) -> NodeId {
+    // (degree + 1)^beta via mixture: with beta==1 the endpoint pool is
+    // exact; for other beta we apply rejection against the pool with a
+    // degree^(beta-1) correction, falling back to uniform picks.
+    for (std::size_t guard = 0; guard < 64; ++guard) {
+      NodeId cand;
+      if (rng.bernoulli(0.1)) {
+        cand = static_cast<NodeId>(rng.uniform_index(self));  // uniform mix-in
+      } else {
+        cand = endpoints[rng.uniform_index(endpoints.size())];
+      }
+      if (cand == self) continue;
+      if (params.pa_beta == 1.0) return cand;
+      const double d = static_cast<double>(g.degree(cand)) + 1.0;
+      // Normalized correction factor; degrees above ~e^6 saturate.
+      const double accept = std::min(1.0, std::pow(d, params.pa_beta - 1.0) /
+                                              std::pow(64.0, std::max(0.0, params.pa_beta - 1.0)));
+      if (rng.bernoulli(accept)) return cand;
+    }
+    return static_cast<NodeId>(rng.uniform_index(self));
+  };
+  const auto pick_pa_target = [&](NodeId self) -> NodeId {
+    // Regional affinity: draw from the home-community pool when it has
+    // members and the affinity coin lands.
+    if (ncomm > 1 && rng.bernoulli(params.community_affinity)) {
+      const auto& pool = community_pool[community_of(self, params)];
+      for (std::size_t guard = 0; guard < 16 && !pool.empty(); ++guard) {
+        const NodeId cand = pool[rng.uniform_index(pool.size())];
+        if (cand != self && cand < self) return cand;
+      }
+    }
+    return pick_pa_global(self);
+  };
+
+  for (NodeId u = 2; u < n; ++u) {
+    const auto links = std::max<std::uint64_t>(
+        1, stats::sample_poisson(rng, params.mean_links));
+    for (std::uint64_t i = 0; i < links && i < u; ++i) {
+      NodeId target;
+      const bool close_triangle =
+          g.degree(u) > 0 && rng.bernoulli(params.triadic_closure);
+      if (close_triangle) {
+        // Friend-of-friend: step through a random existing friend.
+        const auto friends = g.neighbors(u);
+        const NodeId f = friends[rng.uniform_index(friends.size())].node;
+        const auto fof = g.neighbors(f);
+        target = fof[rng.uniform_index(fof.size())].node;
+      } else {
+        target = pick_pa_target(u);
+      }
+      if (target != u && g.add_edge(u, target, t)) {
+        t += 1.0;
+        record_endpoint(u);
+        record_endpoint(target);
+      }
+    }
+  }
+  return g;
+}
+
+TimestampedGraph inject_sybil_community(const TimestampedGraph& honest,
+                                        NodeId sybils, double internal_p,
+                                        std::uint64_t attack_edges,
+                                        stats::Rng& rng) {
+  const NodeId h = honest.node_count();
+  TimestampedGraph g(h + sybils);
+  Time t = 0.0;
+  for (NodeId u = 0; u < h; ++u) {
+    for (const Neighbor& nb : honest.neighbors(u)) {
+      if (u < nb.node) g.add_edge(u, nb.node, nb.created_at);
+    }
+  }
+  // Internal ER region among the Sybils.
+  for (NodeId i = 0; i < sybils; ++i) {
+    for (NodeId j = i + 1; j < sybils; ++j) {
+      if (rng.bernoulli(internal_p)) {
+        g.add_edge(h + i, h + j, t);
+        t += 1.0;
+      }
+    }
+  }
+  // Attack edges to uniform honest nodes.
+  std::uint64_t added = 0, guard = 0;
+  while (added < attack_edges && guard++ < 100 * attack_edges + 1000) {
+    const NodeId s = h + static_cast<NodeId>(rng.uniform_index(sybils));
+    const NodeId v = static_cast<NodeId>(rng.uniform_index(h));
+    if (g.add_edge(s, v, t)) {
+      t += 1.0;
+      ++added;
+    }
+  }
+  return g;
+}
+
+}  // namespace sybil::graph

@@ -1,0 +1,72 @@
+// Synthetic graph generators.
+//
+// Used (a) to seed the pre-existing "established" social graph that the
+// OSN simulation window starts from, (b) to build the synthetic graphs
+// with injected Sybil communities on which prior Sybil defenses were
+// validated, and (c) in tests. The OSN-like generator combines
+// preferential attachment (heavy-tailed degrees) with triadic closure
+// (high clustering), which are the two properties the paper's feature
+// analysis depends on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "stats/rng.h"
+
+namespace sybil::graph {
+
+/// Erdős–Rényi G(n, p). Timestamps are sequential insertion indices.
+TimestampedGraph erdos_renyi(NodeId n, double p, stats::Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `m` existing nodes chosen proportional to degree. n > m >= 1.
+TimestampedGraph barabasi_albert(NodeId n, NodeId m, stats::Rng& rng);
+
+/// Watts–Strogatz small world: ring of n nodes, each linked to k nearest
+/// neighbors (k even), each edge rewired with probability beta.
+TimestampedGraph watts_strogatz(NodeId n, NodeId k, double beta,
+                                stats::Rng& rng);
+
+/// Parameters for the OSN-like generator.
+struct OsnGraphParams {
+  NodeId nodes = 100'000;
+  /// Mean number of links each arriving node creates.
+  double mean_links = 12.0;
+  /// Probability that a link is closed via a friend-of-friend (triadic
+  /// closure) rather than by preferential attachment; drives clustering.
+  double triadic_closure = 0.55;
+  /// Preferential-attachment strength: target picked ∝ (degree + 1)^beta.
+  double pa_beta = 1.0;
+  /// Regional structure (Renren's school/city networks): nodes are
+  /// assigned round-robin to this many communities, and a preferential-
+  /// attachment link stays within the node's own community with
+  /// probability community_affinity. 1 community = no structure.
+  NodeId communities = 1;
+  double community_affinity = 0.8;
+};
+
+/// Community id of a node under the round-robin assignment used by
+/// osn_like_graph.
+inline NodeId community_of(NodeId node, const OsnGraphParams& p) noexcept {
+  return p.communities <= 1 ? 0 : node % p.communities;
+}
+
+/// Social-network-like graph: growth + preferential attachment + triadic
+/// closure. Produces heavy-tailed degrees and clustering in the range
+/// observed for real OSNs (~0.02-0.2 depending on triadic_closure).
+TimestampedGraph osn_like_graph(const OsnGraphParams& params,
+                                stats::Rng& rng);
+
+/// Injects a classic "tight-knit" Sybil region into a copy of `honest`:
+/// `sybils` new nodes wired as an ER graph with density `internal_p`
+/// among themselves, plus exactly `attack_edges` edges to uniformly
+/// random honest nodes. Returns the combined graph; Sybil ids are
+/// [honest.node_count(), honest.node_count() + sybils).
+TimestampedGraph inject_sybil_community(const TimestampedGraph& honest,
+                                        NodeId sybils, double internal_p,
+                                        std::uint64_t attack_edges,
+                                        stats::Rng& rng);
+
+}  // namespace sybil::graph

@@ -1,0 +1,44 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sybil::graph {
+
+NodeId TimestampedGraph::add_node() {
+  adj_.emplace_back();
+  return static_cast<NodeId>(adj_.size() - 1);
+}
+
+void TimestampedGraph::ensure_nodes(NodeId n) {
+  if (n > adj_.size()) adj_.resize(n);
+}
+
+bool TimestampedGraph::add_edge(NodeId u, NodeId v, Time t, bool weak) {
+  assert(u < node_count() && v < node_count());
+  if (u == v || has_edge(u, v)) return false;
+  adj_[u].push_back({v, t, weak});
+  adj_[v].push_back({u, t, weak});
+  ++edge_count_;
+  return true;
+}
+
+bool TimestampedGraph::has_edge(NodeId u, NodeId v) const {
+  // Scan the shorter list; adjacency lists in social graphs are short on
+  // average, and the simulator's hot path keeps a separate intent check.
+  const auto& a = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const NodeId target = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::any_of(a.begin(), a.end(),
+                     [target](const Neighbor& n) { return n.node == target; });
+}
+
+std::optional<Time> TimestampedGraph::edge_time(NodeId u, NodeId v) const {
+  const auto& a = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const NodeId target = adj_[u].size() <= adj_[v].size() ? v : u;
+  for (const Neighbor& n : a) {
+    if (n.node == target) return n.created_at;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sybil::graph

@@ -1,0 +1,63 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sybil::graph {
+
+void save_edge_list(const TimestampedGraph& g, std::ostream& os) {
+  os << "nodes " << g.node_count() << '\n';
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const Neighbor& nb : g.neighbors(u)) {
+      if (u < nb.node) {
+        os << u << ' ' << nb.node << ' ' << nb.created_at << '\n';
+      }
+    }
+  }
+}
+
+void save_edge_list(const TimestampedGraph& g, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  save_edge_list(g, os);
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+TimestampedGraph load_edge_list(std::istream& is) {
+  std::string keyword;
+  std::uint64_t n = 0;
+  if (!(is >> keyword >> n) || keyword != "nodes") {
+    throw std::runtime_error("edge list: missing 'nodes N' header");
+  }
+  TimestampedGraph g(static_cast<NodeId>(n));
+  std::string line;
+  std::getline(is, line);  // consume header remainder
+  std::uint64_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    double t = 0.0;
+    if (!(ls >> u >> v)) {
+      throw std::runtime_error("edge list: parse error at line " +
+                               std::to_string(line_no));
+    }
+    ls >> t;  // optional timestamp
+    if (u >= n || v >= n || u == v) {
+      throw std::runtime_error("edge list: invalid edge at line " +
+                               std::to_string(line_no));
+    }
+    g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), t);
+  }
+  return g;
+}
+
+TimestampedGraph load_edge_list(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return load_edge_list(is);
+}
+
+}  // namespace sybil::graph

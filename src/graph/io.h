@@ -1,0 +1,23 @@
+// Edge-list serialization: plain-text interchange for graphs, so that
+// simulation outputs can be saved, reloaded and inspected with standard
+// tools. Format: one "u v t" triple per line ("u v" accepted on load,
+// timestamp defaults to 0).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace sybil::graph {
+
+/// Writes "node_count" header line then one edge per line (u < v).
+void save_edge_list(const TimestampedGraph& g, std::ostream& os);
+void save_edge_list(const TimestampedGraph& g, const std::string& path);
+
+/// Parses the format produced by save_edge_list. Throws std::runtime_error
+/// on malformed input (bad header, out-of-range endpoints, self-loops).
+TimestampedGraph load_edge_list(std::istream& is);
+TimestampedGraph load_edge_list(const std::string& path);
+
+}  // namespace sybil::graph

@@ -1,0 +1,101 @@
+#include "graph/maxflow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace sybil::graph {
+
+FlowNetwork::FlowNetwork(std::size_t node_count)
+    : head_(node_count, kNil) {}
+
+std::size_t FlowNetwork::add_arc(std::size_t u, std::size_t v,
+                                 std::int64_t capacity) {
+  if (u >= head_.size() || v >= head_.size()) {
+    throw std::out_of_range("flow: node out of range");
+  }
+  if (capacity < 0) throw std::invalid_argument("flow: negative capacity");
+  const auto id = arcs_.size();
+  arcs_.push_back({static_cast<std::uint32_t>(v), head_[u], capacity});
+  head_[u] = static_cast<std::uint32_t>(id);
+  arcs_.push_back({static_cast<std::uint32_t>(u), head_[v], 0});
+  head_[v] = static_cast<std::uint32_t>(id + 1);
+  return id;
+}
+
+void FlowNetwork::add_undirected(std::size_t u, std::size_t v,
+                                 std::int64_t capacity) {
+  // Two antiparallel arcs; each gets its own residual twin.
+  add_arc(u, v, capacity);
+  add_arc(v, u, capacity);
+}
+
+bool FlowNetwork::bfs_levels(std::size_t s, std::size_t t) {
+  level_.assign(head_.size(), -1);
+  std::queue<std::size_t> q;
+  level_[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const std::size_t u = q.front();
+    q.pop();
+    for (std::uint32_t a = head_[u]; a != kNil; a = arcs_[a].next) {
+      if (arcs_[a].cap > 0 && level_[arcs_[a].to] < 0) {
+        level_[arcs_[a].to] = level_[u] + 1;
+        q.push(arcs_[a].to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+std::int64_t FlowNetwork::dfs_push(std::size_t u, std::size_t t,
+                                   std::int64_t limit) {
+  if (u == t) return limit;
+  for (std::uint32_t& a = iter_[u]; a != kNil; a = arcs_[a].next) {
+    Arc& arc = arcs_[a];
+    if (arc.cap > 0 && level_[arc.to] == level_[u] + 1) {
+      const std::int64_t pushed =
+          dfs_push(arc.to, t, std::min(limit, arc.cap));
+      if (pushed > 0) {
+        arc.cap -= pushed;
+        arcs_[a ^ 1].cap += pushed;
+        return pushed;
+      }
+    }
+  }
+  return 0;
+}
+
+std::int64_t FlowNetwork::max_flow(std::size_t s, std::size_t t) {
+  if (s == t) throw std::invalid_argument("flow: s == t");
+  std::int64_t total = 0;
+  while (bfs_levels(s, t)) {
+    iter_ = head_;
+    while (const std::int64_t pushed =
+               dfs_push(s, t, std::numeric_limits<std::int64_t>::max())) {
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::vector<bool> FlowNetwork::min_cut_side(std::size_t s) const {
+  std::vector<bool> side(head_.size(), false);
+  std::queue<std::size_t> q;
+  side[s] = true;
+  q.push(s);
+  while (!q.empty()) {
+    const std::size_t u = q.front();
+    q.pop();
+    for (std::uint32_t a = head_[u]; a != kNil; a = arcs_[a].next) {
+      if (arcs_[a].cap > 0 && !side[arcs_[a].to]) {
+        side[arcs_[a].to] = true;
+        q.push(arcs_[a].to);
+      }
+    }
+  }
+  return side;
+}
+
+}  // namespace sybil::graph

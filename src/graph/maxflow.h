@@ -1,0 +1,59 @@
+// Dinic's maximum-flow algorithm.
+//
+// SumUp assigns unit capacities to social links and computes a max flow
+// from voters toward a collector; a Sybil region behind a small edge cut
+// can push only cut-many votes. This is a standard capacity-scaling-free
+// Dinic implementation over an explicit flow network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sybil::graph {
+
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(std::size_t node_count);
+
+  std::size_t node_count() const noexcept { return head_.size(); }
+
+  /// Adds a directed arc u -> v with the given capacity. Returns the arc
+  /// id (its residual twin is id ^ 1).
+  std::size_t add_arc(std::size_t u, std::size_t v, std::int64_t capacity);
+
+  /// Adds both directions with the same capacity (an undirected link).
+  void add_undirected(std::size_t u, std::size_t v, std::int64_t capacity);
+
+  /// Computes max flow from s to t. May be called once per network
+  /// (flows persist; use flow_on to inspect the result).
+  std::int64_t max_flow(std::size_t s, std::size_t t);
+
+  /// Remaining (residual) capacity on the arc with the given id. For a
+  /// unit-capacity arc, residual 0 after max_flow means the arc carried
+  /// its unit of flow.
+  std::int64_t residual(std::size_t arc_id) const {
+    return arcs_.at(arc_id).cap;
+  }
+
+  /// After max_flow: nodes reachable from s in the residual graph —
+  /// the s-side of a minimum cut.
+  std::vector<bool> min_cut_side(std::size_t s) const;
+
+ private:
+  struct Arc {
+    std::uint32_t to;
+    std::uint32_t next;  // next arc id in u's list, or kNil
+    std::int64_t cap;    // residual capacity
+  };
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  bool bfs_levels(std::size_t s, std::size_t t);
+  std::int64_t dfs_push(std::size_t u, std::size_t t, std::int64_t limit);
+
+  std::vector<Arc> arcs_;
+  std::vector<std::uint32_t> head_;
+  std::vector<std::int32_t> level_;
+  std::vector<std::uint32_t> iter_;
+};
+
+}  // namespace sybil::graph

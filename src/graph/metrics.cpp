@@ -1,0 +1,125 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace sybil::graph {
+
+double degree_assortativity(const CsrGraph& g) {
+  // Newman's formulation over directed edge endpoints.
+  double sum_xy = 0.0, sum_x = 0.0, sum_x2 = 0.0;
+  std::uint64_t m2 = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const double du = g.degree(u);
+    for (NodeId v : g.neighbors(u)) {
+      const double dv = g.degree(v);
+      sum_xy += du * dv;
+      sum_x += du;
+      sum_x2 += du * du;
+      ++m2;
+    }
+  }
+  if (m2 == 0) throw std::invalid_argument("assortativity: no edges");
+  const double n = static_cast<double>(m2);
+  const double mean = sum_x / n;
+  const double var = sum_x2 / n - mean * mean;
+  if (!(var > 0.0)) {
+    throw std::domain_error("assortativity: constant degrees");
+  }
+  return (sum_xy / n - mean * mean) / var;
+}
+
+std::vector<std::uint32_t> core_numbers(const CsrGraph& g) {
+  const NodeId n = g.node_count();
+  std::vector<std::uint32_t> degree(n), core(n, 0);
+  std::uint32_t max_deg = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    degree[u] = g.degree(u);
+    max_deg = std::max(max_deg, degree[u]);
+  }
+  // Bucket sort by degree (Batagelj-Zaversnik).
+  std::vector<std::uint32_t> bin(max_deg + 2, 0);
+  for (NodeId u = 0; u < n; ++u) ++bin[degree[u]];
+  std::uint32_t start = 0;
+  for (std::uint32_t d = 0; d <= max_deg; ++d) {
+    const std::uint32_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<NodeId> order(n);
+  std::vector<std::uint32_t> pos(n);
+  {
+    std::vector<std::uint32_t> cursor(bin.begin(), bin.end() - 1);
+    for (NodeId u = 0; u < n; ++u) {
+      pos[u] = cursor[degree[u]];
+      order[pos[u]] = u;
+      ++cursor[degree[u]];
+    }
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId u = order[i];
+    core[u] = degree[u];
+    for (NodeId v : g.neighbors(u)) {
+      if (degree[v] > degree[u]) {
+        // Move v one bucket down: swap with the first node of its bucket.
+        const std::uint32_t dv = degree[v];
+        const std::uint32_t pv = pos[v];
+        const std::uint32_t pw = bin[dv];
+        const NodeId w = order[pw];
+        if (v != w) {
+          std::swap(order[pv], order[pw]);
+          pos[v] = pw;
+          pos[w] = pv;
+        }
+        ++bin[dv];
+        --degree[v];
+      }
+    }
+  }
+  return core;
+}
+
+std::vector<std::uint32_t> bfs_distances(const CsrGraph& g, NodeId source) {
+  std::vector<std::uint32_t> dist(g.node_count(), kUnreachable);
+  std::queue<NodeId> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+PathStats sampled_path_stats(const CsrGraph& g, std::size_t samples,
+                             stats::Rng& rng) {
+  if (g.node_count() == 0) throw std::invalid_argument("paths: empty graph");
+  PathStats stats;
+  double total = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto source =
+        static_cast<NodeId>(rng.uniform_index(g.node_count()));
+    const auto dist = bfs_distances(g, source);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v != source && dist[v] != kUnreachable) {
+        total += dist[v];
+        ++stats.reachable_pairs;
+        stats.max_distance = std::max(stats.max_distance, dist[v]);
+      }
+    }
+  }
+  if (stats.reachable_pairs > 0) {
+    stats.mean_distance = total / static_cast<double>(stats.reachable_pairs);
+  }
+  return stats;
+}
+
+}  // namespace sybil::graph

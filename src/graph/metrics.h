@@ -1,0 +1,39 @@
+// Whole-graph structural metrics used in the measurement-study analyses:
+// degree assortativity (are popular users friends with popular users?),
+// k-core decomposition (how deep do Sybils embed?), and sampled
+// shortest-path statistics.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/csr.h"
+#include "stats/rng.h"
+
+namespace sybil::graph {
+
+/// Pearson correlation of endpoint degrees over all edges (each edge
+/// contributes both orientations, the standard convention). In [-1, 1];
+/// social graphs are usually mildly assortative (> 0).
+/// Precondition: at least one edge and non-constant degrees.
+double degree_assortativity(const CsrGraph& g);
+
+/// Core number per node (largest k such that the node survives in the
+/// k-core). Linear-time peeling.
+std::vector<std::uint32_t> core_numbers(const CsrGraph& g);
+
+/// BFS distances from a source; unreachable nodes get kUnreachable.
+inline constexpr std::uint32_t kUnreachable = 0xffffffffu;
+std::vector<std::uint32_t> bfs_distances(const CsrGraph& g, NodeId source);
+
+/// Shortest-path statistics estimated from `samples` BFS sources.
+struct PathStats {
+  double mean_distance = 0.0;   // over reachable pairs
+  std::uint32_t max_distance = 0;  // observed eccentricity (diameter lower bound)
+  std::uint64_t reachable_pairs = 0;
+};
+PathStats sampled_path_stats(const CsrGraph& g, std::size_t samples,
+                             stats::Rng& rng);
+
+}  // namespace sybil::graph

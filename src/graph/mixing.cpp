@@ -1,0 +1,79 @@
+#include "graph/mixing.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/walks.h"
+
+namespace sybil::graph {
+
+double lazy_walk_lambda2(const CsrGraph& g, std::size_t iterations,
+                         std::uint64_t seed) {
+  const NodeId n = g.node_count();
+  if (n < 2 || g.edge_count() == 0) {
+    throw std::invalid_argument("lambda2: need a connected graph");
+  }
+  // Stationary distribution π ∝ degree. Work in the π-weighted inner
+  // product, where P is self-adjoint: <x, y>_π = Σ π_i x_i y_i.
+  const double two_m = 2.0 * static_cast<double>(g.edge_count());
+  std::vector<double> pi(n);
+  for (NodeId u = 0; u < n; ++u) {
+    pi[u] = static_cast<double>(g.degree(u)) / two_m;
+  }
+
+  // Seeded random start vector (a structured start can be orthogonal to
+  // the slow mode), deflated against the constant function — the top
+  // eigenvector of P in this inner product.
+  stats::Rng rng(seed);
+  std::vector<double> x(n), next(n);
+  for (NodeId u = 0; u < n; ++u) x[u] = rng.uniform(-1.0, 1.0);
+  const auto deflate = [&](std::vector<double>& v) {
+    double mean = 0.0;
+    for (NodeId u = 0; u < n; ++u) mean += pi[u] * v[u];
+    for (NodeId u = 0; u < n; ++u) v[u] -= mean;
+  };
+  const auto norm_pi = [&](const std::vector<double>& v) {
+    double s = 0.0;
+    for (NodeId u = 0; u < n; ++u) s += pi[u] * v[u] * v[u];
+    return std::sqrt(s);
+  };
+
+  deflate(x);
+  double lambda = 0.0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    // next = P_lazy x = (x + D^-1 A x) / 2.
+    for (NodeId u = 0; u < n; ++u) {
+      double acc = 0.0;
+      for (NodeId v : g.neighbors(u)) acc += x[v];
+      const double d = std::max<double>(1.0, g.degree(u));
+      next[u] = 0.5 * (x[u] + acc / d);
+    }
+    deflate(next);
+    const double norm = norm_pi(next);
+    if (!(norm > 1e-300)) return 0.0;  // x was (numerically) stationary
+    lambda = norm / std::max(norm_pi(x), 1e-300);
+    for (NodeId u = 0; u < n; ++u) x[u] = next[u] / norm;
+  }
+  // The lazy walk has spectrum in [0, 1]; clamp numerical drift.
+  return std::min(std::max(lambda, 0.0), 1.0 - 1e-12);
+}
+
+double escape_probability(const CsrGraph& g,
+                          const std::vector<NodeId>& members,
+                          std::size_t walk_length, std::size_t walks,
+                          stats::Rng& rng) {
+  if (members.empty() || walks == 0) {
+    throw std::invalid_argument("escape: empty member set or no walks");
+  }
+  std::vector<bool> inside(g.node_count(), false);
+  for (NodeId m : members) inside.at(m) = true;
+  std::size_t escaped = 0;
+  for (std::size_t w = 0; w < walks; ++w) {
+    const NodeId start = members[rng.uniform_index(members.size())];
+    const NodeId end = random_walk_endpoint(g, start, walk_length, rng);
+    escaped += inside[end] ? 0 : 1;
+  }
+  return static_cast<double>(escaped) / static_cast<double>(walks);
+}
+
+}  // namespace sybil::graph

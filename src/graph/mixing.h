@@ -1,0 +1,36 @@
+// Mixing-time diagnostics.
+//
+// Every community-based Sybil defense rests on "the honest region is
+// fast mixing, the Sybil region escapes slowly". These tools measure
+// both halves directly: the spectral gap of the lazy random walk (fast
+// mixing ⇔ gap bounded away from 0) and the Monte-Carlo escape
+// probability of walks started inside a candidate Sybil set (the
+// quantity a small attack-edge cut keeps small — and wild Sybil
+// components do not).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "stats/rng.h"
+
+namespace sybil::graph {
+
+/// Estimates the second-largest eigenvalue λ₂ of the lazy random-walk
+/// matrix P = (I + D⁻¹A)/2 by power iteration deflated against the
+/// stationary distribution. Returns λ₂ ∈ [0, 1); the spectral gap is
+/// 1 − λ₂ and the relaxation time 1/(1 − λ₂).
+/// Precondition: connected graph with at least one edge (callers should
+/// pass the giant component).
+double lazy_walk_lambda2(const CsrGraph& g, std::size_t iterations = 100,
+                         std::uint64_t seed = 1);
+
+/// Monte-Carlo probability that a `walk_length`-step random walk started
+/// at a uniform member of `members` ends outside the set.
+double escape_probability(const CsrGraph& g,
+                          const std::vector<NodeId>& members,
+                          std::size_t walk_length, std::size_t walks,
+                          stats::Rng& rng);
+
+}  // namespace sybil::graph

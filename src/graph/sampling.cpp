@@ -1,0 +1,114 @@
+#include "graph/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "stats/distributions.h"
+
+namespace sybil::graph {
+
+std::vector<NodeId> bfs_snowball(const CsrGraph& g, NodeId seed,
+                                 std::size_t max_nodes) {
+  std::vector<NodeId> out;
+  if (max_nodes == 0) return out;
+  std::vector<bool> seen(g.node_count(), false);
+  std::queue<NodeId> q;
+  seen[seed] = true;
+  q.push(seed);
+  while (!q.empty() && out.size() < max_nodes) {
+    const NodeId u = q.front();
+    q.pop();
+    out.push_back(u);
+    for (NodeId v : g.neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        q.push(v);
+      }
+    }
+  }
+  return out;
+}
+
+BiasedSnowballSampler::BiasedSnowballSampler(const CsrGraph& g, NodeId seed,
+                                             double beta, stats::Rng& rng)
+    : g_(g), beta_(beta), rng_(rng), seen_(g.node_count(), false) {
+  reseed(seed);
+}
+
+void BiasedSnowballSampler::reseed(NodeId seed) {
+  if (seed >= g_.node_count()) throw std::out_of_range("snowball: bad seed");
+  if (!seen_[seed]) {
+    seen_[seed] = true;
+    frontier_.push_back(seed);
+    frontier_weight_.push_back(
+        std::pow(static_cast<double>(g_.degree(seed)) + 1.0, beta_));
+  }
+}
+
+void BiasedSnowballSampler::expand(NodeId u) {
+  for (NodeId v : g_.neighbors(u)) {
+    if (!seen_[v]) {
+      seen_[v] = true;
+      frontier_.push_back(v);
+      frontier_weight_.push_back(
+          std::pow(static_cast<double>(g_.degree(v)) + 1.0, beta_));
+    }
+  }
+}
+
+NodeId BiasedSnowballSampler::pick_frontier_node() {
+  const std::size_t idx =
+      stats::sample_weighted_once(rng_, frontier_weight_);
+  const NodeId u = frontier_[idx];
+  frontier_[idx] = frontier_.back();
+  frontier_weight_[idx] = frontier_weight_.back();
+  frontier_.pop_back();
+  frontier_weight_.pop_back();
+  return u;
+}
+
+std::vector<NodeId> BiasedSnowballSampler::sample(
+    std::size_t count, const std::function<bool(NodeId)>& accept) {
+  std::vector<NodeId> out;
+  out.reserve(count);
+  while (out.size() < count && !frontier_.empty()) {
+    const NodeId u = pick_frontier_node();
+    expand(u);
+    if (!accept || accept(u)) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<NodeId> uniform_node_sample(const CsrGraph& g, std::size_t k,
+                                        stats::Rng& rng) {
+  const auto raw = stats::sample_distinct(rng, g.node_count(), k);
+  return {raw.begin(), raw.end()};
+}
+
+std::vector<NodeId> degree_biased_sample(const CsrGraph& g, std::size_t k,
+                                         double beta, stats::Rng& rng) {
+  std::vector<double> weights(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    weights[u] = std::pow(static_cast<double>(g.degree(u)) + 1.0, beta);
+  }
+  const stats::AliasSampler alias(weights);
+  std::vector<bool> chosen(g.node_count(), false);
+  std::vector<NodeId> out;
+  out.reserve(k);
+  // With replacement, de-duplicated; bounded retries avoid pathological
+  // loops when k approaches the node count.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 20 * k + 100;
+  while (out.size() < k && attempts++ < max_attempts) {
+    const auto u = static_cast<NodeId>(alias(rng));
+    if (!chosen[u]) {
+      chosen[u] = true;
+      out.push_back(u);
+    }
+  }
+  return out;
+}
+
+}  // namespace sybil::graph

@@ -1,0 +1,67 @@
+// Graph sampling strategies.
+//
+// Snowball sampling biased toward popular nodes is the mechanism the
+// paper identifies (Section 3.4, Table 3) behind accidental Sybil edge
+// creation: Sybil management tools crawl the graph for high-degree
+// targets, and successful Sybils — being high-degree — get sampled by
+// other Sybils' tools.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/csr.h"
+#include "stats/rng.h"
+
+namespace sybil::graph {
+
+/// Breadth-first snowball sample: from `seed`, explore up to `max_nodes`
+/// nodes expanding whole neighborhoods per wave.
+std::vector<NodeId> bfs_snowball(const CsrGraph& g, NodeId seed,
+                                 std::size_t max_nodes);
+
+/// Popularity-biased snowball sampler.
+///
+/// Maintains a frontier; at each step picks a frontier node with
+/// probability proportional to degree^beta (beta = 0 → uniform,
+/// beta > 0 → popularity-biased as the commercial tools advertise),
+/// emits it, and adds its neighbors to the frontier. `accept` can veto
+/// nodes (e.g. already-friended targets) — vetoed nodes still expand the
+/// frontier but are not emitted.
+class BiasedSnowballSampler {
+ public:
+  BiasedSnowballSampler(const CsrGraph& g, NodeId seed, double beta,
+                        stats::Rng& rng);
+
+  /// Collects up to `count` sampled targets. Stops early if the reachable
+  /// region is exhausted.
+  std::vector<NodeId> sample(
+      std::size_t count,
+      const std::function<bool(NodeId)>& accept = nullptr);
+
+  /// Re-seeds the frontier (keeps the visited set).
+  void reseed(NodeId seed);
+
+ private:
+  NodeId pick_frontier_node();
+  void expand(NodeId u);
+
+  const CsrGraph& g_;
+  double beta_;
+  stats::Rng& rng_;
+  std::vector<NodeId> frontier_;
+  std::vector<double> frontier_weight_;
+  std::vector<bool> seen_;
+};
+
+/// Uniform random node sample without replacement (k <= node_count).
+std::vector<NodeId> uniform_node_sample(const CsrGraph& g, std::size_t k,
+                                        stats::Rng& rng);
+
+/// Sample k nodes with probability proportional to degree^beta
+/// (with replacement; duplicates removed, so may return fewer than k).
+std::vector<NodeId> degree_biased_sample(const CsrGraph& g, std::size_t k,
+                                         double beta, stats::Rng& rng);
+
+}  // namespace sybil::graph

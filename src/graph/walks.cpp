@@ -1,0 +1,117 @@
+#include "graph/walks.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "stats/distributions.h"
+
+namespace sybil::graph {
+
+std::vector<NodeId> random_walk(const CsrGraph& g, NodeId start,
+                                std::size_t length, stats::Rng& rng) {
+  std::vector<NodeId> path;
+  path.reserve(length + 1);
+  path.push_back(start);
+  NodeId cur = start;
+  for (std::size_t i = 0; i < length; ++i) {
+    const auto nbrs = g.neighbors(cur);
+    if (nbrs.empty()) break;
+    cur = nbrs[rng.uniform_index(nbrs.size())];
+    path.push_back(cur);
+  }
+  return path;
+}
+
+NodeId random_walk_endpoint(const CsrGraph& g, NodeId start,
+                            std::size_t length, stats::Rng& rng) {
+  NodeId cur = start;
+  for (std::size_t i = 0; i < length; ++i) {
+    const auto nbrs = g.neighbors(cur);
+    if (nbrs.empty()) break;
+    cur = nbrs[rng.uniform_index(nbrs.size())];
+  }
+  return cur;
+}
+
+std::vector<std::uint64_t> walk_visit_counts(const CsrGraph& g, NodeId start,
+                                             std::size_t length,
+                                             std::size_t walks,
+                                             stats::Rng& rng) {
+  std::vector<std::uint64_t> counts(g.node_count(), 0);
+  for (std::size_t w = 0; w < walks; ++w) {
+    for (NodeId u : random_walk(g, start, length, rng)) ++counts[u];
+  }
+  return counts;
+}
+
+RouteTable::RouteTable(const CsrGraph& g, stats::Rng& rng) {
+  const NodeId n = g.node_count();
+  offsets_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) offsets_[u + 1] = offsets_[u] + g.degree(u);
+  perm_.resize(offsets_[n]);
+  reverse_index_.resize(offsets_[n]);
+
+  for (NodeId u = 0; u < n; ++u) {
+    std::vector<std::uint32_t> p(g.degree(u));
+    for (std::uint32_t i = 0; i < p.size(); ++i) p[i] = i;
+    stats::shuffle(rng, p);
+    std::copy(p.begin(), p.end(), perm_.begin() + static_cast<std::ptrdiff_t>(offsets_[u]));
+  }
+
+  // reverse_index_[pos(u, j)] = index of u within the row of
+  // v = neighbors(u)[j]. Built with one hash pass over directed edges.
+  std::unordered_map<std::uint64_t, std::uint32_t> index_of;
+  index_of.reserve(offsets_[n]);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbrs = g.neighbors(u);
+    for (std::uint32_t j = 0; j < nbrs.size(); ++j) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(u) << 32) | nbrs[j];
+      index_of.emplace(key, j);
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbrs = g.neighbors(u);
+    for (std::uint32_t j = 0; j < nbrs.size(); ++j) {
+      const std::uint64_t back_key =
+          (static_cast<std::uint64_t>(nbrs[j]) << 32) | u;
+      reverse_index_[offsets_[u] + j] = index_of.at(back_key);
+    }
+  }
+}
+
+std::vector<RouteTable::Hop> RouteTable::route_hops(const CsrGraph& g,
+                                                    NodeId start,
+                                                    std::size_t first_edge,
+                                                    std::size_t length) const {
+  if (first_edge >= g.degree(start)) {
+    throw std::out_of_range("route: first_edge out of range");
+  }
+  std::vector<Hop> hops;
+  hops.reserve(length + 1);
+  NodeId cur = start;
+  auto out_idx = static_cast<std::uint32_t>(first_edge);
+  hops.push_back({cur, out_idx});
+  for (std::size_t step = 0; step < length; ++step) {
+    const std::uint64_t pos = offsets_[cur] + out_idx;
+    const NodeId next = g.neighbors(cur)[out_idx];
+    const std::uint32_t in_idx = reverse_index_[pos];
+    cur = next;
+    out_idx = perm_[offsets_[cur] + in_idx];
+    hops.push_back({cur, out_idx});
+  }
+  return hops;
+}
+
+std::vector<NodeId> RouteTable::route(const CsrGraph& g, NodeId start,
+                                      std::size_t first_edge,
+                                      std::size_t length) const {
+  const auto hops = route_hops(g, start, first_edge, length);
+  std::vector<NodeId> nodes;
+  nodes.reserve(hops.size());
+  for (const Hop& h : hops) nodes.push_back(h.node);
+  return nodes;
+}
+
+}  // namespace sybil::graph

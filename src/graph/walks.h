@@ -1,0 +1,72 @@
+// Random walks and random routes.
+//
+// SybilGuard/SybilLimit are built on "random routes": walks following a
+// per-node random permutation that maps each incoming edge to a distinct
+// outgoing edge, so routes through a node along the same incoming edge
+// always leave the same way (and routes are back-traceable). We provide
+// plain random walks (used by SybilInfer and trust-ranking) and route
+// tables (used by SybilGuard/SybilLimit).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/csr.h"
+#include "stats/rng.h"
+
+namespace sybil::graph {
+
+/// A simple unbiased random walk of `length` steps from `start`.
+/// Returns the visited node sequence including the start (length+1 nodes,
+/// shorter only if the walk reaches an isolated node).
+std::vector<NodeId> random_walk(const CsrGraph& g, NodeId start,
+                                std::size_t length, stats::Rng& rng);
+
+/// Terminal node of a walk (convenience over random_walk).
+NodeId random_walk_endpoint(const CsrGraph& g, NodeId start,
+                            std::size_t length, stats::Rng& rng);
+
+/// Stationary-distribution check helper: performs `walks` walks of
+/// `length` from `start` and returns visit counts per node.
+std::vector<std::uint64_t> walk_visit_counts(const CsrGraph& g, NodeId start,
+                                             std::size_t length,
+                                             std::size_t walks,
+                                             stats::Rng& rng);
+
+/// Per-node routing permutations for random routes.
+///
+/// For node u with degree d, perm[u] is a permutation of [0, d): a route
+/// entering u via its i-th incident edge leaves via the perm[u][i]-th
+/// incident edge. Walks entering along the same edge therefore converge,
+/// which is the property SybilGuard's intersection test relies on.
+class RouteTable {
+ public:
+  RouteTable(const CsrGraph& g, stats::Rng& rng);
+
+  /// Follows the route from `start` leaving along its `first_edge`-th
+  /// incident edge for `length` steps. Returns visited nodes (start
+  /// included). Precondition: first_edge < degree(start).
+  std::vector<NodeId> route(const CsrGraph& g, NodeId start,
+                            std::size_t first_edge, std::size_t length) const;
+
+  /// Edge (node, incident-index) pairs along a route — used by
+  /// SybilLimit's tail-intersection test which intersects *edges*.
+  struct Hop {
+    NodeId node;
+    std::uint32_t edge_index;  // index into neighbors(node)
+  };
+  std::vector<Hop> route_hops(const CsrGraph& g, NodeId start,
+                              std::size_t first_edge,
+                              std::size_t length) const;
+
+ private:
+  // perm_ is stored flattened with the same offsets as the CSR rows.
+  std::vector<std::uint32_t> perm_;
+  std::vector<std::uint64_t> offsets_;
+  /// Index of edge (v -> u) within v's row, precomputed for O(1) reverse
+  /// lookups while routing.
+  std::vector<std::uint32_t> reverse_index_;
+};
+
+}  // namespace sybil::graph

@@ -1,0 +1,91 @@
+#include "ml/dataset_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace sybil::ml {
+
+void save_csv(const Dataset& data, std::ostream& os) {
+  for (std::size_t j = 0; j < data.feature_count(); ++j) {
+    os << 'f' << j << ',';
+  }
+  os << "label\n";
+  os.precision(17);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.row(i);
+    for (double x : row) os << x << ',';
+    os << data.label(i) << '\n';
+  }
+}
+
+void save_csv(const Dataset& data, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  save_csv(data, os);
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+Dataset load_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("csv: empty input");
+  }
+  // Count columns from the header; the last must be "label".
+  std::size_t columns = 1;
+  for (char c : line) columns += c == ',';
+  if (columns < 2 || line.rfind("label") == std::string::npos) {
+    throw std::runtime_error("csv: bad header");
+  }
+  const std::size_t features = columns - 1;
+
+  Dataset data(features);
+  std::vector<double> row(features);
+  std::uint64_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string cell;
+    for (std::size_t j = 0; j < features; ++j) {
+      if (!std::getline(ls, cell, ',')) {
+        throw std::runtime_error("csv: too few columns at line " +
+                                 std::to_string(line_no));
+      }
+      try {
+        std::size_t used = 0;
+        row[j] = std::stod(cell, &used);
+        if (used != cell.size()) throw std::invalid_argument(cell);
+      } catch (const std::exception&) {
+        throw std::runtime_error("csv: bad number at line " +
+                                 std::to_string(line_no));
+      }
+    }
+    if (!std::getline(ls, cell)) {
+      throw std::runtime_error("csv: missing label at line " +
+                               std::to_string(line_no));
+    }
+    int label = 0;
+    try {
+      label = std::stoi(cell);
+    } catch (const std::exception&) {
+      throw std::runtime_error("csv: bad label at line " +
+                               std::to_string(line_no));
+    }
+    if (label != kSybilLabel && label != kNormalLabel) {
+      throw std::runtime_error("csv: label must be +1/-1 at line " +
+                               std::to_string(line_no));
+    }
+    data.add(row, label);
+  }
+  return data;
+}
+
+Dataset load_csv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  return load_csv(is);
+}
+
+}  // namespace sybil::ml

@@ -1,0 +1,24 @@
+// CSV serialization for labeled datasets: lets a deployment export
+// ground-truth features for offline analysis and reload them without
+// re-running a simulation.
+//
+// Format: header "f0,f1,...,label", then one row per sample; labels are
+// +1 / -1 as in ml::Dataset.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/dataset.h"
+
+namespace sybil::ml {
+
+void save_csv(const Dataset& data, std::ostream& os);
+void save_csv(const Dataset& data, const std::string& path);
+
+/// Throws std::runtime_error on malformed input (bad header, wrong
+/// column count, non-numeric cell, invalid label).
+Dataset load_csv(std::istream& is);
+Dataset load_csv(const std::string& path);
+
+}  // namespace sybil::ml

@@ -1,0 +1,57 @@
+#include "ml/kfold.h"
+
+#include <stdexcept>
+
+#include "stats/distributions.h"
+
+namespace sybil::ml {
+
+std::vector<Fold> stratified_kfold(const Dataset& data, std::size_t k,
+                                   stats::Rng& rng) {
+  if (k < 2) throw std::invalid_argument("kfold: k < 2");
+  std::vector<std::size_t> sybils, normals;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    (data.label(i) == kSybilLabel ? sybils : normals).push_back(i);
+  }
+  if (sybils.size() < k || normals.size() < k) {
+    throw std::invalid_argument("kfold: class smaller than k");
+  }
+  stats::shuffle(rng, sybils);
+  stats::shuffle(rng, normals);
+
+  std::vector<std::vector<std::size_t>> fold_members(k);
+  const auto deal = [&](const std::vector<std::size_t>& pool) {
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      fold_members[i % k].push_back(pool[i]);
+    }
+  };
+  deal(sybils);
+  deal(normals);
+
+  std::vector<Fold> folds(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    folds[f].test_indices = fold_members[f];
+    for (std::size_t g = 0; g < k; ++g) {
+      if (g == f) continue;
+      folds[f].train_indices.insert(folds[f].train_indices.end(),
+                                    fold_members[g].begin(),
+                                    fold_members[g].end());
+    }
+  }
+  return folds;
+}
+
+ConfusionMatrix cross_validate(const Dataset& data, std::size_t k,
+                               const Trainer& train, stats::Rng& rng) {
+  ConfusionMatrix pooled;
+  for (const Fold& fold : stratified_kfold(data, k, rng)) {
+    const Dataset train_set = data.subset(fold.train_indices);
+    const Predictor predict = train(train_set);
+    for (std::size_t i : fold.test_indices) {
+      pooled.record(data.label(i), predict(data.row(i)));
+    }
+  }
+  return pooled;
+}
+
+}  // namespace sybil::ml

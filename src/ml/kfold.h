@@ -1,0 +1,38 @@
+// Stratified k-fold cross-validation (the paper uses 5 sub-samples:
+// 4 for training, 1 for testing).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+#include "stats/rng.h"
+
+namespace sybil::ml {
+
+struct Fold {
+  std::vector<std::size_t> train_indices;
+  std::vector<std::size_t> test_indices;
+};
+
+/// Produces k stratified folds: each class is shuffled independently and
+/// dealt round-robin so class balance is preserved per fold.
+/// Precondition: k >= 2 and each class has at least k members.
+std::vector<Fold> stratified_kfold(const Dataset& data, std::size_t k,
+                                   stats::Rng& rng);
+
+/// Trains via `train` on each fold's training subset and evaluates the
+/// returned predictor on the held-out subset; returns the pooled
+/// confusion matrix over all folds.
+///
+/// `train` receives the training subset and returns a predictor
+/// (label = predictor(row)).
+using Predictor = std::function<int(std::span<const double>)>;
+using Trainer = std::function<Predictor(const Dataset&)>;
+
+ConfusionMatrix cross_validate(const Dataset& data, std::size_t k,
+                               const Trainer& train, stats::Rng& rng);
+
+}  // namespace sybil::ml

@@ -1,0 +1,48 @@
+#include "ml/logistic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sybil::ml {
+
+namespace {
+double sigmoid(double z) noexcept { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+double LogisticModel::probability(std::span<const double> row) const {
+  if (row.size() != w_.size()) {
+    throw std::invalid_argument("logistic: feature count mismatch");
+  }
+  double z = b_;
+  for (std::size_t j = 0; j < row.size(); ++j) z += w_[j] * row[j];
+  return sigmoid(z);
+}
+
+LogisticModel LogisticModel::train(const Dataset& data,
+                                   const LogisticParams& p) {
+  if (data.empty()) throw std::invalid_argument("logistic: empty dataset");
+  const std::size_t n = data.size(), f = data.feature_count();
+  LogisticModel m;
+  m.w_.assign(f, 0.0);
+  m.b_ = 0.0;
+  std::vector<double> grad(f);
+  for (std::size_t epoch = 0; epoch < p.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = data.row(i);
+      const double target = data.label(i) == kSybilLabel ? 1.0 : 0.0;
+      const double err = m.probability(row) - target;
+      for (std::size_t j = 0; j < f; ++j) grad[j] += err * row[j];
+      grad_b += err;
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (std::size_t j = 0; j < f; ++j) {
+      m.w_[j] -= p.learning_rate * (grad[j] * inv_n + p.l2 * m.w_[j]);
+    }
+    m.b_ -= p.learning_rate * grad_b * inv_n;
+  }
+  return m;
+}
+
+}  // namespace sybil::ml

@@ -1,0 +1,38 @@
+// L2-regularized logistic regression via batch gradient descent.
+//
+// Extension baseline beyond the paper: a cheaper learned classifier to
+// compare against the SVM and threshold rule in the ablation benches.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace sybil::ml {
+
+struct LogisticParams {
+  double learning_rate = 0.5;
+  double l2 = 1e-4;
+  std::size_t epochs = 500;
+};
+
+class LogisticModel {
+ public:
+  static LogisticModel train(const Dataset& data, const LogisticParams& p);
+
+  /// P(label == Sybil | row), in (0, 1).
+  double probability(std::span<const double> row) const;
+  int predict(std::span<const double> row) const {
+    return probability(row) >= 0.5 ? kSybilLabel : kNormalLabel;
+  }
+
+  const std::vector<double>& weights() const noexcept { return w_; }
+  double bias() const noexcept { return b_; }
+
+ private:
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+}  // namespace sybil::ml

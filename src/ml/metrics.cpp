@@ -1,0 +1,71 @@
+#include "ml/metrics.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "ml/dataset.h"
+
+namespace sybil::ml {
+
+void ConfusionMatrix::record(int actual, int predicted) {
+  if (actual == kSybilLabel) {
+    predicted == kSybilLabel ? ++true_sybil : ++missed_sybil;
+  } else if (actual == kNormalLabel) {
+    predicted == kSybilLabel ? ++false_sybil : ++true_normal;
+  } else {
+    throw std::invalid_argument("confusion: label must be +1 or -1");
+  }
+}
+
+namespace {
+double ratio(std::uint64_t num, std::uint64_t den) noexcept {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+}  // namespace
+
+double ConfusionMatrix::accuracy() const noexcept {
+  return ratio(true_sybil + true_normal, total());
+}
+double ConfusionMatrix::sybil_recall() const noexcept {
+  return ratio(true_sybil, actual_sybils());
+}
+double ConfusionMatrix::sybil_miss_rate() const noexcept {
+  return ratio(missed_sybil, actual_sybils());
+}
+double ConfusionMatrix::false_positive_rate() const noexcept {
+  return ratio(false_sybil, actual_normals());
+}
+double ConfusionMatrix::normal_recall() const noexcept {
+  return ratio(true_normal, actual_normals());
+}
+double ConfusionMatrix::precision() const noexcept {
+  return ratio(true_sybil, true_sybil + false_sybil);
+}
+double ConfusionMatrix::f1() const noexcept {
+  const double p = precision(), r = sybil_recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+ConfusionMatrix& ConfusionMatrix::operator+=(
+    const ConfusionMatrix& other) noexcept {
+  true_sybil += other.true_sybil;
+  missed_sybil += other.missed_sybil;
+  false_sybil += other.false_sybil;
+  true_normal += other.true_normal;
+  return *this;
+}
+
+std::string ConfusionMatrix::to_table(const std::string& title) const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << title << " predicted\n";
+  os << "                Sybil     Non-Sybil\n";
+  os << "True Sybil      " << 100.0 * sybil_recall() << "%    "
+     << 100.0 * sybil_miss_rate() << "%\n";
+  os << "     Non-Sybil  " << 100.0 * false_positive_rate() << "%    "
+     << 100.0 * normal_recall() << "%\n";
+  return os.str();
+}
+
+}  // namespace sybil::ml

@@ -1,0 +1,47 @@
+// Binary classification metrics (Table 1 is a pair of confusion
+// matrices expressed as row-normalized percentages).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sybil::ml {
+
+struct ConfusionMatrix {
+  std::uint64_t true_sybil = 0;    // Sybil predicted Sybil (TP)
+  std::uint64_t missed_sybil = 0;  // Sybil predicted normal (FN)
+  std::uint64_t false_sybil = 0;   // normal predicted Sybil (FP)
+  std::uint64_t true_normal = 0;   // normal predicted normal (TN)
+
+  void record(int actual, int predicted);
+
+  std::uint64_t total() const noexcept {
+    return true_sybil + missed_sybil + false_sybil + true_normal;
+  }
+  std::uint64_t actual_sybils() const noexcept {
+    return true_sybil + missed_sybil;
+  }
+  std::uint64_t actual_normals() const noexcept {
+    return false_sybil + true_normal;
+  }
+
+  double accuracy() const noexcept;
+  /// True-positive rate: Sybils predicted Sybil (Table 1 top-left %).
+  double sybil_recall() const noexcept;
+  /// False-negative rate (Table 1 top-right %).
+  double sybil_miss_rate() const noexcept;
+  /// False-positive rate: normals predicted Sybil (Table 1 bottom-left %).
+  double false_positive_rate() const noexcept;
+  /// True-negative rate (Table 1 bottom-right %).
+  double normal_recall() const noexcept;
+  double precision() const noexcept;
+  double f1() const noexcept;
+
+  /// Merges another confusion matrix (for cross-validation pooling).
+  ConfusionMatrix& operator+=(const ConfusionMatrix& other) noexcept;
+
+  /// Renders the paper's Table 1 layout for one classifier.
+  std::string to_table(const std::string& title) const;
+};
+
+}  // namespace sybil::ml

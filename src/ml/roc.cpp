@@ -1,0 +1,70 @@
+#include "ml/roc.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "ml/dataset.h"
+
+namespace sybil::ml {
+
+double RocCurve::tpr_at_fpr(double budget) const {
+  double best = 0.0;
+  for (const RocPoint& p : points) {
+    if (p.false_positive_rate <= budget) {
+      best = std::max(best, p.true_positive_rate);
+    }
+  }
+  return best;
+}
+
+RocCurve roc_curve(std::span<const double> scores,
+                   std::span<const int> labels) {
+  if (scores.size() != labels.size() || scores.empty()) {
+    throw std::invalid_argument("roc: size mismatch or empty");
+  }
+  std::size_t positives = 0, negatives = 0;
+  for (int y : labels) {
+    if (y == kSybilLabel) {
+      ++positives;
+    } else if (y == kNormalLabel) {
+      ++negatives;
+    } else {
+      throw std::invalid_argument("roc: label must be +1 or -1");
+    }
+  }
+  if (positives == 0 || negatives == 0) {
+    throw std::invalid_argument("roc: need both classes");
+  }
+
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  RocCurve curve;
+  curve.points.push_back({scores[order.front()] + 1.0, 0.0, 0.0});
+  std::size_t tp = 0, fp = 0;
+  double auc = 0.0;
+  for (std::size_t i = 0; i < order.size();) {
+    const double s = scores[order[i]];
+    // Consume ties as one threshold step (proper ROC with ties).
+    const std::size_t fp_before = fp;
+    const std::size_t tp_before = tp;
+    while (i < order.size() && scores[order[i]] == s) {
+      (labels[order[i]] == kSybilLabel ? tp : fp) += 1;
+      ++i;
+    }
+    const double tpr = static_cast<double>(tp) / positives;
+    const double fpr = static_cast<double>(fp) / negatives;
+    // Trapezoid over the FPR step.
+    auc += (fpr - static_cast<double>(fp_before) / negatives) *
+           (tpr + static_cast<double>(tp_before) / positives) / 2.0;
+    curve.points.push_back({s, tpr, fpr});
+  }
+  curve.auc = auc;
+  return curve;
+}
+
+}  // namespace sybil::ml

@@ -1,0 +1,34 @@
+// ROC analysis for score-based classifiers.
+//
+// Extension beyond the paper's fixed-operating-point Table 1: sweeping
+// the decision threshold over a score exposes the full trade-off, which
+// the ablation benches use to compare single-feature rules against the
+// conjunction and the learned classifiers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sybil::ml {
+
+struct RocPoint {
+  double threshold;            // score >= threshold → predicted Sybil
+  double true_positive_rate;   // Sybil recall
+  double false_positive_rate;  // normals misflagged
+};
+
+struct RocCurve {
+  /// Points ordered by decreasing threshold (FPR non-decreasing).
+  std::vector<RocPoint> points;
+  double auc = 0.0;
+
+  /// Highest TPR achievable with FPR <= budget.
+  double tpr_at_fpr(double budget) const;
+};
+
+/// Builds the ROC of `scores` (higher = more Sybil-like) against binary
+/// labels (+1 Sybil / -1 normal, as ml::Dataset). Both classes required.
+RocCurve roc_curve(std::span<const double> scores,
+                   std::span<const int> labels);
+
+}  // namespace sybil::ml

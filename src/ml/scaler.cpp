@@ -1,0 +1,52 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sybil::ml {
+
+void StandardScaler::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("scaler: empty dataset");
+  const std::size_t f = data.feature_count();
+  mean_.assign(f, 0.0);
+  scale_.assign(f, 0.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < f; ++j) mean_[j] += row[j];
+  }
+  for (double& m : mean_) m /= static_cast<double>(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.row(i);
+    for (std::size_t j = 0; j < f; ++j) {
+      const double d = row[j] - mean_[j];
+      scale_[j] += d * d;
+    }
+  }
+  for (double& s : scale_) {
+    s = std::sqrt(s / static_cast<double>(data.size()));
+    if (!(s > 1e-12)) s = 1.0;  // constant feature: center only
+  }
+}
+
+std::vector<double> StandardScaler::transform(
+    std::span<const double> row) const {
+  if (!fitted()) throw std::logic_error("scaler: not fitted");
+  if (row.size() != mean_.size()) {
+    throw std::invalid_argument("scaler: feature count mismatch");
+  }
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - mean_[j]) / scale_[j];
+  }
+  return out;
+}
+
+Dataset StandardScaler::transform(const Dataset& data) const {
+  Dataset out(data.feature_count());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.add(transform(data.row(i)), data.label(i));
+  }
+  return out;
+}
+
+}  // namespace sybil::ml

@@ -1,0 +1,34 @@
+// Feature standardization (zero mean, unit variance per feature).
+// SMO convergence and RBF kernels are scale-sensitive; the raw features
+// span orders of magnitude (rates vs ratios vs clustering coefficients).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace sybil::ml {
+
+class StandardScaler {
+ public:
+  /// Learns per-feature mean and stddev. Constant features get scale 1
+  /// (they pass through centered).
+  void fit(const Dataset& data);
+
+  /// Applies the learned transform to a single row (returns a copy).
+  std::vector<double> transform(std::span<const double> row) const;
+
+  /// Transforms a whole dataset.
+  Dataset transform(const Dataset& data) const;
+
+  bool fitted() const noexcept { return !mean_.empty(); }
+  const std::vector<double>& mean() const noexcept { return mean_; }
+  const std::vector<double>& scale() const noexcept { return scale_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+}  // namespace sybil::ml

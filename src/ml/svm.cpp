@@ -1,0 +1,141 @@
+#include "ml/svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sybil::ml {
+
+namespace {
+
+double kernel_eval(Kernel k, double gamma, std::span<const double> a,
+                   std::span<const double> b) {
+  double acc = 0.0;
+  if (k == Kernel::kLinear) {
+    for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+    return acc;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::exp(-gamma * acc);
+}
+
+}  // namespace
+
+double SvmModel::kernel(std::span<const double> a,
+                        std::span<const double> b) const {
+  return kernel_eval(params_.kernel, params_.gamma, a, b);
+}
+
+double SvmModel::decision(std::span<const double> row) const {
+  double f = b_;
+  for (std::size_t i = 0; i < sv_.size(); ++i) {
+    f += sv_alpha_y_[i] * kernel(sv_[i], row);
+  }
+  return f;
+}
+
+SvmModel SvmModel::train(const Dataset& data, const SvmParams& params) {
+  if (data.empty()) throw std::invalid_argument("svm: empty dataset");
+  if (data.count_label(kSybilLabel) == 0 ||
+      data.count_label(kNormalLabel) == 0) {
+    throw std::invalid_argument("svm: need both classes");
+  }
+  const std::size_t n = data.size();
+  stats::Rng rng(params.seed);
+
+  // Precompute the kernel matrix: n is small (thousands) in every use of
+  // this library, so O(n^2) memory buys a large constant-factor win.
+  std::vector<double> k(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v =
+          kernel_eval(params.kernel, params.gamma, data.row(i), data.row(j));
+      k[i * n + j] = v;
+      k[j * n + i] = v;
+    }
+  }
+
+  std::vector<double> alpha(n, 0.0);
+  double b = 0.0;
+  const auto decision_on = [&](std::size_t i) {
+    double f = b;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (alpha[j] != 0.0) {
+        f += alpha[j] * static_cast<double>(data.label(j)) * k[j * n + i];
+      }
+    }
+    return f;
+  };
+
+  std::size_t passes = 0, iterations = 0;
+  while (passes < params.max_passes && iterations < params.max_iterations) {
+    ++iterations;
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double yi = data.label(i);
+      const double ei = decision_on(i) - yi;
+      const bool violates = (yi * ei < -params.tol && alpha[i] < params.c) ||
+                            (yi * ei > params.tol && alpha[i] > 0.0);
+      if (!violates) continue;
+
+      std::size_t j = rng.uniform_index(n - 1);
+      if (j >= i) ++j;
+      const double yj = data.label(j);
+      const double ej = decision_on(j) - yj;
+
+      const double ai_old = alpha[i], aj_old = alpha[j];
+      double lo, hi;
+      if (yi != yj) {
+        lo = std::max(0.0, aj_old - ai_old);
+        hi = std::min(params.c, params.c + aj_old - ai_old);
+      } else {
+        lo = std::max(0.0, ai_old + aj_old - params.c);
+        hi = std::min(params.c, ai_old + aj_old);
+      }
+      if (lo >= hi) continue;
+
+      const double eta = 2.0 * k[i * n + j] - k[i * n + i] - k[j * n + j];
+      if (eta >= 0.0) continue;
+
+      double aj = aj_old - yj * (ei - ej) / eta;
+      aj = std::clamp(aj, lo, hi);
+      if (std::abs(aj - aj_old) < 1e-5) continue;
+      const double ai = ai_old + yi * yj * (aj_old - aj);
+
+      alpha[i] = ai;
+      alpha[j] = aj;
+
+      const double b1 = b - ei - yi * (ai - ai_old) * k[i * n + i] -
+                        yj * (aj - aj_old) * k[i * n + j];
+      const double b2 = b - ej - yi * (ai - ai_old) * k[i * n + j] -
+                        yj * (aj - aj_old) * k[j * n + j];
+      if (ai > 0.0 && ai < params.c) {
+        b = b1;
+      } else if (aj > 0.0 && aj < params.c) {
+        b = b2;
+      } else {
+        b = (b1 + b2) / 2.0;
+      }
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+
+  SvmModel model;
+  model.params_ = params;
+  model.b_ = b;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-8) {
+      const auto row = data.row(i);
+      model.sv_.emplace_back(row.begin(), row.end());
+      model.sv_alpha_y_.push_back(alpha[i] *
+                                  static_cast<double>(data.label(i)));
+    }
+  }
+  return model;
+}
+
+}  // namespace sybil::ml

@@ -1,0 +1,55 @@
+// Account model for the simulated OSN.
+//
+// Mirrors the aspects of a Renren account the paper's analysis touches:
+// account kind (ground truth), gender (the paper notes 77.3% of Sybils
+// present as female vs 46.5% of the population), profile attractiveness
+// (Sybils use attractive profile photos to win accepts), per-user
+// "openness" (how indiscriminately a user accepts strangers — popular
+// users are more open, which is why Sybil tools target them), and ban
+// state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.h"
+
+namespace sybil::osn {
+
+using graph::NodeId;
+using graph::Time;
+
+enum class AccountKind : std::uint8_t { kNormal, kSybil };
+enum class Gender : std::uint8_t { kFemale, kMale };
+
+struct Account {
+  AccountKind kind = AccountKind::kNormal;
+  Gender gender = Gender::kFemale;
+  Time created_at = 0.0;
+  std::optional<Time> banned_at;
+
+  /// How appealing this account's profile is to strangers, in [0, 1].
+  /// Sybil tools fill profiles with attractive photos → high values.
+  double attractiveness = 0.5;
+
+  /// Base probability of accepting a stranger's friend request, in [0,1].
+  /// Heterogeneous across normal users (gives the dispersed incoming-
+  /// accept CDF of Fig 3); 1.0 for Sybils (they accept everything).
+  double openness = 0.5;
+
+  /// Target friend-invitation rate while active, in invites/hour.
+  double invite_rate = 0.1;
+
+  /// Total friend-request budget (tool campaign size); 0 = unlimited.
+  std::uint32_t request_budget = 0;
+
+  /// Stealthy Sybils throttle their rate and friend through mutual-
+  /// friend chains, making them look closer to normal users — the
+  /// borderline cases behind the paper's ~1% classifier error.
+  bool stealthy = false;
+
+  bool banned() const noexcept { return banned_at.has_value(); }
+  bool is_sybil() const noexcept { return kind == AccountKind::kSybil; }
+};
+
+}  // namespace sybil::osn

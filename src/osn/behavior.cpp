@@ -1,0 +1,73 @@
+#include "osn/behavior.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace sybil::osn {
+
+Account make_normal_account(const NormalBehaviorParams& p, Time now,
+                            stats::Rng& rng) {
+  Account a;
+  a.kind = AccountKind::kNormal;
+  a.gender =
+      rng.bernoulli(p.female_fraction) ? Gender::kFemale : Gender::kMale;
+  a.created_at = now;
+  a.attractiveness = std::clamp(stats::sample_normal(rng, 0.5, 0.18), 0.0, 1.0);
+  a.openness = rng.uniform();
+  if (rng.bernoulli(p.aggressive_fraction)) {
+    a.invite_rate = std::min(
+        stats::sample_lognormal(rng, std::log(p.aggressive_rate_mu), 0.4),
+        p.aggressive_rate_cap);
+    // Marketers are marked via a rate above the normal session cap; the
+    // simulator gives them stranger-heavy targeting. They also accept
+    // almost everyone (they want reach) — the honest accounts that look
+    // most Sybil-like to a learned classifier.
+    a.openness = 0.8 + 0.2 * rng.uniform();
+  } else {
+    a.invite_rate = std::min(
+        stats::sample_lognormal(rng, std::log(p.session_invites_mu),
+                                p.session_invites_sigma),
+        p.session_invites_cap);
+  }
+  return a;
+}
+
+Account make_sybil_account(const SybilBehaviorParams& p, Time now,
+                           stats::Rng& rng) {
+  Account a;
+  a.kind = AccountKind::kSybil;
+  a.gender =
+      rng.bernoulli(p.female_fraction) ? Gender::kFemale : Gender::kMale;
+  a.created_at = now;
+  a.attractiveness = std::clamp(
+      stats::sample_normal(rng, p.attractiveness_mu, p.attractiveness_jitter),
+      0.0, 1.0);
+  a.openness = 1.0;  // Sybils accept every incoming request (Fig 3)
+  a.invite_rate = stats::sample_lognormal(
+      rng, std::log(p.invites_per_hour_mu), p.invites_per_hour_sigma);
+  a.request_budget = static_cast<std::uint32_t>(
+      1 + stats::sample_lognormal(rng, std::log(p.request_budget_median),
+                                  p.request_budget_sigma));
+  if (rng.bernoulli(p.stealth_fraction)) {
+    a.stealthy = true;
+    a.invite_rate = std::max(1.0, a.invite_rate * p.stealth_rate_factor);
+  }
+  return a;
+}
+
+bool normal_accepts(const NormalBehaviorParams& p, const Account& target,
+                    const Account& requester, std::uint8_t tag,
+                    stats::Rng& rng) {
+  double prob;
+  if (tag == kTagFriendOfFriend) {
+    prob = p.fof_accept_base + p.fof_accept_openness * target.openness;
+  } else {
+    prob = target.openness * p.stranger_scale *
+           (0.35 + 0.65 * requester.attractiveness);
+  }
+  return rng.bernoulli(std::clamp(prob, 0.0, 1.0));
+}
+
+}  // namespace sybil::osn

@@ -1,0 +1,117 @@
+// Behavioral models for normal users and Sybils.
+//
+// These encode the generative regularities the paper measures in
+// Section 2.2. The parameter defaults are calibrated so that the
+// *measured* features (through core::FeatureExtractor) land near the
+// paper's numbers: normal outgoing-accept ≈ 0.79, Sybil ≈ 0.26; Sybil
+// short-window invite rate such that a 40/hour threshold catches ≈70%
+// with no normal false positives; incoming-accept ≈ uniform spread for
+// normal users vs ≈1 for Sybils.
+#pragma once
+
+#include <cstdint>
+
+#include "osn/account.h"
+#include "stats/rng.h"
+
+namespace sybil::osn {
+
+/// Tag values attached to friend requests (see Network::send_request).
+enum RequestTag : std::uint8_t {
+  kTagStranger = 0,       // target picked with no prior relationship
+  kTagFriendOfFriend = 1, // target shares a mutual friend with the sender
+};
+
+/// Parameters of the normal-user population.
+struct NormalBehaviorParams {
+  double female_fraction = 0.465;  // paper: Renren-wide share
+
+  /// Probability a user is online (able to act) in a given hour.
+  double online_prob = 0.05;
+  /// Per-user mean invites per online hour: lognormal(log(mu), sigma).
+  double session_invites_mu = 1.3;
+  double session_invites_sigma = 0.5;
+  /// Hard cap on a normal user's hourly invite appetite — keeps the
+  /// 40/hour detector threshold at zero false positives, as in Fig 1.
+  double session_invites_cap = 12.0;
+
+  /// Probability an invite goes to a friend-of-friend vs a stranger.
+  double fof_target_prob = 0.9;
+
+  /// Acceptance model: a friend-of-friend request is accepted with
+  /// probability fof_accept_base + fof_accept_openness * openness.
+  double fof_accept_base = 0.72;
+  double fof_accept_openness = 0.26;
+  /// A stranger request is accepted with probability
+  /// openness * stranger_scale * (0.35 + 0.65 * requester_attractiveness).
+  double stranger_scale = 0.55;
+
+  /// A small share of legitimate users behave like marketers: high
+  /// invite rates, mostly strangers, poor accept ratios. They are the
+  /// honest accounts a behavioral detector risks false-flagging.
+  double aggressive_fraction = 0.015;
+  double aggressive_rate_mu = 14.0;
+  double aggressive_rate_cap = 32.0;
+  double aggressive_fof_prob = 0.3;
+};
+
+/// Parameters of the Sybil population / attacker tooling.
+struct SybilBehaviorParams {
+  double female_fraction = 0.773;  // paper: share among ground-truth Sybils
+
+  /// Sybils run management tools: online most of the time.
+  double online_prob = 0.7;
+  /// Per-Sybil invites per online hour: lognormal(log(mu), sigma).
+  /// Median 60 with sigma 0.45 puts ≈70% of measured short-window rates
+  /// above 40/hour (budget exhaustion dilutes the final active hour).
+  double invites_per_hour_mu = 60.0;
+  double invites_per_hour_sigma = 0.45;
+
+  /// Profile attractiveness (young men/women photos).
+  double attractiveness_mu = 0.9;
+  double attractiveness_jitter = 0.08;
+
+  /// Popularity bias of the tool's target selection: targets are drawn
+  /// with probability proportional to (degree + 1)^target_bias.
+  double target_bias = 0.4;
+  /// Fraction of targets picked uniformly at random (tool exploration;
+  /// keeps a Sybil's friend set from collapsing onto the densely
+  /// interlinked top of the popularity ranking).
+  double uniform_mix = 0.25;
+
+  /// Total request budget per Sybil (the tool campaign size), lognormal
+  /// across Sybils. The paper's Sybils accumulate a few hundred friends
+  /// (Fig 5) at a ~26% accept rate.
+  double request_budget_median = 500.0;
+  double request_budget_sigma = 0.5;
+
+  /// Share of "stealthy" Sybils: throttled rate, mutual-friend-chain
+  /// targeting (their requests often look like friend-of-friend ones).
+  double stealth_fraction = 0.01;
+  double stealth_rate_factor = 0.15;
+  double stealth_fof_prob = 0.5;
+  /// Stealthy Sybils also answer incoming requests selectively, to
+  /// blend in (ordinary Sybils accept everything).
+  double stealth_incoming_accept = 0.75;
+
+  /// Hours of activity before Renren's (prior) detection bans a Sybil,
+  /// uniform in [ban_after_min, ban_after_max].
+  double ban_after_min = 60.0;
+  double ban_after_max = 380.0;
+};
+
+/// Draws a normal-user account from the population model. `openness`
+/// is uniform in [0, 1] — the heterogeneity behind Fig 3's dispersion.
+Account make_normal_account(const NormalBehaviorParams& p, Time now,
+                            stats::Rng& rng);
+
+/// Draws a Sybil account (attractive profile, accept-everything policy).
+Account make_sybil_account(const SybilBehaviorParams& p, Time now,
+                           stats::Rng& rng);
+
+/// Acceptance decision of a normal target for an incoming request.
+bool normal_accepts(const NormalBehaviorParams& p, const Account& target,
+                    const Account& requester, std::uint8_t tag,
+                    stats::Rng& rng);
+
+}  // namespace sybil::osn

@@ -1,0 +1,15 @@
+#include "osn/events.h"
+
+namespace sybil::osn {
+
+void EventLog::append(Event e) {
+  events_.push_back(e);
+  ++counts_[static_cast<std::size_t>(e.type)];
+}
+
+void EventLog::clear() {
+  events_.clear();
+  for (auto& c : counts_) c = 0;
+}
+
+}  // namespace sybil::osn

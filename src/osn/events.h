@@ -1,0 +1,50 @@
+// Append-only event log for the OSN simulator.
+//
+// The log is optional (the Network works without one) and is what the
+// real-time detector pipeline and the examples consume: it is the
+// simulated equivalent of the operational request stream Renren gave the
+// authors access to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sybil::osn {
+
+enum class EventType : std::uint8_t {
+  kAccountCreated,
+  kRequestSent,
+  kRequestAccepted,
+  kRequestRejected,
+  kRequestDropped,  // pending request discarded (party banned)
+  kAccountBanned,
+  kFriendshipSeeded,  // pre-existing edge installed without a request
+};
+
+struct Event {
+  EventType type;
+  graph::NodeId actor;    // who performed the action
+  graph::NodeId subject;  // the other party (== actor for account events)
+  graph::Time time;
+};
+
+/// Simple append-only event log with typed counters.
+class EventLog {
+ public:
+  void append(Event e);
+
+  const std::vector<Event>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  std::uint64_t count(EventType t) const noexcept {
+    return counts_[static_cast<std::size_t>(t)];
+  }
+  void clear();
+
+ private:
+  std::vector<Event> events_;
+  std::uint64_t counts_[7] = {};
+};
+
+}  // namespace sybil::osn

@@ -1,0 +1,128 @@
+#include "stats/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace sybil::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  if (sorted_.empty()) throw std::invalid_argument("cdf: empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+  mean_ = std::accumulate(sorted_.begin(), sorted_.end(), 0.0) /
+          static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::at(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("cdf: q out of range");
+  if (q == 0.0) return sorted_.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(rank, sorted_.size()) - 1];
+}
+
+std::vector<EmpiricalCdf::Point> EmpiricalCdf::series(
+    std::size_t points) const {
+  std::vector<Point> out;
+  if (points < 2) points = 2;
+  out.reserve(points);
+  const double lo = min(), hi = max();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.push_back({x, 100.0 * at(x)});
+  }
+  return out;
+}
+
+std::vector<EmpiricalCdf::Point> EmpiricalCdf::log_series(
+    std::size_t points) const {
+  if (!(min() > 0.0)) {
+    throw std::domain_error("cdf: log_series requires positive samples");
+  }
+  std::vector<Point> out;
+  if (points < 2) points = 2;
+  out.reserve(points);
+  const double llo = std::log10(min()), lhi = std::log10(max());
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = std::pow(
+        10.0,
+        llo + (lhi - llo) * static_cast<double>(i) / static_cast<double>(points - 1));
+    out.push_back({x, 100.0 * at(x)});
+  }
+  return out;
+}
+
+std::string EmpiricalCdf::to_tsv(std::size_t points, bool log_x) const {
+  const auto pts = log_x ? log_series(points) : series(points);
+  std::ostringstream os;
+  for (const auto& p : pts) os << p.x << '\t' << p.cdf_percent << '\n';
+  return os.str();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument("histogram: bad range or bin count");
+  }
+}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  auto bin = static_cast<std::int64_t>(std::floor((x - lo_) / width_));
+  bin = std::clamp<std::int64_t>(bin, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(bin)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(counts_.at(bin)) /
+                           static_cast<double>(total_);
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins_per_decade) {
+  if (!(lo > 0.0) || !(hi > lo) || bins_per_decade == 0) {
+    throw std::invalid_argument("log histogram: bad parameters");
+  }
+  log_lo_ = std::log10(lo);
+  log_step_ = 1.0 / static_cast<double>(bins_per_decade);
+  const auto nbins = static_cast<std::size_t>(
+      std::ceil((std::log10(hi) - log_lo_) / log_step_));
+  counts_.assign(std::max<std::size_t>(nbins, 1), 0);
+}
+
+void LogHistogram::add(double x, std::uint64_t weight) {
+  std::int64_t bin = 0;
+  if (x > 0.0) {
+    bin = static_cast<std::int64_t>(
+        std::floor((std::log10(x) - log_lo_) / log_step_));
+  }
+  bin = std::clamp<std::int64_t>(bin, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(bin)] += weight;
+  total_ += weight;
+}
+
+double LogHistogram::bin_lower(std::size_t bin) const {
+  return std::pow(10.0, log_lo_ + static_cast<double>(bin) * log_step_);
+}
+
+double LogHistogram::bin_upper(std::size_t bin) const {
+  return std::pow(10.0, log_lo_ + static_cast<double>(bin + 1) * log_step_);
+}
+
+}  // namespace sybil::stats

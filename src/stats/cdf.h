@@ -1,0 +1,91 @@
+// Empirical CDFs, quantiles and histograms — the presentation layer for
+// every figure in the paper (all of Figs 1-6 and 9 are CDFs).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sybil::stats {
+
+/// Immutable empirical CDF over a sample of doubles.
+class EmpiricalCdf {
+ public:
+  /// Copies and sorts the sample. Precondition: non-empty.
+  explicit EmpiricalCdf(std::span<const double> sample);
+
+  /// Fraction of samples <= x, in [0, 1].
+  double at(double x) const;
+
+  /// Smallest sample value v with at(v) >= q. Precondition: 0 <= q <= 1.
+  double quantile(double q) const;
+
+  double min() const { return sorted_.front(); }
+  double max() const { return sorted_.back(); }
+  double mean() const { return mean_; }
+  std::size_t size() const { return sorted_.size(); }
+
+  /// Evenly spaced evaluation points for plotting: `points` pairs of
+  /// (x, CDF percent in [0, 100]) spanning [min, max].
+  struct Point {
+    double x;
+    double cdf_percent;
+  };
+  std::vector<Point> series(std::size_t points = 50) const;
+
+  /// Like series(), but x values are log-spaced (requires min() > 0).
+  std::vector<Point> log_series(std::size_t points = 50) const;
+
+  /// Renders "x<tab>cdf%" rows, one per point — gnuplot-ready.
+  std::string to_tsv(std::size_t points = 50, bool log_x = false) const;
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+};
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range values are
+/// clamped into the first/last bin so no observation is dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const { return total_; }
+  /// Center of the given bin.
+  double bin_center(std::size_t bin) const;
+  /// Fraction of mass in the given bin (0 if the histogram is empty).
+  double fraction(std::size_t bin) const;
+
+ private:
+  double lo_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Histogram with logarithmically spaced bin edges; used for degree
+/// distributions. Values below `lo` land in bin 0.
+class LogHistogram {
+ public:
+  /// Bins per decade controls resolution. Precondition: lo > 0, hi > lo.
+  LogHistogram(double lo, double hi, std::size_t bins_per_decade = 10);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const { return total_; }
+  double bin_lower(std::size_t bin) const;
+  double bin_upper(std::size_t bin) const;
+
+ private:
+  double log_lo_, log_step_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sybil::stats

@@ -1,0 +1,167 @@
+#include "stats/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sybil::stats {
+
+double sample_exponential(Rng& rng, double lambda) {
+  if (!(lambda > 0.0)) throw std::invalid_argument("exponential: lambda <= 0");
+  // 1 - uniform() is in (0, 1], so the log argument is never zero.
+  return -std::log(1.0 - rng.uniform()) / lambda;
+}
+
+std::uint64_t sample_poisson(Rng& rng, double mean) {
+  if (mean < 0.0) throw std::invalid_argument("poisson: negative mean");
+  if (mean == 0.0) return 0;
+  if (mean <= 64.0) {
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double product = rng.uniform();
+    while (product > limit) {
+      ++k;
+      product *= rng.uniform();
+    }
+    return k;
+  }
+  // Normal approximation for large means; clamp at zero.
+  const double draw = sample_normal(rng, mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(draw));
+}
+
+double sample_lognormal(Rng& rng, double mu, double sigma) {
+  return std::exp(sample_normal(rng, mu, sigma));
+}
+
+double sample_normal(Rng& rng, double mean, double stddev) {
+  // Box-Muller. u1 in (0,1] avoids log(0).
+  const double u1 = 1.0 - rng.uniform();
+  const double u2 = rng.uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * radius * std::cos(2.0 * M_PI * u2);
+}
+
+double sample_bounded_pareto(Rng& rng, double alpha, double lo, double hi) {
+  if (!(alpha > 0.0) || !(lo > 0.0) || !(hi > lo)) {
+    throw std::invalid_argument("bounded_pareto: bad parameters");
+  }
+  const double u = rng.uniform();
+  const double la = std::pow(lo, -alpha);
+  const double ha = std::pow(hi, -alpha);
+  return std::pow(la - u * (la - ha), -1.0 / alpha);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  if (n == 0) throw std::invalid_argument("zipf: n == 0");
+  if (!(s > 0.0)) throw std::invalid_argument("zipf: s <= 0");
+  h_x1_ = h(1.5) - 1.0;
+  h_n_ = h(static_cast<double>(n) + 0.5);
+}
+
+double ZipfSampler::h(double x) const {
+  // Antiderivative of x^-s (the s == 1 limit is log).
+  if (std::abs(s_ - 1.0) < 1e-12) return std::log(x);
+  return std::pow(x, 1.0 - s_) / (1.0 - s_);
+}
+
+double ZipfSampler::h_inv(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow(x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+std::uint64_t ZipfSampler::operator()(Rng& rng) const {
+  // Rejection sampling against the continuous envelope of the Zipf pmf.
+  for (;;) {
+    const double u = h_x1_ + rng.uniform() * (h_n_ - h_x1_);
+    const double x = h_inv(u);
+    const auto k = static_cast<std::uint64_t>(
+        std::clamp(x + 0.5, 1.0, static_cast<double>(n_)));
+    const double left = h(static_cast<double>(k) - 0.5);
+    const double right = h(static_cast<double>(k) + 0.5);
+    const double pmf_mass = right - left;  // integral over [k-0.5, k+0.5]
+    const double envelope = std::pow(static_cast<double>(k), -s_);
+    // Accept with probability pmf(k) / envelope-mass over the cell.
+    if (rng.uniform() * pmf_mass <= envelope) return k;
+  }
+}
+
+AliasSampler::AliasSampler(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("alias: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument("alias: weight must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (!(total > 0.0)) throw std::invalid_argument("alias: zero total weight");
+
+  prob_.resize(n);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+std::size_t AliasSampler::operator()(Rng& rng) const {
+  const std::size_t column = rng.uniform_index(prob_.size());
+  return rng.uniform() < prob_[column] ? column : alias_[column];
+}
+
+std::size_t sample_weighted_once(Rng& rng, std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) total += std::max(w, 0.0);
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    throw std::invalid_argument("sample_weighted_once: bad total weight");
+  }
+  double mark = rng.uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    mark -= std::max(weights[i], 0.0);
+    if (mark <= 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point fallthrough
+}
+
+std::vector<std::uint64_t> sample_distinct(Rng& rng, std::uint64_t n,
+                                           std::uint64_t k) {
+  if (k > n) throw std::invalid_argument("sample_distinct: k > n");
+  // Robert Floyd's algorithm; O(k) expected with a hash-free scan for the
+  // small k this library uses (k is a per-user target batch, not n).
+  std::vector<std::uint64_t> chosen;
+  chosen.reserve(k);
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = rng.uniform_index(j + 1);
+    if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+      chosen.push_back(t);
+    } else {
+      chosen.push_back(j);
+    }
+  }
+  return chosen;
+}
+
+}  // namespace sybil::stats

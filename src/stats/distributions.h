@@ -1,0 +1,97 @@
+// Random samplers used by the OSN workload generators.
+//
+// All samplers are deterministic functions of the supplied Rng, with no
+// hidden global state. The discrete heavy-tailed samplers (Zipf, discrete
+// power law) are the workhorses behind degree-targeting and popularity
+// bias in the attacker toolkit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace sybil::stats {
+
+/// Samples an exponential with rate `lambda` (mean 1/lambda).
+/// Precondition: lambda > 0.
+double sample_exponential(Rng& rng, double lambda);
+
+/// Samples a Poisson count with the given mean.
+/// Uses Knuth's method for small means and normal approximation with
+/// continuity correction for mean > 64 (adequate for workload counts).
+std::uint64_t sample_poisson(Rng& rng, double mean);
+
+/// Samples a lognormal: exp(N(mu, sigma^2)).
+double sample_lognormal(Rng& rng, double mu, double sigma);
+
+/// Samples a standard normal via Box-Muller (single value; the discarded
+/// pair member keeps the interface stateless).
+double sample_normal(Rng& rng, double mean = 0.0, double stddev = 1.0);
+
+/// Samples a continuous bounded Pareto on [lo, hi] with exponent alpha>0
+/// (density ∝ x^-(alpha+1) truncated to the interval).
+double sample_bounded_pareto(Rng& rng, double alpha, double lo, double hi);
+
+/// Zipf sampler over ranks {1..n} with exponent s, using rejection
+/// sampling (Jason Crease / Devroye style) — O(1) expected per sample,
+/// no O(n) table, valid for s > 0, s != 1 handled too.
+class ZipfSampler {
+ public:
+  /// Precondition: n >= 1, s > 0.
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// Returns a rank in [1, n].
+  std::uint64_t operator()(Rng& rng) const;
+
+  std::uint64_t n() const noexcept { return n_; }
+  double exponent() const noexcept { return s_; }
+
+ private:
+  double h(double x) const;          // integral of rank^-s
+  double h_inv(double x) const;      // inverse of h
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;                      // h(1.5) - 1
+  double h_n_;                       // h(n + 0.5)
+};
+
+/// Alias-method sampler over an arbitrary discrete distribution.
+/// Construction is O(n); each sample is O(1). Weights need not be
+/// normalized; non-finite or negative weights are rejected.
+class AliasSampler {
+ public:
+  explicit AliasSampler(std::span<const double> weights);
+
+  /// Returns an index in [0, size()).
+  std::size_t operator()(Rng& rng) const;
+
+  std::size_t size() const noexcept { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+/// Weighted pick without building an alias table: O(n) per call.
+/// Useful for one-off draws over small, frequently changing weights.
+/// Precondition: weights non-empty with positive finite total.
+std::size_t sample_weighted_once(Rng& rng, std::span<const double> weights);
+
+/// Floyd's algorithm: k distinct uniform indices from [0, n), in
+/// insertion order (not sorted). Precondition: k <= n.
+std::vector<std::uint64_t> sample_distinct(Rng& rng, std::uint64_t n,
+                                           std::uint64_t k);
+
+/// In-place Fisher-Yates shuffle.
+template <typename T>
+void shuffle(Rng& rng, std::vector<T>& items) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const std::size_t j = rng.uniform_index(i);
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+}  // namespace sybil::stats

@@ -1,0 +1,77 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sybil::stats {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+RunningStats summarize(std::span<const double> sample) noexcept {
+  RunningStats s;
+  for (double x : sample) s.add(x);
+  return s;
+}
+
+double median(std::span<const double> sample) {
+  if (sample.empty()) throw std::invalid_argument("median: empty sample");
+  std::vector<double> copy(sample.begin(), sample.end());
+  const std::size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid),
+                   copy.end());
+  const double upper = copy[mid];
+  if (copy.size() % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid));
+  return (lower + upper) / 2.0;
+}
+
+double gini(std::span<const double> sample) {
+  if (sample.empty()) throw std::invalid_argument("gini: empty sample");
+  std::vector<double> copy(sample.begin(), sample.end());
+  std::sort(copy.begin(), copy.end());
+  double total = 0.0, weighted = 0.0;
+  for (std::size_t i = 0; i < copy.size(); ++i) {
+    if (copy[i] < 0.0) throw std::invalid_argument("gini: negative value");
+    total += copy[i];
+    weighted += static_cast<double>(i + 1) * copy[i];
+  }
+  if (!(total > 0.0)) throw std::invalid_argument("gini: zero total");
+  const auto n = static_cast<double>(copy.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("pearson: need matching samples of size >= 2");
+  }
+  RunningStats sx = summarize(xs), sy = summarize(ys);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    cov += (xs[i] - sx.mean()) * (ys[i] - sy.mean());
+  }
+  cov /= static_cast<double>(xs.size() - 1);
+  const double denom = sx.stddev() * sy.stddev();
+  if (!(denom > 0.0)) throw std::domain_error("pearson: zero variance");
+  return cov / denom;
+}
+
+}  // namespace sybil::stats

@@ -1,0 +1,48 @@
+// Scalar summary statistics used throughout analysis and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sybil::stats {
+
+/// One-pass accumulator for mean/variance (Welford) plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two values.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Convenience: summary of a whole sample at once.
+RunningStats summarize(std::span<const double> sample) noexcept;
+
+/// Median of the sample (average of the two middle values when even).
+/// Precondition: non-empty.
+double median(std::span<const double> sample);
+
+/// Gini coefficient of a non-negative sample (0 = perfectly equal,
+/// → 1 = concentrated). Used to characterize degree inequality.
+/// Precondition: non-empty, non-negative, positive total.
+double gini(std::span<const double> sample);
+
+/// Pearson correlation of two equal-length samples.
+/// Precondition: sizes match, size >= 2, both have non-zero variance.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace sybil::stats

@@ -1,0 +1,181 @@
+#include "attack/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/tools.h"
+#include "core/topology.h"
+
+namespace sybil::attack {
+namespace {
+
+CampaignConfig small_config(std::uint64_t seed = 7) {
+  CampaignConfig c;
+  c.normal_users = 5000;
+  c.sybils = 400;
+  c.campaign_hours = 2000.0;
+  c.seed = seed;
+  return c;
+}
+
+TEST(Tools, Table3HasThreeProfiles) {
+  const auto& tools = table3_tools();
+  ASSERT_EQ(tools.size(), 3u);
+  for (const auto& t : tools) {
+    EXPECT_FALSE(t.name.empty());
+    EXPECT_EQ(t.platform, "Windows");
+    EXPECT_GT(t.target_bias, 0.0);
+    EXPECT_GE(t.uniform_mix, 0.0);
+    EXPECT_GT(t.crawl_batch, 0u);
+  }
+  // The super-node collector is the most popularity-hungry.
+  EXPECT_GT(tools[1].target_bias, tools[0].target_bias);
+  EXPECT_GT(tools[1].target_bias, tools[2].target_bias);
+}
+
+class CampaignFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    result_ = new CampaignResult(run_campaign(small_config()));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static CampaignResult* result_;
+};
+
+CampaignResult* CampaignFixture::result_ = nullptr;
+
+TEST_F(CampaignFixture, PopulationsCreated) {
+  EXPECT_EQ(result_->normal_ids.size(), 5000u);
+  EXPECT_EQ(result_->sybil_ids.size(), 400u);
+  EXPECT_EQ(result_->network->account_count(), 5400u);
+}
+
+TEST_F(CampaignFixture, SybilsAreMarkedAndEventuallyBanned) {
+  for (graph::NodeId s : result_->sybil_ids) {
+    const auto& acc = result_->network->account(s);
+    EXPECT_TRUE(acc.is_sybil());
+    EXPECT_TRUE(acc.banned());
+    EXPECT_GE(*acc.banned_at, acc.created_at);
+  }
+}
+
+TEST_F(CampaignFixture, NormalsNeverBanned) {
+  for (graph::NodeId u : result_->normal_ids) {
+    EXPECT_FALSE(result_->network->account(u).banned());
+  }
+}
+
+TEST_F(CampaignFixture, AttackEdgesDominateSybilEdges) {
+  core::TopologyAnalyzer topo(*result_->network, result_->sybil_ids);
+  EXPECT_GT(topo.total_attack_edges(), 10 * topo.total_sybil_edges());
+  // Most Sybils integrate into the normal graph.
+  EXPECT_GT(topo.total_attack_edges(), result_->sybil_ids.size());
+}
+
+TEST_F(CampaignFixture, MeshedBlocksProduceIntentionalEdges) {
+  EXPECT_GT(result_->intentional_sybil_edges, 0u);
+  EXPECT_GE(result_->meshed_sybil_ids.size(),
+            result_->intentional_sybil_edges);
+}
+
+TEST_F(CampaignFixture, SybilEdgeTimesWithinLifetimes) {
+  const auto& net = *result_->network;
+  for (graph::NodeId s : result_->sybil_ids) {
+    for (const auto& nb : net.graph().neighbors(s)) {
+      if (!net.account(nb.node).is_sybil()) continue;
+      // Both endpoints must have been alive (created, not yet banned)
+      // when the edge appeared (small tolerance for the response delay
+      // drain at campaign end).
+      EXPECT_GE(nb.created_at, net.account(s).created_at - 1e-6);
+      EXPECT_GE(nb.created_at, net.account(nb.node).created_at - 1e-6);
+    }
+  }
+}
+
+TEST(Campaign, NoMeshingMeansNoIntentionalEdges) {
+  CampaignConfig c = small_config(8);
+  c.mesh_block_prob = 0.0;
+  const auto result = run_campaign(c);
+  EXPECT_EQ(result.intentional_sybil_edges, 0u);
+  EXPECT_TRUE(result.meshed_sybil_ids.empty());
+}
+
+TEST(Campaign, FullMeshingChainsEveryBlock) {
+  CampaignConfig c = small_config(9);
+  c.mesh_block_prob = 1.0;
+  c.sybils = 100;
+  const auto result = run_campaign(c);
+  EXPECT_EQ(result.meshed_sybil_ids.size(), 100u);
+  // A chain of n Sybils over b blocks has n - b intentional edges.
+  EXPECT_GT(result.intentional_sybil_edges, 50u);
+  EXPECT_LT(result.intentional_sybil_edges, 100u);
+}
+
+TEST(Campaign, Deterministic) {
+  const auto a = run_campaign(small_config(11));
+  const auto b = run_campaign(small_config(11));
+  EXPECT_EQ(a.network->graph().edge_count(),
+            b.network->graph().edge_count());
+  EXPECT_EQ(a.intentional_sybil_edges, b.intentional_sybil_edges);
+}
+
+TEST(Campaign, RejectsEmptyToolList) {
+  CampaignConfig c = small_config(12);
+  c.tools.clear();
+  EXPECT_THROW(run_campaign(c), std::invalid_argument);
+}
+
+TEST(Campaign, AcceptAllAblationCutsSybilEdges) {
+  CampaignConfig with = small_config(13);
+  CampaignConfig without = small_config(13);
+  without.sybil_accept_all = false;
+  const auto a = run_campaign(with);
+  const auto b = run_campaign(without);
+  const core::TopologyAnalyzer ta(*a.network, a.sybil_ids);
+  const core::TopologyAnalyzer tb(*b.network, b.sybil_ids);
+  // Removing the accept-all policy must cut accidental Sybil edges
+  // roughly in half or more (only openness-gated accepts remain).
+  EXPECT_LT(static_cast<double>(tb.total_sybil_edges()),
+            0.7 * static_cast<double>(ta.total_sybil_edges()));
+}
+
+TEST(Campaign, RateCapThrottlesNaiveTools) {
+  CampaignConfig open = small_config(14);
+  CampaignConfig capped = small_config(14);
+  capped.platform_rate_cap = 5;
+  const auto a = run_campaign(open);
+  const auto b = run_campaign(capped);
+  const core::TopologyAnalyzer ta(*a.network, a.sybil_ids);
+  const core::TopologyAnalyzer tb(*b.network, b.sybil_ids);
+  EXPECT_LT(static_cast<double>(tb.total_attack_edges()),
+            0.75 * static_cast<double>(ta.total_attack_edges()));
+}
+
+TEST(Campaign, AdaptiveAttackerBeatsNaiveUnderCap) {
+  CampaignConfig naive = small_config(15);
+  naive.platform_rate_cap = 5;
+  CampaignConfig adaptive = naive;
+  adaptive.attacker_adapts = true;
+  const auto a = run_campaign(naive);
+  const auto b = run_campaign(adaptive);
+  const core::TopologyAnalyzer ta(*a.network, a.sybil_ids);
+  const core::TopologyAnalyzer tb(*b.network, b.sybil_ids);
+  EXPECT_GT(tb.total_attack_edges(), ta.total_attack_edges());
+}
+
+TEST(Campaign, CapNeverExceededPerHour) {
+  CampaignConfig c = small_config(16);
+  c.platform_rate_cap = 3;
+  c.sybils = 50;
+  const auto result = run_campaign(c);
+  // No Sybil can have sent more than cap * active hours; with lifetime
+  // <= 380 h, sent <= 3 * 380.
+  for (auto s : result.sybil_ids) {
+    EXPECT_LE(result.network->ledger(s).sent(), 3u * 380u);
+  }
+}
+
+}  // namespace
+}  // namespace sybil::attack

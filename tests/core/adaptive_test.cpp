@@ -1,0 +1,109 @@
+#include "core/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace sybil::core {
+namespace {
+
+SybilFeatures normal_obs(stats::Rng& rng) {
+  SybilFeatures f;
+  f.invite_rate_short = stats::sample_lognormal(rng, std::log(2.0), 0.5);
+  f.outgoing_accept_ratio = 0.6 + 0.4 * rng.uniform();
+  f.clustering_coefficient = 0.02 + 0.1 * rng.uniform();
+  return f;
+}
+
+SybilFeatures sybil_obs(stats::Rng& rng) {
+  SybilFeatures f;
+  f.invite_rate_short = stats::sample_lognormal(rng, std::log(50.0), 0.4);
+  f.outgoing_accept_ratio = 0.3 * rng.uniform();
+  f.clustering_coefficient = 0.001 * rng.uniform();
+  return f;
+}
+
+TEST(Adaptive, NoRetuneBeforeMinObservations) {
+  AdaptiveConfig cfg;
+  cfg.min_observations = 100;
+  AdaptiveThresholdTuner tuner(cfg);
+  stats::Rng rng(1);
+  const ThresholdRule initial = tuner.rule();
+  for (int i = 0; i < 50; ++i) tuner.observe(normal_obs(rng), false);
+  tuner.retune();
+  EXPECT_DOUBLE_EQ(tuner.rule().invite_rate_min, initial.invite_rate_min);
+}
+
+TEST(Adaptive, RetuneMovesThresholdsTowardNormalQuantiles) {
+  AdaptiveConfig cfg;
+  cfg.min_observations = 100;
+  cfg.smoothing = 1.0;  // jump straight to the estimate
+  AdaptiveThresholdTuner tuner(cfg);
+  stats::Rng rng(2);
+  for (int i = 0; i < 3000; ++i) tuner.observe(normal_obs(rng), false);
+  for (int i = 0; i < 300; ++i) tuner.observe(sybil_obs(rng), true);
+  const ThresholdRule rule = tuner.retune();
+  // Rate threshold sits above almost all normals but below most Sybils.
+  EXPECT_GT(rule.invite_rate_min, 6.0);
+  EXPECT_LT(rule.invite_rate_min, 40.0);
+  // Accept threshold below the normal range floor (0.6) but positive.
+  EXPECT_LT(rule.outgoing_accept_max, 0.65);
+  EXPECT_GT(rule.outgoing_accept_max, 0.0);
+  // Clustering threshold between Sybil (≤0.001) and normal (≥0.02).
+  EXPECT_GT(rule.clustering_max, 0.0005);
+  EXPECT_LT(rule.clustering_max, 0.03);
+  EXPECT_EQ(tuner.normal_observations(), 3000u);
+  EXPECT_EQ(tuner.sybil_observations(), 300u);
+}
+
+TEST(Adaptive, TunedRuleSeparatesPopulations) {
+  AdaptiveConfig cfg;
+  cfg.smoothing = 1.0;
+  AdaptiveThresholdTuner tuner(cfg);
+  stats::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) tuner.observe(normal_obs(rng), false);
+  const ThresholdDetector det(tuner.retune());
+  stats::Rng eval(4);
+  int sybils_caught = 0, normals_flagged = 0;
+  for (int i = 0; i < 500; ++i) {
+    sybils_caught += det.is_sybil(sybil_obs(eval));
+    normals_flagged += det.is_sybil(normal_obs(eval));
+  }
+  EXPECT_GT(sybils_caught, 420);  // > ~85%
+  EXPECT_LT(normals_flagged, 10);
+}
+
+TEST(Adaptive, SmoothingDampsJumps) {
+  AdaptiveConfig slow;
+  slow.smoothing = 0.1;
+  AdaptiveConfig fast;
+  fast.smoothing = 1.0;
+  AdaptiveThresholdTuner a(slow), b(fast);
+  stats::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const auto obs = normal_obs(rng);
+    a.observe(obs, false);
+    b.observe(obs, false);
+  }
+  const double initial_rate = ThresholdRule{}.invite_rate_min;
+  const double slow_move = std::abs(a.retune().invite_rate_min - initial_rate);
+  const double fast_move = std::abs(b.retune().invite_rate_min - initial_rate);
+  EXPECT_LT(slow_move, fast_move);
+}
+
+TEST(Adaptive, ReservoirBounded) {
+  AdaptiveConfig cfg;
+  cfg.reservoir_capacity = 100;
+  AdaptiveThresholdTuner tuner(cfg);
+  stats::Rng rng(6);
+  for (int i = 0; i < 10000; ++i) tuner.observe(normal_obs(rng), false);
+  // Retune still works after far more observations than capacity.
+  const ThresholdRule rule = tuner.retune();
+  EXPECT_GT(rule.invite_rate_min, 0.0);
+  EXPECT_EQ(tuner.normal_observations(), 10000u);
+}
+
+}  // namespace
+}  // namespace sybil::core

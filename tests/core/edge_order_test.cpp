@@ -1,0 +1,109 @@
+#include "core/edge_order.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace sybil::core {
+namespace {
+
+TEST(EdgeOrderRow, RunStatistics) {
+  EdgeOrderRow row;
+  row.flags = {true, true, false, true, false, false};
+  EXPECT_EQ(row.sybil_edge_count(), 3u);
+  EXPECT_EQ(row.longest_sybil_run(), 2u);
+  EXPECT_EQ(row.leading_sybil_run(), 2u);
+  // positions 0,1,3 of 0..5 → mean (0 + 0.2 + 0.6)/3.
+  EXPECT_NEAR(row.mean_sybil_position(), (0.0 + 0.2 + 0.6) / 3.0, 1e-12);
+}
+
+TEST(EdgeOrderRow, NoSybilEdges) {
+  EdgeOrderRow row;
+  row.flags = {false, false};
+  EXPECT_EQ(row.sybil_edge_count(), 0u);
+  EXPECT_EQ(row.longest_sybil_run(), 0u);
+  EXPECT_DOUBLE_EQ(row.mean_sybil_position(), -1.0);
+}
+
+TEST(EdgeOrder, RowsAreChronological) {
+  osn::Network net;
+  osn::Account s;
+  s.kind = osn::AccountKind::kSybil;
+  const auto sybil = net.add_account(s);
+  const auto other_sybil = net.add_account(s);
+  const auto n0 = net.add_account(osn::Account{});
+  const auto n1 = net.add_account(osn::Account{});
+  // Insert out of chronological order to exercise the sort.
+  net.add_friendship(sybil, n0, 5.0);
+  net.add_friendship(sybil, other_sybil, 1.0);
+  net.add_friendship(sybil, n1, 3.0);
+  std::vector<bool> mask(net.account_count(), false);
+  mask[sybil] = mask[other_sybil] = true;
+  const auto rows =
+      edge_order_rows(net, std::vector<osn::NodeId>{sybil}, mask);
+  ASSERT_EQ(rows.size(), 1u);
+  // Chronological: other_sybil (t=1), n1 (t=3), n0 (t=5).
+  EXPECT_EQ(rows[0].flags, (std::vector<bool>{true, false, false}));
+}
+
+TEST(EdgeOrder, MaskSizeMismatchThrows) {
+  osn::Network net;
+  net.add_account(osn::Account{});
+  EXPECT_THROW(
+      edge_order_rows(net, std::vector<osn::NodeId>{}, std::vector<bool>{}),
+      std::invalid_argument);
+}
+
+TEST(EdgeOrderSummary, DetectsIntentionalLeadingRuns) {
+  std::vector<EdgeOrderRow> rows(2);
+  // Fleet-wired Sybil: first 4 edges are Sybil edges.
+  rows[0].flags = {true, true, true, true, false, false, false, false};
+  // Accidental Sybil: one edge in the middle.
+  rows[1].flags = {false, false, false, true, false, false, false, false};
+  const auto s = summarize_edge_order(rows, 3);
+  EXPECT_EQ(s.rows, 2u);
+  EXPECT_EQ(s.rows_with_sybil_edges, 2u);
+  EXPECT_EQ(s.intentional_rows, 1u);
+}
+
+TEST(EdgeOrderSummary, UniformPlacementLooksAccidental) {
+  stats::Rng rng(1);
+  std::vector<EdgeOrderRow> rows;
+  for (int i = 0; i < 400; ++i) {
+    EdgeOrderRow row;
+    row.flags.assign(100, false);
+    // Two uniformly placed Sybil edges per row.
+    row.flags[rng.uniform_index(100)] = true;
+    row.flags[rng.uniform_index(100)] = true;
+    rows.push_back(std::move(row));
+  }
+  const auto s = summarize_edge_order(rows, 3);
+  EXPECT_NEAR(s.mean_position, 0.5, 0.05);
+  EXPECT_LT(s.ks_statistic, 0.08);
+  // Uniform double placement rarely yields a 3-run.
+  EXPECT_LT(s.intentional_rows, 5u);
+}
+
+TEST(EdgeOrderSummary, FrontLoadedPlacementIsDetectable) {
+  std::vector<EdgeOrderRow> rows;
+  for (int i = 0; i < 100; ++i) {
+    EdgeOrderRow row;
+    row.flags.assign(50, false);
+    row.flags[0] = row.flags[1] = row.flags[2] = true;
+    rows.push_back(std::move(row));
+  }
+  const auto s = summarize_edge_order(rows, 3);
+  EXPECT_LT(s.mean_position, 0.1);
+  EXPECT_GT(s.ks_statistic, 0.5);
+  EXPECT_EQ(s.intentional_rows, 100u);
+}
+
+TEST(EdgeOrderSummary, EmptyInput) {
+  const auto s = summarize_edge_order(std::vector<EdgeOrderRow>{});
+  EXPECT_EQ(s.rows, 0u);
+  EXPECT_EQ(s.rows_with_sybil_edges, 0u);
+  EXPECT_DOUBLE_EQ(s.ks_statistic, 0.0);
+}
+
+}  // namespace
+}  // namespace sybil::core

@@ -1,0 +1,108 @@
+#include "core/features.h"
+
+#include <gtest/gtest.h>
+
+namespace sybil::core {
+namespace {
+
+const osn::Network::DecideFn kAcceptAll = [](osn::NodeId, osn::NodeId,
+                                             std::uint8_t) { return true; };
+const osn::Network::DecideFn kRejectAll = [](osn::NodeId, osn::NodeId,
+                                             std::uint8_t) { return false; };
+
+TEST(Features, DefaultsForInactiveAccount) {
+  osn::Network net;
+  const auto id = net.add_account(osn::Account{});
+  const FeatureExtractor fx(net);
+  const SybilFeatures f = fx.extract(id);
+  EXPECT_DOUBLE_EQ(f.invite_rate_short, 0.0);
+  EXPECT_DOUBLE_EQ(f.outgoing_accept_ratio, 1.0);  // no history → benign
+  EXPECT_DOUBLE_EQ(f.incoming_accept_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(f.clustering_coefficient, 0.0);
+}
+
+TEST(Features, FullAcceptanceIsRatioOne) {
+  osn::Network net;
+  const auto a = net.add_account(osn::Account{});
+  const auto b = net.add_account(osn::Account{});
+  const auto c = net.add_account(osn::Account{});
+  net.send_request(a, b, 0.0, 1.0);
+  net.send_request(a, c, 0.0, 1.0);
+  net.process_responses(0.5, kAcceptAll);  // nothing due yet
+  const FeatureExtractor before(net);
+  EXPECT_DOUBLE_EQ(before.extract(a).outgoing_accept_ratio, 0.0);
+  net.process_responses(2.0, kAcceptAll);
+  const FeatureExtractor after(net);
+  EXPECT_DOUBLE_EQ(after.extract(a).outgoing_accept_ratio, 1.0);
+}
+
+TEST(Features, PartialAcceptance) {
+  osn::Network net;
+  const auto a = net.add_account(osn::Account{});
+  const auto b = net.add_account(osn::Account{});
+  const auto c = net.add_account(osn::Account{});
+  net.send_request(a, b, 0.0, 1.0);
+  net.send_request(a, c, 0.0, 1.0);
+  net.process_responses(2.0, [&](osn::NodeId target, osn::NodeId,
+                                 std::uint8_t) { return target == b; });
+  const FeatureExtractor fx(net);
+  const SybilFeatures f = fx.extract(a);
+  EXPECT_DOUBLE_EQ(f.outgoing_accept_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(fx.extract(b).incoming_accept_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(fx.extract(c).incoming_accept_ratio, 0.0);
+}
+
+TEST(Features, InviteRateShortWindow) {
+  osn::Network net;
+  const auto a = net.add_account(osn::Account{});
+  for (int i = 0; i < 30; ++i) {
+    const auto target = net.add_account(osn::Account{});
+    // All 30 invites within hour 0.
+    net.send_request(a, target, 0.5, 1.0);
+  }
+  const FeatureExtractor fx(net);
+  EXPECT_DOUBLE_EQ(fx.extract(a).invite_rate_short, 30.0);
+  EXPECT_GT(fx.extract(a).invite_rate_long, 0.0);
+}
+
+TEST(Features, ClusteringOverFirstFriends) {
+  osn::Network net;
+  const auto a = net.add_account(osn::Account{});
+  const auto b = net.add_account(osn::Account{});
+  const auto c = net.add_account(osn::Account{});
+  net.add_friendship(a, b, 1.0);
+  net.add_friendship(a, c, 2.0);
+  net.add_friendship(b, c, 3.0);
+  const FeatureExtractor fx(net);
+  EXPECT_DOUBLE_EQ(fx.extract(a).clustering_coefficient, 1.0);
+  EXPECT_DOUBLE_EQ(fx.extract(b).clustering_coefficient, 1.0);
+}
+
+TEST(Features, VectorLayout) {
+  SybilFeatures f;
+  f.invite_rate_short = 1.0;
+  f.outgoing_accept_ratio = 2.0;
+  f.incoming_accept_ratio = 3.0;
+  f.clustering_coefficient = 4.0;
+  const auto v = f.as_vector();
+  EXPECT_EQ(v.size(), SybilFeatures::kFeatureCount);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+  EXPECT_DOUBLE_EQ(v[3], 4.0);
+}
+
+TEST(Features, BatchMatchesSingle) {
+  osn::Network net;
+  const auto a = net.add_account(osn::Account{});
+  const auto b = net.add_account(osn::Account{});
+  net.add_friendship(a, b, 1.0);
+  const FeatureExtractor fx(net);
+  const auto batch = fx.extract(std::vector<osn::NodeId>{a, b});
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_DOUBLE_EQ(batch[0].clustering_coefficient,
+                   fx.extract(a).clustering_coefficient);
+}
+
+}  // namespace
+}  // namespace sybil::core

@@ -1,0 +1,156 @@
+#include "core/stream_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "core/features.h"
+#include "osn/simulator.h"
+
+namespace sybil::core {
+namespace {
+
+TEST(StreamDetector, CountersTrackEvents) {
+  StreamDetector det;
+  det.on_request_sent(0, 1, 0.5);
+  det.on_request_sent(0, 2, 0.6);
+  det.on_request_accepted(0, 1, 1.0);
+  det.on_request_rejected(0, 2, 1.5);
+  const SybilFeatures f = det.features(0);
+  EXPECT_DOUBLE_EQ(f.outgoing_accept_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(f.invite_rate_short, 2.0);
+  EXPECT_DOUBLE_EQ(det.features(1).incoming_accept_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(det.features(2).incoming_accept_ratio, 0.0);
+}
+
+TEST(StreamDetector, UnknownAccountHasBenignDefaults) {
+  StreamDetector det;
+  const SybilFeatures f = det.features(42);
+  EXPECT_DOUBLE_EQ(f.outgoing_accept_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(f.incoming_accept_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(f.invite_rate_short, 0.0);
+}
+
+TEST(StreamDetector, ClusteringTracksTriangles) {
+  StreamDetector det;
+  // Node 0 befriends 1, 2, 3; then 1-2 links: cc = 1/3.
+  det.on_friendship(0, 1, 1.0);
+  det.on_friendship(0, 2, 2.0);
+  det.on_friendship(0, 3, 3.0);
+  EXPECT_DOUBLE_EQ(det.features(0).clustering_coefficient, 0.0);
+  det.on_friendship(1, 2, 4.0);
+  EXPECT_NEAR(det.features(0).clustering_coefficient, 1.0 / 3.0, 1e-12);
+  // Existing link counted when the friend attaches afterwards: 4 joins
+  // 0's set already linked to 3.
+  det.on_friendship(3, 4, 5.0);
+  det.on_friendship(0, 4, 6.0);
+  // first friends = {1,2,3,4}; links among them: (1,2), (3,4) → 2/C(4,2).
+  EXPECT_NEAR(det.features(0).clustering_coefficient, 2.0 / 6.0, 1e-12);
+}
+
+TEST(StreamDetector, FirstFriendsPrefixIsBounded) {
+  StreamDetector::Config cfg;
+  cfg.first_friends = 3;
+  StreamDetector det(cfg);
+  for (osn::NodeId v = 1; v <= 10; ++v) {
+    det.on_friendship(0, v, static_cast<double>(v));
+  }
+  // Only friends 1..3 are watched; a late link between 5 and 6 must not
+  // change node 0's clustering.
+  det.on_friendship(5, 6, 20.0);
+  EXPECT_DOUBLE_EQ(det.features(0).clustering_coefficient, 0.0);
+  det.on_friendship(1, 2, 21.0);
+  EXPECT_NEAR(det.features(0).clustering_coefficient, 1.0 / 3.0, 1e-12);
+}
+
+TEST(StreamDetector, DuplicateEdgesIgnored) {
+  StreamDetector det;
+  det.on_friendship(0, 1, 1.0);
+  det.on_friendship(0, 2, 2.0);
+  det.on_friendship(1, 2, 3.0);
+  det.on_friendship(2, 1, 4.0);  // duplicate, reversed
+  EXPECT_NEAR(det.features(0).clustering_coefficient, 1.0, 1e-12);
+}
+
+TEST(StreamDetector, FlagsBurstySenderOnce) {
+  StreamDetector det;
+  // 60 invites in one hour, ~25% accepted, no mutual friends.
+  for (int i = 0; i < 60; ++i) {
+    det.on_request_sent(0, static_cast<osn::NodeId>(i + 1), 0.3);
+  }
+  for (int i = 0; i < 60; ++i) {
+    if (i % 4 == 0) {
+      det.on_request_accepted(0, static_cast<osn::NodeId>(i + 1), 0.8);
+    } else {
+      det.on_request_rejected(0, static_cast<osn::NodeId>(i + 1), 0.8);
+    }
+  }
+  const auto flagged = det.take_flagged();
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], 0u);
+  EXPECT_TRUE(det.take_flagged().empty());  // reported once
+  EXPECT_EQ(det.flagged_total(), 1u);
+}
+
+TEST(StreamDetector, BannedAccountsNeverFlagged) {
+  StreamDetector det;
+  det.on_account_banned(0);
+  for (int i = 0; i < 60; ++i) {
+    det.on_request_sent(0, static_cast<osn::NodeId>(i + 1), 0.3);
+    det.on_request_rejected(0, static_cast<osn::NodeId>(i + 1), 0.5);
+  }
+  EXPECT_TRUE(det.take_flagged().empty());
+}
+
+/// The streaming features must agree EXACTLY with the batch
+/// FeatureExtractor when fed the same history — the property that lets
+/// a deployment trust either path.
+TEST(StreamDetector, ReplayMatchesBatchExtractor) {
+  // A logged network exercising every event type: seeded friendships,
+  // mixed accept/reject outcomes, censored requests via a mid-stream ban.
+  osn::Network net(/*keep_event_log=*/true);
+  stats::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    osn::Account a;
+    a.kind = i < 20 ? osn::AccountKind::kSybil : osn::AccountKind::kNormal;
+    net.add_account(a);
+  }
+  // Seeded friendships.
+  for (int i = 0; i < 150; ++i) {
+    net.add_friendship(static_cast<osn::NodeId>(rng.uniform_index(200)),
+                       static_cast<osn::NodeId>(rng.uniform_index(200)),
+                       -1.0 * static_cast<double>(i));
+  }
+  // Requests answered with mixed outcomes, plus bans mid-stream.
+  for (double t = 0.0; t < 100.0; t += 1.0) {
+    for (int k = 0; k < 30; ++k) {
+      const auto from = static_cast<osn::NodeId>(rng.uniform_index(200));
+      const auto to = static_cast<osn::NodeId>(rng.uniform_index(200));
+      net.send_request(from, to, t + rng.uniform(),
+                       t + 1.0 + rng.uniform(10.0, 20.0));
+    }
+    net.process_responses(t + 1.0, [&](osn::NodeId, osn::NodeId,
+                                       std::uint8_t) {
+      return rng.bernoulli(0.5);
+    });
+    if (t == 50.0) net.ban(7, t);
+  }
+  net.process_responses(1e9, [&](osn::NodeId, osn::NodeId, std::uint8_t) {
+    return rng.bernoulli(0.5);
+  });
+
+  StreamDetector stream;
+  stream.replay(net.log());
+  const FeatureExtractor batch(net);
+  for (osn::NodeId id = 0; id < 200; ++id) {
+    const SybilFeatures a = batch.extract(id);
+    const SybilFeatures b = stream.features(id);
+    ASSERT_DOUBLE_EQ(a.invite_rate_short, b.invite_rate_short) << id;
+    ASSERT_DOUBLE_EQ(a.invite_rate_long, b.invite_rate_long) << id;
+    ASSERT_DOUBLE_EQ(a.outgoing_accept_ratio, b.outgoing_accept_ratio) << id;
+    ASSERT_DOUBLE_EQ(a.incoming_accept_ratio, b.incoming_accept_ratio) << id;
+    ASSERT_DOUBLE_EQ(a.clustering_coefficient, b.clustering_coefficient)
+        << id;
+  }
+}
+
+}  // namespace
+}  // namespace sybil::core

@@ -1,0 +1,143 @@
+#include "core/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace sybil::core {
+namespace {
+
+/// Crafted network:
+///   normals: n0, n1, n2, n3
+///   sybils:  s0-s1-s2 (a path: 2 sybil edges), s3 (isolated pair with
+///   s4), s5 (no sybil edges)
+///   attack edges: s0-n0, s0-n1, s1-n1, s3-n2, s5-n3, s5-n0
+struct Crafted {
+  osn::Network net;
+  std::vector<osn::NodeId> normals, sybils;
+
+  Crafted() {
+    for (int i = 0; i < 4; ++i) {
+      normals.push_back(net.add_account(osn::Account{}));
+    }
+    for (int i = 0; i < 6; ++i) {
+      osn::Account a;
+      a.kind = osn::AccountKind::kSybil;
+      sybils.push_back(net.add_account(a));
+    }
+    double t = 1.0;
+    const auto link = [&](osn::NodeId a, osn::NodeId b) {
+      net.add_friendship(a, b, t);
+      t += 1.0;
+    };
+    link(sybils[0], sybils[1]);
+    link(sybils[1], sybils[2]);
+    link(sybils[3], sybils[4]);
+    link(sybils[0], normals[0]);
+    link(sybils[0], normals[1]);
+    link(sybils[1], normals[1]);
+    link(sybils[3], normals[2]);
+    link(sybils[5], normals[3]);
+    link(sybils[5], normals[0]);
+  }
+};
+
+TEST(Topology, EdgeTotals) {
+  Crafted c;
+  TopologyAnalyzer topo(c.net, c.sybils);
+  EXPECT_EQ(topo.sybil_count(), 6u);
+  EXPECT_EQ(topo.total_sybil_edges(), 3u);
+  EXPECT_EQ(topo.total_attack_edges(), 6u);
+}
+
+TEST(Topology, FractionWithSybilEdge) {
+  Crafted c;
+  TopologyAnalyzer topo(c.net, c.sybils);
+  // s0..s4 have sybil edges; s5 does not → 5/6.
+  EXPECT_NEAR(topo.fraction_with_sybil_edge(), 5.0 / 6.0, 1e-12);
+}
+
+TEST(Topology, DegreeSequences) {
+  Crafted c;
+  TopologyAnalyzer topo(c.net, c.sybils);
+  const auto total = topo.sybil_total_degrees();
+  const auto sybil_only = topo.sybil_edge_degrees();
+  ASSERT_EQ(total.size(), 6u);
+  // s0: 1 sybil edge (to s1) + 2 attack edges.
+  EXPECT_DOUBLE_EQ(total[0], 3.0);
+  EXPECT_DOUBLE_EQ(sybil_only[0], 1.0);
+  // s1: 2 sybil edges (path center) + 1 attack edge.
+  EXPECT_DOUBLE_EQ(total[1], 3.0);
+  EXPECT_DOUBLE_EQ(sybil_only[1], 2.0);
+  // s5: only attack edges.
+  EXPECT_DOUBLE_EQ(total[5], 2.0);
+  EXPECT_DOUBLE_EQ(sybil_only[5], 0.0);
+}
+
+TEST(Topology, ComponentStats) {
+  Crafted c;
+  TopologyAnalyzer topo(c.net, c.sybils);
+  const auto& stats = topo.component_stats();
+  ASSERT_EQ(stats.size(), 2u);  // the singleton s5 is excluded
+  // Largest first: {s0,s1,s2} with 2 sybil edges, 3 attack edges,
+  // audience {n0, n1} = 2.
+  EXPECT_EQ(stats[0].sybils, 3u);
+  EXPECT_EQ(stats[0].sybil_edges, 2u);
+  EXPECT_EQ(stats[0].attack_edges, 3u);
+  EXPECT_EQ(stats[0].audience, 2u);
+  // Pair {s3, s4}: 1 sybil edge, 1 attack edge, audience {n2}.
+  EXPECT_EQ(stats[1].sybils, 2u);
+  EXPECT_EQ(stats[1].sybil_edges, 1u);
+  EXPECT_EQ(stats[1].attack_edges, 1u);
+  EXPECT_EQ(stats[1].audience, 1u);
+}
+
+TEST(Topology, ComponentSizesAndMembers) {
+  Crafted c;
+  TopologyAnalyzer topo(c.net, c.sybils);
+  EXPECT_EQ(topo.component_sizes(), (std::vector<double>{3.0, 2.0}));
+  const auto members = topo.component_members(0);
+  EXPECT_EQ(members.size(), 3u);
+  EXPECT_TRUE(topo.component_members(5).empty());  // out of range → empty
+}
+
+TEST(Topology, ComponentDegrees) {
+  Crafted c;
+  TopologyAnalyzer topo(c.net, c.sybils);
+  const auto cd = topo.component_degrees(0);
+  ASSERT_EQ(cd.sybil_degree.size(), 3u);
+  // Path s0-s1-s2: sybil degrees 1, 2, 1 in member order (s0,s1,s2).
+  double sum = 0;
+  for (double d : cd.sybil_degree) sum += d;
+  EXPECT_DOUBLE_EQ(sum, 4.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(cd.total_degree[i], cd.sybil_degree[i]);
+  }
+}
+
+TEST(Topology, AudienceCountsDistinctNormals) {
+  // One sybil pair, both attacking the SAME normal: audience must be 1.
+  osn::Network net;
+  const auto n = net.add_account(osn::Account{});
+  osn::Account s;
+  s.kind = osn::AccountKind::kSybil;
+  const auto s0 = net.add_account(s);
+  const auto s1 = net.add_account(s);
+  net.add_friendship(s0, s1, 1.0);
+  net.add_friendship(s0, n, 2.0);
+  net.add_friendship(s1, n, 3.0);
+  TopologyAnalyzer topo(net, {s0, s1});
+  ASSERT_EQ(topo.component_stats().size(), 1u);
+  EXPECT_EQ(topo.component_stats()[0].attack_edges, 2u);
+  EXPECT_EQ(topo.component_stats()[0].audience, 1u);
+}
+
+TEST(Topology, NoSybilsNoComponents) {
+  osn::Network net;
+  net.add_account(osn::Account{});
+  TopologyAnalyzer topo(net, {});
+  EXPECT_EQ(topo.sybil_count(), 0u);
+  EXPECT_DOUBLE_EQ(topo.fraction_with_sybil_edge(), 0.0);
+  EXPECT_TRUE(topo.component_stats().empty());
+}
+
+}  // namespace
+}  // namespace sybil::core

@@ -1,0 +1,254 @@
+// Tests for the community-based Sybil defenses on the classic synthetic
+// setting they were designed for: a fast-mixing honest region plus an
+// injected tight-knit Sybil region behind a small attack-edge cut.
+#include <gtest/gtest.h>
+
+#include "detectors/community.h"
+#include "detectors/evaluation.h"
+#include "detectors/sybilguard.h"
+#include "detectors/sybilinfer.h"
+#include "detectors/sybillimit.h"
+#include "detectors/sybilrank.h"
+#include "detectors/sumup.h"
+#include "graph/generators.h"
+
+namespace sybil::detect {
+namespace {
+
+using graph::CsrGraph;
+using graph::NodeId;
+
+struct Synthetic {
+  CsrGraph g;
+  NodeId honest_count;
+  NodeId sybil_count;
+  std::vector<bool> is_sybil;
+
+  static Synthetic make(std::uint64_t seed, NodeId honest = 800,
+                        NodeId sybils = 120, double internal_p = 0.2,
+                        std::uint64_t attack_edges = 15) {
+    stats::Rng rng(seed);
+    const auto base = graph::barabasi_albert(honest, 4, rng);
+    const auto combined = graph::inject_sybil_community(
+        base, sybils, internal_p, attack_edges, rng);
+    Synthetic s;
+    s.g = CsrGraph::from(combined);
+    s.honest_count = honest;
+    s.sybil_count = sybils;
+    s.is_sybil.assign(honest + sybils, false);
+    for (NodeId v = honest; v < honest + sybils; ++v) s.is_sybil[v] = true;
+    return s;
+  }
+};
+
+TEST(SybilGuard, HonestVerifierAcceptsHonestRejectsSybil) {
+  // Route length must stay well below the graph size: if the verifier's
+  // routes blanket the whole graph, everything intersects trivially.
+  const Synthetic s = Synthetic::make(1, /*honest=*/2000, /*sybils=*/150,
+                                      /*internal_p=*/0.3,
+                                      /*attack_edges=*/6);
+  SybilGuardParams params;
+  params.route_length = 15;
+  const SybilGuard guard(s.g, params);
+  const NodeId verifier = 1500;  // a late, ordinary-degree honest node
+
+  double honest_score = 0.0, sybil_score = 0.0;
+  const int samples = 20;
+  for (int i = 0; i < samples; ++i) {
+    honest_score += guard.intersection_score(verifier, 100 + i * 53);
+    sybil_score += guard.intersection_score(
+        verifier, s.honest_count + static_cast<NodeId>(i * 5));
+  }
+  EXPECT_GT(honest_score / samples, 2.0 * sybil_score / samples);
+}
+
+TEST(SybilGuard, DefaultRouteLengthScalesWithGraph) {
+  const Synthetic s = Synthetic::make(2);
+  const SybilGuard guard(s.g);
+  // sqrt(n log n) for n = 920 ≈ 79.
+  EXPECT_GT(guard.route_length(), 60u);
+  EXPECT_LT(guard.route_length(), 110u);
+}
+
+TEST(SybilGuard, IsolatedSuspectScoresZero) {
+  graph::TimestampedGraph tg(3);
+  tg.add_edge(0, 1, 0);
+  const CsrGraph g = CsrGraph::from(tg);
+  const SybilGuard guard(g, {.route_length = 4});
+  EXPECT_DOUBLE_EQ(guard.intersection_score(0, 2), 0.0);
+}
+
+TEST(SybilLimit, TailIntersectionSeparates) {
+  const Synthetic s = Synthetic::make(3);
+  SybilLimitParams params;
+  params.routes = 200;
+  params.route_length = 12;
+  const SybilLimit limit(s.g, params);
+  auto verifier = limit.make_verifier(5);
+  double honest_score = 0.0, sybil_score = 0.0;
+  const int samples = 20;
+  for (int i = 0; i < samples; ++i) {
+    honest_score += verifier.tail_score(20 + i * 11);
+    sybil_score += verifier.tail_score(
+        s.honest_count + static_cast<NodeId>(i * 4));
+  }
+  EXPECT_GT(honest_score, 1.5 * sybil_score);
+}
+
+TEST(SybilLimit, BalanceConditionCapsAcceptances) {
+  const Synthetic s = Synthetic::make(4);
+  SybilLimitParams params;
+  params.routes = 150;
+  params.route_length = 12;
+  params.balance_floor = 1;
+  params.balance_alpha = 1.0;
+  const SybilLimit limit(s.g, params);
+  auto verifier = limit.make_verifier(0);
+  std::size_t honest_accepted = 0, sybil_accepted = 0;
+  for (NodeId v = 1; v < 200; ++v) {
+    honest_accepted += verifier.accepts(v);
+  }
+  for (NodeId v = s.honest_count; v < s.honest_count + s.sybil_count; ++v) {
+    sybil_accepted += verifier.accepts(v);
+  }
+  // Honest nodes are mostly admitted; the Sybil region is rate-limited
+  // by its few attack-edge tails.
+  EXPECT_GT(honest_accepted, 120u);
+  EXPECT_LT(sybil_accepted, s.sybil_count / 2);
+}
+
+TEST(SybilLimit, TailsAreDeterministicPerNode) {
+  const Synthetic s = Synthetic::make(5);
+  const SybilLimit limit(s.g, {.routes = 50, .route_length = 10});
+  EXPECT_EQ(limit.tails_of(7), limit.tails_of(7));
+  EXPECT_NE(limit.tails_of(7), limit.tails_of(8));
+}
+
+TEST(SybilInfer, ScoresSeparateRegions) {
+  const Synthetic s = Synthetic::make(6);
+  SybilInferParams params;
+  params.walks_per_seed = 50;
+  const SybilInfer infer(s.g, params);
+  std::vector<NodeId> seeds;
+  for (NodeId v = 0; v < 40; ++v) seeds.push_back(v * 7 % s.honest_count);
+  const auto scores = infer.scores(seeds);
+  const auto metrics = evaluate_scores(scores, s.is_sybil);
+  EXPECT_GT(metrics.auc, 0.8);
+}
+
+TEST(SybilInfer, RequiresSeeds) {
+  const Synthetic s = Synthetic::make(7);
+  const SybilInfer infer(s.g);
+  EXPECT_THROW(infer.scores({}), std::invalid_argument);
+}
+
+TEST(SybilRank, RanksSybilsLast) {
+  const Synthetic s = Synthetic::make(8);
+  std::vector<NodeId> seeds = {1, 50, 100, 200, 400};
+  const auto scores = sybilrank_scores(s.g, seeds);
+  const auto metrics = evaluate_scores(scores, s.is_sybil);
+  EXPECT_GT(metrics.auc, 0.9);
+  EXPECT_GT(metrics.sybil_rejection, 0.8);
+  EXPECT_LE(metrics.honest_rejection, 0.06);
+}
+
+TEST(SybilRank, RequiresSeeds) {
+  const Synthetic s = Synthetic::make(9);
+  EXPECT_THROW(sybilrank_scores(s.g, {}), std::invalid_argument);
+}
+
+TEST(SumUp, SybilVotesCappedByCut) {
+  const Synthetic s = Synthetic::make(10, 600, 100, 0.25, 8);
+  // All Sybils vote; far fewer than 100 votes can cross the 8-edge cut.
+  std::vector<NodeId> voters;
+  for (NodeId v = s.honest_count; v < s.honest_count + s.sybil_count; ++v) {
+    voters.push_back(v);
+  }
+  const auto result = sumup_collect(s.g, 0, voters, {.c_max = 100});
+  EXPECT_LE(result.accepted_count, 8u + 4u);  // cut + envelope slack
+  EXPECT_LT(result.accepted_count, voters.size() / 4);
+}
+
+TEST(SumUp, HonestVotesMostlyCollected) {
+  const Synthetic s = Synthetic::make(11, 600, 80, 0.25, 8);
+  std::vector<NodeId> voters;
+  for (NodeId v = 1; v < 201; ++v) voters.push_back(v);
+  const auto result = sumup_collect(s.g, 0, voters, {.c_max = 200});
+  EXPECT_GT(result.accepted_count, 150u);
+}
+
+TEST(SumUp, Errors) {
+  const Synthetic s = Synthetic::make(12, 100, 10, 0.3, 4);
+  EXPECT_THROW(sumup_collect(s.g, 5000, {1}, {}), std::out_of_range);
+  EXPECT_THROW(sumup_collect(s.g, 0, {9999}, {}), std::out_of_range);
+}
+
+TEST(Community, ExpansionRanksSybilsLate) {
+  const Synthetic s = Synthetic::make(13);
+  const auto ranking = community_expand(s.g, 0);
+  // Average rank of honest nodes must be far ahead of Sybil ranks.
+  double honest_rank = 0.0, sybil_rank = 0.0;
+  std::size_t hn = 0, sn = 0;
+  for (NodeId v = 0; v < s.g.node_count(); ++v) {
+    if (ranking.rank[v] == CommunityRanking::kUnranked) continue;
+    if (s.is_sybil[v]) {
+      sybil_rank += ranking.rank[v];
+      ++sn;
+    } else {
+      honest_rank += ranking.rank[v];
+      ++hn;
+    }
+  }
+  ASSERT_GT(hn, 0u);
+  ASSERT_GT(sn, 0u);
+  EXPECT_LT(honest_rank / hn, 0.7 * (sybil_rank / sn));
+}
+
+TEST(Community, MaxSizeRespected) {
+  const Synthetic s = Synthetic::make(14);
+  const auto ranking = community_expand(s.g, 0, {.max_size = 50});
+  EXPECT_EQ(ranking.order.size(), 50u);
+  EXPECT_EQ(ranking.conductance_trace.size(), 50u);
+  EXPECT_EQ(ranking.order[0], 0u);
+  EXPECT_THROW(community_expand(s.g, 99999), std::out_of_range);
+}
+
+TEST(Evaluation, AucOfPerfectAndRandomScores) {
+  std::vector<bool> is_sybil = {false, false, false, true, true, true};
+  // Higher = more honest → perfect separation.
+  const std::vector<double> perfect = {1.0, 0.9, 0.8, 0.1, 0.2, 0.3};
+  EXPECT_DOUBLE_EQ(evaluate_scores(perfect, is_sybil).auc, 1.0);
+  const std::vector<double> inverted = {0.1, 0.2, 0.3, 0.9, 1.0, 0.8};
+  EXPECT_DOUBLE_EQ(evaluate_scores(inverted, is_sybil).auc, 0.0);
+  const std::vector<double> all_same = {0.5, 0.5, 0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(evaluate_scores(all_same, is_sybil).auc, 0.5);
+}
+
+TEST(Evaluation, SubsetRestriction) {
+  std::vector<bool> is_sybil = {false, true, false, true};
+  const std::vector<double> scores = {1.0, 0.0, 0.0, 1.0};
+  const std::vector<NodeId> subset = {0, 1};
+  EXPECT_DOUBLE_EQ(evaluate_scores(scores, is_sybil, subset).auc, 1.0);
+}
+
+TEST(Evaluation, Errors) {
+  EXPECT_THROW(
+      evaluate_scores(std::vector<double>{1.0}, std::vector<bool>{true, false}),
+      std::invalid_argument);
+  EXPECT_THROW(evaluate_scores(std::vector<double>{1.0, 2.0},
+                               std::vector<bool>{true, true}),
+               std::invalid_argument);
+}
+
+TEST(Evaluation, DecisionsMetrics) {
+  const std::vector<NodeId> nodes = {0, 1, 2, 3};
+  const std::vector<bool> accepted = {true, false, true, false};
+  std::vector<bool> is_sybil = {false, true, false, true};
+  const auto m = evaluate_decisions(nodes, accepted, is_sybil);
+  EXPECT_DOUBLE_EQ(m.sybil_rejection, 1.0);
+  EXPECT_DOUBLE_EQ(m.honest_rejection, 0.0);
+  EXPECT_DOUBLE_EQ(m.auc, 1.0);
+}
+
+}  // namespace
+}  // namespace sybil::detect

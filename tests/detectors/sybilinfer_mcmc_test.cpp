@@ -1,0 +1,76 @@
+#include "detectors/sybilinfer_mcmc.h"
+
+#include <gtest/gtest.h>
+
+#include "detectors/evaluation.h"
+#include "graph/generators.h"
+
+namespace sybil::detect {
+namespace {
+
+TEST(SybilInferMcmc, SeparatesInjectedCommunity) {
+  stats::Rng rng(1);
+  const auto base = graph::barabasi_albert(500, 4, rng);
+  const auto combined =
+      graph::inject_sybil_community(base, 80, 0.3, 8, rng);
+  const auto g = graph::CsrGraph::from(combined);
+  std::vector<bool> is_sybil(580, false);
+  for (graph::NodeId v = 500; v < 580; ++v) is_sybil[v] = true;
+
+  std::vector<graph::NodeId> seeds;
+  for (graph::NodeId i = 0; i < 20; ++i) seeds.push_back(i * 23 % 500);
+
+  const auto scores = sybilinfer_mcmc_scores(g, seeds);
+  const auto metrics = evaluate_scores(scores, is_sybil);
+  EXPECT_GT(metrics.auc, 0.9);
+  EXPECT_GT(metrics.sybil_rejection, 0.7);
+}
+
+TEST(SybilInferMcmc, SeedsAlwaysScoredHonest) {
+  stats::Rng rng(2);
+  const auto base = graph::barabasi_albert(300, 3, rng);
+  const auto combined = graph::inject_sybil_community(base, 40, 0.3, 5, rng);
+  const auto g = graph::CsrGraph::from(combined);
+  const std::vector<graph::NodeId> seeds = {0, 10, 20};
+  const auto scores = sybilinfer_mcmc_scores(g, seeds);
+  for (graph::NodeId s : seeds) EXPECT_DOUBLE_EQ(scores[s], 1.0);
+}
+
+TEST(SybilInferMcmc, WellMixedGraphStaysMostlyHonest) {
+  // Without a Sybil region the posterior should keep nearly everyone
+  // honest (no phantom cuts).
+  stats::Rng rng(3);
+  const auto g = graph::CsrGraph::from(graph::barabasi_albert(400, 4, rng));
+  const std::vector<graph::NodeId> seeds = {1, 2, 3};
+  const auto scores = sybilinfer_mcmc_scores(g, seeds);
+  double mean = 0.0;
+  for (double s : scores) mean += s;
+  mean /= static_cast<double>(scores.size());
+  EXPECT_GT(mean, 0.8);
+}
+
+TEST(SybilInferMcmc, Deterministic) {
+  stats::Rng rng(4);
+  const auto base = graph::barabasi_albert(200, 3, rng);
+  const auto combined = graph::inject_sybil_community(base, 30, 0.3, 4, rng);
+  const auto g = graph::CsrGraph::from(combined);
+  const std::vector<graph::NodeId> seeds = {0, 5};
+  SybilInferMcmcParams params;
+  params.burn_in_sweeps = 10;
+  params.sample_sweeps = 10;
+  const auto a = sybilinfer_mcmc_scores(g, seeds, params);
+  const auto b = sybilinfer_mcmc_scores(g, seeds, params);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SybilInferMcmc, Errors) {
+  stats::Rng rng(5);
+  const auto g = graph::CsrGraph::from(graph::barabasi_albert(50, 2, rng));
+  EXPECT_THROW(sybilinfer_mcmc_scores(g, {}), std::invalid_argument);
+  SybilInferMcmcParams bad;
+  bad.stay_prob = 1.0;
+  EXPECT_THROW(sybilinfer_mcmc_scores(g, {0}, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sybil::detect

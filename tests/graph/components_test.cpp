@@ -1,0 +1,117 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "graph/generators.h"
+#include "stats/rng.h"
+
+namespace sybil::graph {
+namespace {
+
+TEST(UnionFind, BasicProperties) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.set_count(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));  // already joined
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_EQ(uf.set_count(), 3u);
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.connected(0, 2));
+  EXPECT_EQ(uf.set_size(0), 2u);
+  EXPECT_EQ(uf.set_size(4), 1u);
+  uf.unite(1, 3);
+  EXPECT_EQ(uf.set_size(2), 4u);
+}
+
+TEST(Components, TwoTriangles) {
+  TimestampedGraph g(7);
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 2, 0);
+  g.add_edge(2, 0, 0);
+  g.add_edge(3, 4, 0);
+  g.add_edge(4, 5, 0);
+  // node 6 isolated
+  const auto comps = connected_components(CsrGraph::from(g));
+  EXPECT_EQ(comps.count(), 3u);
+  EXPECT_EQ(comps.label[0], comps.label[2]);
+  EXPECT_EQ(comps.label[3], comps.label[5]);
+  EXPECT_NE(comps.label[0], comps.label[3]);
+  EXPECT_EQ(comps.size[comps.largest()], 3u);
+}
+
+TEST(Components, MembersAndOrdering) {
+  TimestampedGraph g(5);
+  g.add_edge(0, 1, 0);
+  g.add_edge(2, 3, 0);
+  g.add_edge(3, 4, 0);
+  const auto comps = connected_components(CsrGraph::from(g));
+  const auto by_size = comps.by_size_desc();
+  EXPECT_EQ(comps.size[by_size[0]], 3u);
+  EXPECT_EQ(comps.size[by_size[1]], 2u);
+  const auto members = comps.members(comps.largest());
+  EXPECT_EQ(members.size(), 3u);
+}
+
+TEST(Components, MaskedDecomposition) {
+  // Path 0-1-2-3; mask out node 1 → components {0}, {2,3}.
+  TimestampedGraph g(4);
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 2, 0);
+  g.add_edge(2, 3, 0);
+  const std::vector<bool> mask = {true, false, true, true};
+  const auto comps = connected_components_masked(CsrGraph::from(g), mask);
+  EXPECT_EQ(comps.count(), 2u);
+  EXPECT_EQ(comps.label[1], Components::kNone);
+  EXPECT_EQ(comps.label[2], comps.label[3]);
+  EXPECT_NE(comps.label[0], comps.label[2]);
+}
+
+TEST(Components, MaskSizeMismatchThrows) {
+  TimestampedGraph g(2);
+  EXPECT_THROW(connected_components_masked(CsrGraph::from(g),
+                                           std::vector<bool>{true}),
+               std::invalid_argument);
+}
+
+/// Property: component labels agree with BFS reachability on random
+/// graphs across several densities.
+class ComponentsVsBfs : public ::testing::TestWithParam<double> {};
+
+TEST_P(ComponentsVsBfs, AgreesWithBfs) {
+  stats::Rng rng(99);
+  const TimestampedGraph tg = erdos_renyi(200, GetParam(), rng);
+  const CsrGraph g = CsrGraph::from(tg);
+  const auto comps = connected_components(g);
+
+  // BFS from node 0; everything reached must share node 0's label, and
+  // nothing else may.
+  std::vector<bool> reached(g.node_count(), false);
+  std::queue<NodeId> q;
+  reached[0] = true;
+  q.push(0);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (!reached[v]) {
+        reached[v] = true;
+        q.push(v);
+      }
+    }
+  }
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    EXPECT_EQ(reached[u], comps.label[u] == comps.label[0]) << "node " << u;
+  }
+  // Sizes sum to node count.
+  std::uint64_t total = 0;
+  for (auto s : comps.size) total += s;
+  EXPECT_EQ(total, g.node_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, ComponentsVsBfs,
+                         ::testing::Values(0.002, 0.01, 0.05, 0.2));
+
+}  // namespace
+}  // namespace sybil::graph

@@ -1,0 +1,85 @@
+#include "graph/conductance.h"
+
+#include <gtest/gtest.h>
+
+namespace sybil::graph {
+namespace {
+
+CsrGraph barbell() {
+  // Two triangles joined by one bridge edge: {0,1,2} - {3,4,5}.
+  TimestampedGraph g(6);
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 2, 0);
+  g.add_edge(2, 0, 0);
+  g.add_edge(3, 4, 0);
+  g.add_edge(4, 5, 0);
+  g.add_edge(5, 3, 0);
+  g.add_edge(2, 3, 0);
+  return CsrGraph::from(g);
+}
+
+TEST(CutStats, BarbellLeftHalf) {
+  const CsrGraph g = barbell();
+  const std::vector<bool> mask = {true, true, true, false, false, false};
+  const CutStats s = cut_stats(g, mask);
+  EXPECT_EQ(s.internal_edges, 3u);
+  EXPECT_EQ(s.cut_edges, 1u);
+  EXPECT_EQ(s.volume, 7u);  // degrees 2+2+3
+  // conductance = 1 / min(7, 14-7) = 1/7.
+  EXPECT_NEAR(s.conductance(total_volume(g)), 1.0 / 7.0, 1e-12);
+}
+
+TEST(CutStats, MemberListOverload) {
+  const CsrGraph g = barbell();
+  const std::vector<NodeId> members = {3, 4, 5};
+  const CutStats s = cut_stats(g, members);
+  EXPECT_EQ(s.internal_edges, 3u);
+  EXPECT_EQ(s.cut_edges, 1u);
+}
+
+TEST(CutStats, WholeGraphHasZeroCut) {
+  const CsrGraph g = barbell();
+  const std::vector<bool> all(6, true);
+  const CutStats s = cut_stats(g, all);
+  EXPECT_EQ(s.cut_edges, 0u);
+  EXPECT_EQ(s.internal_edges, g.edge_count());
+  EXPECT_DOUBLE_EQ(s.conductance(total_volume(g)), 0.0);
+}
+
+TEST(CutStats, EmptySet) {
+  const CsrGraph g = barbell();
+  const std::vector<bool> none(6, false);
+  const CutStats s = cut_stats(g, none);
+  EXPECT_EQ(s.volume, 0u);
+  EXPECT_EQ(s.cut_edges, 0u);
+}
+
+TEST(CutStats, MaskSizeMismatch) {
+  const CsrGraph g = barbell();
+  EXPECT_THROW(cut_stats(g, std::vector<bool>{true}), std::invalid_argument);
+}
+
+TEST(Modularity, PerfectSplitBeatsRandomLabels) {
+  const CsrGraph g = barbell();
+  const std::vector<std::uint32_t> split = {0, 0, 0, 1, 1, 1};
+  const std::vector<std::uint32_t> mixed = {0, 1, 0, 1, 0, 1};
+  EXPECT_GT(modularity(g, split), modularity(g, mixed));
+  EXPECT_GT(modularity(g, split), 0.3);
+}
+
+TEST(Modularity, SingleCommunityIsZero) {
+  const CsrGraph g = barbell();
+  const std::vector<std::uint32_t> one(6, 0);
+  EXPECT_NEAR(modularity(g, one), 0.0, 1e-12);
+}
+
+TEST(Modularity, IgnoresUnlabeled) {
+  const CsrGraph g = barbell();
+  std::vector<std::uint32_t> labels(6, kNoLabel);
+  EXPECT_DOUBLE_EQ(modularity(g, labels), 0.0);
+  EXPECT_THROW(modularity(g, std::vector<std::uint32_t>{0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sybil::graph

@@ -1,0 +1,81 @@
+#include "graph/degree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "stats/rng.h"
+
+namespace sybil::graph {
+namespace {
+
+CsrGraph path4() {
+  TimestampedGraph g(4);
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 2, 0);
+  g.add_edge(2, 3, 0);
+  return CsrGraph::from(g);
+}
+
+TEST(Degree, Sequences) {
+  const CsrGraph g = path4();
+  const auto all = degree_sequence(g);
+  const std::vector<double> expected = {1.0, 2.0, 2.0, 1.0};
+  EXPECT_EQ(all, expected);
+  const std::vector<NodeId> subset = {1, 3};
+  const auto sub = degree_sequence(g, subset);
+  EXPECT_EQ(sub, (std::vector<double>{2.0, 1.0}));
+}
+
+TEST(Degree, MaskedSequence) {
+  const CsrGraph g = path4();
+  // Mask {0, 2}: node 1's masked degree = 2, node 3's = 1... node 3's
+  // only neighbor is 2 which is masked → 1.
+  const std::vector<bool> mask = {true, false, true, false};
+  const std::vector<NodeId> nodes = {1, 3};
+  const auto seq = masked_degree_sequence(g, nodes, mask);
+  EXPECT_EQ(seq, (std::vector<double>{2.0, 1.0}));
+  EXPECT_THROW(masked_degree_sequence(g, nodes, std::vector<bool>{true}),
+               std::invalid_argument);
+}
+
+TEST(Degree, Histogram) {
+  const CsrGraph g = path4();
+  const auto hist = degree_histogram(g);
+  ASSERT_EQ(hist.size(), 3u);  // degrees 0..2
+  EXPECT_EQ(hist[0], 0u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 2u);
+}
+
+TEST(Degree, PowerLawFitRecoversExponent) {
+  // Synthetic degrees sampled from a pure power law with alpha = 2.5.
+  stats::Rng rng(7);
+  std::vector<double> degrees;
+  for (int i = 0; i < 50000; ++i) {
+    // Inverse-CDF sampling for continuous Pareto with x_min = 1.
+    degrees.push_back(std::pow(1.0 - rng.uniform(), -1.0 / 1.5));
+  }
+  EXPECT_NEAR(fit_power_law_alpha(degrees, 1.0), 2.5, 0.05);
+}
+
+TEST(Degree, PowerLawFitErrors) {
+  EXPECT_THROW(fit_power_law_alpha(std::vector<double>{1.0, 2.0}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(fit_power_law_alpha(std::vector<double>{1.0}, 1.0),
+               std::domain_error);
+}
+
+TEST(Degree, BarabasiAlbertIsHeavyTailed) {
+  stats::Rng rng(11);
+  const CsrGraph g = CsrGraph::from(barabasi_albert(5000, 3, rng));
+  const auto degs = degree_sequence(g);
+  const double alpha = fit_power_law_alpha(degs, 5.0);
+  // BA exponent is 3 asymptotically; accept a loose band.
+  EXPECT_GT(alpha, 2.0);
+  EXPECT_LT(alpha, 4.5);
+}
+
+}  // namespace
+}  // namespace sybil::graph

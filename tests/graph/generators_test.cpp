@@ -1,0 +1,151 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/clustering.h"
+#include "graph/components.h"
+#include "graph/conductance.h"
+#include "graph/csr.h"
+#include "graph/degree.h"
+
+namespace sybil::graph {
+namespace {
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  stats::Rng rng(1);
+  const auto g = erdos_renyi(1000, 0.01, rng);
+  const double expected = 0.01 * 1000.0 * 999.0 / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected,
+              0.15 * expected);
+}
+
+TEST(ErdosRenyi, EdgeCasesAndErrors) {
+  stats::Rng rng(2);
+  EXPECT_EQ(erdos_renyi(100, 0.0, rng).edge_count(), 0u);
+  EXPECT_THROW(erdos_renyi(10, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW(erdos_renyi(10, 1.1, rng), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, Deterministic) {
+  stats::Rng r1(3), r2(3);
+  const auto a = erdos_renyi(200, 0.05, r1);
+  const auto b = erdos_renyi(200, 0.05, r2);
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+}
+
+TEST(BarabasiAlbert, DegreesAndConnectivity) {
+  stats::Rng rng(4);
+  const auto g = barabasi_albert(1000, 3, rng);
+  const CsrGraph csr = CsrGraph::from(g);
+  // Every non-seed node attaches with m links → min degree >= m... the
+  // seed clique nodes have at least m as well.
+  for (NodeId u = 0; u < csr.node_count(); ++u) {
+    EXPECT_GE(csr.degree(u), 3u) << u;
+  }
+  EXPECT_EQ(connected_components(csr).count(), 1u);
+  // Heavy tail: max degree far above the mean.
+  NodeId max_deg = 0;
+  for (NodeId u = 0; u < csr.node_count(); ++u) {
+    max_deg = std::max(max_deg, csr.degree(u));
+  }
+  EXPECT_GT(max_deg, 30u);
+}
+
+TEST(BarabasiAlbert, RejectsBadParameters) {
+  stats::Rng rng(5);
+  EXPECT_THROW(barabasi_albert(3, 3, rng), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert(10, 0, rng), std::invalid_argument);
+}
+
+TEST(WattsStrogatz, ZeroBetaIsRingLattice) {
+  stats::Rng rng(6);
+  const auto g = watts_strogatz(20, 4, 0.0, rng);
+  const CsrGraph csr = CsrGraph::from(g);
+  for (NodeId u = 0; u < 20; ++u) EXPECT_EQ(csr.degree(u), 4u);
+  EXPECT_TRUE(csr.has_edge(0, 1));
+  EXPECT_TRUE(csr.has_edge(0, 2));
+  EXPECT_FALSE(csr.has_edge(0, 3));
+}
+
+TEST(WattsStrogatz, RewiringKeepsEdgeCount) {
+  stats::Rng rng(7);
+  const auto g = watts_strogatz(100, 6, 0.3, rng);
+  EXPECT_EQ(g.edge_count(), 300u);
+  EXPECT_THROW(watts_strogatz(10, 3, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(watts_strogatz(10, 4, 1.5, rng), std::invalid_argument);
+}
+
+TEST(OsnLike, ProducesSocialProperties) {
+  stats::Rng rng(8);
+  OsnGraphParams p{.nodes = 5000, .mean_links = 10.0,
+                   .triadic_closure = 0.4, .pa_beta = 1.0};
+  const auto g = osn_like_graph(p, rng);
+  const CsrGraph csr = CsrGraph::from(g);
+  const double avg_deg = 2.0 * static_cast<double>(csr.edge_count()) /
+                         csr.node_count();
+  EXPECT_GT(avg_deg, 8.0);
+  EXPECT_LT(avg_deg, 25.0);
+  // Clustered well above an equivalent random graph.
+  const double cc = average_clustering(csr);
+  EXPECT_GT(cc, 10.0 * avg_deg / csr.node_count());
+  // Heavy-ish degree tail.
+  NodeId max_deg = 0;
+  for (NodeId u = 0; u < csr.node_count(); ++u) {
+    max_deg = std::max(max_deg, csr.degree(u));
+  }
+  EXPECT_GT(max_deg, static_cast<NodeId>(5 * avg_deg));
+}
+
+TEST(OsnLike, RejectsTinyGraphs) {
+  stats::Rng rng(9);
+  EXPECT_THROW(osn_like_graph({.nodes = 2}, rng), std::invalid_argument);
+  OsnGraphParams too_many_comms{.nodes = 10, .communities = 8};
+  EXPECT_THROW(osn_like_graph(too_many_comms, rng), std::invalid_argument);
+}
+
+TEST(OsnLike, CommunityStructureRaisesModularity) {
+  OsnGraphParams flat{.nodes = 4000, .mean_links = 8.0,
+                      .triadic_closure = 0.2, .pa_beta = 1.0};
+  OsnGraphParams regional = flat;
+  regional.communities = 8;
+  regional.community_affinity = 0.9;
+
+  stats::Rng r1(10), r2(10);
+  const CsrGraph flat_g = CsrGraph::from(osn_like_graph(flat, r1));
+  const CsrGraph regional_g = CsrGraph::from(osn_like_graph(regional, r2));
+
+  std::vector<std::uint32_t> labels(4000);
+  for (NodeId v = 0; v < 4000; ++v) labels[v] = community_of(v, regional);
+  const double q_regional = modularity(regional_g, labels);
+  const double q_flat = modularity(flat_g, labels);
+  EXPECT_GT(q_regional, 0.3);
+  EXPECT_LT(q_flat, 0.1);
+  // Still one connected graph (communities are not disconnected).
+  EXPECT_EQ(connected_components(regional_g).count(), 1u);
+}
+
+TEST(InjectSybilCommunity, StructureIsTight) {
+  stats::Rng rng(10);
+  const auto honest = erdos_renyi(500, 0.02, rng);
+  const auto combined =
+      inject_sybil_community(honest, 50, 0.3, 25, rng);
+  EXPECT_EQ(combined.node_count(), 550u);
+  const CsrGraph csr = CsrGraph::from(combined);
+
+  std::vector<bool> sybil_mask(550, false);
+  for (NodeId s = 500; s < 550; ++s) sybil_mask[s] = true;
+  const CutStats cut = cut_stats(csr, sybil_mask);
+  EXPECT_EQ(cut.cut_edges, 25u);
+  // Internal density 0.3 over C(50,2) = 1225 pairs ≈ 368 edges.
+  EXPECT_GT(cut.internal_edges, 250u);
+  EXPECT_LT(cut.internal_edges, 500u);
+  // The injected region is "tight-knit": internal > cut — the classic
+  // assumption the paper refutes for wild Sybils.
+  EXPECT_GT(cut.internal_edges, cut.cut_edges);
+  // Honest edges preserved.
+  EXPECT_EQ(csr.edge_count(),
+            honest.edge_count() + cut.internal_edges + cut.cut_edges);
+}
+
+}  // namespace
+}  // namespace sybil::graph

@@ -1,0 +1,76 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace sybil::graph {
+namespace {
+
+TEST(TimestampedGraph, StartsEmpty) {
+  TimestampedGraph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(TimestampedGraph, AddNodesAndEdges) {
+  TimestampedGraph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1, 1.0));
+  EXPECT_TRUE(g.add_edge(1, 2, 2.0));
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(TimestampedGraph, RejectsSelfLoopsAndDuplicates) {
+  TimestampedGraph g(2);
+  EXPECT_FALSE(g.add_edge(0, 0, 1.0));
+  EXPECT_TRUE(g.add_edge(0, 1, 1.0));
+  EXPECT_FALSE(g.add_edge(0, 1, 2.0));
+  EXPECT_FALSE(g.add_edge(1, 0, 3.0));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(TimestampedGraph, EdgeTimesAreSymmetric) {
+  TimestampedGraph g(2);
+  g.add_edge(0, 1, 7.5);
+  ASSERT_TRUE(g.edge_time(0, 1).has_value());
+  EXPECT_DOUBLE_EQ(*g.edge_time(0, 1), 7.5);
+  EXPECT_DOUBLE_EQ(*g.edge_time(1, 0), 7.5);
+  EXPECT_FALSE(g.edge_time(0, 0).has_value());
+}
+
+TEST(TimestampedGraph, NeighborsKeepInsertionOrder) {
+  TimestampedGraph g(4);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(0, 3, 3.0);
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0].node, 2u);
+  EXPECT_EQ(nbrs[1].node, 1u);
+  EXPECT_EQ(nbrs[2].node, 3u);
+  EXPECT_DOUBLE_EQ(nbrs[0].created_at, 1.0);
+}
+
+TEST(TimestampedGraph, WeakFlagStored) {
+  TimestampedGraph g(3);
+  g.add_edge(0, 1, 1.0, /*weak=*/true);
+  g.add_edge(0, 2, 2.0, /*weak=*/false);
+  EXPECT_TRUE(g.neighbors(0)[0].weak);
+  EXPECT_FALSE(g.neighbors(0)[1].weak);
+  EXPECT_TRUE(g.neighbors(1)[0].weak);  // symmetric
+}
+
+TEST(TimestampedGraph, AddNodeGrows) {
+  TimestampedGraph g;
+  EXPECT_EQ(g.add_node(), 0u);
+  EXPECT_EQ(g.add_node(), 1u);
+  g.ensure_nodes(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  g.ensure_nodes(2);  // never shrinks
+  EXPECT_EQ(g.node_count(), 5u);
+}
+
+}  // namespace
+}  // namespace sybil::graph

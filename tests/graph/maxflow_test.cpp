@@ -1,0 +1,131 @@
+#include "graph/maxflow.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "stats/rng.h"
+
+namespace sybil::graph {
+namespace {
+
+TEST(MaxFlow, SingleArc) {
+  FlowNetwork net(2);
+  net.add_arc(0, 1, 7);
+  EXPECT_EQ(net.max_flow(0, 1), 7);
+}
+
+TEST(MaxFlow, SeriesBottleneck) {
+  FlowNetwork net(3);
+  net.add_arc(0, 1, 10);
+  net.add_arc(1, 2, 3);
+  EXPECT_EQ(net.max_flow(0, 2), 3);
+}
+
+TEST(MaxFlow, ParallelPaths) {
+  FlowNetwork net(4);
+  net.add_arc(0, 1, 2);
+  net.add_arc(1, 3, 2);
+  net.add_arc(0, 2, 3);
+  net.add_arc(2, 3, 1);
+  EXPECT_EQ(net.max_flow(0, 3), 3);
+}
+
+TEST(MaxFlow, ClassicCLRS) {
+  // CLRS figure 26.1 network, max flow 23.
+  FlowNetwork net(6);
+  net.add_arc(0, 1, 16);
+  net.add_arc(0, 2, 13);
+  net.add_arc(1, 2, 10);
+  net.add_arc(2, 1, 4);
+  net.add_arc(1, 3, 12);
+  net.add_arc(3, 2, 9);
+  net.add_arc(2, 4, 14);
+  net.add_arc(4, 3, 7);
+  net.add_arc(3, 5, 20);
+  net.add_arc(4, 5, 4);
+  EXPECT_EQ(net.max_flow(0, 5), 23);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  FlowNetwork net(4);
+  net.add_arc(0, 1, 5);
+  net.add_arc(2, 3, 5);
+  EXPECT_EQ(net.max_flow(0, 3), 0);
+}
+
+TEST(MaxFlow, UndirectedLink) {
+  FlowNetwork net(3);
+  net.add_undirected(0, 1, 2);
+  net.add_undirected(1, 2, 2);
+  EXPECT_EQ(net.max_flow(0, 2), 2);
+}
+
+TEST(MaxFlow, ResidualTracksUnitFlow) {
+  FlowNetwork net(3);
+  const auto a = net.add_arc(0, 1, 1);
+  net.add_arc(1, 2, 1);
+  net.max_flow(0, 2);
+  EXPECT_EQ(net.residual(a), 0);  // arc saturated
+}
+
+TEST(MaxFlow, MinCutSide) {
+  FlowNetwork net(4);
+  net.add_arc(0, 1, 100);
+  net.add_arc(1, 2, 1);  // the cut
+  net.add_arc(2, 3, 100);
+  net.max_flow(0, 3);
+  const auto side = net.min_cut_side(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[2]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(MaxFlow, Errors) {
+  FlowNetwork net(2);
+  EXPECT_THROW(net.add_arc(0, 2, 1), std::out_of_range);
+  EXPECT_THROW(net.add_arc(0, 1, -1), std::invalid_argument);
+  EXPECT_THROW(net.max_flow(1, 1), std::invalid_argument);
+}
+
+/// Property: max flow equals min cut capacity on random graphs,
+/// verified against a brute-force cut enumeration for small n.
+class FlowMinCut : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowMinCut, MatchesBruteForceMinCut) {
+  stats::Rng rng(GetParam());
+  const int n = 8;
+  std::vector<std::vector<std::int64_t>> cap(
+      n, std::vector<std::int64_t>(n, 0));
+  FlowNetwork net(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u != v && rng.bernoulli(0.35)) {
+        cap[u][v] = static_cast<std::int64_t>(rng.uniform_index(10));
+        net.add_arc(static_cast<std::size_t>(u), static_cast<std::size_t>(v),
+                    cap[u][v]);
+      }
+    }
+  }
+  const std::int64_t flow = net.max_flow(0, n - 1);
+  // Brute force: minimum over all s-t cuts.
+  std::int64_t best = INT64_MAX;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    if (!(mask & 1) || (mask & (1 << (n - 1)))) continue;  // s in, t out
+    std::int64_t cut = 0;
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        if ((mask & (1 << u)) && !(mask & (1 << v))) cut += cap[u][v];
+      }
+    }
+    best = std::min(best, cut);
+  }
+  EXPECT_EQ(flow, best);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowMinCut,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull,
+                                           6ull, 7ull, 8ull));
+
+}  // namespace
+}  // namespace sybil::graph

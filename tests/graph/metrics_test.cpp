@@ -1,0 +1,110 @@
+#include "graph/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace sybil::graph {
+namespace {
+
+CsrGraph star(NodeId leaves) {
+  TimestampedGraph g(leaves + 1);
+  for (NodeId v = 1; v <= leaves; ++v) g.add_edge(0, v, 0);
+  return CsrGraph::from(g);
+}
+
+TEST(Assortativity, StarIsPerfectlyDisassortative) {
+  EXPECT_NEAR(degree_assortativity(star(10)), -1.0, 1e-9);
+}
+
+TEST(Assortativity, ErrorCases) {
+  TimestampedGraph empty(3);
+  EXPECT_THROW(degree_assortativity(CsrGraph::from(empty)),
+               std::invalid_argument);
+  // Ring: all degrees equal → undefined.
+  TimestampedGraph ring(4);
+  for (NodeId u = 0; u < 4; ++u) ring.add_edge(u, (u + 1) % 4, 0);
+  EXPECT_THROW(degree_assortativity(CsrGraph::from(ring)),
+               std::domain_error);
+}
+
+TEST(Assortativity, BaGraphIsNearNeutralOrDisassortative) {
+  stats::Rng rng(1);
+  const auto g = CsrGraph::from(barabasi_albert(3000, 3, rng));
+  const double r = degree_assortativity(g);
+  EXPECT_LT(r, 0.05);   // BA graphs are slightly disassortative
+  EXPECT_GT(r, -0.5);
+}
+
+TEST(CoreNumbers, KnownDecomposition) {
+  // Triangle (3-clique would be 2-core) with a pendant chain.
+  TimestampedGraph g(5);
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 2, 0);
+  g.add_edge(2, 0, 0);
+  g.add_edge(2, 3, 0);
+  g.add_edge(3, 4, 0);
+  const auto core = core_numbers(CsrGraph::from(g));
+  EXPECT_EQ(core[0], 2u);
+  EXPECT_EQ(core[1], 2u);
+  EXPECT_EQ(core[2], 2u);
+  EXPECT_EQ(core[3], 1u);
+  EXPECT_EQ(core[4], 1u);
+}
+
+TEST(CoreNumbers, CliqueCore) {
+  TimestampedGraph g(6);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = u + 1; v < 5; ++v) g.add_edge(u, v, 0);
+  }
+  g.add_edge(0, 5, 0);  // pendant
+  const auto core = core_numbers(CsrGraph::from(g));
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(core[u], 4u);
+  EXPECT_EQ(core[5], 1u);
+}
+
+TEST(CoreNumbers, CoreIsAtMostDegree) {
+  stats::Rng rng(2);
+  const auto g = CsrGraph::from(erdos_renyi(500, 0.02, rng));
+  const auto core = core_numbers(g);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    EXPECT_LE(core[u], g.degree(u));
+  }
+}
+
+TEST(BfsDistances, PathGraph) {
+  TimestampedGraph g(4);
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 2, 0);
+  g.add_edge(2, 3, 0);
+  const auto dist = bfs_distances(CsrGraph::from(g), 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[3], 3u);
+}
+
+TEST(BfsDistances, DisconnectedIsUnreachable) {
+  TimestampedGraph g(3);
+  g.add_edge(0, 1, 0);
+  const auto dist = bfs_distances(CsrGraph::from(g), 0);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(PathStats, StarHasSmallDistances) {
+  stats::Rng rng(3);
+  const auto stats = sampled_path_stats(star(50), 10, rng);
+  EXPECT_GT(stats.reachable_pairs, 0u);
+  EXPECT_LE(stats.max_distance, 2u);
+  EXPECT_GT(stats.mean_distance, 1.0);
+  EXPECT_LT(stats.mean_distance, 2.0);
+}
+
+TEST(PathStats, SmallWorldGraphHasShortPaths) {
+  stats::Rng rng(4);
+  const auto g = CsrGraph::from(barabasi_albert(5000, 4, rng));
+  stats::Rng sample_rng(5);
+  const auto stats = sampled_path_stats(g, 8, sample_rng);
+  EXPECT_LT(stats.mean_distance, 6.0);  // log-ish diameter
+}
+
+}  // namespace
+}  // namespace sybil::graph

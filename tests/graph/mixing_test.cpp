@@ -1,0 +1,92 @@
+#include "graph/mixing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace sybil::graph {
+namespace {
+
+TEST(Lambda2, CompleteGraphMixesInstantly) {
+  TimestampedGraph g(20);
+  for (NodeId u = 0; u < 20; ++u) {
+    for (NodeId v = u + 1; v < 20; ++v) g.add_edge(u, v, 0);
+  }
+  // K_n lazy walk: λ₂ = 1/2 - 1/(2(n-1)) ≈ 0.474.
+  const double l2 = lazy_walk_lambda2(CsrGraph::from(g), 200);
+  EXPECT_NEAR(l2, 0.5 - 0.5 / 19.0, 0.01);
+}
+
+TEST(Lambda2, CycleMixesSlowly) {
+  const NodeId n = 64;
+  TimestampedGraph g(n);
+  for (NodeId u = 0; u < n; ++u) g.add_edge(u, (u + 1) % n, 0);
+  // Lazy cycle: λ₂ = (1 + cos(2π/n))/2 → very close to 1.
+  const double expected = 0.5 * (1.0 + std::cos(2.0 * M_PI / n));
+  EXPECT_NEAR(lazy_walk_lambda2(CsrGraph::from(g), 4000), expected, 0.002);
+}
+
+TEST(Lambda2, BarbellHasTinyGap) {
+  // Two dense communities with one bridge: λ₂ ≈ 1.
+  stats::Rng rng(1);
+  TimestampedGraph g(40);
+  for (NodeId u = 0; u < 20; ++u) {
+    for (NodeId v = u + 1; v < 20; ++v) g.add_edge(u, v, 0);
+  }
+  for (NodeId u = 20; u < 40; ++u) {
+    for (NodeId v = u + 1; v < 40; ++v) g.add_edge(u, v, 0);
+  }
+  g.add_edge(0, 20, 0);
+  const double l2 = lazy_walk_lambda2(CsrGraph::from(g), 500);
+  EXPECT_GT(l2, 0.97);
+}
+
+TEST(Lambda2, ExpanderLikeGraphHasLargeGap) {
+  stats::Rng rng(2);
+  const auto g = CsrGraph::from(erdos_renyi(500, 0.05, rng));
+  // Dense ER is an excellent expander; lazy λ₂ stays near 1/2.
+  EXPECT_LT(lazy_walk_lambda2(g, 300), 0.75);
+}
+
+TEST(Lambda2, Errors) {
+  TimestampedGraph g(1);
+  EXPECT_THROW(lazy_walk_lambda2(CsrGraph::from(g)), std::invalid_argument);
+}
+
+TEST(Escape, TightRegionTrapsWalks) {
+  stats::Rng rng(3);
+  const auto base = barabasi_albert(1000, 4, rng);
+  const auto combined = inject_sybil_community(base, 100, 0.3, 5, rng);
+  const auto g = CsrGraph::from(combined);
+  std::vector<NodeId> members;
+  for (NodeId v = 1000; v < 1100; ++v) members.push_back(v);
+  stats::Rng walk_rng(4);
+  const double p = escape_probability(g, members, 20, 4000, walk_rng);
+  EXPECT_LT(p, 0.15);  // behind a 5-edge cut, walks stay inside
+}
+
+TEST(Escape, OpenRegionLeaksWalks) {
+  stats::Rng rng(5);
+  const auto g = CsrGraph::from(barabasi_albert(1000, 4, rng));
+  // An arbitrary 100-node subset of a well-mixed graph leaks immediately.
+  std::vector<NodeId> members;
+  for (NodeId v = 0; v < 100; ++v) members.push_back(v * 7);
+  stats::Rng walk_rng(6);
+  const double p = escape_probability(g, members, 20, 4000, walk_rng);
+  EXPECT_GT(p, 0.7);
+}
+
+TEST(Escape, Errors) {
+  stats::Rng rng(7);
+  const auto g = CsrGraph::from(erdos_renyi(10, 0.5, rng));
+  stats::Rng walk_rng(8);
+  EXPECT_THROW(escape_probability(g, {}, 5, 10, walk_rng),
+               std::invalid_argument);
+  EXPECT_THROW(escape_probability(g, {0}, 5, 0, walk_rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sybil::graph

@@ -1,0 +1,111 @@
+#include "graph/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/degree.h"
+#include "graph/generators.h"
+
+namespace sybil::graph {
+namespace {
+
+TEST(BfsSnowball, CoversConnectedRegion) {
+  TimestampedGraph g(6);
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 2, 0);
+  g.add_edge(3, 4, 0);  // separate component
+  const CsrGraph csr = CsrGraph::from(g);
+  const auto sample = bfs_snowball(csr, 0, 10);
+  const std::set<NodeId> got(sample.begin(), sample.end());
+  EXPECT_EQ(got, (std::set<NodeId>{0, 1, 2}));
+}
+
+TEST(BfsSnowball, RespectsLimit) {
+  stats::Rng rng(1);
+  const CsrGraph g = CsrGraph::from(barabasi_albert(500, 3, rng));
+  const auto sample = bfs_snowball(g, 0, 50);
+  EXPECT_EQ(sample.size(), 50u);
+  EXPECT_TRUE(bfs_snowball(g, 0, 0).empty());
+}
+
+TEST(BiasedSnowball, EmitsDistinctReachableNodes) {
+  stats::Rng grng(2);
+  const CsrGraph g = CsrGraph::from(barabasi_albert(300, 3, grng));
+  stats::Rng rng(3);
+  BiasedSnowballSampler sampler(g, 0, 1.0, rng);
+  const auto sample = sampler.sample(100);
+  EXPECT_EQ(sample.size(), 100u);
+  const std::set<NodeId> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 100u);
+}
+
+TEST(BiasedSnowball, PositiveBetaPrefersPopularNodes) {
+  stats::Rng grng(4);
+  const CsrGraph g = CsrGraph::from(barabasi_albert(2000, 3, grng));
+  const double avg_degree =
+      2.0 * static_cast<double>(g.edge_count()) / g.node_count();
+
+  stats::Rng r1(5);
+  BiasedSnowballSampler biased(g, 0, 2.0, r1);
+  const auto hits = biased.sample(200);
+  double mean_deg = 0.0;
+  for (NodeId u : hits) mean_deg += g.degree(u);
+  mean_deg /= static_cast<double>(hits.size());
+  // Popularity-biased snowball should oversample high-degree nodes.
+  EXPECT_GT(mean_deg, 1.5 * avg_degree);
+}
+
+TEST(BiasedSnowball, AcceptFilterSkipsButExpands) {
+  stats::Rng grng(6);
+  const CsrGraph g = CsrGraph::from(barabasi_albert(300, 3, grng));
+  stats::Rng rng(7);
+  BiasedSnowballSampler sampler(g, 0, 1.0, rng);
+  const auto evens =
+      sampler.sample(50, [](NodeId u) { return u % 2 == 0; });
+  for (NodeId u : evens) EXPECT_EQ(u % 2, 0u);
+  EXPECT_EQ(evens.size(), 50u);
+}
+
+TEST(BiasedSnowball, ExhaustsSmallComponent) {
+  TimestampedGraph g(10);
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 2, 0);
+  const CsrGraph csr = CsrGraph::from(g);
+  stats::Rng rng(8);
+  BiasedSnowballSampler sampler(csr, 0, 1.0, rng);
+  const auto sample = sampler.sample(100);
+  EXPECT_EQ(sample.size(), 3u);  // only the component is reachable
+}
+
+TEST(BiasedSnowball, RejectsBadSeed) {
+  TimestampedGraph g(3);
+  const CsrGraph csr = CsrGraph::from(g);
+  stats::Rng rng(9);
+  EXPECT_THROW(BiasedSnowballSampler(csr, 7, 1.0, rng), std::out_of_range);
+}
+
+TEST(UniformSample, DistinctAndInRange) {
+  stats::Rng grng(10);
+  const CsrGraph g = CsrGraph::from(erdos_renyi(100, 0.05, grng));
+  stats::Rng rng(11);
+  const auto sample = uniform_node_sample(g, 30, rng);
+  EXPECT_EQ(sample.size(), 30u);
+  const std::set<NodeId> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+}
+
+TEST(DegreeBiasedSample, PrefersHubs) {
+  stats::Rng grng(12);
+  const CsrGraph g = CsrGraph::from(barabasi_albert(2000, 3, grng));
+  stats::Rng rng(13);
+  const auto biased = degree_biased_sample(g, 100, 2.0, rng);
+  const auto uniform = uniform_node_sample(g, 100, rng);
+  double bd = 0, ud = 0;
+  for (NodeId u : biased) bd += g.degree(u);
+  for (NodeId u : uniform) ud += g.degree(u);
+  EXPECT_GT(bd / biased.size(), 2.0 * ud / uniform.size());
+}
+
+}  // namespace
+}  // namespace sybil::graph

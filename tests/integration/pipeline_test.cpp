@@ -1,0 +1,141 @@
+// End-to-end pipeline tests: simulator → features → classifiers, and
+// campaign → topology, with property sweeps across seeds. These run at
+// reduced scale; the full calibrated runs live in the benches.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attack/campaign.h"
+#include "core/ground_truth.h"
+#include "core/threshold_detector.h"
+#include "core/topology.h"
+#include "ml/kfold.h"
+#include "ml/roc.h"
+#include "ml/scaler.h"
+#include "ml/svm.h"
+#include "osn/simulator.h"
+
+namespace sybil {
+namespace {
+
+osn::GroundTruthConfig small_gt(std::uint64_t seed) {
+  osn::GroundTruthConfig c;
+  c.background_users = 4000;
+  c.subject_normals = 150;
+  c.subject_sybils = 150;
+  c.sim_hours = 250.0;
+  c.seed = seed;
+  return c;
+}
+
+class PipelineSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineSeeds, SvmSeparatesSimulatedPopulations) {
+  osn::GroundTruthSimulator sim(small_gt(GetParam()));
+  sim.run();
+  const ml::Dataset data = core::build_ground_truth_dataset(
+      sim.network(), sim.subject_normals(), sim.subject_sybils());
+  stats::Rng rng(GetParam() + 1);
+  const auto cm = ml::cross_validate(
+      data, 5,
+      [](const ml::Dataset& train) -> ml::Predictor {
+        auto scaler = std::make_shared<ml::StandardScaler>();
+        scaler->fit(train);
+        auto model = std::make_shared<ml::SvmModel>(
+            ml::SvmModel::train(scaler->transform(train), ml::SvmParams{}));
+        return [scaler, model](std::span<const double> row) {
+          return model->predict(scaler->transform(row));
+        };
+      },
+      rng);
+  // Even at 1/15 of bench scale the classes must separate strongly.
+  EXPECT_GT(cm.accuracy(), 0.93) << "seed " << GetParam();
+  EXPECT_LT(cm.false_positive_rate(), 0.05);
+}
+
+TEST_P(PipelineSeeds, FeatureDirectionsHoldAcrossSeeds) {
+  osn::GroundTruthSimulator sim(small_gt(GetParam() + 100));
+  sim.run();
+  const auto nc = core::feature_columns(sim.network(), sim.subject_normals());
+  const auto sc = core::feature_columns(sim.network(), sim.subject_sybils());
+  const ml::Dataset data = core::build_ground_truth_dataset(
+      sim.network(), sim.subject_normals(), sim.subject_sybils());
+  std::vector<int> labels;
+  for (std::size_t i = 0; i < data.size(); ++i) labels.push_back(data.label(i));
+  // Each feature must be individually informative (AUC well above 0.5).
+  const auto auc_of = [&](std::size_t column, double sign) {
+    std::vector<double> scores;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      scores.push_back(sign * data.row(i)[column]);
+    }
+    return ml::roc_curve(scores, labels).auc;
+  };
+  EXPECT_GT(auc_of(0, +1.0), 0.95);  // invitation rate
+  EXPECT_GT(auc_of(1, -1.0), 0.90);  // outgoing accept (low = sybil)
+  EXPECT_GT(auc_of(2, +1.0), 0.70);  // incoming accept
+  EXPECT_GT(auc_of(3, -1.0), 0.60);  // clustering (scale-limited here)
+  static_cast<void>(nc);
+  static_cast<void>(sc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSeeds,
+                         ::testing::Values(11ull, 22ull, 33ull));
+
+class CampaignSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CampaignSeeds, TopologyInvariantsHold) {
+  attack::CampaignConfig c;
+  c.normal_users = 8000;
+  c.sybils = 800;
+  c.campaign_hours = 4000.0;
+  c.seed = GetParam();
+  const auto result = attack::run_campaign(c);
+  const core::TopologyAnalyzer topo(*result.network, result.sybil_ids);
+
+  // Invariant 1: attack edges dominate Sybil edges globally.
+  EXPECT_GT(topo.total_attack_edges(), 5 * topo.total_sybil_edges());
+
+  // Invariant 2: the majority of Sybils have no Sybil edge (the paper's
+  // central finding; at this compressed scale the fraction is higher
+  // than the default-calibration 28%).
+  EXPECT_LT(topo.fraction_with_sybil_edge(), 0.9);
+
+  // Invariant 3: every component has more attack than Sybil edges.
+  for (const auto& cs : topo.component_stats()) {
+    EXPECT_GT(cs.attack_edges, cs.sybil_edges);
+    EXPECT_LE(cs.audience, cs.attack_edges);
+    EXPECT_GE(cs.audience, 1u);
+  }
+
+  // Invariant 4: totals are consistent with per-component tallies.
+  std::uint64_t component_sybil_edges = 0;
+  for (const auto& cs : topo.component_stats()) {
+    component_sybil_edges += cs.sybil_edges;
+  }
+  EXPECT_LE(component_sybil_edges, topo.total_sybil_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CampaignSeeds,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull));
+
+TEST(Pipeline, ThresholdDetectorAgreesWithGroundTruthAtScale) {
+  osn::GroundTruthConfig c = small_gt(77);
+  c.background_users = 12'000;  // larger scale → cc separation emerges
+  osn::GroundTruthSimulator sim(c);
+  sim.run();
+  const core::FeatureExtractor fx(sim.network());
+  const core::ThresholdDetector det;
+  std::size_t caught = 0;
+  for (osn::NodeId s : sim.subject_sybils()) {
+    caught += det.is_sybil(fx.extract(s), sim.network().ledger(s).sent());
+  }
+  std::size_t false_pos = 0;
+  for (osn::NodeId u : sim.subject_normals()) {
+    false_pos += det.is_sybil(fx.extract(u), sim.network().ledger(u).sent());
+  }
+  EXPECT_GT(caught, sim.subject_sybils().size() / 2);
+  EXPECT_EQ(false_pos, 0u);
+}
+
+}  // namespace
+}  // namespace sybil

@@ -1,0 +1,78 @@
+#include "ml/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sybil::ml {
+namespace {
+
+Dataset sample_dataset() {
+  Dataset d(3);
+  d.add(std::vector<double>{1.5, -2.25, 1e-9}, kSybilLabel);
+  d.add(std::vector<double>{0.0, 42.0, 3.14159}, kNormalLabel);
+  return d;
+}
+
+TEST(DatasetIo, RoundTrip) {
+  const Dataset original = sample_dataset();
+  std::stringstream buffer;
+  save_csv(original, buffer);
+  const Dataset loaded = load_csv(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  ASSERT_EQ(loaded.feature_count(), original.feature_count());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.label(i), original.label(i));
+    for (std::size_t j = 0; j < original.feature_count(); ++j) {
+      EXPECT_DOUBLE_EQ(loaded.row(i)[j], original.row(i)[j]);
+    }
+  }
+}
+
+TEST(DatasetIo, HeaderFormat) {
+  std::stringstream buffer;
+  save_csv(sample_dataset(), buffer);
+  std::string header;
+  std::getline(buffer, header);
+  EXPECT_EQ(header, "f0,f1,f2,label");
+}
+
+TEST(DatasetIo, RejectsMalformedInput) {
+  {
+    std::stringstream in("");
+    EXPECT_THROW(load_csv(in), std::runtime_error);
+  }
+  {
+    std::stringstream in("f0,f1\n1.0\n");  // header without label column
+    EXPECT_THROW(load_csv(in), std::runtime_error);
+  }
+  {
+    std::stringstream in("f0,label\nnotanumber,1\n");
+    EXPECT_THROW(load_csv(in), std::runtime_error);
+  }
+  {
+    std::stringstream in("f0,label\n1.0,7\n");  // invalid label value
+    EXPECT_THROW(load_csv(in), std::runtime_error);
+  }
+  {
+    std::stringstream in("f0,f1,label\n1.0,1\n");  // too few columns
+    EXPECT_THROW(load_csv(in), std::runtime_error);
+  }
+}
+
+TEST(DatasetIo, SkipsBlankLines) {
+  std::stringstream in("f0,label\n\n1.0,1\n\n2.0,-1\n");
+  const Dataset d = load_csv(in);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DatasetIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/sybil_dataset.csv";
+  save_csv(sample_dataset(), path);
+  const Dataset loaded = load_csv(path);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_THROW(load_csv(path + ".missing"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sybil::ml

@@ -1,0 +1,65 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace sybil::ml {
+namespace {
+
+TEST(Dataset, AddAndAccess) {
+  Dataset d(2);
+  d.add(std::vector<double>{1.0, 2.0}, kSybilLabel);
+  d.add(std::vector<double>{3.0, 4.0}, kNormalLabel);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.feature_count(), 2u);
+  EXPECT_DOUBLE_EQ(d.row(0)[1], 2.0);
+  EXPECT_DOUBLE_EQ(d.row(1)[0], 3.0);
+  EXPECT_EQ(d.label(0), kSybilLabel);
+  EXPECT_EQ(d.label(1), kNormalLabel);
+  EXPECT_EQ(d.count_label(kSybilLabel), 1u);
+}
+
+TEST(Dataset, InfersFeatureCountFromFirstRow) {
+  Dataset d;
+  d.add(std::vector<double>{1.0, 2.0, 3.0}, kSybilLabel);
+  EXPECT_EQ(d.feature_count(), 3u);
+  EXPECT_THROW(d.add(std::vector<double>{1.0}, kSybilLabel),
+               std::invalid_argument);
+}
+
+TEST(Dataset, RejectsBadLabels) {
+  Dataset d(1);
+  EXPECT_THROW(d.add(std::vector<double>{1.0}, 0), std::invalid_argument);
+  EXPECT_THROW(d.add(std::vector<double>{1.0}, 2), std::invalid_argument);
+}
+
+TEST(Dataset, Subset) {
+  Dataset d(1);
+  for (int i = 0; i < 5; ++i) {
+    d.add(std::vector<double>{static_cast<double>(i)},
+          i % 2 == 0 ? kSybilLabel : kNormalLabel);
+  }
+  const std::vector<std::size_t> idx = {4, 0};
+  const Dataset sub = d.subset(idx);
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_DOUBLE_EQ(sub.row(0)[0], 4.0);
+  EXPECT_DOUBLE_EQ(sub.row(1)[0], 0.0);
+  EXPECT_THROW(d.subset(std::vector<std::size_t>{9}), std::out_of_range);
+}
+
+TEST(Dataset, ShuffleKeepsRowLabelPairs) {
+  Dataset d(1);
+  for (int i = 0; i < 100; ++i) {
+    d.add(std::vector<double>{static_cast<double>(i)},
+          i < 50 ? kSybilLabel : kNormalLabel);
+  }
+  stats::Rng rng(1);
+  d.shuffle(rng);
+  EXPECT_EQ(d.count_label(kSybilLabel), 50u);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const bool should_be_sybil = d.row(i)[0] < 50.0;
+    EXPECT_EQ(d.label(i) == kSybilLabel, should_be_sybil);
+  }
+}
+
+}  // namespace
+}  // namespace sybil::ml

@@ -1,0 +1,72 @@
+#include "ml/logistic.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/distributions.h"
+
+namespace sybil::ml {
+namespace {
+
+TEST(Logistic, SeparatesGaussians) {
+  stats::Rng rng(1);
+  Dataset d(2);
+  for (int i = 0; i < 200; ++i) {
+    d.add(std::vector<double>{stats::sample_normal(rng, 1.5, 0.5),
+                              stats::sample_normal(rng, 1.5, 0.5)},
+          kSybilLabel);
+    d.add(std::vector<double>{stats::sample_normal(rng, -1.5, 0.5),
+                              stats::sample_normal(rng, -1.5, 0.5)},
+          kNormalLabel);
+  }
+  const LogisticModel m = LogisticModel::train(d, LogisticParams{});
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    correct += m.predict(d.row(i)) == d.label(i);
+  }
+  EXPECT_GE(correct, d.size() * 97 / 100);
+}
+
+TEST(Logistic, ProbabilitiesAreCalibratedInDirection) {
+  stats::Rng rng(2);
+  Dataset d(1);
+  for (int i = 0; i < 200; ++i) {
+    d.add(std::vector<double>{stats::sample_normal(rng, 1.0, 0.4)},
+          kSybilLabel);
+    d.add(std::vector<double>{stats::sample_normal(rng, -1.0, 0.4)},
+          kNormalLabel);
+  }
+  const LogisticModel m = LogisticModel::train(d, LogisticParams{});
+  EXPECT_GT(m.probability(std::vector<double>{2.0}), 0.9);
+  EXPECT_LT(m.probability(std::vector<double>{-2.0}), 0.1);
+  EXPECT_GT(m.weights()[0], 0.0);
+}
+
+TEST(Logistic, L2ShrinksWeights) {
+  stats::Rng rng(3);
+  Dataset d(1);
+  for (int i = 0; i < 100; ++i) {
+    d.add(std::vector<double>{stats::sample_normal(rng, 1.0, 0.2)},
+          kSybilLabel);
+    d.add(std::vector<double>{stats::sample_normal(rng, -1.0, 0.2)},
+          kNormalLabel);
+  }
+  LogisticParams weak, strong;
+  weak.l2 = 0.0;
+  strong.l2 = 0.5;
+  const auto mw = LogisticModel::train(d, weak);
+  const auto ms = LogisticModel::train(d, strong);
+  EXPECT_LT(std::abs(ms.weights()[0]), std::abs(mw.weights()[0]));
+}
+
+TEST(Logistic, Errors) {
+  EXPECT_THROW(LogisticModel::train(Dataset(1), LogisticParams{}),
+               std::invalid_argument);
+  Dataset d(2);
+  d.add(std::vector<double>{1.0, 2.0}, kSybilLabel);
+  const LogisticModel m = LogisticModel::train(d, LogisticParams{});
+  EXPECT_THROW(m.probability(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sybil::ml

@@ -1,0 +1,75 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/dataset.h"
+
+namespace sybil::ml {
+namespace {
+
+TEST(Confusion, RecordsCells) {
+  ConfusionMatrix cm;
+  cm.record(kSybilLabel, kSybilLabel);    // TP
+  cm.record(kSybilLabel, kNormalLabel);   // FN
+  cm.record(kNormalLabel, kSybilLabel);   // FP
+  cm.record(kNormalLabel, kNormalLabel);  // TN
+  EXPECT_EQ(cm.true_sybil, 1u);
+  EXPECT_EQ(cm.missed_sybil, 1u);
+  EXPECT_EQ(cm.false_sybil, 1u);
+  EXPECT_EQ(cm.true_normal, 1u);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.sybil_recall(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.false_positive_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.f1(), 0.5);
+}
+
+TEST(Confusion, RatesWithEmptyDenominators) {
+  ConfusionMatrix cm;
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.sybil_recall(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(), 0.0);
+}
+
+TEST(Confusion, RejectsBadLabels) {
+  ConfusionMatrix cm;
+  EXPECT_THROW(cm.record(0, kSybilLabel), std::invalid_argument);
+}
+
+TEST(Confusion, Merge) {
+  ConfusionMatrix a, b;
+  a.record(kSybilLabel, kSybilLabel);
+  b.record(kNormalLabel, kNormalLabel);
+  b.record(kSybilLabel, kNormalLabel);
+  a += b;
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.true_sybil, 1u);
+  EXPECT_EQ(a.missed_sybil, 1u);
+}
+
+TEST(Confusion, TableRendering) {
+  ConfusionMatrix cm;
+  for (int i = 0; i < 99; ++i) cm.record(kSybilLabel, kSybilLabel);
+  cm.record(kSybilLabel, kNormalLabel);
+  for (int i = 0; i < 100; ++i) cm.record(kNormalLabel, kNormalLabel);
+  const std::string table = cm.to_table("Test");
+  EXPECT_NE(table.find("99.00%"), std::string::npos);
+  EXPECT_NE(table.find("100.00%"), std::string::npos);
+  EXPECT_NE(table.find("Test"), std::string::npos);
+}
+
+TEST(Confusion, PerfectClassifier) {
+  ConfusionMatrix cm;
+  for (int i = 0; i < 10; ++i) {
+    cm.record(kSybilLabel, kSybilLabel);
+    cm.record(kNormalLabel, kNormalLabel);
+  }
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.sybil_recall(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.false_positive_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(), 1.0);
+}
+
+}  // namespace
+}  // namespace sybil::ml

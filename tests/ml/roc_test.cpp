@@ -1,0 +1,81 @@
+#include "ml/roc.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/dataset.h"
+#include "stats/distributions.h"
+
+namespace sybil::ml {
+namespace {
+
+TEST(Roc, PerfectSeparation) {
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.2, 0.1};
+  const std::vector<int> labels = {kSybilLabel, kSybilLabel, kSybilLabel,
+                                   kNormalLabel, kNormalLabel};
+  const RocCurve curve = roc_curve(scores, labels);
+  EXPECT_NEAR(curve.auc, 1.0, 1e-12);
+  EXPECT_NEAR(curve.tpr_at_fpr(0.0), 1.0, 1e-12);
+}
+
+TEST(Roc, InvertedScores) {
+  const std::vector<double> scores = {0.1, 0.2, 0.9, 0.8};
+  const std::vector<int> labels = {kSybilLabel, kSybilLabel, kNormalLabel,
+                                   kNormalLabel};
+  const RocCurve curve = roc_curve(scores, labels);
+  EXPECT_NEAR(curve.auc, 0.0, 1e-12);
+  EXPECT_NEAR(curve.tpr_at_fpr(0.0), 0.0, 1e-12);
+}
+
+TEST(Roc, TiedScoresGetDiagonalCredit) {
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> labels = {kSybilLabel, kSybilLabel, kNormalLabel,
+                                   kNormalLabel};
+  const RocCurve curve = roc_curve(scores, labels);
+  EXPECT_NEAR(curve.auc, 0.5, 1e-12);
+}
+
+TEST(Roc, MonotonicPoints) {
+  stats::Rng rng(1);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 500; ++i) {
+    const bool sybil = rng.bernoulli(0.4);
+    scores.push_back(stats::sample_normal(rng, sybil ? 1.0 : 0.0, 1.0));
+    labels.push_back(sybil ? kSybilLabel : kNormalLabel);
+  }
+  const RocCurve curve = roc_curve(scores, labels);
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_GE(curve.points[i].false_positive_rate,
+              curve.points[i - 1].false_positive_rate);
+    EXPECT_GE(curve.points[i].true_positive_rate,
+              curve.points[i - 1].true_positive_rate);
+  }
+  EXPECT_NEAR(curve.points.back().true_positive_rate, 1.0, 1e-12);
+  EXPECT_NEAR(curve.points.back().false_positive_rate, 1.0, 1e-12);
+  // Unit-separated Gaussians: AUC = Phi(1/sqrt(2)) ≈ 0.76.
+  EXPECT_NEAR(curve.auc, 0.76, 0.06);
+}
+
+TEST(Roc, TprAtFprBudget) {
+  const std::vector<double> scores = {0.9, 0.6, 0.5, 0.4, 0.1};
+  const std::vector<int> labels = {kSybilLabel, kNormalLabel, kSybilLabel,
+                                   kNormalLabel, kNormalLabel};
+  const RocCurve curve = roc_curve(scores, labels);
+  EXPECT_NEAR(curve.tpr_at_fpr(0.0), 0.5, 1e-12);   // only score>=0.9
+  EXPECT_NEAR(curve.tpr_at_fpr(0.34), 1.0, 1e-12);  // allow one FP
+}
+
+TEST(Roc, Errors) {
+  EXPECT_THROW(roc_curve(std::vector<double>{1.0},
+                         std::vector<int>{kSybilLabel, kNormalLabel}),
+               std::invalid_argument);
+  EXPECT_THROW(roc_curve(std::vector<double>{1.0, 2.0},
+                         std::vector<int>{kSybilLabel, kSybilLabel}),
+               std::invalid_argument);
+  EXPECT_THROW(roc_curve(std::vector<double>{1.0, 2.0},
+                         std::vector<int>{kSybilLabel, 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sybil::ml

@@ -1,0 +1,57 @@
+#include "ml/scaler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sybil::ml {
+namespace {
+
+TEST(Scaler, CentersAndScales) {
+  Dataset d(2);
+  d.add(std::vector<double>{0.0, 10.0}, kSybilLabel);
+  d.add(std::vector<double>{2.0, 10.0}, kNormalLabel);
+  d.add(std::vector<double>{4.0, 10.0}, kSybilLabel);
+  StandardScaler s;
+  s.fit(d);
+  EXPECT_DOUBLE_EQ(s.mean()[0], 2.0);
+  EXPECT_NEAR(s.scale()[0], std::sqrt(8.0 / 3.0), 1e-12);
+  // Constant feature: scale forced to 1, values centered to 0.
+  EXPECT_DOUBLE_EQ(s.scale()[1], 1.0);
+  const auto row = s.transform(std::vector<double>{4.0, 10.0});
+  EXPECT_NEAR(row[0], 2.0 / std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(row[1], 0.0);
+}
+
+TEST(Scaler, TransformedDatasetHasUnitStats) {
+  Dataset d(1);
+  for (int i = 0; i < 100; ++i) {
+    d.add(std::vector<double>{i * 3.0 + 7.0},
+          i % 2 ? kSybilLabel : kNormalLabel);
+  }
+  StandardScaler s;
+  s.fit(d);
+  const Dataset t = s.transform(d);
+  double sum = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    sum += t.row(i)[0];
+    sq += t.row(i)[0] * t.row(i)[0];
+  }
+  EXPECT_NEAR(sum / 100.0, 0.0, 1e-9);
+  EXPECT_NEAR(sq / 100.0, 1.0, 1e-9);
+  EXPECT_EQ(t.label(1), d.label(1));
+}
+
+TEST(Scaler, Errors) {
+  StandardScaler s;
+  EXPECT_THROW(s.transform(std::vector<double>{1.0}), std::logic_error);
+  EXPECT_THROW(s.fit(Dataset(1)), std::invalid_argument);
+  Dataset d(2);
+  d.add(std::vector<double>{1.0, 2.0}, kSybilLabel);
+  s.fit(d);
+  EXPECT_THROW(s.transform(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sybil::ml

@@ -1,0 +1,119 @@
+#include "ml/svm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace sybil::ml {
+namespace {
+
+Dataset linearly_separable(std::size_t per_class, stats::Rng& rng) {
+  Dataset d(2);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    d.add(std::vector<double>{stats::sample_normal(rng, 2.0, 0.5),
+                              stats::sample_normal(rng, 2.0, 0.5)},
+          kSybilLabel);
+    d.add(std::vector<double>{stats::sample_normal(rng, -2.0, 0.5),
+                              stats::sample_normal(rng, -2.0, 0.5)},
+          kNormalLabel);
+  }
+  return d;
+}
+
+TEST(Svm, LinearKernelSeparatesGaussians) {
+  stats::Rng rng(1);
+  const Dataset train = linearly_separable(100, rng);
+  SvmParams params;
+  params.kernel = Kernel::kLinear;
+  params.c = 1.0;
+  const SvmModel model = SvmModel::train(train, params);
+  EXPECT_GT(model.support_vector_count(), 0u);
+
+  const Dataset test = linearly_separable(100, rng);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    correct += model.predict(test.row(i)) == test.label(i);
+  }
+  EXPECT_GE(correct, test.size() * 98 / 100);
+}
+
+TEST(Svm, RbfKernelSolvesXor) {
+  // XOR is not linearly separable; RBF must handle it.
+  Dataset d(2);
+  stats::Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    const double y = rng.uniform(-1.0, 1.0);
+    if (std::abs(x) < 0.1 || std::abs(y) < 0.1) continue;  // margin gap
+    d.add(std::vector<double>{x, y},
+          (x > 0) == (y > 0) ? kSybilLabel : kNormalLabel);
+  }
+  SvmParams params;
+  params.kernel = Kernel::kRbf;
+  params.gamma = 2.0;
+  params.c = 10.0;
+  const SvmModel model = SvmModel::train(d, params);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    correct += model.predict(d.row(i)) == d.label(i);
+  }
+  EXPECT_GE(correct, d.size() * 95 / 100);
+}
+
+TEST(Svm, DecisionSignMatchesPrediction) {
+  stats::Rng rng(3);
+  const Dataset train = linearly_separable(50, rng);
+  const SvmModel model = SvmModel::train(train, SvmParams{});
+  const std::vector<double> probe = {2.0, 2.0};
+  EXPECT_EQ(model.predict(probe),
+            model.decision(probe) >= 0 ? kSybilLabel : kNormalLabel);
+  EXPECT_GT(model.decision(std::vector<double>{3.0, 3.0}), 0.0);
+  EXPECT_LT(model.decision(std::vector<double>{-3.0, -3.0}), 0.0);
+}
+
+TEST(Svm, DeterministicForFixedSeed) {
+  stats::Rng rng(4);
+  const Dataset train = linearly_separable(50, rng);
+  const SvmModel a = SvmModel::train(train, SvmParams{});
+  const SvmModel b = SvmModel::train(train, SvmParams{});
+  EXPECT_EQ(a.support_vector_count(), b.support_vector_count());
+  EXPECT_DOUBLE_EQ(a.bias(), b.bias());
+}
+
+TEST(Svm, SoftMarginToleratesLabelNoise) {
+  stats::Rng rng(5);
+  Dataset d = linearly_separable(100, rng);
+  // Flip ~5% of labels.
+  Dataset noisy(2);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    int label = d.label(i);
+    if (rng.bernoulli(0.05)) label = -label;
+    noisy.add(d.row(i), label);
+  }
+  SvmParams params;
+  params.kernel = Kernel::kLinear;
+  params.c = 1.0;
+  const SvmModel model = SvmModel::train(noisy, params);
+  // Evaluate against the CLEAN labels: the soft margin should ignore
+  // the injected noise.
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    correct += model.predict(d.row(i)) == d.label(i);
+  }
+  EXPECT_GE(correct, d.size() * 95 / 100);
+}
+
+TEST(Svm, Errors) {
+  EXPECT_THROW(SvmModel::train(Dataset(1), SvmParams{}),
+               std::invalid_argument);
+  Dataset one_class(1);
+  one_class.add(std::vector<double>{1.0}, kSybilLabel);
+  one_class.add(std::vector<double>{2.0}, kSybilLabel);
+  EXPECT_THROW(SvmModel::train(one_class, SvmParams{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sybil::ml

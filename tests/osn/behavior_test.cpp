@@ -1,0 +1,126 @@
+#include "osn/behavior.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.h"
+
+namespace sybil::osn {
+namespace {
+
+TEST(Behavior, NormalAccountPopulationStatistics) {
+  NormalBehaviorParams p;
+  stats::Rng rng(1);
+  int female = 0, aggressive = 0;
+  stats::RunningStats openness;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const Account a = make_normal_account(p, 0.0, rng);
+    EXPECT_EQ(a.kind, AccountKind::kNormal);
+    EXPECT_FALSE(a.banned());
+    EXPECT_GE(a.openness, 0.0);
+    EXPECT_LE(a.openness, 1.0);
+    female += a.gender == Gender::kFemale;
+    aggressive += a.invite_rate > p.session_invites_cap;
+    openness.add(a.openness);
+  }
+  EXPECT_NEAR(female / static_cast<double>(n), p.female_fraction, 0.02);
+  EXPECT_NEAR(aggressive / static_cast<double>(n), p.aggressive_fraction,
+              0.005);
+  EXPECT_NEAR(openness.mean(), 0.5, 0.05);  // openness heterogeneity
+}
+
+TEST(Behavior, AggressiveNormalsCappedBelowSybilRates) {
+  NormalBehaviorParams p;
+  stats::Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const Account a = make_normal_account(p, 0.0, rng);
+    EXPECT_LE(a.invite_rate, p.aggressive_rate_cap);
+  }
+}
+
+TEST(Behavior, SybilAccountProperties) {
+  SybilBehaviorParams p;
+  stats::Rng rng(3);
+  int female = 0, stealthy = 0;
+  stats::RunningStats rate;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const Account a = make_sybil_account(p, 5.0, rng);
+    EXPECT_EQ(a.kind, AccountKind::kSybil);
+    EXPECT_DOUBLE_EQ(a.created_at, 5.0);
+    EXPECT_DOUBLE_EQ(a.openness, 1.0);  // accepts everything
+    EXPECT_GT(a.request_budget, 0u);
+    EXPECT_GE(a.attractiveness, 0.0);
+    EXPECT_LE(a.attractiveness, 1.0);
+    female += a.gender == Gender::kFemale;
+    stealthy += a.stealthy;
+    if (!a.stealthy) rate.add(a.invite_rate);
+  }
+  EXPECT_NEAR(female / static_cast<double>(n), p.female_fraction, 0.02);
+  EXPECT_NEAR(stealthy / static_cast<double>(n), p.stealth_fraction, 0.005);
+  // Lognormal(ln 60, 0.45) mean ≈ 60 * exp(0.45²/2) ≈ 66.4.
+  EXPECT_NEAR(rate.mean(), 66.4, 3.0);
+}
+
+TEST(Behavior, StealthySybilsAreThrottled) {
+  SybilBehaviorParams p;
+  p.stealth_fraction = 1.0;
+  stats::Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const Account a = make_sybil_account(p, 0.0, rng);
+    EXPECT_TRUE(a.stealthy);
+    EXPECT_LT(a.invite_rate, 40.0);  // throttled below the Fig 1 threshold
+  }
+}
+
+TEST(Behavior, FofRequestsAcceptedMoreThanStranger) {
+  NormalBehaviorParams p;
+  stats::Rng rng(5);
+  Account target = make_normal_account(p, 0.0, rng);
+  target.openness = 0.5;
+  Account requester = make_normal_account(p, 0.0, rng);
+  requester.attractiveness = 0.5;
+  int fof = 0, stranger = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    fof += normal_accepts(p, target, requester, kTagFriendOfFriend, rng);
+    stranger += normal_accepts(p, target, requester, kTagStranger, rng);
+  }
+  // FoF ≈ base + openness-term; stranger ≈ openness * scale * (...).
+  EXPECT_NEAR(fof / static_cast<double>(n),
+              p.fof_accept_base + p.fof_accept_openness * 0.5, 0.02);
+  EXPECT_NEAR(stranger / static_cast<double>(n),
+              0.5 * p.stranger_scale * (0.35 + 0.65 * 0.5), 0.02);
+  EXPECT_GT(fof, 2 * stranger);
+}
+
+TEST(Behavior, AttractivenessRaisesStrangerAcceptance) {
+  NormalBehaviorParams p;
+  stats::Rng rng(6);
+  Account target;
+  target.openness = 0.8;
+  Account plain, attractive;
+  plain.attractiveness = 0.2;
+  attractive.attractiveness = 0.95;
+  int plain_ok = 0, attractive_ok = 0;
+  for (int i = 0; i < 20000; ++i) {
+    plain_ok += normal_accepts(p, target, plain, kTagStranger, rng);
+    attractive_ok += normal_accepts(p, target, attractive, kTagStranger, rng);
+  }
+  EXPECT_GT(attractive_ok, plain_ok * 3 / 2);
+}
+
+TEST(Behavior, ClosedUsersRarelyAcceptStrangers) {
+  NormalBehaviorParams p;
+  stats::Rng rng(7);
+  Account target;
+  target.openness = 0.0;
+  Account requester;
+  requester.attractiveness = 1.0;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(normal_accepts(p, target, requester, kTagStranger, rng));
+  }
+}
+
+}  // namespace
+}  // namespace sybil::osn

@@ -1,0 +1,172 @@
+#include "osn/network.h"
+
+#include <gtest/gtest.h>
+
+namespace sybil::osn {
+namespace {
+
+Account normal_account() {
+  Account a;
+  a.kind = AccountKind::kNormal;
+  return a;
+}
+
+Account sybil_account() {
+  Account a;
+  a.kind = AccountKind::kSybil;
+  return a;
+}
+
+const Network::DecideFn kAcceptAll = [](NodeId, NodeId, std::uint8_t) {
+  return true;
+};
+const Network::DecideFn kRejectAll = [](NodeId, NodeId, std::uint8_t) {
+  return false;
+};
+
+TEST(Network, RequestLifecycleAccept) {
+  Network net(true);
+  const NodeId a = net.add_account(normal_account());
+  const NodeId b = net.add_account(normal_account());
+  EXPECT_EQ(net.send_request(a, b, 1.0, 2.0), RequestResult::kSent);
+  EXPECT_EQ(net.pending_count(), 1u);
+  EXPECT_FALSE(net.graph().has_edge(a, b));
+  // Not yet due.
+  EXPECT_EQ(net.process_responses(1.5, kAcceptAll), 0u);
+  EXPECT_EQ(net.process_responses(2.5, kAcceptAll), 1u);
+  EXPECT_TRUE(net.graph().has_edge(a, b));
+  EXPECT_DOUBLE_EQ(*net.graph().edge_time(a, b), 2.0);
+  EXPECT_EQ(net.ledger(a).sent(), 1u);
+  EXPECT_EQ(net.ledger(a).sent_accepted(), 1u);
+  EXPECT_EQ(net.ledger(b).received(), 1u);
+  EXPECT_EQ(net.ledger(b).received_accepted(), 1u);
+  EXPECT_EQ(net.log().count(EventType::kRequestAccepted), 1u);
+}
+
+TEST(Network, RequestLifecycleReject) {
+  Network net;
+  const NodeId a = net.add_account(normal_account());
+  const NodeId b = net.add_account(normal_account());
+  net.send_request(a, b, 0.0, 1.0);
+  EXPECT_EQ(net.process_responses(2.0, kRejectAll), 0u);
+  EXPECT_FALSE(net.graph().has_edge(a, b));
+  EXPECT_EQ(net.ledger(a).sent_accepted(), 0u);
+  EXPECT_EQ(net.ledger(b).received_accepted(), 0u);
+}
+
+TEST(Network, RejectsInvalidRequests) {
+  Network net;
+  const NodeId a = net.add_account(normal_account());
+  const NodeId b = net.add_account(normal_account());
+  EXPECT_EQ(net.send_request(a, a, 0.0, 1.0), RequestResult::kInvalid);
+  EXPECT_EQ(net.send_request(a, 99, 0.0, 1.0), RequestResult::kInvalid);
+  EXPECT_EQ(net.send_request(a, b, 0.0, 1.0), RequestResult::kSent);
+  EXPECT_EQ(net.send_request(a, b, 0.5, 1.0), RequestResult::kDuplicate);
+  // Reverse direction is a separate request.
+  EXPECT_EQ(net.send_request(b, a, 0.5, 1.0), RequestResult::kSent);
+}
+
+TEST(Network, DuplicateAfterFriendshipIsAlreadyFriends) {
+  Network net;
+  const NodeId a = net.add_account(normal_account());
+  const NodeId b = net.add_account(normal_account());
+  net.add_friendship(a, b, 0.0);
+  EXPECT_EQ(net.send_request(a, b, 1.0, 2.0), RequestResult::kAlreadyFriends);
+}
+
+TEST(Network, BanDropsPendingBothDirections) {
+  Network net(true);
+  const NodeId a = net.add_account(normal_account());
+  const NodeId s = net.add_account(sybil_account());
+  const NodeId b = net.add_account(normal_account());
+  net.send_request(a, s, 0.0, 5.0);  // incoming to s
+  net.send_request(s, b, 0.0, 5.0);  // outgoing from s
+  net.ban(s, 1.0);
+  EXPECT_TRUE(net.account(s).banned());
+  EXPECT_EQ(net.process_responses(10.0, kAcceptAll), 0u);
+  EXPECT_FALSE(net.graph().has_edge(a, s));
+  EXPECT_FALSE(net.graph().has_edge(s, b));
+  EXPECT_EQ(net.log().count(EventType::kRequestDropped), 2u);
+  // The received counter keeps the censored request: incoming accept
+  // ratio < 1, the Fig 3 censoring effect.
+  EXPECT_EQ(net.ledger(s).received(), 1u);
+  EXPECT_EQ(net.ledger(s).received_accepted(), 0u);
+}
+
+TEST(Network, BannedPartiesCannotSend) {
+  Network net;
+  const NodeId a = net.add_account(normal_account());
+  const NodeId b = net.add_account(normal_account());
+  net.ban(a, 0.0);
+  EXPECT_EQ(net.send_request(a, b, 1.0, 2.0), RequestResult::kPartyBanned);
+  EXPECT_EQ(net.send_request(b, a, 1.0, 2.0), RequestResult::kPartyBanned);
+}
+
+TEST(Network, BanIsIdempotent) {
+  Network net;
+  const NodeId a = net.add_account(normal_account());
+  net.ban(a, 1.0);
+  net.ban(a, 5.0);
+  EXPECT_DOUBLE_EQ(*net.account(a).banned_at, 1.0);
+}
+
+TEST(Network, TagReachesDecision) {
+  Network net;
+  const NodeId a = net.add_account(normal_account());
+  const NodeId b = net.add_account(normal_account());
+  net.send_request(a, b, 0.0, 1.0, /*tag=*/7);
+  std::uint8_t seen_tag = 0;
+  net.process_responses(2.0, [&](NodeId, NodeId, std::uint8_t tag) {
+    seen_tag = tag;
+    return false;
+  });
+  EXPECT_EQ(seen_tag, 7);
+}
+
+TEST(Network, StrangerEdgesAreWeak) {
+  Network net;
+  const NodeId a = net.add_account(normal_account());
+  const NodeId b = net.add_account(normal_account());
+  const NodeId c = net.add_account(normal_account());
+  net.send_request(a, b, 0.0, 1.0, /*tag=stranger*/ 0);
+  net.send_request(a, c, 0.0, 1.0, /*tag=fof*/ 1);
+  net.process_responses(2.0, kAcceptAll);
+  for (const auto& nb : net.graph().neighbors(a)) {
+    EXPECT_EQ(nb.weak, nb.node == b);
+  }
+}
+
+TEST(Network, ResponsesProcessedInTimeOrder) {
+  Network net;
+  const NodeId a = net.add_account(normal_account());
+  const NodeId b = net.add_account(normal_account());
+  const NodeId c = net.add_account(normal_account());
+  net.send_request(a, b, 0.0, 5.0);
+  net.send_request(a, c, 0.0, 2.0);
+  net.process_responses(10.0, kAcceptAll);
+  // Edge times match respond_at and neighbor order is chronological.
+  const auto nbrs = net.graph().neighbors(a);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0].node, c);
+  EXPECT_EQ(nbrs[1].node, b);
+}
+
+TEST(Network, IdsOfKind) {
+  Network net;
+  net.add_account(normal_account());
+  const NodeId s = net.add_account(sybil_account());
+  net.add_account(normal_account());
+  const auto sybils = net.ids_of_kind(AccountKind::kSybil);
+  ASSERT_EQ(sybils.size(), 1u);
+  EXPECT_EQ(sybils[0], s);
+  EXPECT_EQ(net.ids_of_kind(AccountKind::kNormal).size(), 2u);
+}
+
+TEST(Network, AddFriendshipValidation) {
+  Network net;
+  const NodeId a = net.add_account(normal_account());
+  EXPECT_THROW(net.add_friendship(a, 42, 0.0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sybil::osn

@@ -1,0 +1,135 @@
+// Integration-style tests of the ground-truth simulator at reduced scale.
+// These verify the *mechanisms* (feature separation directions, censoring,
+// determinism); the full-scale calibration against paper numbers lives in
+// the benches and EXPERIMENTS.md.
+#include "osn/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ground_truth.h"
+#include "stats/summary.h"
+
+namespace sybil::osn {
+namespace {
+
+GroundTruthConfig small_config(std::uint64_t seed = 42) {
+  GroundTruthConfig c;
+  c.background_users = 3000;
+  c.subject_normals = 120;
+  c.subject_sybils = 120;
+  c.sim_hours = 200.0;
+  c.seed = seed;
+  return c;
+}
+
+class SimulatorFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim_ = new GroundTruthSimulator(small_config());
+    sim_->run();
+  }
+  static void TearDownTestSuite() {
+    delete sim_;
+    sim_ = nullptr;
+  }
+  static GroundTruthSimulator* sim_;
+};
+
+GroundTruthSimulator* SimulatorFixture::sim_ = nullptr;
+
+TEST_F(SimulatorFixture, PopulationsTracked) {
+  EXPECT_EQ(sim_->subject_normals().size(), 120u);
+  EXPECT_EQ(sim_->subject_sybils().size(), 120u);
+  EXPECT_EQ(sim_->network().account_count(), 3000u + 120u + 120u);
+}
+
+TEST_F(SimulatorFixture, RunTwiceThrows) {
+  EXPECT_THROW(sim_->run(), std::logic_error);
+}
+
+TEST_F(SimulatorFixture, SybilsSendMoreAndAreAcceptedLess) {
+  const auto nc =
+      core::feature_columns(sim_->network(), sim_->subject_normals());
+  const auto sc =
+      core::feature_columns(sim_->network(), sim_->subject_sybils());
+  const double n_rate = stats::summarize(nc.invite_rate_short).mean();
+  const double s_rate = stats::summarize(sc.invite_rate_short).mean();
+  EXPECT_GT(s_rate, 5.0 * n_rate);
+  const double n_acc = stats::summarize(nc.outgoing_accept).mean();
+  const double s_acc = stats::summarize(sc.outgoing_accept).mean();
+  EXPECT_GT(n_acc, 1.8 * s_acc);
+}
+
+TEST_F(SimulatorFixture, SybilsAcceptNearlyAllIncoming) {
+  const auto sc =
+      core::feature_columns(sim_->network(), sim_->subject_sybils());
+  EXPECT_GT(stats::summarize(sc.incoming_accept).mean(), 0.85);
+}
+
+TEST_F(SimulatorFixture, SybilClusteringBelowNormal) {
+  const auto nc =
+      core::feature_columns(sim_->network(), sim_->subject_normals());
+  const auto sc =
+      core::feature_columns(sim_->network(), sim_->subject_sybils());
+  EXPECT_GT(stats::summarize(nc.clustering).mean(),
+            2.0 * stats::summarize(sc.clustering).mean());
+}
+
+TEST_F(SimulatorFixture, AllSybilsEventuallyBanned) {
+  // Ban window [60, 380] exceeds the 200h run for some Sybils, so not
+  // all are banned — but some must be, and banned ones stop at their
+  // ban time.
+  std::size_t banned = 0;
+  for (NodeId s : sim_->subject_sybils()) {
+    if (sim_->network().account(s).banned()) {
+      ++banned;
+      EXPECT_LE(*sim_->network().account(s).banned_at, 200.0);
+    }
+  }
+  EXPECT_GT(banned, 20u);
+}
+
+TEST_F(SimulatorFixture, SomeSybilsCensoredByBan) {
+  // At least one banned Sybil should have an unanswered (dropped)
+  // incoming request — the Fig 3 censoring effect.
+  std::size_t censored = 0;
+  for (NodeId s : sim_->subject_sybils()) {
+    const auto& led = sim_->network().ledger(s);
+    if (sim_->network().account(s).banned() &&
+        led.received() > led.received_accepted()) {
+      ++censored;
+    }
+  }
+  EXPECT_GT(censored, 0u);
+}
+
+TEST_F(SimulatorFixture, BudgetsRespected) {
+  for (NodeId s : sim_->subject_sybils()) {
+    const Account& acc = sim_->network().account(s);
+    if (acc.request_budget > 0) {
+      EXPECT_LE(sim_->network().ledger(s).sent(), acc.request_budget);
+    }
+  }
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  GroundTruthSimulator a(small_config(7)), b(small_config(7));
+  a.run();
+  b.run();
+  EXPECT_EQ(a.network().graph().edge_count(),
+            b.network().graph().edge_count());
+  for (NodeId s : a.subject_sybils()) {
+    EXPECT_EQ(a.network().ledger(s).sent(), b.network().ledger(s).sent());
+  }
+}
+
+TEST(Simulator, DifferentSeedsDiffer) {
+  GroundTruthSimulator a(small_config(1)), b(small_config(2));
+  a.run();
+  b.run();
+  EXPECT_NE(a.network().graph().edge_count(),
+            b.network().graph().edge_count());
+}
+
+}  // namespace
+}  // namespace sybil::osn

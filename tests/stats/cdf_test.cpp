@@ -1,0 +1,130 @@
+#include "stats/cdf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sybil::stats {
+namespace {
+
+TEST(EmpiricalCdf, BasicFractions) {
+  const std::vector<double> sample = {1.0, 2.0, 3.0, 4.0};
+  EmpiricalCdf cdf(sample);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, HandlesDuplicates) {
+  const std::vector<double> sample = {1.0, 1.0, 1.0, 2.0};
+  EmpiricalCdf cdf(sample);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.75);
+}
+
+TEST(EmpiricalCdf, Quantiles) {
+  const std::vector<double> sample = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EmpiricalCdf cdf(sample);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+  EXPECT_THROW(cdf.quantile(1.5), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, MinMaxMean) {
+  const std::vector<double> sample = {2.0, 8.0};
+  EmpiricalCdf cdf(sample);
+  EXPECT_DOUBLE_EQ(cdf.min(), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 8.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 5.0);
+}
+
+TEST(EmpiricalCdf, EmptySampleThrows) {
+  EXPECT_THROW(EmpiricalCdf(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, SeriesIsMonotonic) {
+  std::vector<double> sample;
+  for (int i = 0; i < 100; ++i) sample.push_back(i * i * 0.01);
+  EmpiricalCdf cdf(sample);
+  const auto pts = cdf.series(40);
+  ASSERT_EQ(pts.size(), 40u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].cdf_percent, pts[i - 1].cdf_percent);
+    EXPECT_GE(pts[i].x, pts[i - 1].x);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().cdf_percent, 100.0);
+}
+
+TEST(EmpiricalCdf, LogSeriesRequiresPositive) {
+  EmpiricalCdf with_zero(std::vector<double>{0.0, 1.0});
+  EXPECT_THROW(with_zero.log_series(10), std::domain_error);
+  EmpiricalCdf positive(std::vector<double>{0.1, 10.0, 1000.0});
+  const auto pts = positive.log_series(10);
+  EXPECT_NEAR(pts.front().x, 0.1, 1e-9);
+  EXPECT_NEAR(pts.back().x, 1000.0, 1e-6);
+}
+
+TEST(EmpiricalCdf, TsvHasOneRowPerPoint) {
+  EmpiricalCdf cdf(std::vector<double>{1.0, 2.0, 3.0});
+  const std::string tsv = cdf.to_tsv(10);
+  EXPECT_EQ(std::count(tsv.begin(), tsv.end(), '\n'), 10);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 4
+  h.add(-5.0);   // clamped to bin 0
+  h.add(42.0);   // clamped to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.fraction(2), 0.2);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1, 7);
+  EXPECT_EQ(h.count(0), 7u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(LogHistogram, DecadeBins) {
+  LogHistogram h(1.0, 1000.0, 1);  // one bin per decade
+  h.add(2.0);     // decade [1, 10)
+  h.add(50.0);    // decade [10, 100)
+  h.add(999.0);   // decade [100, 1000)
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_NEAR(h.bin_lower(1), 10.0, 1e-9);
+  EXPECT_NEAR(h.bin_upper(1), 100.0, 1e-9);
+}
+
+TEST(LogHistogram, ClampsOutOfRange) {
+  LogHistogram h(1.0, 100.0, 1);
+  h.add(0.0);     // below range → bin 0
+  h.add(1e9);     // above range → last bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(h.bins() - 1), 1u);
+}
+
+TEST(LogHistogram, RejectsBadParameters) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 1), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(10.0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sybil::stats

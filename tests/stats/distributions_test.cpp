@@ -1,0 +1,238 @@
+#include "stats/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace sybil::stats {
+namespace {
+
+TEST(Exponential, MeanMatchesRate) {
+  Rng r(1);
+  const double lambda = 2.5;
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += sample_exponential(r, lambda);
+  EXPECT_NEAR(sum / n, 1.0 / lambda, 0.02);
+}
+
+TEST(Exponential, RejectsNonPositiveRate) {
+  Rng r(2);
+  EXPECT_THROW(sample_exponential(r, 0.0), std::invalid_argument);
+  EXPECT_THROW(sample_exponential(r, -1.0), std::invalid_argument);
+}
+
+TEST(Poisson, SmallMean) {
+  Rng r(3);
+  const double mean = 3.7;
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = static_cast<double>(sample_poisson(r, mean));
+    sum += x;
+    sq += x * x;
+  }
+  const double m = sum / n;
+  EXPECT_NEAR(m, mean, 0.1);
+  EXPECT_NEAR(sq / n - m * m, mean, 0.2);  // Poisson variance == mean
+}
+
+TEST(Poisson, LargeMeanUsesNormalApprox) {
+  Rng r(4);
+  const double mean = 500.0;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(sample_poisson(r, mean));
+  }
+  EXPECT_NEAR(sum / n, mean, 2.0);
+}
+
+TEST(Poisson, ZeroMeanIsZero) {
+  Rng r(5);
+  EXPECT_EQ(sample_poisson(r, 0.0), 0u);
+}
+
+TEST(Poisson, NegativeMeanThrows) {
+  Rng r(6);
+  EXPECT_THROW(sample_poisson(r, -1.0), std::invalid_argument);
+}
+
+TEST(Lognormal, MedianIsExpMu) {
+  Rng r(7);
+  std::vector<double> xs(20001);
+  for (auto& x : xs) x = sample_lognormal(r, std::log(50.0), 0.5);
+  std::nth_element(xs.begin(), xs.begin() + 10000, xs.end());
+  EXPECT_NEAR(xs[10000], 50.0, 2.0);
+}
+
+TEST(Normal, MeanAndStd) {
+  Rng r(8);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = sample_normal(r, 10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double m = sum / n;
+  EXPECT_NEAR(m, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / n - m * m), 3.0, 0.05);
+}
+
+TEST(BoundedPareto, StaysInRange) {
+  Rng r(9);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = sample_bounded_pareto(r, 1.5, 2.0, 100.0);
+    ASSERT_GE(x, 2.0);
+    ASSERT_LE(x, 100.0);
+  }
+}
+
+TEST(BoundedPareto, RejectsBadParameters) {
+  Rng r(10);
+  EXPECT_THROW(sample_bounded_pareto(r, 0.0, 1.0, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(sample_bounded_pareto(r, 1.0, 0.0, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(sample_bounded_pareto(r, 1.0, 3.0, 2.0),
+               std::invalid_argument);
+}
+
+TEST(Zipf, RanksInBounds) {
+  Rng r(11);
+  ZipfSampler zipf(100, 1.2);
+  for (int i = 0; i < 5000; ++i) {
+    const auto k = zipf(r);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 100u);
+  }
+}
+
+TEST(Zipf, FrequencyDecreasesWithRank) {
+  Rng r(12);
+  ZipfSampler zipf(50, 1.0);
+  std::vector<int> counts(51, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf(r)];
+  EXPECT_GT(counts[1], counts[5]);
+  EXPECT_GT(counts[5], counts[25]);
+  // Rank-1 to rank-2 ratio approximates 2^s = 2.
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], 2.0, 0.3);
+}
+
+TEST(Zipf, ExponentNearOneIsHandled) {
+  Rng r(13);
+  ZipfSampler zipf(100, 1.0);  // the log-antiderivative branch
+  std::uint64_t total = 0;
+  for (int i = 0; i < 1000; ++i) total += zipf(r);
+  EXPECT_GT(total, 1000u);
+}
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, 0.0), std::invalid_argument);
+}
+
+TEST(Alias, MatchesWeights) {
+  Rng r(14);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  AliasSampler alias(weights);
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[alias(r)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Alias, ZeroWeightNeverSampled) {
+  Rng r(15);
+  const std::vector<double> weights = {0.0, 1.0, 0.0, 1.0};
+  AliasSampler alias(weights);
+  for (int i = 0; i < 10000; ++i) {
+    const auto k = alias(r);
+    ASSERT_TRUE(k == 1 || k == 3);
+  }
+}
+
+TEST(Alias, RejectsInvalidWeights) {
+  EXPECT_THROW(AliasSampler(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AliasSampler(std::vector<double>{-1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AliasSampler(std::vector<double>{
+                   std::numeric_limits<double>::infinity()}),
+               std::invalid_argument);
+}
+
+TEST(Alias, SingleElement) {
+  Rng r(16);
+  AliasSampler alias(std::vector<double>{5.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(alias(r), 0u);
+}
+
+TEST(WeightedOnce, MatchesWeights) {
+  Rng r(17);
+  const std::vector<double> weights = {2.0, 0.0, 8.0};
+  std::vector<int> counts(3, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[sample_weighted_once(r, weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.2, 0.01);
+}
+
+TEST(WeightedOnce, RejectsZeroTotal) {
+  Rng r(18);
+  EXPECT_THROW(sample_weighted_once(r, std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(SampleDistinct, ProducesDistinctValuesInRange) {
+  Rng r(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto picks = sample_distinct(r, 100, 10);
+    ASSERT_EQ(picks.size(), 10u);
+    std::set<std::uint64_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 10u);
+    for (auto p : picks) EXPECT_LT(p, 100u);
+  }
+}
+
+TEST(SampleDistinct, FullRange) {
+  Rng r(20);
+  const auto picks = sample_distinct(r, 5, 5);
+  std::set<std::uint64_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(SampleDistinct, RejectsKGreaterThanN) {
+  Rng r(21);
+  EXPECT_THROW(sample_distinct(r, 3, 4), std::invalid_argument);
+}
+
+TEST(Shuffle, IsPermutation) {
+  Rng r(22);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  shuffle(r, v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Shuffle, ActuallyShuffles) {
+  Rng r(23);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  shuffle(r, v);
+  int in_place = 0;
+  for (int i = 0; i < 100; ++i) in_place += v[i] == i;
+  EXPECT_LT(in_place, 10);
+}
+
+}  // namespace
+}  // namespace sybil::stats

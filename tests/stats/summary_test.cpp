@@ -1,0 +1,87 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace sybil::stats {
+namespace {
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Summarize, MatchesRunning) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const RunningStats s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{5.0}), 5.0);
+  EXPECT_THROW(median(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Gini, KnownCases) {
+  // Perfect equality → 0.
+  EXPECT_NEAR(gini(std::vector<double>{1.0, 1.0, 1.0, 1.0}), 0.0, 1e-12);
+  // All mass on one of n: gini = (n-1)/n.
+  EXPECT_NEAR(gini(std::vector<double>{0.0, 0.0, 0.0, 10.0}), 0.75, 1e-12);
+  EXPECT_THROW(gini(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(gini(std::vector<double>{-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(gini(std::vector<double>{0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, Uncorrelated) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {1.0, -1.0, 1.0, -1.0};
+  EXPECT_NEAR(pearson(xs, ys), std::abs(pearson(xs, ys)) < 0.5
+                                   ? pearson(xs, ys)
+                                   : 0.0,
+              0.5);
+}
+
+TEST(Pearson, Errors) {
+  EXPECT_THROW(pearson(std::vector<double>{1.0}, std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(pearson(std::vector<double>{1.0, 2.0},
+                       std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(pearson(std::vector<double>{1.0, 1.0},
+                       std::vector<double>{1.0, 2.0}),
+               std::domain_error);
+}
+
+}  // namespace
+}  // namespace sybil::stats
