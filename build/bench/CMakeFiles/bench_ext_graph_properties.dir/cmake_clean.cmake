@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_graph_properties.dir/bench_ext_graph_properties.cpp.o"
+  "CMakeFiles/bench_ext_graph_properties.dir/bench_ext_graph_properties.cpp.o.d"
+  "bench_ext_graph_properties"
+  "bench_ext_graph_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_graph_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_honeypot.dir/bench_ext_honeypot.cpp.o"
+  "CMakeFiles/bench_ext_honeypot.dir/bench_ext_honeypot.cpp.o.d"
+  "bench_ext_honeypot"
+  "bench_ext_honeypot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_honeypot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_rate_cap.cpp" "bench/CMakeFiles/bench_ext_rate_cap.dir/bench_ext_rate_cap.cpp.o" "gcc" "bench/CMakeFiles/bench_ext_rate_cap.dir/bench_ext_rate_cap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sybil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/sybil_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/sybil_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/osn/CMakeFiles/sybil_osn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sybil_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sybil_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sybil_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_rate_cap.dir/bench_ext_rate_cap.cpp.o"
+  "CMakeFiles/bench_ext_rate_cap.dir/bench_ext_rate_cap.cpp.o.d"
+  "bench_ext_rate_cap"
+  "bench_ext_rate_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_rate_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

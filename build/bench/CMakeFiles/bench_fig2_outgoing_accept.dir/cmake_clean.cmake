@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_outgoing_accept.dir/bench_fig2_outgoing_accept.cpp.o"
+  "CMakeFiles/bench_fig2_outgoing_accept.dir/bench_fig2_outgoing_accept.cpp.o.d"
+  "bench_fig2_outgoing_accept"
+  "bench_fig2_outgoing_accept.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_outgoing_accept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_incoming_accept.dir/bench_fig3_incoming_accept.cpp.o"
+  "CMakeFiles/bench_fig3_incoming_accept.dir/bench_fig3_incoming_accept.cpp.o.d"
+  "bench_fig3_incoming_accept"
+  "bench_fig3_incoming_accept.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_incoming_accept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig3_incoming_accept.
+# This may be replaced when dependencies are built.

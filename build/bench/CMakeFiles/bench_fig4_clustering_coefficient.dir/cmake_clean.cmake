@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_clustering_coefficient.dir/bench_fig4_clustering_coefficient.cpp.o"
+  "CMakeFiles/bench_fig4_clustering_coefficient.dir/bench_fig4_clustering_coefficient.cpp.o.d"
+  "bench_fig4_clustering_coefficient"
+  "bench_fig4_clustering_coefficient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_clustering_coefficient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

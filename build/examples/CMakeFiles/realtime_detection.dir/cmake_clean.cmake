@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_detection.dir/realtime_detection.cpp.o"
+  "CMakeFiles/realtime_detection.dir/realtime_detection.cpp.o.d"
+  "realtime_detection"
+  "realtime_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

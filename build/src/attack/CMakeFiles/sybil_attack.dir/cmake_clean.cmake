@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybil_attack.dir/campaign.cpp.o"
+  "CMakeFiles/sybil_attack.dir/campaign.cpp.o.d"
+  "CMakeFiles/sybil_attack.dir/tools.cpp.o"
+  "CMakeFiles/sybil_attack.dir/tools.cpp.o.d"
+  "libsybil_attack.a"
+  "libsybil_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybil_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

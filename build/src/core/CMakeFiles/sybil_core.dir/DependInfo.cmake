@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/sybil_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/sybil_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/edge_order.cpp" "src/core/CMakeFiles/sybil_core.dir/edge_order.cpp.o" "gcc" "src/core/CMakeFiles/sybil_core.dir/edge_order.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/sybil_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/sybil_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/ground_truth.cpp" "src/core/CMakeFiles/sybil_core.dir/ground_truth.cpp.o" "gcc" "src/core/CMakeFiles/sybil_core.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/core/realtime_detector.cpp" "src/core/CMakeFiles/sybil_core.dir/realtime_detector.cpp.o" "gcc" "src/core/CMakeFiles/sybil_core.dir/realtime_detector.cpp.o.d"
+  "/root/repo/src/core/stream_detector.cpp" "src/core/CMakeFiles/sybil_core.dir/stream_detector.cpp.o" "gcc" "src/core/CMakeFiles/sybil_core.dir/stream_detector.cpp.o.d"
+  "/root/repo/src/core/threshold_detector.cpp" "src/core/CMakeFiles/sybil_core.dir/threshold_detector.cpp.o" "gcc" "src/core/CMakeFiles/sybil_core.dir/threshold_detector.cpp.o.d"
+  "/root/repo/src/core/topology.cpp" "src/core/CMakeFiles/sybil_core.dir/topology.cpp.o" "gcc" "src/core/CMakeFiles/sybil_core.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/osn/CMakeFiles/sybil_osn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sybil_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sybil_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sybil_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

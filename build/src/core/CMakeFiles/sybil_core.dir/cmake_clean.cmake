@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybil_core.dir/adaptive.cpp.o"
+  "CMakeFiles/sybil_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/sybil_core.dir/edge_order.cpp.o"
+  "CMakeFiles/sybil_core.dir/edge_order.cpp.o.d"
+  "CMakeFiles/sybil_core.dir/features.cpp.o"
+  "CMakeFiles/sybil_core.dir/features.cpp.o.d"
+  "CMakeFiles/sybil_core.dir/ground_truth.cpp.o"
+  "CMakeFiles/sybil_core.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/sybil_core.dir/realtime_detector.cpp.o"
+  "CMakeFiles/sybil_core.dir/realtime_detector.cpp.o.d"
+  "CMakeFiles/sybil_core.dir/stream_detector.cpp.o"
+  "CMakeFiles/sybil_core.dir/stream_detector.cpp.o.d"
+  "CMakeFiles/sybil_core.dir/threshold_detector.cpp.o"
+  "CMakeFiles/sybil_core.dir/threshold_detector.cpp.o.d"
+  "CMakeFiles/sybil_core.dir/topology.cpp.o"
+  "CMakeFiles/sybil_core.dir/topology.cpp.o.d"
+  "libsybil_core.a"
+  "libsybil_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybil_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detectors/community.cpp" "src/detectors/CMakeFiles/sybil_detectors.dir/community.cpp.o" "gcc" "src/detectors/CMakeFiles/sybil_detectors.dir/community.cpp.o.d"
+  "/root/repo/src/detectors/evaluation.cpp" "src/detectors/CMakeFiles/sybil_detectors.dir/evaluation.cpp.o" "gcc" "src/detectors/CMakeFiles/sybil_detectors.dir/evaluation.cpp.o.d"
+  "/root/repo/src/detectors/sumup.cpp" "src/detectors/CMakeFiles/sybil_detectors.dir/sumup.cpp.o" "gcc" "src/detectors/CMakeFiles/sybil_detectors.dir/sumup.cpp.o.d"
+  "/root/repo/src/detectors/sybilguard.cpp" "src/detectors/CMakeFiles/sybil_detectors.dir/sybilguard.cpp.o" "gcc" "src/detectors/CMakeFiles/sybil_detectors.dir/sybilguard.cpp.o.d"
+  "/root/repo/src/detectors/sybilinfer.cpp" "src/detectors/CMakeFiles/sybil_detectors.dir/sybilinfer.cpp.o" "gcc" "src/detectors/CMakeFiles/sybil_detectors.dir/sybilinfer.cpp.o.d"
+  "/root/repo/src/detectors/sybilinfer_mcmc.cpp" "src/detectors/CMakeFiles/sybil_detectors.dir/sybilinfer_mcmc.cpp.o" "gcc" "src/detectors/CMakeFiles/sybil_detectors.dir/sybilinfer_mcmc.cpp.o.d"
+  "/root/repo/src/detectors/sybillimit.cpp" "src/detectors/CMakeFiles/sybil_detectors.dir/sybillimit.cpp.o" "gcc" "src/detectors/CMakeFiles/sybil_detectors.dir/sybillimit.cpp.o.d"
+  "/root/repo/src/detectors/sybilrank.cpp" "src/detectors/CMakeFiles/sybil_detectors.dir/sybilrank.cpp.o" "gcc" "src/detectors/CMakeFiles/sybil_detectors.dir/sybilrank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sybil_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sybil_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybil_detectors.dir/community.cpp.o"
+  "CMakeFiles/sybil_detectors.dir/community.cpp.o.d"
+  "CMakeFiles/sybil_detectors.dir/evaluation.cpp.o"
+  "CMakeFiles/sybil_detectors.dir/evaluation.cpp.o.d"
+  "CMakeFiles/sybil_detectors.dir/sumup.cpp.o"
+  "CMakeFiles/sybil_detectors.dir/sumup.cpp.o.d"
+  "CMakeFiles/sybil_detectors.dir/sybilguard.cpp.o"
+  "CMakeFiles/sybil_detectors.dir/sybilguard.cpp.o.d"
+  "CMakeFiles/sybil_detectors.dir/sybilinfer.cpp.o"
+  "CMakeFiles/sybil_detectors.dir/sybilinfer.cpp.o.d"
+  "CMakeFiles/sybil_detectors.dir/sybilinfer_mcmc.cpp.o"
+  "CMakeFiles/sybil_detectors.dir/sybilinfer_mcmc.cpp.o.d"
+  "CMakeFiles/sybil_detectors.dir/sybillimit.cpp.o"
+  "CMakeFiles/sybil_detectors.dir/sybillimit.cpp.o.d"
+  "CMakeFiles/sybil_detectors.dir/sybilrank.cpp.o"
+  "CMakeFiles/sybil_detectors.dir/sybilrank.cpp.o.d"
+  "libsybil_detectors.a"
+  "libsybil_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybil_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

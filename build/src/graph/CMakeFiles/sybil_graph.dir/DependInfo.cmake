@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/clustering.cpp" "src/graph/CMakeFiles/sybil_graph.dir/clustering.cpp.o" "gcc" "src/graph/CMakeFiles/sybil_graph.dir/clustering.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/graph/CMakeFiles/sybil_graph.dir/components.cpp.o" "gcc" "src/graph/CMakeFiles/sybil_graph.dir/components.cpp.o.d"
+  "/root/repo/src/graph/conductance.cpp" "src/graph/CMakeFiles/sybil_graph.dir/conductance.cpp.o" "gcc" "src/graph/CMakeFiles/sybil_graph.dir/conductance.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/sybil_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/sybil_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/degree.cpp" "src/graph/CMakeFiles/sybil_graph.dir/degree.cpp.o" "gcc" "src/graph/CMakeFiles/sybil_graph.dir/degree.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/sybil_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/sybil_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/sybil_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/sybil_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/sybil_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/sybil_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/maxflow.cpp" "src/graph/CMakeFiles/sybil_graph.dir/maxflow.cpp.o" "gcc" "src/graph/CMakeFiles/sybil_graph.dir/maxflow.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/graph/CMakeFiles/sybil_graph.dir/metrics.cpp.o" "gcc" "src/graph/CMakeFiles/sybil_graph.dir/metrics.cpp.o.d"
+  "/root/repo/src/graph/mixing.cpp" "src/graph/CMakeFiles/sybil_graph.dir/mixing.cpp.o" "gcc" "src/graph/CMakeFiles/sybil_graph.dir/mixing.cpp.o.d"
+  "/root/repo/src/graph/sampling.cpp" "src/graph/CMakeFiles/sybil_graph.dir/sampling.cpp.o" "gcc" "src/graph/CMakeFiles/sybil_graph.dir/sampling.cpp.o.d"
+  "/root/repo/src/graph/walks.cpp" "src/graph/CMakeFiles/sybil_graph.dir/walks.cpp.o" "gcc" "src/graph/CMakeFiles/sybil_graph.dir/walks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/sybil_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

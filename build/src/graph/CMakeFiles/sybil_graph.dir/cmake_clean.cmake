@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybil_graph.dir/clustering.cpp.o"
+  "CMakeFiles/sybil_graph.dir/clustering.cpp.o.d"
+  "CMakeFiles/sybil_graph.dir/components.cpp.o"
+  "CMakeFiles/sybil_graph.dir/components.cpp.o.d"
+  "CMakeFiles/sybil_graph.dir/conductance.cpp.o"
+  "CMakeFiles/sybil_graph.dir/conductance.cpp.o.d"
+  "CMakeFiles/sybil_graph.dir/csr.cpp.o"
+  "CMakeFiles/sybil_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/sybil_graph.dir/degree.cpp.o"
+  "CMakeFiles/sybil_graph.dir/degree.cpp.o.d"
+  "CMakeFiles/sybil_graph.dir/generators.cpp.o"
+  "CMakeFiles/sybil_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/sybil_graph.dir/graph.cpp.o"
+  "CMakeFiles/sybil_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/sybil_graph.dir/io.cpp.o"
+  "CMakeFiles/sybil_graph.dir/io.cpp.o.d"
+  "CMakeFiles/sybil_graph.dir/maxflow.cpp.o"
+  "CMakeFiles/sybil_graph.dir/maxflow.cpp.o.d"
+  "CMakeFiles/sybil_graph.dir/metrics.cpp.o"
+  "CMakeFiles/sybil_graph.dir/metrics.cpp.o.d"
+  "CMakeFiles/sybil_graph.dir/mixing.cpp.o"
+  "CMakeFiles/sybil_graph.dir/mixing.cpp.o.d"
+  "CMakeFiles/sybil_graph.dir/sampling.cpp.o"
+  "CMakeFiles/sybil_graph.dir/sampling.cpp.o.d"
+  "CMakeFiles/sybil_graph.dir/walks.cpp.o"
+  "CMakeFiles/sybil_graph.dir/walks.cpp.o.d"
+  "libsybil_graph.a"
+  "libsybil_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybil_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/sybil_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/sybil_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/dataset_io.cpp" "src/ml/CMakeFiles/sybil_ml.dir/dataset_io.cpp.o" "gcc" "src/ml/CMakeFiles/sybil_ml.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/ml/kfold.cpp" "src/ml/CMakeFiles/sybil_ml.dir/kfold.cpp.o" "gcc" "src/ml/CMakeFiles/sybil_ml.dir/kfold.cpp.o.d"
+  "/root/repo/src/ml/logistic.cpp" "src/ml/CMakeFiles/sybil_ml.dir/logistic.cpp.o" "gcc" "src/ml/CMakeFiles/sybil_ml.dir/logistic.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/sybil_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/sybil_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/roc.cpp" "src/ml/CMakeFiles/sybil_ml.dir/roc.cpp.o" "gcc" "src/ml/CMakeFiles/sybil_ml.dir/roc.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/sybil_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/sybil_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/sybil_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/sybil_ml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/sybil_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybil_ml.dir/dataset.cpp.o"
+  "CMakeFiles/sybil_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/sybil_ml.dir/dataset_io.cpp.o"
+  "CMakeFiles/sybil_ml.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/sybil_ml.dir/kfold.cpp.o"
+  "CMakeFiles/sybil_ml.dir/kfold.cpp.o.d"
+  "CMakeFiles/sybil_ml.dir/logistic.cpp.o"
+  "CMakeFiles/sybil_ml.dir/logistic.cpp.o.d"
+  "CMakeFiles/sybil_ml.dir/metrics.cpp.o"
+  "CMakeFiles/sybil_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/sybil_ml.dir/roc.cpp.o"
+  "CMakeFiles/sybil_ml.dir/roc.cpp.o.d"
+  "CMakeFiles/sybil_ml.dir/scaler.cpp.o"
+  "CMakeFiles/sybil_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/sybil_ml.dir/svm.cpp.o"
+  "CMakeFiles/sybil_ml.dir/svm.cpp.o.d"
+  "libsybil_ml.a"
+  "libsybil_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybil_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

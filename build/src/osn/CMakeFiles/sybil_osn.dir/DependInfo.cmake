@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osn/behavior.cpp" "src/osn/CMakeFiles/sybil_osn.dir/behavior.cpp.o" "gcc" "src/osn/CMakeFiles/sybil_osn.dir/behavior.cpp.o.d"
+  "/root/repo/src/osn/events.cpp" "src/osn/CMakeFiles/sybil_osn.dir/events.cpp.o" "gcc" "src/osn/CMakeFiles/sybil_osn.dir/events.cpp.o.d"
+  "/root/repo/src/osn/ledger.cpp" "src/osn/CMakeFiles/sybil_osn.dir/ledger.cpp.o" "gcc" "src/osn/CMakeFiles/sybil_osn.dir/ledger.cpp.o.d"
+  "/root/repo/src/osn/network.cpp" "src/osn/CMakeFiles/sybil_osn.dir/network.cpp.o" "gcc" "src/osn/CMakeFiles/sybil_osn.dir/network.cpp.o.d"
+  "/root/repo/src/osn/simulator.cpp" "src/osn/CMakeFiles/sybil_osn.dir/simulator.cpp.o" "gcc" "src/osn/CMakeFiles/sybil_osn.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sybil_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sybil_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

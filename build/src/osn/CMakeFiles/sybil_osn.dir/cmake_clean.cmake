@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybil_osn.dir/behavior.cpp.o"
+  "CMakeFiles/sybil_osn.dir/behavior.cpp.o.d"
+  "CMakeFiles/sybil_osn.dir/events.cpp.o"
+  "CMakeFiles/sybil_osn.dir/events.cpp.o.d"
+  "CMakeFiles/sybil_osn.dir/ledger.cpp.o"
+  "CMakeFiles/sybil_osn.dir/ledger.cpp.o.d"
+  "CMakeFiles/sybil_osn.dir/network.cpp.o"
+  "CMakeFiles/sybil_osn.dir/network.cpp.o.d"
+  "CMakeFiles/sybil_osn.dir/simulator.cpp.o"
+  "CMakeFiles/sybil_osn.dir/simulator.cpp.o.d"
+  "libsybil_osn.a"
+  "libsybil_osn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybil_osn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsybil_osn.a"
+)

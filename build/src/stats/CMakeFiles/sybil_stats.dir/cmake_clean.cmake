@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybil_stats.dir/cdf.cpp.o"
+  "CMakeFiles/sybil_stats.dir/cdf.cpp.o.d"
+  "CMakeFiles/sybil_stats.dir/distributions.cpp.o"
+  "CMakeFiles/sybil_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/sybil_stats.dir/rng.cpp.o"
+  "CMakeFiles/sybil_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/sybil_stats.dir/summary.cpp.o"
+  "CMakeFiles/sybil_stats.dir/summary.cpp.o.d"
+  "libsybil_stats.a"
+  "libsybil_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybil_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybil_attack_tests.dir/attack/campaign_test.cpp.o"
+  "CMakeFiles/sybil_attack_tests.dir/attack/campaign_test.cpp.o.d"
+  "sybil_attack_tests"
+  "sybil_attack_tests.pdb"
+  "sybil_attack_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybil_attack_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/adaptive_test.cpp" "tests/CMakeFiles/sybil_core_tests.dir/core/adaptive_test.cpp.o" "gcc" "tests/CMakeFiles/sybil_core_tests.dir/core/adaptive_test.cpp.o.d"
+  "/root/repo/tests/core/edge_order_test.cpp" "tests/CMakeFiles/sybil_core_tests.dir/core/edge_order_test.cpp.o" "gcc" "tests/CMakeFiles/sybil_core_tests.dir/core/edge_order_test.cpp.o.d"
+  "/root/repo/tests/core/features_test.cpp" "tests/CMakeFiles/sybil_core_tests.dir/core/features_test.cpp.o" "gcc" "tests/CMakeFiles/sybil_core_tests.dir/core/features_test.cpp.o.d"
+  "/root/repo/tests/core/realtime_test.cpp" "tests/CMakeFiles/sybil_core_tests.dir/core/realtime_test.cpp.o" "gcc" "tests/CMakeFiles/sybil_core_tests.dir/core/realtime_test.cpp.o.d"
+  "/root/repo/tests/core/stream_detector_test.cpp" "tests/CMakeFiles/sybil_core_tests.dir/core/stream_detector_test.cpp.o" "gcc" "tests/CMakeFiles/sybil_core_tests.dir/core/stream_detector_test.cpp.o.d"
+  "/root/repo/tests/core/threshold_test.cpp" "tests/CMakeFiles/sybil_core_tests.dir/core/threshold_test.cpp.o" "gcc" "tests/CMakeFiles/sybil_core_tests.dir/core/threshold_test.cpp.o.d"
+  "/root/repo/tests/core/topology_test.cpp" "tests/CMakeFiles/sybil_core_tests.dir/core/topology_test.cpp.o" "gcc" "tests/CMakeFiles/sybil_core_tests.dir/core/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sybil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/sybil_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/sybil_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/osn/CMakeFiles/sybil_osn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sybil_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sybil_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sybil_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybil_core_tests.dir/core/adaptive_test.cpp.o"
+  "CMakeFiles/sybil_core_tests.dir/core/adaptive_test.cpp.o.d"
+  "CMakeFiles/sybil_core_tests.dir/core/edge_order_test.cpp.o"
+  "CMakeFiles/sybil_core_tests.dir/core/edge_order_test.cpp.o.d"
+  "CMakeFiles/sybil_core_tests.dir/core/features_test.cpp.o"
+  "CMakeFiles/sybil_core_tests.dir/core/features_test.cpp.o.d"
+  "CMakeFiles/sybil_core_tests.dir/core/realtime_test.cpp.o"
+  "CMakeFiles/sybil_core_tests.dir/core/realtime_test.cpp.o.d"
+  "CMakeFiles/sybil_core_tests.dir/core/stream_detector_test.cpp.o"
+  "CMakeFiles/sybil_core_tests.dir/core/stream_detector_test.cpp.o.d"
+  "CMakeFiles/sybil_core_tests.dir/core/threshold_test.cpp.o"
+  "CMakeFiles/sybil_core_tests.dir/core/threshold_test.cpp.o.d"
+  "CMakeFiles/sybil_core_tests.dir/core/topology_test.cpp.o"
+  "CMakeFiles/sybil_core_tests.dir/core/topology_test.cpp.o.d"
+  "sybil_core_tests"
+  "sybil_core_tests.pdb"
+  "sybil_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybil_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

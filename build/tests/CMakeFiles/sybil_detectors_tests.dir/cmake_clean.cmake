@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybil_detectors_tests.dir/detectors/detectors_test.cpp.o"
+  "CMakeFiles/sybil_detectors_tests.dir/detectors/detectors_test.cpp.o.d"
+  "CMakeFiles/sybil_detectors_tests.dir/detectors/sybilinfer_mcmc_test.cpp.o"
+  "CMakeFiles/sybil_detectors_tests.dir/detectors/sybilinfer_mcmc_test.cpp.o.d"
+  "sybil_detectors_tests"
+  "sybil_detectors_tests.pdb"
+  "sybil_detectors_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybil_detectors_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/clustering_test.cpp" "tests/CMakeFiles/sybil_graph_tests.dir/graph/clustering_test.cpp.o" "gcc" "tests/CMakeFiles/sybil_graph_tests.dir/graph/clustering_test.cpp.o.d"
+  "/root/repo/tests/graph/components_test.cpp" "tests/CMakeFiles/sybil_graph_tests.dir/graph/components_test.cpp.o" "gcc" "tests/CMakeFiles/sybil_graph_tests.dir/graph/components_test.cpp.o.d"
+  "/root/repo/tests/graph/conductance_test.cpp" "tests/CMakeFiles/sybil_graph_tests.dir/graph/conductance_test.cpp.o" "gcc" "tests/CMakeFiles/sybil_graph_tests.dir/graph/conductance_test.cpp.o.d"
+  "/root/repo/tests/graph/csr_test.cpp" "tests/CMakeFiles/sybil_graph_tests.dir/graph/csr_test.cpp.o" "gcc" "tests/CMakeFiles/sybil_graph_tests.dir/graph/csr_test.cpp.o.d"
+  "/root/repo/tests/graph/degree_test.cpp" "tests/CMakeFiles/sybil_graph_tests.dir/graph/degree_test.cpp.o" "gcc" "tests/CMakeFiles/sybil_graph_tests.dir/graph/degree_test.cpp.o.d"
+  "/root/repo/tests/graph/generators_test.cpp" "tests/CMakeFiles/sybil_graph_tests.dir/graph/generators_test.cpp.o" "gcc" "tests/CMakeFiles/sybil_graph_tests.dir/graph/generators_test.cpp.o.d"
+  "/root/repo/tests/graph/graph_test.cpp" "tests/CMakeFiles/sybil_graph_tests.dir/graph/graph_test.cpp.o" "gcc" "tests/CMakeFiles/sybil_graph_tests.dir/graph/graph_test.cpp.o.d"
+  "/root/repo/tests/graph/io_test.cpp" "tests/CMakeFiles/sybil_graph_tests.dir/graph/io_test.cpp.o" "gcc" "tests/CMakeFiles/sybil_graph_tests.dir/graph/io_test.cpp.o.d"
+  "/root/repo/tests/graph/maxflow_test.cpp" "tests/CMakeFiles/sybil_graph_tests.dir/graph/maxflow_test.cpp.o" "gcc" "tests/CMakeFiles/sybil_graph_tests.dir/graph/maxflow_test.cpp.o.d"
+  "/root/repo/tests/graph/metrics_test.cpp" "tests/CMakeFiles/sybil_graph_tests.dir/graph/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/sybil_graph_tests.dir/graph/metrics_test.cpp.o.d"
+  "/root/repo/tests/graph/mixing_test.cpp" "tests/CMakeFiles/sybil_graph_tests.dir/graph/mixing_test.cpp.o" "gcc" "tests/CMakeFiles/sybil_graph_tests.dir/graph/mixing_test.cpp.o.d"
+  "/root/repo/tests/graph/sampling_test.cpp" "tests/CMakeFiles/sybil_graph_tests.dir/graph/sampling_test.cpp.o" "gcc" "tests/CMakeFiles/sybil_graph_tests.dir/graph/sampling_test.cpp.o.d"
+  "/root/repo/tests/graph/walks_test.cpp" "tests/CMakeFiles/sybil_graph_tests.dir/graph/walks_test.cpp.o" "gcc" "tests/CMakeFiles/sybil_graph_tests.dir/graph/walks_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sybil_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/sybil_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/sybil_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/osn/CMakeFiles/sybil_osn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sybil_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sybil_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sybil_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

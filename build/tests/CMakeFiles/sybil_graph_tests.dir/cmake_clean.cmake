@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybil_graph_tests.dir/graph/clustering_test.cpp.o"
+  "CMakeFiles/sybil_graph_tests.dir/graph/clustering_test.cpp.o.d"
+  "CMakeFiles/sybil_graph_tests.dir/graph/components_test.cpp.o"
+  "CMakeFiles/sybil_graph_tests.dir/graph/components_test.cpp.o.d"
+  "CMakeFiles/sybil_graph_tests.dir/graph/conductance_test.cpp.o"
+  "CMakeFiles/sybil_graph_tests.dir/graph/conductance_test.cpp.o.d"
+  "CMakeFiles/sybil_graph_tests.dir/graph/csr_test.cpp.o"
+  "CMakeFiles/sybil_graph_tests.dir/graph/csr_test.cpp.o.d"
+  "CMakeFiles/sybil_graph_tests.dir/graph/degree_test.cpp.o"
+  "CMakeFiles/sybil_graph_tests.dir/graph/degree_test.cpp.o.d"
+  "CMakeFiles/sybil_graph_tests.dir/graph/generators_test.cpp.o"
+  "CMakeFiles/sybil_graph_tests.dir/graph/generators_test.cpp.o.d"
+  "CMakeFiles/sybil_graph_tests.dir/graph/graph_test.cpp.o"
+  "CMakeFiles/sybil_graph_tests.dir/graph/graph_test.cpp.o.d"
+  "CMakeFiles/sybil_graph_tests.dir/graph/io_test.cpp.o"
+  "CMakeFiles/sybil_graph_tests.dir/graph/io_test.cpp.o.d"
+  "CMakeFiles/sybil_graph_tests.dir/graph/maxflow_test.cpp.o"
+  "CMakeFiles/sybil_graph_tests.dir/graph/maxflow_test.cpp.o.d"
+  "CMakeFiles/sybil_graph_tests.dir/graph/metrics_test.cpp.o"
+  "CMakeFiles/sybil_graph_tests.dir/graph/metrics_test.cpp.o.d"
+  "CMakeFiles/sybil_graph_tests.dir/graph/mixing_test.cpp.o"
+  "CMakeFiles/sybil_graph_tests.dir/graph/mixing_test.cpp.o.d"
+  "CMakeFiles/sybil_graph_tests.dir/graph/sampling_test.cpp.o"
+  "CMakeFiles/sybil_graph_tests.dir/graph/sampling_test.cpp.o.d"
+  "CMakeFiles/sybil_graph_tests.dir/graph/walks_test.cpp.o"
+  "CMakeFiles/sybil_graph_tests.dir/graph/walks_test.cpp.o.d"
+  "sybil_graph_tests"
+  "sybil_graph_tests.pdb"
+  "sybil_graph_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybil_graph_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybil_integration_tests.dir/integration/pipeline_test.cpp.o"
+  "CMakeFiles/sybil_integration_tests.dir/integration/pipeline_test.cpp.o.d"
+  "sybil_integration_tests"
+  "sybil_integration_tests.pdb"
+  "sybil_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybil_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

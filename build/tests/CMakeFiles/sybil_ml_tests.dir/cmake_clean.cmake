@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybil_ml_tests.dir/ml/dataset_io_test.cpp.o"
+  "CMakeFiles/sybil_ml_tests.dir/ml/dataset_io_test.cpp.o.d"
+  "CMakeFiles/sybil_ml_tests.dir/ml/dataset_test.cpp.o"
+  "CMakeFiles/sybil_ml_tests.dir/ml/dataset_test.cpp.o.d"
+  "CMakeFiles/sybil_ml_tests.dir/ml/kfold_test.cpp.o"
+  "CMakeFiles/sybil_ml_tests.dir/ml/kfold_test.cpp.o.d"
+  "CMakeFiles/sybil_ml_tests.dir/ml/logistic_test.cpp.o"
+  "CMakeFiles/sybil_ml_tests.dir/ml/logistic_test.cpp.o.d"
+  "CMakeFiles/sybil_ml_tests.dir/ml/metrics_test.cpp.o"
+  "CMakeFiles/sybil_ml_tests.dir/ml/metrics_test.cpp.o.d"
+  "CMakeFiles/sybil_ml_tests.dir/ml/roc_test.cpp.o"
+  "CMakeFiles/sybil_ml_tests.dir/ml/roc_test.cpp.o.d"
+  "CMakeFiles/sybil_ml_tests.dir/ml/scaler_test.cpp.o"
+  "CMakeFiles/sybil_ml_tests.dir/ml/scaler_test.cpp.o.d"
+  "CMakeFiles/sybil_ml_tests.dir/ml/svm_test.cpp.o"
+  "CMakeFiles/sybil_ml_tests.dir/ml/svm_test.cpp.o.d"
+  "sybil_ml_tests"
+  "sybil_ml_tests.pdb"
+  "sybil_ml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybil_ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybil_osn_tests.dir/osn/behavior_test.cpp.o"
+  "CMakeFiles/sybil_osn_tests.dir/osn/behavior_test.cpp.o.d"
+  "CMakeFiles/sybil_osn_tests.dir/osn/ledger_test.cpp.o"
+  "CMakeFiles/sybil_osn_tests.dir/osn/ledger_test.cpp.o.d"
+  "CMakeFiles/sybil_osn_tests.dir/osn/network_test.cpp.o"
+  "CMakeFiles/sybil_osn_tests.dir/osn/network_test.cpp.o.d"
+  "CMakeFiles/sybil_osn_tests.dir/osn/simulator_test.cpp.o"
+  "CMakeFiles/sybil_osn_tests.dir/osn/simulator_test.cpp.o.d"
+  "sybil_osn_tests"
+  "sybil_osn_tests.pdb"
+  "sybil_osn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybil_osn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

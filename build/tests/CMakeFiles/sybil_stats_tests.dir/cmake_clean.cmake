@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sybil_stats_tests.dir/stats/cdf_test.cpp.o"
+  "CMakeFiles/sybil_stats_tests.dir/stats/cdf_test.cpp.o.d"
+  "CMakeFiles/sybil_stats_tests.dir/stats/distributions_test.cpp.o"
+  "CMakeFiles/sybil_stats_tests.dir/stats/distributions_test.cpp.o.d"
+  "CMakeFiles/sybil_stats_tests.dir/stats/rng_test.cpp.o"
+  "CMakeFiles/sybil_stats_tests.dir/stats/rng_test.cpp.o.d"
+  "CMakeFiles/sybil_stats_tests.dir/stats/summary_test.cpp.o"
+  "CMakeFiles/sybil_stats_tests.dir/stats/summary_test.cpp.o.d"
+  "sybil_stats_tests"
+  "sybil_stats_tests.pdb"
+  "sybil_stats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sybil_stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

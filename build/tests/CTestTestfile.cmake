@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sybil_stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/sybil_graph_tests[1]_include.cmake")
+include("/root/repo/build/tests/sybil_osn_tests[1]_include.cmake")
+include("/root/repo/build/tests/sybil_attack_tests[1]_include.cmake")
+include("/root/repo/build/tests/sybil_ml_tests[1]_include.cmake")
+include("/root/repo/build/tests/sybil_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/sybil_detectors_tests[1]_include.cmake")
+include("/root/repo/build/tests/sybil_integration_tests[1]_include.cmake")
