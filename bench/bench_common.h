@@ -6,10 +6,19 @@
 // statistics next to the paper's values. Scale knobs are positional CLI
 // arguments so `bench_x` runs the calibrated default and
 // `bench_x <normals> <sybils> <hours>` runs a custom scale.
+//
+// CLI parsing is strict: a positional argument that is not a number of
+// the expected kind, or overflows its range, aborts with a usage
+// message instead of silently feeding strtoul garbage into the config.
 #pragma once
 
+#include <cerrno>
+#include <charconv>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -19,6 +28,40 @@
 #include "stats/cdf.h"
 
 namespace sybil::bench {
+
+[[noreturn]] inline void usage_error(const char* prog, const char* usage,
+                                     const char* bad_arg, const char* what) {
+  std::fprintf(stderr, "error: invalid %s: '%s'\n", what, bad_arg);
+  std::fprintf(stderr, "usage: %s %s\n", prog, usage);
+  std::exit(2);
+}
+
+/// Strict unsigned parse: the whole token must be a decimal integer in
+/// [0, max]. Rejects empty strings, signs, trailing junk and overflow.
+inline std::uint64_t parse_count(const char* prog, const char* usage,
+                                 const char* arg, const char* what,
+                                 std::uint64_t max) {
+  std::uint64_t value = 0;
+  const char* end = arg + std::strlen(arg);
+  const auto [ptr, ec] = std::from_chars(arg, end, value, 10);
+  if (ec != std::errc{} || ptr != end || value > max) {
+    usage_error(prog, usage, arg, what);
+  }
+  return value;
+}
+
+/// Strict non-negative double parse: whole token, finite, >= 0.
+inline double parse_hours(const char* prog, const char* usage,
+                          const char* arg, const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(arg, &end);
+  if (end == arg || *end != '\0' || errno == ERANGE || !(value >= 0.0) ||
+      value > 1e12) {
+    usage_error(prog, usage, arg, what);
+  }
+  return value;
+}
 
 inline void print_header(const char* experiment, const std::string& workload) {
   std::printf("==============================================================\n");
@@ -36,24 +79,32 @@ inline void print_cdf(const char* label, const std::vector<double>& sample,
   std::printf("%s", cdf.to_tsv(points, log_x && cdf.min() > 0.0).c_str());
 }
 
+inline constexpr char kGroundTruthUsage[] =
+    "[background_users] [subjects_per_class] [seed]";
+
 /// Ground-truth simulation at paper scale (1000 + 1000 subjects over a
 /// 60k-user background, 400 h), overridable as:
 ///   bench <background> <subjects_per_class> [seed]
 inline osn::GroundTruthConfig ground_truth_config(int argc, char** argv) {
+  const char* prog = argc > 0 ? argv[0] : "bench";
   osn::GroundTruthConfig config;
   config.subject_normals = 1000;
   config.subject_sybils = 1000;
   if (argc > 1) {
-    config.background_users =
-        static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10));
+    config.background_users = static_cast<std::uint32_t>(parse_count(
+        prog, kGroundTruthUsage, argv[1], "background user count", 50'000'000));
   }
   if (argc > 2) {
-    const auto subjects =
-        static_cast<std::uint32_t>(std::strtoul(argv[2], nullptr, 10));
+    const auto subjects = static_cast<std::uint32_t>(
+        parse_count(prog, kGroundTruthUsage, argv[2], "subjects per class",
+                    10'000'000));
     config.subject_normals = subjects;
     config.subject_sybils = subjects;
   }
-  if (argc > 3) config.seed = std::strtoull(argv[3], nullptr, 10);
+  if (argc > 3) {
+    config.seed = parse_count(prog, kGroundTruthUsage, argv[3], "seed",
+                              std::numeric_limits<std::uint64_t>::max());
+  }
   return config;
 }
 
@@ -67,20 +118,30 @@ inline std::string describe(const osn::GroundTruthConfig& c) {
   return buf;
 }
 
+inline constexpr char kCampaignUsage[] =
+    "[normal_users] [sybils] [campaign_hours] [seed]";
+
 /// Campaign simulation at the calibrated topology scale, overridable as:
 ///   bench <normals> <sybils> <hours> [seed]
 inline attack::CampaignConfig campaign_config(int argc, char** argv) {
+  const char* prog = argc > 0 ? argv[0] : "bench";
   attack::CampaignConfig config;
   if (argc > 1) {
-    config.normal_users =
-        static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10));
+    config.normal_users = static_cast<std::uint32_t>(parse_count(
+        prog, kCampaignUsage, argv[1], "normal user count", 50'000'000));
   }
   if (argc > 2) {
-    config.sybils =
-        static_cast<std::uint32_t>(std::strtoul(argv[2], nullptr, 10));
+    config.sybils = static_cast<std::uint32_t>(
+        parse_count(prog, kCampaignUsage, argv[2], "sybil count", 50'000'000));
   }
-  if (argc > 3) config.campaign_hours = std::strtod(argv[3], nullptr);
-  if (argc > 4) config.seed = std::strtoull(argv[4], nullptr, 10);
+  if (argc > 3) {
+    config.campaign_hours =
+        parse_hours(prog, kCampaignUsage, argv[3], "campaign hours");
+  }
+  if (argc > 4) {
+    config.seed = parse_count(prog, kCampaignUsage, argv[4], "seed",
+                              std::numeric_limits<std::uint64_t>::max());
+  }
   return config;
 }
 

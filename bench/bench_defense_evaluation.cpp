@@ -2,219 +2,68 @@
 // on synthetic graphs with injected tight-knit Sybil regions, fail on
 // Sybils as they occur in the wild.
 //
-// Two graphs, same detector battery:
+// Two graphs, the full registered defense battery:
 //   SYNTHETIC — honest OSN-like graph + injected dense Sybil community
 //               behind a small attack-edge cut (the prior-work setting);
 //   WILD      — the campaign simulator's output, where Sybils integrate
 //               into the social graph via accepted stranger requests.
-// For each detector we report AUC and Sybil rejection at a 5% honest
-// false-rejection budget. The paper's prediction: high on SYNTHETIC,
-// chance-level on WILD.
-#include <algorithm>
-
+// Every defense runs through the shared SybilDefense registry and one
+// bench::run_battery invocation per scenario emits the combined
+// timing + DefenseMetrics table (AUC and rejection at a 5% honest
+// false-rejection budget). The paper's prediction: high on SYNTHETIC,
+// chance-level on WILD — with the paper's own clustering signal the
+// one ranker that flips the other way.
 #include "bench_common.h"
-#include "core/topology.h"
-#include "detectors/community.h"
-#include "detectors/evaluation.h"
-#include "detectors/sybilguard.h"
-#include "detectors/sybilinfer.h"
-#include "detectors/sybilinfer_mcmc.h"
-#include "detectors/sybillimit.h"
-#include "detectors/sybilrank.h"
-#include "detectors/sumup.h"
-#include "graph/generators.h"
+#include "runner.h"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace sybil;
+  bench::print_header(
+      "Defense evaluation — prior Sybil defenses: synthetic vs wild",
+      "synthetic: 60k honest + 6k injected; wild: campaign at same scale "
+      "(override: <normals> <sybils> <hours>)");
 
-using namespace sybil;
-using graph::CsrGraph;
-using graph::NodeId;
-
-struct Scenario {
-  std::string name;
-  CsrGraph g;
-  std::vector<bool> is_sybil;
-  std::vector<NodeId> honest_seeds;  // verified honest accounts
-  std::vector<NodeId> sample_honest, sample_sybil;  // for pairwise detectors
-};
-
-Scenario make_synthetic(NodeId honest, NodeId sybils) {
-  stats::Rng rng(101);
-  const auto base = graph::osn_like_graph(
-      {.nodes = honest, .mean_links = 12.0, .triadic_closure = 0.2,
-       .pa_beta = 1.0},
-      rng);
-  // The classic setting: a dense Sybil region (internal degree ~40)
-  // behind a SMALL attack-edge cut — "normal users are unlikely to
-  // accept requests from unknown strangers".
-  const auto combined = graph::inject_sybil_community(
-      base, sybils, std::min(0.5, 40.0 / sybils), /*attack_edges=*/100, rng);
-  Scenario s;
-  s.name = "SYNTHETIC (injected community)";
-  s.g = CsrGraph::from(combined);
-  s.is_sybil.assign(honest + sybils, false);
-  for (NodeId v = honest; v < honest + sybils; ++v) s.is_sybil[v] = true;
-  for (NodeId i = 0; i < 50; ++i) {
-    s.honest_seeds.push_back((i * 997 + 13) % honest);
-  }
-  for (NodeId i = 0; i < 300; ++i) {
-    s.sample_honest.push_back((i * 131 + 7) % honest);
-    s.sample_sybil.push_back(honest + (i * 17) % sybils);
-  }
-  return s;
-}
-
-Scenario make_wild(int argc, char** argv) {
+  // Parse overrides up front: an argv typo must fail before the
+  // synthetic battery burns minutes of simulation.
   attack::CampaignConfig cfg;
   cfg.normal_users = 60'000;
   cfg.sybils = 6'000;
   cfg.campaign_hours = 20'000.0;
   if (argc > 1) {
-    cfg.normal_users =
-        static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10));
+    cfg.normal_users = static_cast<std::uint32_t>(
+        bench::parse_count(argv[0], bench::kCampaignUsage, argv[1],
+                           "normal user count", 50'000'000));
   }
   if (argc > 2) {
-    cfg.sybils = static_cast<std::uint32_t>(std::strtoul(argv[2], nullptr, 10));
+    cfg.sybils = static_cast<std::uint32_t>(
+        bench::parse_count(argv[0], bench::kCampaignUsage, argv[2],
+                           "sybil count", 50'000'000));
   }
-  if (argc > 3) cfg.campaign_hours = std::strtod(argv[3], nullptr);
-  const auto result = attack::run_campaign(cfg);
-  Scenario s;
-  s.name = "WILD (campaign simulator)";
-  s.g = CsrGraph::from(result.network->graph());
-  s.is_sybil.assign(s.g.node_count(), false);
-  for (NodeId v : result.sybil_ids) s.is_sybil[v] = true;
-  for (NodeId i = 0; i < 50; ++i) {
-    s.honest_seeds.push_back(result.normal_ids[(i * 997 + 13) %
-                                               result.normal_ids.size()]);
+  if (argc > 3) {
+    cfg.campaign_hours = bench::parse_hours(argv[0], bench::kCampaignUsage,
+                                            argv[3], "campaign hours");
   }
-  for (NodeId i = 0; i < 300; ++i) {
-    s.sample_honest.push_back(
-        result.normal_ids[(i * 131 + 7) % result.normal_ids.size()]);
-    s.sample_sybil.push_back(
-        result.sybil_ids[(i * 17) % result.sybil_ids.size()]);
-  }
-  return s;
-}
 
-void run_battery(const Scenario& s) {
-  std::printf("\n--- %s: %u nodes, %llu edges ---\n", s.name.c_str(),
-              s.g.node_count(),
-              static_cast<unsigned long long>(s.g.edge_count()));
-  std::printf("%-22s %8s %18s %18s\n", "detector", "AUC", "sybil rejected",
-              "honest rejected");
+  bench::BatteryOptions options;
+  // Route length well below graph size — at Theta(sqrt(n log n)) with
+  // small n the verifier's routes would blanket the whole graph.
+  options.tuning.route_length = 30;
+  options.tuning.max_routes_per_node = 16;
+  // r ~ 1.5 sqrt(m) tails -> honest pairs intersect w.h.p.
+  options.tuning.r_factor = 1.5;
+  options.tuning.walks_per_seed = 200;
+  options.tuning.mcmc_burn_in_sweeps = 15;
+  options.tuning.mcmc_sample_sweeps = 25;
 
-  const auto report = [](const char* name,
-                         const detect::DefenseMetrics& m) {
-    std::printf("%-22s %8.3f %17.1f%% %17.1f%%\n", name, m.auc,
-                100.0 * m.sybil_rejection, 100.0 * m.honest_rejection);
-  };
-
-  // SybilRank — degree-normalized early-terminated trust propagation.
   {
-    const auto scores = detect::sybilrank_scores(s.g, s.honest_seeds);
-    report("SybilRank", detect::evaluate_scores(scores, s.is_sybil));
+    const bench::DefenseScenario synthetic =
+        bench::synthetic_scenario(60'000, 6'000);
+    bench::print_battery(synthetic, bench::run_battery(synthetic, options));
   }
-  // SybilInfer — walk-endpoint mass vs stationary expectation.
   {
-    detect::SybilInferParams params;
-    params.walks_per_seed = 200;
-    const detect::SybilInfer infer(s.g, params);
-    const auto scores = infer.scores(s.honest_seeds);
-    report("SybilInfer", detect::evaluate_scores(scores, s.is_sybil));
+    const bench::DefenseScenario wild = bench::campaign_scenario(cfg);
+    bench::print_battery(wild, bench::run_battery(wild, options));
   }
-  // SybilInfer, full Bayesian MCMC over honest-set cuts.
-  {
-    detect::SybilInferMcmcParams params;
-    params.burn_in_sweeps = 15;
-    params.sample_sweeps = 25;
-    const auto scores =
-        detect::sybilinfer_mcmc_scores(s.g, s.honest_seeds, params);
-    report("SybilInfer (MCMC)", detect::evaluate_scores(scores, s.is_sybil));
-  }
-  // SybilGuard — verifier-route intersection on the sample.
-  {
-    detect::SybilGuardParams params;
-    params.max_routes_per_node = 16;
-    // Route length well below graph size — at Θ(√(n log n)) with small n
-    // the verifier's routes would blanket the whole graph.
-    params.route_length = 30;
-    const detect::SybilGuard guard(s.g, params);
-    const NodeId verifier = s.honest_seeds[0];
-    std::vector<NodeId> nodes;
-    std::vector<double> scores_sample;
-    for (const auto* pool : {&s.sample_honest, &s.sample_sybil}) {
-      for (std::size_t i = 0; i < 60; ++i) {
-        const NodeId v = (*pool)[i];
-        nodes.push_back(v);
-        scores_sample.push_back(guard.intersection_score(verifier, v));
-      }
-    }
-    // Scores over a node sample: reuse evaluate_scores via a dense vector.
-    std::vector<double> dense(s.g.node_count(), 0.0);
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-      dense[nodes[i]] = scores_sample[i];
-    }
-    report("SybilGuard (sampled)",
-           detect::evaluate_scores(dense, s.is_sybil, nodes));
-  }
-  // SybilLimit — tail intersection + balance on the sample.
-  {
-    detect::SybilLimitParams params;
-    params.r_factor = 1.5;  // r ≈ 1.5·√m tails → honest pairs intersect whp
-    const detect::SybilLimit limit(s.g, params);
-    auto verifier = limit.make_verifier(s.honest_seeds[0]);
-    std::vector<NodeId> nodes;
-    std::vector<bool> accepted;
-    for (const auto* pool : {&s.sample_honest, &s.sample_sybil}) {
-      for (std::size_t i = 0; i < 60; ++i) {
-        nodes.push_back((*pool)[i]);
-        accepted.push_back(verifier.accepts((*pool)[i]));
-      }
-    }
-    report("SybilLimit (sampled)",
-           detect::evaluate_decisions(nodes, accepted, s.is_sybil));
-  }
-  // SumUp — vote collection with unit capacities.
-  {
-    std::vector<NodeId> voters;
-    for (std::size_t i = 0; i < 200; ++i) {
-      voters.push_back(s.sample_honest[i % s.sample_honest.size()]);
-      voters.push_back(s.sample_sybil[i % s.sample_sybil.size()]);
-    }
-    std::sort(voters.begin(), voters.end());
-    voters.erase(std::unique(voters.begin(), voters.end()), voters.end());
-    const auto result = detect::sumup_collect(
-        s.g, s.honest_seeds[0], voters,
-        {.c_max = static_cast<std::uint64_t>(voters.size())});
-    report("SumUp (votes)",
-           detect::evaluate_decisions(voters, result.accepted, s.is_sybil));
-  }
-  // Conductance community expansion from a trusted seed.
-  {
-    const auto ranking = detect::community_expand(s.g, s.honest_seeds[0]);
-    std::vector<double> scores(s.g.node_count(), 0.0);
-    for (NodeId v = 0; v < s.g.node_count(); ++v) {
-      scores[v] = ranking.rank[v] == detect::CommunityRanking::kUnranked
-                      ? 0.0
-                      : 1.0 - static_cast<double>(ranking.rank[v]) /
-                                  static_cast<double>(ranking.order.size());
-    }
-    report("Community expansion",
-           detect::evaluate_scores(scores, s.is_sybil));
-  }
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  bench::print_header(
-      "Defense evaluation — prior Sybil defenses: synthetic vs wild",
-      "synthetic: 60k honest + 6k injected; wild: campaign at same scale "
-      "(override: <normals> <sybils> <hours>)");
-  const Scenario synthetic = make_synthetic(60'000, 6'000);
-  run_battery(synthetic);
-  const Scenario wild = make_wild(argc, argv);
-  run_battery(wild);
   std::printf(
       "\n# paper's conclusion: every detector that separates the synthetic\n"
       "# Sybil region (AUC >> 0.5) collapses toward chance on wild Sybils.\n");

@@ -5,19 +5,16 @@
 // interval; a 40/hour threshold catches ~70% of Sybils with no false
 // positives.
 #include "bench_common.h"
+#include "runner.h"
 
 int main(int argc, char** argv) {
   using namespace sybil;
   const auto config = bench::ground_truth_config(argc, argv);
   bench::print_header("Figure 1 — invitation frequency CDFs",
                       bench::describe(config));
-  osn::GroundTruthSimulator sim(config);
-  sim.run();
-
-  const auto normal =
-      core::feature_columns(sim.network(), sim.subject_normals());
-  const auto sybil =
-      core::feature_columns(sim.network(), sim.subject_sybils());
+  bench::GroundTruthLab lab(config);
+  const auto& normal = lab.normal_columns();
+  const auto& sybil = lab.sybil_columns();
 
   bench::print_cdf("Normal, 1 Hr window (invites per active hour)",
                    normal.invite_rate_short);

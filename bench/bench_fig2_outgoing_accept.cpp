@@ -1,6 +1,7 @@
 // Figure 2: CDF of the ratio of accepted outgoing friend requests.
 // Paper: normal users average 79%, Sybils 26%.
 #include "bench_common.h"
+#include "runner.h"
 
 #include "stats/summary.h"
 
@@ -9,13 +10,9 @@ int main(int argc, char** argv) {
   const auto config = bench::ground_truth_config(argc, argv);
   bench::print_header("Figure 2 — outgoing request accept ratio",
                       bench::describe(config));
-  osn::GroundTruthSimulator sim(config);
-  sim.run();
-
-  const auto normal =
-      core::feature_columns(sim.network(), sim.subject_normals());
-  const auto sybil =
-      core::feature_columns(sim.network(), sim.subject_sybils());
+  bench::GroundTruthLab lab(config);
+  const auto& normal = lab.normal_columns();
+  const auto& sybil = lab.sybil_columns();
 
   bench::print_cdf("Normal outgoing accept ratio", normal.outgoing_accept);
   bench::print_cdf("Sybil outgoing accept ratio", sybil.outgoing_accept);

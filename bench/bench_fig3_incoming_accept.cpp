@@ -3,6 +3,7 @@
 // everything (~80% accept all), with the shortfall explained by Renren
 // banning them before they could answer outstanding requests.
 #include "bench_common.h"
+#include "runner.h"
 
 #include "stats/summary.h"
 
@@ -11,26 +12,22 @@ int main(int argc, char** argv) {
   const auto config = bench::ground_truth_config(argc, argv);
   bench::print_header("Figure 3 — incoming request accept ratio",
                       bench::describe(config));
-  osn::GroundTruthSimulator sim(config);
-  sim.run();
-
-  const auto normal =
-      core::feature_columns(sim.network(), sim.subject_normals());
-  const auto sybil =
-      core::feature_columns(sim.network(), sim.subject_sybils());
+  bench::GroundTruthLab lab(config);
+  const auto& normal = lab.normal_columns();
+  const auto& sybil = lab.sybil_columns();
 
   bench::print_cdf("Normal incoming accept ratio", normal.incoming_accept);
   bench::print_cdf("Sybil incoming accept ratio", sybil.incoming_accept);
 
   // Censoring: Sybils banned with pending incoming requests.
   std::size_t full = 0, censored = 0, with_incoming = 0;
-  for (osn::NodeId s : sim.subject_sybils()) {
-    const auto& led = sim.network().ledger(s);
+  for (osn::NodeId s : lab.subject_sybils()) {
+    const auto& led = lab.network().ledger(s);
     if (led.received() == 0) continue;
     ++with_incoming;
     if (led.received_accepted() == led.received()) {
       ++full;
-    } else if (sim.network().account(s).banned()) {
+    } else if (lab.network().account(s).banned()) {
       ++censored;
     }
   }

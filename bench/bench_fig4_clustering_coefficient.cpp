@@ -4,6 +4,7 @@
 // magnitude apart. The absolute Sybil floor scales with ambient graph
 // density (see EXPERIMENTS.md), so the headline is the separation ratio.
 #include "bench_common.h"
+#include "runner.h"
 
 #include "stats/summary.h"
 
@@ -12,13 +13,9 @@ int main(int argc, char** argv) {
   const auto config = bench::ground_truth_config(argc, argv);
   bench::print_header("Figure 4 — clustering coefficient of first 50 friends",
                       bench::describe(config));
-  osn::GroundTruthSimulator sim(config);
-  sim.run();
-
-  const auto normal =
-      core::feature_columns(sim.network(), sim.subject_normals());
-  const auto sybil =
-      core::feature_columns(sim.network(), sim.subject_sybils());
+  bench::GroundTruthLab lab(config);
+  const auto& normal = lab.normal_columns();
+  const auto& sybil = lab.sybil_columns();
 
   bench::print_cdf("Normal clustering coefficient", normal.clustering, 25);
   bench::print_cdf("Sybil clustering coefficient", sybil.clustering, 25);

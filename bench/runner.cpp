@@ -1,0 +1,168 @@
+#include "runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "graph/generators.h"
+#include "stats/rng.h"
+
+namespace sybil::bench {
+
+GroundTruthLab::GroundTruthLab(osn::GroundTruthConfig config)
+    : sim_(std::move(config)) {
+  sim_.run();
+}
+
+const core::FeatureColumns& GroundTruthLab::normal_columns() {
+  if (!normal_) {
+    normal_ = core::feature_columns(sim_.network(), sim_.subject_normals());
+  }
+  return *normal_;
+}
+
+const core::FeatureColumns& GroundTruthLab::sybil_columns() {
+  if (!sybil_) {
+    sybil_ = core::feature_columns(sim_.network(), sim_.subject_sybils());
+  }
+  return *sybil_;
+}
+
+namespace {
+
+/// The standard seed/sample picks shared by both scenario builders —
+/// the same index arithmetic the defense bench has always used, so
+/// series stay comparable across PRs.
+void pick_seeds_and_sample(DefenseScenario& s,
+                           const std::vector<graph::NodeId>& normal_ids,
+                           const std::vector<graph::NodeId>& sybil_ids) {
+  for (std::size_t i = 0; i < 50; ++i) {
+    s.honest_seeds.push_back(normal_ids[(i * 997 + 13) % normal_ids.size()]);
+  }
+  std::vector<graph::NodeId> honest_sample, sybil_sample;
+  for (std::size_t i = 0; i < 300; ++i) {
+    honest_sample.push_back(normal_ids[(i * 131 + 7) % normal_ids.size()]);
+    sybil_sample.push_back(sybil_ids[(i * 17) % sybil_ids.size()]);
+  }
+  // Deduplicate but keep the honest-then-sybil order deterministic.
+  auto dedup = [](std::vector<graph::NodeId>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  dedup(honest_sample);
+  dedup(sybil_sample);
+  s.eval_sample.reserve(honest_sample.size() + sybil_sample.size());
+  s.eval_sample.insert(s.eval_sample.end(), honest_sample.begin(),
+                       honest_sample.end());
+  s.eval_sample.insert(s.eval_sample.end(), sybil_sample.begin(),
+                       sybil_sample.end());
+}
+
+}  // namespace
+
+DefenseScenario synthetic_scenario(graph::NodeId honest, graph::NodeId sybils,
+                                   std::uint64_t attack_edges,
+                                   std::uint64_t seed) {
+  stats::Rng rng(seed);
+  const auto base = graph::osn_like_graph(
+      {.nodes = honest, .mean_links = 12.0, .triadic_closure = 0.2,
+       .pa_beta = 1.0},
+      rng);
+  // The classic setting: a dense Sybil region (internal degree ~40)
+  // behind a SMALL attack-edge cut — "normal users are unlikely to
+  // accept requests from unknown strangers".
+  const auto combined = graph::inject_sybil_community(
+      base, sybils, std::min(0.5, 40.0 / sybils), attack_edges, rng);
+  DefenseScenario s;
+  s.name = "SYNTHETIC (injected community)";
+  s.g = graph::CsrGraph::from(combined);
+  s.is_sybil.assign(honest + sybils, false);
+  for (graph::NodeId v = honest; v < honest + sybils; ++v) s.is_sybil[v] = true;
+  std::vector<graph::NodeId> normal_ids(honest), sybil_ids(sybils);
+  for (graph::NodeId v = 0; v < honest; ++v) normal_ids[v] = v;
+  for (graph::NodeId v = 0; v < sybils; ++v) sybil_ids[v] = honest + v;
+  pick_seeds_and_sample(s, normal_ids, sybil_ids);
+  return s;
+}
+
+DefenseScenario campaign_scenario(const attack::CampaignConfig& config) {
+  const auto result = attack::run_campaign(config);
+  DefenseScenario s;
+  s.name = "WILD (campaign simulator)";
+  s.g = graph::CsrGraph::from(result.network->graph());
+  s.is_sybil.assign(s.g.node_count(), false);
+  for (graph::NodeId v : result.sybil_ids) s.is_sybil[v] = true;
+  pick_seeds_and_sample(s, result.normal_ids, result.sybil_ids);
+  return s;
+}
+
+std::vector<DefenseRun> run_battery(const DefenseScenario& scenario,
+                                    const BatteryOptions& options) {
+  const std::vector<std::string> names = options.defenses.empty()
+                                             ? detect::DefenseRegistry::names()
+                                             : options.defenses;
+  std::vector<DefenseRun> runs;
+  runs.reserve(names.size());
+  for (const std::string& name : names) {
+    const auto defense = detect::DefenseRegistry::create(name, options.tuning);
+    DefenseRun run;
+    run.defense = name;
+    run.determinism = defense->determinism();
+    run.sampled = std::find(options.sampled_defenses.begin(),
+                            options.sampled_defenses.end(),
+                            name) != options.sampled_defenses.end();
+
+    detect::DefenseContext ctx;
+    ctx.honest_seeds = scenario.honest_seeds;
+    if (run.sampled) ctx.eval_nodes = scenario.eval_sample;
+
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<double> scores = defense->score(scenario.g, ctx);
+    const auto stop = std::chrono::steady_clock::now();
+    run.millis =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+
+    run.metrics = detect::evaluate_scores(
+        scores, scenario.is_sybil,
+        run.sampled ? std::span<const graph::NodeId>(scenario.eval_sample)
+                    : std::span<const graph::NodeId>{});
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+void print_battery(const DefenseScenario& scenario,
+                   const std::vector<DefenseRun>& runs) {
+  std::printf("\n--- %s: %u nodes, %llu edges ---\n", scenario.name.c_str(),
+              scenario.g.node_count(),
+              static_cast<unsigned long long>(scenario.g.edge_count()));
+  std::printf("%-18s %-7s %-11s %8s %14s %15s\n", "defense", "det", "scope",
+              "AUC", "sybil rejected", "honest rejected");
+  for (const DefenseRun& run : runs) {
+    char scope[24];
+    if (run.sampled) {
+      std::snprintf(scope, sizeof(scope), "sample-%zu",
+                    scenario.eval_sample.size());
+    } else {
+      std::snprintf(scope, sizeof(scope), "all");
+    }
+    std::printf("%-18s %-7s %-11s %8.3f %13.1f%% %14.1f%%\n",
+                run.defense.c_str(),
+                std::string(detect::to_string(run.determinism)).c_str(), scope,
+                run.metrics.auc, 100.0 * run.metrics.sybil_rejection,
+                100.0 * run.metrics.honest_rejection);
+  }
+  // Wall-clock block: comment lines, and suppressible, so the metric
+  // rows above stay byte-identical across machines and thread counts.
+  const char* timing_env = std::getenv("SYBIL_BENCH_TIMING");
+  if (timing_env != nullptr && std::strcmp(timing_env, "off") == 0) return;
+  std::printf("# timing (wall-clock ms; not byte-stable):\n");
+  for (const DefenseRun& run : runs) {
+    std::printf("# timing: %-18s %10.1f\n", run.defense.c_str(), run.millis);
+  }
+}
+
+}  // namespace sybil::bench

@@ -1,0 +1,114 @@
+// Experiment-runner library for the bench binaries.
+//
+// Extracts the scaffolding every bench used to re-implement:
+//   - GroundTruthLab: run the ground-truth simulation ONCE and share the
+//     network snapshot + cached feature columns across every figure the
+//     binary prints;
+//   - DefenseScenario builders: the synthetic injected-community graph
+//     and the wild campaign graph, with the standard seed/sample picks;
+//   - run_battery / print_battery: score a scenario with every defense
+//     in the DefenseRegistry, timing each score() call, and emit the
+//     combined timing + DefenseMetrics table.
+//
+// Output determinism: every series/metric row is a pure function of the
+// configs and SYBIL-seeded RNG streams, so it is byte-identical for any
+// SYBIL_THREADS. Wall-clock timings are inherently not; they are
+// printed as "# timing:" comment lines (suppressed entirely when
+// SYBIL_BENCH_TIMING=off) so the measurement rows stay diffable.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/campaign.h"
+#include "core/ground_truth.h"
+#include "detectors/defense.h"
+#include "detectors/evaluation.h"
+#include "graph/csr.h"
+#include "osn/simulator.h"
+
+namespace sybil::bench {
+
+/// Simulate-once lab over the ground-truth simulator: constructing it
+/// runs the simulation; feature columns are computed once on first use
+/// and shared by every figure printed from the same binary.
+class GroundTruthLab {
+ public:
+  explicit GroundTruthLab(osn::GroundTruthConfig config);
+
+  const osn::Network& network() const noexcept { return sim_.network(); }
+  const std::vector<osn::NodeId>& subject_normals() const noexcept {
+    return sim_.subject_normals();
+  }
+  const std::vector<osn::NodeId>& subject_sybils() const noexcept {
+    return sim_.subject_sybils();
+  }
+
+  /// Cached per-population feature columns (extracted in parallel).
+  const core::FeatureColumns& normal_columns();
+  const core::FeatureColumns& sybil_columns();
+
+ private:
+  osn::GroundTruthSimulator sim_;
+  std::optional<core::FeatureColumns> normal_;
+  std::optional<core::FeatureColumns> sybil_;
+};
+
+/// A labeled graph scenario every defense scores: the common input of
+/// the Section 3.1 battery.
+struct DefenseScenario {
+  std::string name;
+  graph::CsrGraph g;
+  std::vector<bool> is_sybil;
+  /// Verified honest accounts (first = verifier/collector for the
+  /// pairwise protocols).
+  std::vector<graph::NodeId> honest_seeds;
+  /// Balanced honest+Sybil node sample for defenses that score per
+  /// suspect rather than per graph.
+  std::vector<graph::NodeId> eval_sample;
+};
+
+/// The classic prior-work setting: an OSN-like honest graph plus an
+/// injected dense Sybil community behind a small attack-edge cut.
+DefenseScenario synthetic_scenario(graph::NodeId honest, graph::NodeId sybils,
+                                   std::uint64_t attack_edges = 100,
+                                   std::uint64_t seed = 101);
+
+/// The paper's wild setting: Sybils integrate via accepted stranger
+/// requests in the campaign simulator.
+DefenseScenario campaign_scenario(const attack::CampaignConfig& config);
+
+/// One defense's result on one scenario.
+struct DefenseRun {
+  std::string defense;
+  detect::Determinism determinism = detect::Determinism::kPure;
+  /// True when the defense was scored on eval_sample only.
+  bool sampled = false;
+  double millis = 0.0;
+  detect::DefenseMetrics metrics;
+};
+
+struct BatteryOptions {
+  /// Defense names to run, in order (empty = every registered defense
+  /// in registration order).
+  std::vector<std::string> defenses;
+  /// Tuning forwarded to every registry factory.
+  detect::DefenseTuning tuning;
+  /// Defenses restricted to the scenario's eval_sample (the pairwise /
+  /// vote-collection protocols, which score suspects individually).
+  std::vector<std::string> sampled_defenses = {"sybilguard", "sybillimit",
+                                               "sumup"};
+};
+
+/// Scores the scenario with each defense and evaluates the result.
+std::vector<DefenseRun> run_battery(const DefenseScenario& scenario,
+                                    const BatteryOptions& options = {});
+
+/// Prints the combined table: one metrics row per defense plus the
+/// "# timing:" block (see the determinism note above).
+void print_battery(const DefenseScenario& scenario,
+                   const std::vector<DefenseRun>& runs);
+
+}  // namespace sybil::bench

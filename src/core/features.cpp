@@ -1,5 +1,7 @@
 #include "core/features.h"
 
+#include "core/parallel.h"
+
 namespace sybil::core {
 
 FeatureExtractor::FeatureExtractor(const osn::Network& net,
@@ -32,9 +34,12 @@ SybilFeatures FeatureExtractor::extract(osn::NodeId account) const {
 
 std::vector<SybilFeatures> FeatureExtractor::extract(
     const std::vector<osn::NodeId>& accounts) const {
-  std::vector<SybilFeatures> out;
-  out.reserve(accounts.size());
-  for (osn::NodeId id : accounts) out.push_back(extract(id));
+  std::vector<SybilFeatures> out(accounts.size());
+  parallel_for(accounts.size(), [&](const ChunkRange& c) {
+    for (std::size_t i = c.begin; i < c.end; ++i) {
+      out[i] = extract(accounts[i]);
+    }
+  });
   return out;
 }
 

@@ -48,7 +48,9 @@ class FeatureExtractor {
 
   SybilFeatures extract(osn::NodeId account) const;
 
-  /// Batch extraction.
+  /// Batch extraction, parallelized per subject over the fixed chunk
+  /// partition (bit-identical to the sequential loop for any
+  /// SYBIL_THREADS — each slot is written by exactly one chunk).
   std::vector<SybilFeatures> extract(
       const std::vector<osn::NodeId>& accounts) const;
 

@@ -7,11 +7,11 @@ ml::Dataset build_ground_truth_dataset(
     const std::vector<osn::NodeId>& sybils) {
   const FeatureExtractor extractor(net);
   ml::Dataset data(SybilFeatures::kFeatureCount);
-  for (osn::NodeId id : normals) {
-    data.add(extractor.extract(id).as_vector(), ml::kNormalLabel);
+  for (const SybilFeatures& f : extractor.extract(normals)) {
+    data.add(f.as_vector(), ml::kNormalLabel);
   }
-  for (osn::NodeId id : sybils) {
-    data.add(extractor.extract(id).as_vector(), ml::kSybilLabel);
+  for (const SybilFeatures& f : extractor.extract(sybils)) {
+    data.add(f.as_vector(), ml::kSybilLabel);
   }
   return data;
 }
@@ -19,10 +19,10 @@ ml::Dataset build_ground_truth_dataset(
 FeatureColumns feature_columns(const osn::Network& net,
                                const std::vector<osn::NodeId>& accounts) {
   const FeatureExtractor extractor(net);
+  const std::vector<SybilFeatures> features = extractor.extract(accounts);
   FeatureColumns cols;
   cols.invite_rate_short.reserve(accounts.size());
-  for (osn::NodeId id : accounts) {
-    const SybilFeatures f = extractor.extract(id);
+  for (const SybilFeatures& f : features) {
     cols.invite_rate_short.push_back(f.invite_rate_short);
     cols.invite_rate_long.push_back(f.invite_rate_long);
     cols.outgoing_accept.push_back(f.outgoing_accept_ratio);

@@ -1,0 +1,233 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace sybil::core {
+
+namespace {
+
+std::size_t env_thread_count() {
+  if (const char* env = std::getenv("SYBIL_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 4096) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Set while the current thread is inside a chunk body; nested
+/// parallel_for calls then degrade to sequential execution instead of
+/// deadlocking on the job lock.
+thread_local bool tls_in_parallel = false;
+
+/// Persistent pool. Workers sleep on a condition variable between jobs;
+/// a job is a chunk counter that workers (and the submitting thread)
+/// drain cooperatively. One job runs at a time (run_mutex_).
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  std::size_t thread_count() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return target_threads_;
+  }
+
+  void set_thread_count(std::size_t threads) {
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    stop_workers();
+    std::lock_guard<std::mutex> lock(mutex_);
+    target_threads_ = threads == 0 ? env_thread_count() : threads;
+  }
+
+  void run(const std::vector<ChunkRange>& chunks,
+           const std::function<void(const ChunkRange&)>& body) {
+    if (chunks.size() <= 1 || tls_in_parallel || thread_count() <= 1) {
+      run_inline(chunks, body);
+      return;
+    }
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    ensure_workers();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_body_ = &body;
+      job_chunks_ = &chunks;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      pending_ = chunks.size();
+      ++generation_;
+    }
+    wake_.notify_all();
+    drain();  // the submitting thread works too
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return pending_ == 0 && active_ == 0; });
+    job_body_ = nullptr;
+    job_chunks_ = nullptr;
+    if (error_) {
+      auto err = error_;
+      error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+
+  ~ThreadPool() { stop_workers(); }
+
+ private:
+  ThreadPool() : target_threads_(env_thread_count()) {}
+
+  static void run_inline(const std::vector<ChunkRange>& chunks,
+                         const std::function<void(const ChunkRange&)>& body) {
+    const bool was_nested = tls_in_parallel;
+    tls_in_parallel = true;
+    try {
+      for (const ChunkRange& c : chunks) body(c);
+    } catch (...) {
+      tls_in_parallel = was_nested;
+      throw;
+    }
+    tls_in_parallel = was_nested;
+  }
+
+  void ensure_workers() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t wanted = target_threads_ - 1;  // caller participates
+    while (workers_.size() < wanted) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  /// Joins all workers. Caller must hold run_mutex_ (or be the
+  /// destructor) so no job is in flight.
+  void stop_workers() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+      ++generation_;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = false;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] {
+          return stopping_ || generation_ != seen_generation;
+        });
+        if (stopping_) return;
+        seen_generation = generation_;
+      }
+      drain();
+    }
+  }
+
+  /// Claims chunks until the counter runs dry. The active_ count keeps
+  /// the job's chunk vector alive in run() until every drainer — even
+  /// one that claimed no chunk — has let go of its pointers.
+  void drain() {
+    const std::function<void(const ChunkRange&)>* body;
+    const std::vector<ChunkRange>* chunks;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      body = job_body_;
+      chunks = job_chunks_;
+      if (body == nullptr) return;  // late wakeup, job already gone
+      ++active_;
+    }
+    const std::size_t count = chunks->size();
+    std::size_t finished = 0;
+    tls_in_parallel = true;
+    for (;;) {
+      const std::size_t i = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        (*body)((*chunks)[i]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+      ++finished;
+    }
+    tls_in_parallel = false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_ -= finished;
+    --active_;
+    if (pending_ == 0 && active_ == 0) done_.notify_all();
+  }
+
+  std::mutex run_mutex_;  // serializes whole jobs
+  std::mutex mutex_;      // guards everything below
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::vector<std::thread> workers_;
+  std::size_t target_threads_;
+  bool stopping_ = false;
+  std::uint64_t generation_ = 0;
+
+  const std::function<void(const ChunkRange&)>* job_body_ = nullptr;
+  const std::vector<ChunkRange>* job_chunks_ = nullptr;
+  std::atomic<std::size_t> next_chunk_{0};
+  std::size_t pending_ = 0;
+  std::size_t active_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace
+
+std::size_t thread_count() { return ThreadPool::instance().thread_count(); }
+
+void set_thread_count(std::size_t threads) {
+  ThreadPool::instance().set_thread_count(threads);
+}
+
+std::vector<ChunkRange> chunk_partition(std::size_t n, std::size_t grain) {
+  std::vector<ChunkRange> chunks;
+  if (n == 0) return chunks;
+  const std::size_t count =
+      grain == 0 ? std::min(n, kDefaultChunks) : (n + grain - 1) / grain;
+  chunks.reserve(count);
+  const std::size_t q = n / count, r = n % count;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t begin =
+        grain == 0 ? i * q + std::min(i, r) : i * grain;
+    const std::size_t end = grain == 0
+                                ? (i + 1) * q + std::min(i + 1, r)
+                                : std::min(n, (i + 1) * grain);
+    chunks.push_back({begin, end, i});
+  }
+  return chunks;
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(const ChunkRange&)>& body,
+                  std::size_t grain) {
+  const auto chunks = chunk_partition(n, grain);
+  if (chunks.empty()) return;
+  ThreadPool::instance().run(chunks, body);
+}
+
+stats::Rng chunk_rng(std::uint64_t master_seed, std::uint64_t stream) noexcept {
+  // Decorrelate the stream id from the master seed with the splitmix64
+  // increment, then whiten once before seeding (Rng's constructor runs
+  // splitmix again over the full 256-bit state).
+  std::uint64_t state = master_seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  return stats::Rng(stats::splitmix64_next(state));
+}
+
+}  // namespace sybil::core

@@ -1,0 +1,82 @@
+// Deterministic work-scheduling layer: a reusable thread pool plus
+// parallel_for / parallel_reduce over fixed chunk partitions.
+//
+// Determinism contract (relied on by every caller in graph/, detectors/
+// and bench/): the chunk partition of [0, n) depends only on n and the
+// requested grain — never on the worker count — and reductions combine
+// per-chunk partials in ascending chunk order. Stochastic chunk bodies
+// draw from an Rng stream derived from (master seed, chunk index) via
+// chunk_rng(). Together these guarantee bit-identical results whether
+// the pool runs 1 thread or 64, so `SYBIL_THREADS=k` is purely a
+// performance knob.
+//
+// Worker count resolution: explicit set_thread_count() (tests) beats the
+// SYBIL_THREADS environment variable, which beats hardware_concurrency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace sybil::core {
+
+/// A contiguous slice [begin, end) of the iteration space plus its
+/// position in the fixed chunk partition (the RNG stream id).
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t index = 0;
+};
+
+/// Number of workers the pool will use (>= 1). Honors set_thread_count,
+/// then SYBIL_THREADS, then std::thread::hardware_concurrency.
+std::size_t thread_count();
+
+/// Overrides the worker count at runtime (0 = back to automatic).
+/// Re-sizes the shared pool; not safe to call concurrently with
+/// parallel_for / parallel_reduce.
+void set_thread_count(std::size_t threads);
+
+/// Splits [0, n) into a thread-count-independent partition. With
+/// grain == 0 the space is divided into at most kDefaultChunks
+/// equal chunks; otherwise chunks hold `grain` items each (last one
+/// short). Exposed so tests can assert the partition is stable.
+std::vector<ChunkRange> chunk_partition(std::size_t n, std::size_t grain = 0);
+
+inline constexpr std::size_t kDefaultChunks = 64;
+
+/// Runs `body` over every chunk of the partition of [0, n). Chunks are
+/// claimed dynamically by workers, so bodies must only write state owned
+/// by their chunk (e.g. disjoint output slots). Exceptions thrown by a
+/// body are rethrown on the calling thread (first one wins).
+void parallel_for(std::size_t n,
+                  const std::function<void(const ChunkRange&)>& body,
+                  std::size_t grain = 0);
+
+/// Deterministic map-reduce: `map` produces one partial per chunk and
+/// `combine(acc, partial)` folds the partials into `init` in ascending
+/// chunk order, so floating-point rounding is identical for any worker
+/// count.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t n, T init, Map&& map, Combine&& combine,
+                  std::size_t grain = 0) {
+  const auto chunks = chunk_partition(n, grain);
+  std::vector<T> partials(chunks.size());
+  parallel_for(
+      n,
+      [&](const ChunkRange& c) { partials[c.index] = map(c); },
+      grain);
+  for (T& partial : partials) init = combine(std::move(init), partial);
+  return init;
+}
+
+/// Independent RNG stream for one chunk (or one work item), derived from
+/// the master seed. Streams are decorrelated via splitmix64, and the
+/// derivation is a pure function of (master_seed, stream) — the anchor
+/// of the determinism contract for stochastic parallel loops.
+stats::Rng chunk_rng(std::uint64_t master_seed, std::uint64_t stream) noexcept;
+
+}  // namespace sybil::core

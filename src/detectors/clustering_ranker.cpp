@@ -1,0 +1,16 @@
+#include "detectors/clustering_ranker.h"
+
+#include "graph/clustering.h"
+
+namespace sybil::detect {
+
+std::vector<double> clustering_ranker_scores(const graph::CsrGraph& g) {
+  return graph::local_clustering_all(g);
+}
+
+std::vector<double> ClusteringRankerDefense::score(
+    const graph::CsrGraph& g, const DefenseContext& /*ctx*/) const {
+  return clustering_ranker_scores(g);
+}
+
+}  // namespace sybil::detect

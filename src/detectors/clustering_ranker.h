@@ -1,0 +1,34 @@
+// Clustering-coefficient ranker — the paper's own structural signal
+// (Fig 4) recast as a baseline defense: wild Sybils befriend strangers
+// whose friends are strangers to each other, so their neighborhoods
+// close almost no triangles and their local clustering coefficient sits
+// orders of magnitude below normal users'. Ranking nodes by local
+// clustering (higher = more honest) is therefore the structural
+// detector that *does* survive the paper's wild setting, while the
+// community-assumption defenses collapse — and on the classic
+// injected-community setting it inverts, which the defense-evaluation
+// bench makes visible.
+#pragma once
+
+#include <vector>
+
+#include "detectors/defense.h"
+#include "graph/csr.h"
+
+namespace sybil::detect {
+
+/// Per-node local clustering coefficients (higher = more honest).
+/// Parallel over the fixed chunk partition; no RNG.
+std::vector<double> clustering_ranker_scores(const graph::CsrGraph& g);
+
+class ClusteringRankerDefense final : public SybilDefense {
+ public:
+  std::string_view name() const noexcept override { return "clustering"; }
+  Determinism determinism() const noexcept override {
+    return Determinism::kPure;
+  }
+  std::vector<double> score(const graph::CsrGraph& g,
+                            const DefenseContext& ctx) const override;
+};
+
+}  // namespace sybil::detect

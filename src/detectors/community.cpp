@@ -56,4 +56,20 @@ CommunityRanking community_expand(const graph::CsrGraph& g,
   return out;
 }
 
+std::vector<double> CommunityDefense::score(const graph::CsrGraph& g,
+                                            const DefenseContext& ctx) const {
+  if (ctx.honest_seeds.empty()) {
+    throw std::invalid_argument("community: no seeds");
+  }
+  const CommunityRanking ranking =
+      community_expand(g, ctx.honest_seeds.front(), params_);
+  std::vector<double> scores(g.node_count(), 0.0);
+  const double size = static_cast<double>(ranking.order.size());
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    if (ranking.rank[v] == CommunityRanking::kUnranked) continue;
+    scores[v] = 1.0 - static_cast<double>(ranking.rank[v]) / size;
+  }
+  return scores;
+}
+
 }  // namespace sybil::detect

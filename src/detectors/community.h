@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "detectors/defense.h"
 #include "graph/csr.h"
 
 namespace sybil::detect {
@@ -35,5 +36,23 @@ struct CommunityRanking {
 CommunityRanking community_expand(const graph::CsrGraph& g,
                                   graph::NodeId seed,
                                   CommunityParams params = {});
+
+/// Conductance expansion behind the unified interface: a node's score
+/// is 1 - rank/|order| (never-included nodes score 0), expanding from
+/// the first honest seed. Pure greedy — no RNG.
+class CommunityDefense final : public SybilDefense {
+ public:
+  explicit CommunityDefense(CommunityParams params = {}) : params_(params) {}
+
+  std::string_view name() const noexcept override { return "community"; }
+  Determinism determinism() const noexcept override {
+    return Determinism::kPure;
+  }
+  std::vector<double> score(const graph::CsrGraph& g,
+                            const DefenseContext& ctx) const override;
+
+ private:
+  CommunityParams params_;
+};
 
 }  // namespace sybil::detect

@@ -1,0 +1,167 @@
+#include "detectors/defense.h"
+
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "detectors/clustering_ranker.h"
+#include "detectors/community.h"
+#include "detectors/sumup.h"
+#include "detectors/sybilguard.h"
+#include "detectors/sybilinfer.h"
+#include "detectors/sybilinfer_mcmc.h"
+#include "detectors/sybillimit.h"
+#include "detectors/sybilrank.h"
+
+namespace sybil::detect {
+
+std::string_view to_string(Determinism d) noexcept {
+  switch (d) {
+    case Determinism::kPure:
+      return "pure";
+    case Determinism::kSeeded:
+      return "seeded";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  // Insertion-ordered so bench tables have a stable row order.
+  std::vector<std::pair<std::string, DefenseRegistry::Factory>> entries;
+
+  static Registry& instance() {
+    static Registry r;
+    r.ensure_builtins();
+    return r;
+  }
+
+  void add(std::string name, DefenseRegistry::Factory factory) {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (auto& [existing, f] : entries) {
+      if (existing == name) {
+        f = std::move(factory);
+        return;
+      }
+    }
+    entries.emplace_back(std::move(name), std::move(factory));
+  }
+
+  void ensure_builtins() {
+    std::call_once(builtins_once, [this] { register_builtins(); });
+  }
+
+  void register_builtins();
+
+  std::once_flag builtins_once;
+};
+
+SybilGuardParams guard_params(const DefenseTuning& t) {
+  SybilGuardParams p;
+  if (t.seed != 0) p.seed = t.seed;
+  if (t.route_length != 0) p.route_length = t.route_length;
+  if (t.max_routes_per_node != 0) p.max_routes_per_node = t.max_routes_per_node;
+  return p;
+}
+
+SybilLimitParams limit_params(const DefenseTuning& t) {
+  SybilLimitParams p;
+  if (t.seed != 0) p.seed = t.seed;
+  if (t.route_length != 0) p.route_length = t.route_length;
+  if (t.r_factor != 0.0) p.r_factor = t.r_factor;
+  return p;
+}
+
+SybilInferParams infer_params(const DefenseTuning& t) {
+  SybilInferParams p;
+  if (t.seed != 0) p.seed = t.seed;
+  if (t.walks_per_seed != 0) p.walks_per_seed = t.walks_per_seed;
+  return p;
+}
+
+SybilInferMcmcParams mcmc_params(const DefenseTuning& t) {
+  SybilInferMcmcParams p;
+  if (t.seed != 0) p.seed = t.seed;
+  if (t.mcmc_burn_in_sweeps != 0) p.burn_in_sweeps = t.mcmc_burn_in_sweeps;
+  if (t.mcmc_sample_sweeps != 0) p.sample_sweeps = t.mcmc_sample_sweeps;
+  return p;
+}
+
+void Registry::register_builtins() {
+  // Registration order is the paper's presentation order: the four
+  // defenses the paper evaluates, then the post-paper baselines, then
+  // the paper's own structural signal.
+  add("sybilguard", [](const DefenseTuning& t) -> std::unique_ptr<SybilDefense> {
+    return std::make_unique<SybilGuardDefense>(guard_params(t));
+  });
+  add("sybillimit", [](const DefenseTuning& t) -> std::unique_ptr<SybilDefense> {
+    return std::make_unique<SybilLimitDefense>(limit_params(t));
+  });
+  add("sybilinfer", [](const DefenseTuning& t) -> std::unique_ptr<SybilDefense> {
+    return std::make_unique<SybilInferDefense>(infer_params(t));
+  });
+  add("sybilinfer-mcmc",
+      [](const DefenseTuning& t) -> std::unique_ptr<SybilDefense> {
+        return std::make_unique<SybilInferMcmcDefense>(mcmc_params(t));
+      });
+  add("sumup", [](const DefenseTuning&) -> std::unique_ptr<SybilDefense> {
+    return std::make_unique<SumUpDefense>();
+  });
+  add("sybilrank", [](const DefenseTuning&) -> std::unique_ptr<SybilDefense> {
+    return std::make_unique<SybilRankDefense>();
+  });
+  add("community", [](const DefenseTuning&) -> std::unique_ptr<SybilDefense> {
+    return std::make_unique<CommunityDefense>();
+  });
+  add("clustering", [](const DefenseTuning&) -> std::unique_ptr<SybilDefense> {
+    return std::make_unique<ClusteringRankerDefense>();
+  });
+}
+
+}  // namespace
+
+void DefenseRegistry::register_defense(std::string name, Factory factory) {
+  Registry::instance().add(std::move(name), std::move(factory));
+}
+
+std::vector<std::string> DefenseRegistry::names() {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::string> out;
+  out.reserve(r.entries.size());
+  for (const auto& [name, factory] : r.entries) out.push_back(name);
+  return out;
+}
+
+bool DefenseRegistry::contains(std::string_view name) {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& [existing, factory] : r.entries) {
+    if (existing == name) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<SybilDefense> DefenseRegistry::create(
+    std::string_view name, const DefenseTuning& tuning) {
+  Factory factory;
+  {
+    Registry& r = Registry::instance();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (const auto& [existing, f] : r.entries) {
+      if (existing == name) {
+        factory = f;
+        break;
+      }
+    }
+  }
+  if (!factory) {
+    throw std::out_of_range("defense registry: unknown defense '" +
+                            std::string(name) + "'");
+  }
+  return factory(tuning);
+}
+
+}  // namespace sybil::detect

@@ -1,0 +1,109 @@
+// The unified defense interface: every structure-based Sybil defense in
+// this library (SybilGuard, SybilLimit, SybilInfer, SybilInfer-MCMC,
+// SumUp, SybilRank, community expansion, clustering ranker) is exposed
+// as a SybilDefense that maps (graph, trusted seeds) to one honesty
+// score per node — the comparative-evaluation shape of the paper's
+// Section 3.1 battery, and the seam later scaling work (sharding,
+// batching, alternative backends) plugs into.
+//
+// Determinism contract: score() must be a pure function of
+// (graph, context, construction-time tuning). Defenses that use
+// randomness derive every stream from their fixed master seed (via
+// core::chunk_rng for parallel loops), so results are bit-identical for
+// any SYBIL_THREADS setting. The declared Determinism level tells
+// callers whether a defense consumes a seed at all.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace sybil::detect {
+
+/// Declared determinism contract of a defense.
+enum class Determinism {
+  /// No randomness at all: score() depends only on (graph, context).
+  kPure,
+  /// Uses RNG streams derived from a fixed master seed; still
+  /// bit-identical run-to-run and across thread counts.
+  kSeeded,
+};
+
+std::string_view to_string(Determinism d) noexcept;
+
+/// Inputs shared by every defense invocation.
+struct DefenseContext {
+  /// Trusted honest nodes. Propagation defenses use all of them;
+  /// pairwise/collector defenses (SybilGuard, SybilLimit, SumUp) use
+  /// the first as the verifier / vote collector.
+  std::vector<graph::NodeId> honest_seeds;
+  /// Nodes whose scores the caller will consume (empty = all nodes).
+  /// Pairwise defenses only guarantee meaningful scores here; entries
+  /// outside the set are 0.
+  std::vector<graph::NodeId> eval_nodes;
+};
+
+/// Polymorphic Sybil defense: per-node honesty scores, higher = more
+/// likely honest. Implementations must be const-callable and safe to
+/// invoke from a single thread while the library parallelizes
+/// internally via core/parallel.h.
+class SybilDefense {
+ public:
+  virtual ~SybilDefense() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+  virtual Determinism determinism() const noexcept = 0;
+
+  /// Scores every node of `g` (vector size == g.node_count()).
+  virtual std::vector<double> score(const graph::CsrGraph& g,
+                                    const DefenseContext& ctx) const = 0;
+
+  /// Convenience overload matching the common call shape.
+  std::vector<double> score(const graph::CsrGraph& g,
+                            const std::vector<graph::NodeId>& seeds) const {
+    DefenseContext ctx;
+    ctx.honest_seeds = seeds;
+    return score(g, ctx);
+  }
+};
+
+/// Cross-defense tuning knobs understood by the registry factories
+/// (0 / 0.0 = keep the detector's own default). Kept deliberately flat:
+/// benches sweep these without naming concrete detector types.
+struct DefenseTuning {
+  std::uint64_t seed = 0;
+  std::size_t route_length = 0;         // SybilGuard, SybilLimit
+  std::size_t max_routes_per_node = 0;  // SybilGuard
+  double r_factor = 0.0;                // SybilLimit
+  std::size_t walks_per_seed = 0;       // SybilInfer
+  std::size_t mcmc_burn_in_sweeps = 0;  // SybilInfer-MCMC
+  std::size_t mcmc_sample_sweeps = 0;   // SybilInfer-MCMC
+};
+
+/// Name -> factory registry over every ported defense. The eight
+/// built-ins self-register on first access; callers may add more.
+class DefenseRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<SybilDefense>(const DefenseTuning&)>;
+
+  /// Registers (or replaces) a factory under `name`.
+  static void register_defense(std::string name, Factory factory);
+
+  /// Registered names in registration order (built-ins first) — the
+  /// stable row order of the bench tables.
+  static std::vector<std::string> names();
+
+  static bool contains(std::string_view name);
+
+  /// Instantiates a defense; throws std::out_of_range for unknown names.
+  static std::unique_ptr<SybilDefense> create(std::string_view name,
+                                              const DefenseTuning& tuning = {});
+};
+
+}  // namespace sybil::detect

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/parallel.h"
+
 namespace sybil::detect {
 
 DefenseMetrics evaluate_scores(std::span<const double> scores,
@@ -30,14 +32,23 @@ DefenseMetrics evaluate_scores(std::span<const double> scores,
   std::sort(honest.begin(), honest.end());
   std::sort(sybil.begin(), sybil.end());
   // For each sybil score, count honest scores strictly above it (+0.5
-  // for ties) — P(sybil < honest).
-  double wins = 0.0;
-  for (double s : sybil) {
-    const auto lo = std::lower_bound(honest.begin(), honest.end(), s);
-    const auto hi = std::upper_bound(honest.begin(), honest.end(), s);
-    wins += static_cast<double>(honest.end() - hi) +
-            0.5 * static_cast<double>(hi - lo);
-  }
+  // for ties) — P(sybil < honest). The sweep over the sybil sample is
+  // sharded on the parallel layer; per-chunk partials are combined in
+  // chunk order so the sum is bit-stable across thread counts.
+  const double wins = core::parallel_reduce(
+      sybil.size(), 0.0,
+      [&](const core::ChunkRange& c) {
+        double partial = 0.0;
+        for (std::size_t i = c.begin; i < c.end; ++i) {
+          const double s = sybil[i];
+          const auto lo = std::lower_bound(honest.begin(), honest.end(), s);
+          const auto hi = std::upper_bound(honest.begin(), honest.end(), s);
+          partial += static_cast<double>(honest.end() - hi) +
+                     0.5 * static_cast<double>(hi - lo);
+        }
+        return partial;
+      },
+      [](double acc, double p) { return acc + p; });
   m.auc = wins / (static_cast<double>(honest.size()) *
                   static_cast<double>(sybil.size()));
 

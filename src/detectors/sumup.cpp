@@ -83,4 +83,32 @@ SumUpResult sumup_collect(const graph::CsrGraph& g, graph::NodeId collector,
   return result;
 }
 
+std::vector<double> SumUpDefense::score(const graph::CsrGraph& g,
+                                        const DefenseContext& ctx) const {
+  if (ctx.honest_seeds.empty()) {
+    throw std::invalid_argument("sumup: no seeds");
+  }
+  const graph::NodeId collector = ctx.honest_seeds.front();
+  std::vector<graph::NodeId> voters;
+  if (ctx.eval_nodes.empty()) {
+    voters.reserve(g.node_count() > 0 ? g.node_count() - 1 : 0);
+    for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+      if (v != collector) voters.push_back(v);
+    }
+  } else {
+    for (graph::NodeId v : ctx.eval_nodes) {
+      if (v != collector) voters.push_back(v);
+    }
+  }
+  SumUpParams params = params_;
+  if (params.c_max == 0) params.c_max = voters.size();
+  const SumUpResult result = sumup_collect(g, collector, voters, params);
+  std::vector<double> scores(g.node_count(), 0.0);
+  scores[collector] = 1.0;
+  for (std::size_t i = 0; i < voters.size(); ++i) {
+    scores[voters[i]] = result.accepted[i] ? 1.0 : 0.0;
+  }
+  return scores;
+}
+
 }  // namespace sybil::detect

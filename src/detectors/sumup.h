@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "detectors/defense.h"
 #include "graph/csr.h"
 #include "graph/maxflow.h"
 
@@ -35,5 +36,23 @@ struct SumUpResult {
 SumUpResult sumup_collect(const graph::CsrGraph& g, graph::NodeId collector,
                           const std::vector<graph::NodeId>& voters,
                           SumUpParams params = {});
+
+/// SumUp behind the unified interface: the first honest seed collects,
+/// eval nodes (default: everyone else) vote, and a node's score is 1 if
+/// its vote reached the collector. Pure max-flow — no RNG.
+class SumUpDefense final : public SybilDefense {
+ public:
+  explicit SumUpDefense(SumUpParams params = {}) : params_(params) {}
+
+  std::string_view name() const noexcept override { return "sumup"; }
+  Determinism determinism() const noexcept override {
+    return Determinism::kPure;
+  }
+  std::vector<double> score(const graph::CsrGraph& g,
+                            const DefenseContext& ctx) const override;
+
+ private:
+  SumUpParams params_;
+};
 
 }  // namespace sybil::detect

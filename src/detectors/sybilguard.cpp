@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+
+#include "core/parallel.h"
 
 namespace sybil::detect {
 
@@ -50,6 +53,33 @@ double SybilGuard::intersection_score(graph::NodeId verifier,
     }
   }
   return static_cast<double>(intersecting) / static_cast<double>(routes);
+}
+
+std::vector<double> SybilGuardDefense::score(const graph::CsrGraph& g,
+                                             const DefenseContext& ctx) const {
+  if (ctx.honest_seeds.empty()) {
+    throw std::invalid_argument("sybilguard: no seeds");
+  }
+  const SybilGuard guard(g, params_);
+  const graph::NodeId verifier = ctx.honest_seeds.front();
+  std::vector<double> scores(g.node_count(), 0.0);
+  const auto score_one = [&](graph::NodeId v) {
+    scores[v] = guard.intersection_score(verifier, v);
+  };
+  if (ctx.eval_nodes.empty()) {
+    core::parallel_for(g.node_count(), [&](const core::ChunkRange& c) {
+      for (std::size_t v = c.begin; v < c.end; ++v) {
+        score_one(static_cast<graph::NodeId>(v));
+      }
+    });
+  } else {
+    core::parallel_for(ctx.eval_nodes.size(), [&](const core::ChunkRange& c) {
+      for (std::size_t i = c.begin; i < c.end; ++i) {
+        score_one(ctx.eval_nodes[i]);
+      }
+    });
+  }
+  return scores;
 }
 
 }  // namespace sybil::detect

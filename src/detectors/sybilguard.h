@@ -15,6 +15,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "detectors/defense.h"
 #include "graph/csr.h"
 #include "graph/walks.h"
 #include "stats/rng.h"
@@ -58,6 +59,25 @@ class SybilGuard {
   SybilGuardParams params_;
   std::size_t length_;
   graph::RouteTable table_;
+};
+
+/// SybilGuard behind the unified interface: the first honest seed acts
+/// as the verifier and every eval node (default: all nodes) receives
+/// its route-intersection score, computed in parallel over suspects.
+class SybilGuardDefense final : public SybilDefense {
+ public:
+  explicit SybilGuardDefense(SybilGuardParams params = {})
+      : params_(params) {}
+
+  std::string_view name() const noexcept override { return "sybilguard"; }
+  Determinism determinism() const noexcept override {
+    return Determinism::kSeeded;
+  }
+  std::vector<double> score(const graph::CsrGraph& g,
+                            const DefenseContext& ctx) const override;
+
+ private:
+  SybilGuardParams params_;
 };
 
 }  // namespace sybil::detect

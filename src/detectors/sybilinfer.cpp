@@ -20,15 +20,13 @@ SybilInfer::SybilInfer(const graph::CsrGraph& g, SybilInferParams params)
 std::vector<double> SybilInfer::scores(
     const std::vector<graph::NodeId>& seeds) const {
   if (seeds.empty()) throw std::invalid_argument("sybilinfer: no seeds");
-  stats::Rng rng(params_.seed);
-  std::vector<std::uint64_t> endpoint_visits(g_.node_count(), 0);
-  std::uint64_t total_walks = 0;
-  for (graph::NodeId s : seeds) {
-    for (std::size_t w = 0; w < params_.walks_per_seed; ++w) {
-      ++endpoint_visits[graph::random_walk_endpoint(g_, s, length_, rng)];
-      ++total_walks;
-    }
-  }
+  // Walk fan-out runs on the parallel layer: per-chunk RNG streams
+  // derived from params_.seed keep the histogram bit-identical for any
+  // SYBIL_THREADS setting.
+  const std::vector<std::uint64_t> endpoint_visits = graph::endpoint_histogram(
+      g_, seeds, params_.walks_per_seed, length_, params_.seed);
+  const std::uint64_t total_walks =
+      static_cast<std::uint64_t>(seeds.size()) * params_.walks_per_seed;
   // Stationary expectation of endpoint mass is deg(v) / 2m.
   const double two_m =
       std::max<double>(1.0, 2.0 * static_cast<double>(g_.edge_count()));

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "detectors/defense.h"
 #include "graph/csr.h"
 #include "stats/rng.h"
 
@@ -46,6 +47,25 @@ class SybilInfer {
   const graph::CsrGraph& g_;
   SybilInferParams params_;
   std::size_t length_;
+};
+
+/// SybilInfer's stationarity heuristic behind the unified interface.
+class SybilInferDefense final : public SybilDefense {
+ public:
+  explicit SybilInferDefense(SybilInferParams params = {})
+      : params_(params) {}
+
+  std::string_view name() const noexcept override { return "sybilinfer"; }
+  Determinism determinism() const noexcept override {
+    return Determinism::kSeeded;
+  }
+  std::vector<double> score(const graph::CsrGraph& g,
+                            const DefenseContext& ctx) const override {
+    return SybilInfer(g, params_).scores(ctx.honest_seeds);
+  }
+
+ private:
+  SybilInferParams params_;
 };
 
 }  // namespace sybil::detect

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "detectors/defense.h"
 #include "graph/csr.h"
 #include "stats/rng.h"
 
@@ -42,5 +43,27 @@ struct SybilInferMcmcParams {
 std::vector<double> sybilinfer_mcmc_scores(
     const graph::CsrGraph& g, const std::vector<graph::NodeId>& honest_seeds,
     SybilInferMcmcParams params = {});
+
+/// The full Bayesian engine behind the unified interface. The MH chain
+/// is inherently sequential; determinism comes from the fixed seed.
+class SybilInferMcmcDefense final : public SybilDefense {
+ public:
+  explicit SybilInferMcmcDefense(SybilInferMcmcParams params = {})
+      : params_(params) {}
+
+  std::string_view name() const noexcept override {
+    return "sybilinfer-mcmc";
+  }
+  Determinism determinism() const noexcept override {
+    return Determinism::kSeeded;
+  }
+  std::vector<double> score(const graph::CsrGraph& g,
+                            const DefenseContext& ctx) const override {
+    return sybilinfer_mcmc_scores(g, ctx.honest_seeds, params_);
+  }
+
+ private:
+  SybilInferMcmcParams params_;
+};
 
 }  // namespace sybil::detect

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+
+#include "core/parallel.h"
 
 namespace sybil::detect {
 
@@ -82,6 +85,34 @@ bool SybilLimit::Verifier::accepts(graph::NodeId suspect) {
   ++best->second;
   ++accepted_total_;
   return true;
+}
+
+std::vector<double> SybilLimitDefense::score(const graph::CsrGraph& g,
+                                             const DefenseContext& ctx) const {
+  if (ctx.honest_seeds.empty()) {
+    throw std::invalid_argument("sybillimit: no seeds");
+  }
+  const SybilLimit limit(g, params_);
+  const SybilLimit::Verifier verifier =
+      limit.make_verifier(ctx.honest_seeds.front());
+  std::vector<double> scores(g.node_count(), 0.0);
+  const auto score_one = [&](graph::NodeId v) {
+    scores[v] = verifier.tail_score(v);
+  };
+  if (ctx.eval_nodes.empty()) {
+    core::parallel_for(g.node_count(), [&](const core::ChunkRange& c) {
+      for (std::size_t v = c.begin; v < c.end; ++v) {
+        score_one(static_cast<graph::NodeId>(v));
+      }
+    });
+  } else {
+    core::parallel_for(ctx.eval_nodes.size(), [&](const core::ChunkRange& c) {
+      for (std::size_t i = c.begin; i < c.end; ++i) {
+        score_one(ctx.eval_nodes[i]);
+      }
+    });
+  }
+  return scores;
 }
 
 }  // namespace sybil::detect

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "detectors/defense.h"
 #include "graph/csr.h"
 #include "stats/rng.h"
 
@@ -74,6 +75,26 @@ class SybilLimit {
   SybilLimitParams params_;
   std::size_t routes_;
   std::size_t length_;
+};
+
+/// SybilLimit behind the unified interface: the first honest seed is
+/// the verifier and each eval node's score is the fraction of its tails
+/// intersecting the verifier's tail set (the score-based variant;
+/// tail_score is const so suspects are scored in parallel).
+class SybilLimitDefense final : public SybilDefense {
+ public:
+  explicit SybilLimitDefense(SybilLimitParams params = {})
+      : params_(params) {}
+
+  std::string_view name() const noexcept override { return "sybillimit"; }
+  Determinism determinism() const noexcept override {
+    return Determinism::kSeeded;
+  }
+  std::vector<double> score(const graph::CsrGraph& g,
+                            const DefenseContext& ctx) const override;
+
+ private:
+  SybilLimitParams params_;
 };
 
 }  // namespace sybil::detect

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/parallel.h"
+
 namespace sybil::detect {
 
 std::vector<double> sybilrank_scores(const graph::CsrGraph& g,
@@ -19,15 +21,26 @@ std::vector<double> sybilrank_scores(const graph::CsrGraph& g,
   const double share = 1.0 / static_cast<double>(seeds.size());
   for (graph::NodeId s : seeds) trust[s] += share;
 
+  // Precompute 1/deg once; the iteration then pulls
+  //   next[v] = sum_{u in N(v)} trust[u] / deg(u)
+  // instead of scattering, so chunks write disjoint slots and the
+  // per-node summation order is fixed (bit-stable for any thread count).
+  std::vector<double> inv_degree(g.node_count(), 0.0);
+  for (graph::NodeId u = 0; u < g.node_count(); ++u) {
+    if (g.degree(u) > 0) inv_degree[u] = 1.0 / static_cast<double>(g.degree(u));
+  }
+
   std::vector<double> next(g.node_count());
   for (std::size_t it = 0; it < iters; ++it) {
-    std::fill(next.begin(), next.end(), 0.0);
-    for (graph::NodeId u = 0; u < g.node_count(); ++u) {
-      const auto d = static_cast<double>(g.degree(u));
-      if (trust[u] == 0.0 || d == 0.0) continue;
-      const double out = trust[u] / d;
-      for (graph::NodeId v : g.neighbors(u)) next[v] += out;
-    }
+    core::parallel_for(g.node_count(), [&](const core::ChunkRange& c) {
+      for (std::size_t v = c.begin; v < c.end; ++v) {
+        double sum = 0.0;
+        for (graph::NodeId u : g.neighbors(static_cast<graph::NodeId>(v))) {
+          sum += trust[u] * inv_degree[u];
+        }
+        next[v] = sum;
+      }
+    });
     trust.swap(next);
   }
   for (graph::NodeId u = 0; u < g.node_count(); ++u) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "detectors/defense.h"
 #include "graph/csr.h"
 
 namespace sybil::detect {
@@ -24,5 +25,24 @@ struct SybilRankParams {
 std::vector<double> sybilrank_scores(const graph::CsrGraph& g,
                                      const std::vector<graph::NodeId>& seeds,
                                      SybilRankParams params = {});
+
+/// SybilRank behind the unified interface. Power iteration is pull-
+/// based and parallel; no RNG at all.
+class SybilRankDefense final : public SybilDefense {
+ public:
+  explicit SybilRankDefense(SybilRankParams params = {}) : params_(params) {}
+
+  std::string_view name() const noexcept override { return "sybilrank"; }
+  Determinism determinism() const noexcept override {
+    return Determinism::kPure;
+  }
+  std::vector<double> score(const graph::CsrGraph& g,
+                            const DefenseContext& ctx) const override {
+    return sybilrank_scores(g, ctx.honest_seeds, params_);
+  }
+
+ private:
+  SybilRankParams params_;
+};
 
 }  // namespace sybil::detect

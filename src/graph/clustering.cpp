@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "core/parallel.h"
+
 namespace sybil::graph {
 
 namespace {
@@ -52,15 +54,40 @@ double first_k_clustering(const TimestampedGraph& tg, const CsrGraph& g,
   return clustering_of_subset(g, first);
 }
 
+std::vector<double> local_clustering_all(const CsrGraph& g) {
+  std::vector<double> cc(g.node_count(), 0.0);
+  core::parallel_for(g.node_count(), [&](const core::ChunkRange& c) {
+    for (std::size_t u = c.begin; u < c.end; ++u) {
+      cc[u] = local_clustering(g, static_cast<NodeId>(u));
+    }
+  });
+  return cc;
+}
+
 double average_clustering(const CsrGraph& g) {
-  double total = 0.0;
-  std::uint64_t counted = 0;
-  for (NodeId u = 0; u < g.node_count(); ++u) {
-    if (g.degree(u) < 2) continue;
-    total += local_clustering(g, u);
-    ++counted;
-  }
-  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+  struct Partial {
+    double total = 0.0;
+    std::uint64_t counted = 0;
+  };
+  const Partial sum = core::parallel_reduce(
+      g.node_count(), Partial{},
+      [&](const core::ChunkRange& c) {
+        Partial p;
+        for (std::size_t u = c.begin; u < c.end; ++u) {
+          if (g.degree(static_cast<NodeId>(u)) < 2) continue;
+          p.total += local_clustering(g, static_cast<NodeId>(u));
+          ++p.counted;
+        }
+        return p;
+      },
+      [](Partial acc, const Partial& p) {
+        acc.total += p.total;
+        acc.counted += p.counted;
+        return acc;
+      });
+  return sum.counted == 0
+             ? 0.0
+             : sum.total / static_cast<double>(sum.counted);
 }
 
 std::uint64_t triangle_count(const CsrGraph& g) {
@@ -71,32 +98,39 @@ std::uint64_t triangle_count(const CsrGraph& g) {
     return g.degree(a) != g.degree(b) ? g.degree(a) < g.degree(b) : a < b;
   };
   std::vector<std::vector<NodeId>> fwd(n);
-  for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v : g.neighbors(u)) {
-      if (precedes(u, v)) fwd[u].push_back(v);
-    }
-    std::sort(fwd[u].begin(), fwd[u].end());
-  }
-  std::uint64_t triangles = 0;
-  for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v : fwd[u]) {
-      // Count |fwd[u] ∩ fwd[v]| with a sorted merge.
-      auto a = fwd[u].begin();
-      auto b = fwd[v].begin();
-      while (a != fwd[u].end() && b != fwd[v].end()) {
-        if (*a < *b) {
-          ++a;
-        } else if (*b < *a) {
-          ++b;
-        } else {
-          ++triangles;
-          ++a;
-          ++b;
-        }
+  core::parallel_for(n, [&](const core::ChunkRange& c) {
+    for (std::size_t u = c.begin; u < c.end; ++u) {
+      for (NodeId v : g.neighbors(static_cast<NodeId>(u))) {
+        if (precedes(static_cast<NodeId>(u), v)) fwd[u].push_back(v);
       }
+      std::sort(fwd[u].begin(), fwd[u].end());
     }
-  }
-  return triangles;
+  });
+  return core::parallel_reduce(
+      n, std::uint64_t{0},
+      [&](const core::ChunkRange& c) {
+        std::uint64_t triangles = 0;
+        for (std::size_t u = c.begin; u < c.end; ++u) {
+          for (NodeId v : fwd[u]) {
+            // Count |fwd[u] ∩ fwd[v]| with a sorted merge.
+            auto a = fwd[u].begin();
+            auto b = fwd[v].begin();
+            while (a != fwd[u].end() && b != fwd[v].end()) {
+              if (*a < *b) {
+                ++a;
+              } else if (*b < *a) {
+                ++b;
+              } else {
+                ++triangles;
+                ++a;
+                ++b;
+              }
+            }
+          }
+        }
+        return triangles;
+      },
+      [](std::uint64_t acc, std::uint64_t t) { return acc + t; });
 }
 
 double transitivity(const CsrGraph& g) {

@@ -31,7 +31,13 @@ double clustering_of_subset(const CsrGraph& g, std::span<const NodeId> subset);
 double first_k_clustering(const TimestampedGraph& tg, const CsrGraph& g,
                           NodeId u, std::size_t k = 50);
 
+/// Local clustering coefficient of every node, computed in parallel
+/// over the fixed chunk partition (deterministic for any SYBIL_THREADS).
+std::vector<double> local_clustering_all(const CsrGraph& g);
+
 /// Mean local clustering over all nodes of degree >= 2 (0 if none).
+/// Parallelized; per-chunk partial sums are combined in chunk order so
+/// the result is bit-stable across thread counts.
 double average_clustering(const CsrGraph& g);
 
 /// Global transitivity: 3 * triangles / wedges (0 if no wedges).

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "core/parallel.h"
 #include "stats/distributions.h"
 
 namespace sybil::graph {
@@ -43,6 +44,30 @@ std::vector<std::uint64_t> walk_visit_counts(const CsrGraph& g, NodeId start,
     for (NodeId u : random_walk(g, start, length, rng)) ++counts[u];
   }
   return counts;
+}
+
+std::vector<std::uint64_t> endpoint_histogram(const CsrGraph& g,
+                                              std::span<const NodeId> starts,
+                                              std::size_t walks_per_start,
+                                              std::size_t length,
+                                              std::uint64_t master_seed) {
+  using Histogram = std::vector<std::uint64_t>;
+  return core::parallel_reduce(
+      starts.size(), Histogram(g.node_count(), 0),
+      [&](const core::ChunkRange& c) {
+        Histogram local(g.node_count(), 0);
+        stats::Rng rng = core::chunk_rng(master_seed, c.index);
+        for (std::size_t i = c.begin; i < c.end; ++i) {
+          for (std::size_t w = 0; w < walks_per_start; ++w) {
+            ++local[random_walk_endpoint(g, starts[i], length, rng)];
+          }
+        }
+        return local;
+      },
+      [](Histogram acc, const Histogram& partial) {
+        for (std::size_t v = 0; v < acc.size(); ++v) acc[v] += partial[v];
+        return acc;
+      });
 }
 
 RouteTable::RouteTable(const CsrGraph& g, stats::Rng& rng) {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "graph/csr.h"
@@ -33,6 +34,18 @@ std::vector<std::uint64_t> walk_visit_counts(const CsrGraph& g, NodeId start,
                                              std::size_t length,
                                              std::size_t walks,
                                              stats::Rng& rng);
+
+/// Parallel walk fan-out: for every node in `starts`, runs
+/// `walks_per_start` walks of `length` steps and histograms the walk
+/// *endpoints* over all nodes. Work is sharded over the fixed chunk
+/// partition of `starts` with one core::chunk_rng stream per chunk, so
+/// the histogram is bit-identical for any SYBIL_THREADS setting (the
+/// determinism contract of core/parallel.h).
+std::vector<std::uint64_t> endpoint_histogram(const CsrGraph& g,
+                                              std::span<const NodeId> starts,
+                                              std::size_t walks_per_start,
+                                              std::size_t length,
+                                              std::uint64_t master_seed);
 
 /// Per-node routing permutations for random routes.
 ///

@@ -1,0 +1,217 @@
+// Determinism contract of core/parallel: the chunk partition, the
+// parallel_for / parallel_reduce results, and the per-chunk RNG streams
+// must be bit-identical whether the pool runs 1, 2 or 8 workers.
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sybil::core {
+namespace {
+
+/// Restores automatic thread-count resolution when a test exits.
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() { set_thread_count(0); }
+};
+
+TEST(ChunkPartition, CoversRangeExactlyOnce) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{63},
+                        std::size_t{64}, std::size_t{65}, std::size_t{1000}}) {
+    const auto chunks = chunk_partition(n);
+    std::size_t expect_begin = 0;
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      EXPECT_EQ(chunks[i].index, i);
+      EXPECT_EQ(chunks[i].begin, expect_begin);
+      EXPECT_LT(chunks[i].begin, chunks[i].end);
+      expect_begin = chunks[i].end;
+    }
+    EXPECT_EQ(expect_begin, n);
+    EXPECT_LE(chunks.size(), kDefaultChunks);
+  }
+}
+
+TEST(ChunkPartition, HonorsExplicitGrain) {
+  const auto chunks = chunk_partition(10, 4);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].end, 4u);
+  EXPECT_EQ(chunks[1].end, 8u);
+  EXPECT_EQ(chunks[2].end, 10u);
+}
+
+TEST(ChunkPartition, IndependentOfThreadCount) {
+  ThreadCountGuard guard;
+  const auto reference = chunk_partition(1237);
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    set_thread_count(threads);
+    const auto chunks = chunk_partition(1237);
+    ASSERT_EQ(chunks.size(), reference.size());
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      EXPECT_EQ(chunks[i].begin, reference[i].begin);
+      EXPECT_EQ(chunks[i].end, reference[i].end);
+    }
+  }
+}
+
+TEST(ThreadCount, SetOverrideTakesEffect) {
+  ThreadCountGuard guard;
+  set_thread_count(3);
+  EXPECT_EQ(thread_count(), 3u);
+  set_thread_count(0);
+  EXPECT_GE(thread_count(), 1u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    set_thread_count(threads);
+    std::vector<int> visits(5000, 0);
+    parallel_for(visits.size(), [&](const ChunkRange& c) {
+      for (std::size_t i = c.begin; i < c.end; ++i) ++visits[i];
+    });
+    EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 5000);
+    for (int v : visits) ASSERT_EQ(v, 1);
+  }
+}
+
+TEST(ParallelFor, BitIdenticalOutputAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const std::size_t n = 4096;
+  auto compute = [&] {
+    std::vector<double> out(n);
+    parallel_for(n, [&](const ChunkRange& c) {
+      for (std::size_t i = c.begin; i < c.end; ++i) {
+        out[i] = std::sin(static_cast<double>(i)) / (1.0 + std::sqrt(i));
+      }
+    });
+    return out;
+  };
+  set_thread_count(1);
+  const std::vector<double> reference = compute();
+  for (std::size_t threads : {2u, 8u}) {
+    set_thread_count(threads);
+    const std::vector<double> got = compute();
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      // Bit-identity, not tolerance: the partition is fixed, so every
+      // arithmetic op happens with identical operands in any schedule.
+      ASSERT_EQ(got[i], reference[i]) << "index " << i;
+    }
+  }
+}
+
+TEST(ParallelReduce, BitIdenticalSumAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  // Wildly mixed magnitudes so any change in summation order would
+  // change the rounding — the whole point of the in-order combine.
+  const std::size_t n = 10'000;
+  auto term = [](std::size_t i) {
+    return std::ldexp(1.0, static_cast<int>(i % 53)) /
+           (1.0 + static_cast<double>(i));
+  };
+  auto compute = [&] {
+    return parallel_reduce(
+        n, 0.0,
+        [&](const ChunkRange& c) {
+          double partial = 0.0;
+          for (std::size_t i = c.begin; i < c.end; ++i) partial += term(i);
+          return partial;
+        },
+        [](double acc, double partial) { return acc + partial; });
+  };
+  set_thread_count(1);
+  const double reference = compute();
+  // The reference must equal folding the chunk partials sequentially.
+  const auto chunks = chunk_partition(n);
+  double sequential = 0.0;
+  for (const ChunkRange& c : chunks) {
+    double partial = 0.0;
+    for (std::size_t i = c.begin; i < c.end; ++i) partial += term(i);
+    sequential += partial;
+  }
+  EXPECT_EQ(reference, sequential);
+  for (std::size_t threads : {2u, 8u}) {
+    set_thread_count(threads);
+    ASSERT_EQ(compute(), reference) << threads << " threads";
+  }
+}
+
+TEST(ChunkRng, StreamsAreStableAndDecorrelated) {
+  // Same (seed, stream) -> identical draw sequence; the derivation is a
+  // pure function, never dependent on pool state.
+  stats::Rng a = chunk_rng(42, 7);
+  stats::Rng b = chunk_rng(42, 7);
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(a(), b());
+  // Adjacent streams and adjacent seeds must diverge immediately.
+  EXPECT_NE(chunk_rng(42, 7)(), chunk_rng(42, 8)());
+  EXPECT_NE(chunk_rng(42, 7)(), chunk_rng(43, 7)());
+  EXPECT_NE(chunk_rng(42, 0)(), chunk_rng(42, 1)());
+}
+
+TEST(ChunkRng, StochasticReduceBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  // The canonical stochastic-loop pattern (random-walk fan-out and
+  // friends): each chunk draws only from its own derived stream.
+  const std::size_t n = 20'000;
+  const std::uint64_t master_seed = 0xfeedfaceULL;
+  auto compute = [&] {
+    return parallel_reduce(
+        n, std::uint64_t{0},
+        [&](const ChunkRange& c) {
+          stats::Rng rng = chunk_rng(master_seed, c.index);
+          std::uint64_t acc = 0;
+          for (std::size_t i = c.begin; i < c.end; ++i) {
+            acc += rng() >> 32;
+          }
+          return acc;
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  };
+  set_thread_count(1);
+  const std::uint64_t reference = compute();
+  for (std::size_t threads : {2u, 8u}) {
+    set_thread_count(threads);
+    ASSERT_EQ(compute(), reference) << threads << " threads";
+  }
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadCountGuard guard;
+  set_thread_count(4);
+  EXPECT_THROW(
+      parallel_for(1000,
+                   [](const ChunkRange& c) {
+                     if (c.begin >= 500) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // The pool must stay usable after an exception.
+  std::vector<int> visits(100, 0);
+  parallel_for(visits.size(), [&](const ChunkRange& c) {
+    for (std::size_t i = c.begin; i < c.end; ++i) ++visits[i];
+  });
+  EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 100);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  ThreadCountGuard guard;
+  set_thread_count(4);
+  std::vector<int> visits(256, 0);
+  parallel_for(4, [&](const ChunkRange& outer) {
+    for (std::size_t o = outer.begin; o < outer.end; ++o) {
+      parallel_for(64, [&](const ChunkRange& inner) {
+        for (std::size_t i = inner.begin; i < inner.end; ++i) {
+          ++visits[o * 64 + i];
+        }
+      });
+    }
+  }, 1);
+  EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 256);
+}
+
+}  // namespace
+}  // namespace sybil::core

@@ -1,0 +1,213 @@
+// Golden test for the SybilDefense registry: every registered defense,
+// created through DefenseRegistry with the same tuning, must produce
+// scores identical to the direct pre-refactor call path on a fixed
+// 500-node synthetic graph — and identical regardless of SYBIL_THREADS.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/parallel.h"
+#include "detectors/clustering_ranker.h"
+#include "detectors/community.h"
+#include "detectors/defense.h"
+#include "detectors/sumup.h"
+#include "detectors/sybilguard.h"
+#include "detectors/sybilinfer.h"
+#include "detectors/sybilinfer_mcmc.h"
+#include "detectors/sybillimit.h"
+#include "detectors/sybilrank.h"
+#include "graph/clustering.h"
+#include "graph/generators.h"
+
+namespace sybil::detect {
+namespace {
+
+using graph::CsrGraph;
+using graph::NodeId;
+
+constexpr NodeId kHonest = 420;
+constexpr NodeId kSybils = 80;  // 500 nodes total
+
+/// The fixed golden graph: honest BA core + injected Sybil community.
+const CsrGraph& golden_graph() {
+  static const CsrGraph g = [] {
+    stats::Rng rng(7);
+    const auto base = graph::barabasi_albert(kHonest, 4, rng);
+    const auto combined =
+        graph::inject_sybil_community(base, kSybils, 0.25, 10, rng);
+    return CsrGraph::from(combined);
+  }();
+  return g;
+}
+
+std::vector<NodeId> golden_seeds() { return {5, 17, 120, 301}; }
+
+/// Small, fast tuning shared by the registry path and the golden path.
+DefenseTuning golden_tuning() {
+  DefenseTuning t;
+  t.seed = 99;
+  t.route_length = 12;
+  t.max_routes_per_node = 8;
+  t.r_factor = 1.0;
+  t.walks_per_seed = 50;
+  t.mcmc_burn_in_sweeps = 2;
+  t.mcmc_sample_sweeps = 3;
+  return t;
+}
+
+std::vector<double> registry_scores(const std::string& name) {
+  const auto defense = DefenseRegistry::create(name, golden_tuning());
+  EXPECT_EQ(defense->name(), name);
+  DefenseContext ctx;
+  ctx.honest_seeds = golden_seeds();
+  return defense->score(golden_graph(), ctx);
+}
+
+void expect_identical(const std::vector<double>& got,
+                      const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    // Exact equality: the refactor must not perturb a single bit.
+    ASSERT_EQ(got[v], want[v]) << "node " << v;
+  }
+}
+
+TEST(DefenseRegistry, ListsAllEightDefensesInPresentationOrder) {
+  const std::vector<std::string> expected = {
+      "sybilguard", "sybillimit", "sybilinfer", "sybilinfer-mcmc",
+      "sumup",      "sybilrank",  "community",  "clustering"};
+  EXPECT_EQ(DefenseRegistry::names(), expected);
+  for (const std::string& name : expected) {
+    EXPECT_TRUE(DefenseRegistry::contains(name)) << name;
+  }
+  EXPECT_FALSE(DefenseRegistry::contains("no-such-defense"));
+  EXPECT_THROW(DefenseRegistry::create("no-such-defense"),
+               std::out_of_range);
+}
+
+TEST(DefenseRegistry, SybilGuardMatchesDirectPath) {
+  const DefenseTuning t = golden_tuning();
+  SybilGuardParams params;
+  params.seed = t.seed;
+  params.route_length = t.route_length;
+  params.max_routes_per_node = t.max_routes_per_node;
+  const SybilGuard guard(golden_graph(), params);
+  const NodeId verifier = golden_seeds().front();
+  std::vector<double> want(golden_graph().node_count(), 0.0);
+  for (NodeId v = 0; v < golden_graph().node_count(); ++v) {
+    want[v] = guard.intersection_score(verifier, v);
+  }
+  expect_identical(registry_scores("sybilguard"), want);
+}
+
+TEST(DefenseRegistry, SybilLimitMatchesDirectPath) {
+  const DefenseTuning t = golden_tuning();
+  SybilLimitParams params;
+  params.seed = t.seed;
+  params.route_length = t.route_length;
+  params.r_factor = t.r_factor;
+  const SybilLimit limit(golden_graph(), params);
+  const auto verifier = limit.make_verifier(golden_seeds().front());
+  std::vector<double> want(golden_graph().node_count(), 0.0);
+  for (NodeId v = 0; v < golden_graph().node_count(); ++v) {
+    want[v] = verifier.tail_score(v);
+  }
+  expect_identical(registry_scores("sybillimit"), want);
+}
+
+TEST(DefenseRegistry, SybilInferMatchesDirectPath) {
+  const DefenseTuning t = golden_tuning();
+  SybilInferParams params;
+  params.seed = t.seed;
+  params.walks_per_seed = t.walks_per_seed;
+  const SybilInfer infer(golden_graph(), params);
+  expect_identical(registry_scores("sybilinfer"),
+                   infer.scores(golden_seeds()));
+}
+
+TEST(DefenseRegistry, SybilInferMcmcMatchesDirectPath) {
+  const DefenseTuning t = golden_tuning();
+  SybilInferMcmcParams params;
+  params.seed = t.seed;
+  params.burn_in_sweeps = t.mcmc_burn_in_sweeps;
+  params.sample_sweeps = t.mcmc_sample_sweeps;
+  expect_identical(
+      registry_scores("sybilinfer-mcmc"),
+      sybilinfer_mcmc_scores(golden_graph(), golden_seeds(), params));
+}
+
+TEST(DefenseRegistry, SumUpMatchesDirectPath) {
+  const NodeId collector = golden_seeds().front();
+  std::vector<NodeId> voters;
+  for (NodeId v = 0; v < golden_graph().node_count(); ++v) {
+    if (v != collector) voters.push_back(v);
+  }
+  const auto result = sumup_collect(golden_graph(), collector, voters,
+                                    {.c_max = voters.size()});
+  std::vector<double> want(golden_graph().node_count(), 0.0);
+  want[collector] = 1.0;
+  for (std::size_t i = 0; i < voters.size(); ++i) {
+    want[voters[i]] = result.accepted[i] ? 1.0 : 0.0;
+  }
+  expect_identical(registry_scores("sumup"), want);
+}
+
+TEST(DefenseRegistry, SybilRankMatchesDirectPath) {
+  expect_identical(registry_scores("sybilrank"),
+                   sybilrank_scores(golden_graph(), golden_seeds()));
+}
+
+TEST(DefenseRegistry, CommunityMatchesDirectPath) {
+  const auto ranking =
+      community_expand(golden_graph(), golden_seeds().front());
+  std::vector<double> want(golden_graph().node_count(), 0.0);
+  const double size = static_cast<double>(ranking.order.size());
+  for (NodeId v = 0; v < golden_graph().node_count(); ++v) {
+    if (ranking.rank[v] == CommunityRanking::kUnranked) continue;
+    want[v] = 1.0 - static_cast<double>(ranking.rank[v]) / size;
+  }
+  expect_identical(registry_scores("community"), want);
+}
+
+TEST(DefenseRegistry, ClusteringMatchesSequentialPerNodePath) {
+  // Golden path: the original one-node-at-a-time free function.
+  std::vector<double> want(golden_graph().node_count(), 0.0);
+  for (NodeId v = 0; v < golden_graph().node_count(); ++v) {
+    want[v] = graph::local_clustering(golden_graph(), v);
+  }
+  expect_identical(registry_scores("clustering"), want);
+}
+
+TEST(DefenseRegistry, ScoresBitIdenticalAcrossThreadCounts) {
+  // The acceptance criterion end-to-end: every registered defense must
+  // emit the exact same vector under 1 and 8 worker threads.
+  for (const std::string& name : DefenseRegistry::names()) {
+    core::set_thread_count(1);
+    const std::vector<double> one = registry_scores(name);
+    core::set_thread_count(8);
+    const std::vector<double> eight = registry_scores(name);
+    core::set_thread_count(0);
+    ASSERT_EQ(one.size(), eight.size()) << name;
+    for (std::size_t v = 0; v < one.size(); ++v) {
+      ASSERT_EQ(one[v], eight[v]) << name << " node " << v;
+    }
+  }
+}
+
+TEST(DefenseRegistry, SampledEvaluationScoresOnlyRequestedNodes) {
+  DefenseContext ctx;
+  ctx.honest_seeds = golden_seeds();
+  ctx.eval_nodes = {3, 9, 440, 470};
+  const auto defense = DefenseRegistry::create("sybilguard", golden_tuning());
+  const auto scores = defense->score(golden_graph(), ctx);
+  ASSERT_EQ(scores.size(), golden_graph().node_count());
+  const auto full = registry_scores("sybilguard");
+  for (NodeId v : ctx.eval_nodes) EXPECT_EQ(scores[v], full[v]);
+  // Every other slot stays at the 0.0 fill.
+  std::size_t nonzero = 0;
+  for (double s : scores) nonzero += s != 0.0;
+  EXPECT_LE(nonzero, ctx.eval_nodes.size());
+}
+
+}  // namespace
+}  // namespace sybil::detect
