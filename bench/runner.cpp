@@ -7,8 +7,13 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/metrics/instrument.h"
 #include "graph/generators.h"
 #include "stats/rng.h"
+
+#if SYBIL_METRICS_COMPILED
+#include "core/metrics/metrics.h"
+#endif
 
 namespace sybil::bench {
 
@@ -101,6 +106,7 @@ DefenseScenario campaign_scenario(const attack::CampaignConfig& config) {
 
 std::vector<DefenseRun> run_battery(const DefenseScenario& scenario,
                                     const BatteryOptions& options) {
+  SYBIL_METRIC_SCOPED_TIMER(span, "bench.run_battery");
   const std::vector<std::string> names = options.defenses.empty()
                                              ? detect::DefenseRegistry::names()
                                              : options.defenses;
@@ -158,11 +164,35 @@ void print_battery(const DefenseScenario& scenario,
   // Wall-clock block: comment lines, and suppressible, so the metric
   // rows above stay byte-identical across machines and thread counts.
   const char* timing_env = std::getenv("SYBIL_BENCH_TIMING");
-  if (timing_env != nullptr && std::strcmp(timing_env, "off") == 0) return;
-  std::printf("# timing (wall-clock ms; not byte-stable):\n");
-  for (const DefenseRun& run : runs) {
-    std::printf("# timing: %-18s %10.1f\n", run.defense.c_str(), run.millis);
+  if (timing_env == nullptr || std::strcmp(timing_env, "off") != 0) {
+    std::printf("# timing (wall-clock ms; not byte-stable):\n");
+    for (const DefenseRun& run : runs) {
+      std::printf("# timing: %-18s %10.1f\n", run.defense.c_str(), run.millis);
+    }
   }
+  print_metrics_block();
+}
+
+void print_metrics_block() {
+#if SYBIL_METRICS_COMPILED
+  // Observability dump as comment lines only: measurement rows above
+  // stay byte-identical whether metrics are on (extra # lines) or off
+  // via SYBIL_METRICS=off (no lines at all). Wall-clock fields are
+  // excluded so even the # metrics lines are byte-stable across
+  // SYBIL_THREADS — wall-clock belongs to the # timing block.
+  if (!core::metrics::metrics_enabled()) return;
+  const std::string text = core::metrics::MetricsRegistry::instance().to_text(
+      /*include_wallclock=*/false);
+  std::printf("# metrics (SYBIL_METRICS=off to suppress):\n");
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::printf("# metrics: %.*s\n", static_cast<int>(end - start),
+                text.c_str() + start);
+    start = end + 1;
+  }
+#endif
 }
 
 }  // namespace sybil::bench

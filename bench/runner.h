@@ -14,7 +14,11 @@
 // configs and SYBIL-seeded RNG streams, so it is byte-identical for any
 // SYBIL_THREADS. Wall-clock timings are inherently not; they are
 // printed as "# timing:" comment lines (suppressed entirely when
-// SYBIL_BENCH_TIMING=off) so the measurement rows stay diffable.
+// SYBIL_BENCH_TIMING=off) so the measurement rows stay diffable. The
+// observability registry (core/metrics) is dumped as "# metrics:"
+// comment lines with wall-clock fields excluded (suppressed entirely
+// with SYBIL_METRICS=off), so whole bench outputs remain byte-identical
+// across SYBIL_THREADS and with instrumentation on or off.
 #pragma once
 
 #include <memory>
@@ -107,8 +111,14 @@ std::vector<DefenseRun> run_battery(const DefenseScenario& scenario,
                                     const BatteryOptions& options = {});
 
 /// Prints the combined table: one metrics row per defense plus the
-/// "# timing:" block (see the determinism note above).
+/// "# timing:" and "# metrics:" blocks (see the determinism note above).
 void print_battery(const DefenseScenario& scenario,
                    const std::vector<DefenseRun>& runs);
+
+/// Dumps the process-wide observability registry as "# metrics:"
+/// comment lines (no-op when SYBIL_METRICS=off or when instrumentation
+/// is compiled out). print_battery calls this; standalone benches that
+/// skip the battery can call it directly.
+void print_metrics_block();
 
 }  // namespace sybil::bench

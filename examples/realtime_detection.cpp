@@ -9,13 +9,22 @@
 // precision/recall and detection latency — the deployment-quality
 // numbers behind the paper's "100,000 Sybils banned in six months".
 //
+// At exit the observability registry is dumped (counters, sweep spans,
+// event totals — see DESIGN.md §8); set SYBIL_METRICS=off to silence
+// both collection and the dump.
+//
 // Usage: realtime_detection [background_users] [sybils] [hours]
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/metrics/instrument.h"
 #include "core/realtime_detector.h"
 #include "osn/simulator.h"
 #include "stats/summary.h"
+
+#if SYBIL_METRICS_COMPILED
+#include "core/metrics/metrics.h"
+#endif
 
 int main(int argc, char** argv) {
   using namespace sybil;
@@ -59,18 +68,19 @@ int main(int argc, char** argv) {
   sim.set_hour_hook([&](osn::Time now, osn::Network& net) {
     if (static_cast<std::uint64_t>(now) % 24 != 0) return;
     ++sweeps;
-    const auto flagged = detector.sweep(net, candidates);
+    const core::FlagBatch flagged = detector.sweep(net, candidates, now);
     if (flagged.empty()) return;
-    const core::FeatureExtractor fx(net);
     std::size_t sybil_flags = 0;
-    for (osn::NodeId id : flagged) {
-      const bool is_sybil = net.account(id).is_sybil();
-      detector.confirm(fx.extract(id), is_sybil);  // manual verification
+    for (const core::FlagRecord& rec : flagged) {
+      const bool is_sybil = net.account(rec.account).is_sybil();
+      // Manual verification feeds back the features the rule fired on —
+      // carried in the flag record, no re-extraction needed.
+      detector.confirm(rec.features, is_sybil);
       if (is_sybil) {
         ++true_flags;
         ++sybil_flags;
-        net.ban(id, now);  // the detector is live: flagged Sybils go down
-        latencies.push_back(now - net.account(id).created_at);
+        net.ban(rec.account, now);  // the detector is live: Sybils go down
+        latencies.push_back(now - net.account(rec.account).created_at);
       } else {
         ++false_flags;
       }
@@ -103,5 +113,12 @@ int main(int argc, char** argv) {
               detector.rule().outgoing_accept_max,
               detector.rule().invite_rate_min,
               detector.rule().clustering_max);
+
+#if SYBIL_METRICS_COMPILED
+  if (core::metrics::metrics_enabled()) {
+    std::printf("\n=== Observability (SYBIL_METRICS=off to suppress) ===\n%s",
+                core::metrics::MetricsRegistry::instance().to_text().c_str());
+  }
+#endif
   return 0;
 }

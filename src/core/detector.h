@@ -1,0 +1,52 @@
+// Common verdict vocabulary of the two deployment paths.
+//
+// StreamDetector (event-driven) and RealTimeDetector (periodic sweeps)
+// used to report flags differently — one returned bare node ids, the
+// other made callers re-extract features to act on a flag. Both now
+// return a FlagBatch: one FlagRecord per newly flagged account carrying
+// the account id, the feature vector *at flag time* (exactly what the
+// rule fired on — the evidence a manual-verification queue needs), and
+// the detection timestamp. Callers, and the metrics hooks, treat the
+// batch and streaming paths uniformly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/features.h"
+#include "osn/network.h"
+
+namespace sybil::core {
+
+/// One account crossing the threshold rule.
+struct FlagRecord {
+  osn::NodeId account = 0;
+  /// Features the rule fired on, captured at flag time.
+  SybilFeatures features{};
+  /// Event/sweep time of the detection (simulation hours).
+  graph::Time flagged_at = 0.0;
+};
+
+/// Accounts newly flagged by one sweep / since the last drain. Each
+/// account appears at most once per detector lifetime.
+struct FlagBatch {
+  std::vector<FlagRecord> records;
+
+  bool empty() const noexcept { return records.empty(); }
+  std::size_t size() const noexcept { return records.size(); }
+  auto begin() const noexcept { return records.begin(); }
+  auto end() const noexcept { return records.end(); }
+  const FlagRecord& operator[](std::size_t i) const noexcept {
+    return records[i];
+  }
+
+  /// Bare account ids, for callers that only need the legacy shape.
+  std::vector<osn::NodeId> ids() const {
+    std::vector<osn::NodeId> out;
+    out.reserve(records.size());
+    for (const FlagRecord& r : records) out.push_back(r.account);
+    return out;
+  }
+};
+
+}  // namespace sybil::core

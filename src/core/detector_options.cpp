@@ -1,0 +1,43 @@
+#include "core/detector_options.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace sybil::core {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& what) {
+  throw std::invalid_argument("DetectorOptions: " + what);
+}
+
+}  // namespace
+
+void DetectorOptions::validate() const {
+  if (first_friends == 0) {
+    reject("first_friends must be >= 1 (the clustering prefix length)");
+  }
+  if (retune_every == 0) {
+    reject("retune_every must be >= 1");
+  }
+  if (!(rule.outgoing_accept_max >= 0.0 && rule.outgoing_accept_max <= 1.0)) {
+    reject("rule.outgoing_accept_max must be a ratio in [0, 1]");
+  }
+  if (!(rule.invite_rate_min >= 0.0)) {
+    reject("rule.invite_rate_min must be >= 0 invites per hour");
+  }
+  if (!(rule.clustering_max >= 0.0 && rule.clustering_max <= 1.0)) {
+    reject("rule.clustering_max must be a coefficient in [0, 1]");
+  }
+  if (!(tuner.fp_quantile > 0.0 && tuner.fp_quantile < 1.0)) {
+    reject("tuner.fp_quantile must lie strictly inside (0, 1)");
+  }
+  if (!(tuner.smoothing >= 0.0 && tuner.smoothing <= 1.0)) {
+    reject("tuner.smoothing must lie in [0, 1]");
+  }
+  if (tuner.reservoir_capacity == 0) {
+    reject("tuner.reservoir_capacity must be >= 1");
+  }
+}
+
+}  // namespace sybil::core

@@ -1,0 +1,48 @@
+// The unified configuration surface of the detection pipeline.
+//
+// Before this header, each deployment path grew its own config struct —
+// StreamDetector::Config (rule + clustering prefix), RealTimeConfig
+// (rule + adaptive tuner), and bare ThresholdRule construction — which
+// meant three places to set the same rule and no validation anywhere.
+// DetectorOptions is the one struct every detector front-end accepts:
+// named-field defaults match the paper's deployment (Section 2.3), and
+// validate() rejects nonsense before a detector is built with it.
+//
+// Fields a given detector does not use are simply ignored (the
+// streaming path has no adaptive tuner; the batch path has no event
+// handlers), so one options value can configure both halves of a
+// deployment and guarantee they agree on the rule.
+//
+// Migration note: `RealTimeConfig` and `StreamDetector::Config` remain
+// as deprecated aliases for one release; in-tree code uses
+// DetectorOptions everywhere.
+#pragma once
+
+#include <cstddef>
+
+#include "core/adaptive.h"
+#include "core/threshold_detector.h"
+
+namespace sybil::core {
+
+struct DetectorOptions {
+  /// The threshold rule both detector paths apply (paper Section 2.3).
+  ThresholdRule rule{};
+
+  /// Clustering prefix length — the paper's "first 50 friends".
+  /// Used by StreamDetector and by RealTimeDetector's feature snapshot.
+  std::size_t first_friends = 50;
+
+  /// Enables the adaptive feedback tuner on the real-time path.
+  bool adaptive = true;
+  AdaptiveConfig tuner{};
+  /// Retune after this many manual-verification confirmations.
+  std::size_t retune_every = 200;
+
+  /// Throws std::invalid_argument naming the offending field when the
+  /// options cannot configure any detector (zero prefix length, zero
+  /// retune cadence, out-of-range ratios/quantiles, ...).
+  void validate() const;
+};
+
+}  // namespace sybil::core

@@ -1,0 +1,164 @@
+#include "core/metrics/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace sybil::core::metrics {
+
+namespace {
+
+/// Shortest round-trip-safe decimal for a double, with integral values
+/// printed without a fraction ("3" not "3.000000"). Keeps the JSON
+/// snapshot stable and readable.
+std::string format_double(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  // Try increasing precision until the value round-trips exactly.
+  for (int precision = 6; precision <= 17; ++precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == v) return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+template <typename T, typename Format>
+void append_json_array(std::string& out, const std::vector<T>& values,
+                       Format&& format) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ',';
+    out += format(values[i]);
+  }
+  out += ']';
+}
+
+std::string format_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string export_text(const Snapshot& snapshot, bool include_wallclock) {
+  std::string out;
+  char line[256];
+  for (const auto& c : snapshot.counters) {
+    std::snprintf(line, sizeof(line), "counter   %-42s %" PRIu64 "\n",
+                  c.name.c_str(), c.value);
+    out += line;
+  }
+  for (const auto& g : snapshot.gauges) {
+    std::snprintf(line, sizeof(line), "gauge     %-42s %s\n", g.name.c_str(),
+                  format_double(g.value).c_str());
+    out += line;
+  }
+  for (const auto& h : snapshot.histograms) {
+    std::snprintf(line, sizeof(line),
+                  "histogram %-42s count=%" PRIu64 " sum=%s buckets=",
+                  h.name.c_str(), h.count, format_double(h.sum).c_str());
+    out += line;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i != 0) out += '|';
+      out += format_u64(h.counts[i]);
+    }
+    out += '\n';
+  }
+  for (const auto& t : snapshot.timers) {
+    if (include_wallclock) {
+      std::snprintf(line, sizeof(line),
+                    "timer     %-42s calls=%" PRIu64 " total_ms=%.3f\n",
+                    t.name.c_str(), t.calls, t.total_ms);
+    } else {
+      std::snprintf(line, sizeof(line), "timer     %-42s calls=%" PRIu64 "\n",
+                    t.name.c_str(), t.calls);
+    }
+    out += line;
+  }
+  return out;
+}
+
+std::string export_json(const Snapshot& snapshot, const JsonOptions& options) {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i != 0) out += ',';
+    append_json_string(out, snapshot.counters[i].name);
+    out += ':';
+    out += format_u64(snapshot.counters[i].value);
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i != 0) out += ',';
+    append_json_string(out, snapshot.gauges[i].name);
+    out += ':';
+    out += format_double(snapshot.gauges[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    if (i != 0) out += ',';
+    append_json_string(out, h.name);
+    out += ":{\"bounds\":";
+    append_json_array(out, h.bounds,
+                      [](double v) { return format_double(v); });
+    out += ",\"counts\":";
+    append_json_array(out, h.counts,
+                      [](std::uint64_t v) { return format_u64(v); });
+    out += ",\"count\":";
+    out += format_u64(h.count);
+    out += ",\"sum\":";
+    out += format_double(h.sum);
+    out += '}';
+  }
+  out += "},\"timers\":{";
+  for (std::size_t i = 0; i < snapshot.timers.size(); ++i) {
+    const auto& t = snapshot.timers[i];
+    if (i != 0) out += ',';
+    append_json_string(out, t.name);
+    out += ":{\"calls\":";
+    out += format_u64(t.calls);
+    if (options.include_wallclock) {
+      out += ",\"total_ms\":";
+      out += format_double(t.total_ms);
+      out += ",\"bounds\":";
+      append_json_array(out, t.bounds,
+                        [](double v) { return format_double(v); });
+      out += ",\"counts\":";
+      append_json_array(out, t.counts,
+                        [](std::uint64_t v) { return format_u64(v); });
+    }
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace sybil::core::metrics

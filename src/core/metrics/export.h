@@ -1,0 +1,29 @@
+// Exporters over a metrics Snapshot.
+//
+// Two formats, two audiences:
+//   * export_text — human-readable dump for terminals and the bench
+//     runner's "# metrics:" comment block. Wall-clock timings are
+//     included by default; pass include_wallclock=false for a fully
+//     deterministic dump (the bench runner does, so whole bench
+//     outputs stay byte-identical across SYBIL_THREADS).
+//   * export_json — machine-readable snapshot with sorted keys and
+//     fixed number formatting. Wall-clock-derived timer fields are
+//     omitted unless JsonOptions::include_wallclock is set, so the
+//     default output is a deterministic function of the workload
+//     (byte-identical across SYBIL_THREADS — the property
+//     tests/core/metrics_test.cpp pins).
+#pragma once
+
+#include <string>
+
+#include "core/metrics/metrics.h"
+
+namespace sybil::core::metrics {
+
+std::string export_text(const Snapshot& snapshot,
+                        bool include_wallclock = true);
+
+std::string export_json(const Snapshot& snapshot,
+                        const JsonOptions& options = {});
+
+}  // namespace sybil::core::metrics

@@ -1,0 +1,73 @@
+// Instrumentation macros — the only way library code should touch the
+// metrics subsystem.
+//
+// Each macro caches its metric handle in a function-local static (the
+// registry guarantees handle stability for the process lifetime), checks
+// the runtime switch with one relaxed load, and mutates via one sharded
+// atomic add. With SYBIL_METRICS_COMPILED=0 (the `metrics-off` CMake
+// preset) every macro expands to nothing, so instrumentation is
+// provably zero-cost when compiled out: the tier-1 suite is required to
+// pass in that configuration.
+//
+//   SYBIL_METRIC_COUNT(name, n)        — add n to counter `name`
+//   SYBIL_METRIC_GAUGE_SET(name, v)    — set gauge `name` to v
+//   SYBIL_METRIC_OBSERVE(name, v)      — observe v in histogram `name`
+//   SYBIL_METRIC_SCOPED_TIMER(var, n)  — RAII span `n` bound to `var`
+#pragma once
+
+#ifndef SYBIL_METRICS_COMPILED
+#define SYBIL_METRICS_COMPILED 1
+#endif
+
+#if SYBIL_METRICS_COMPILED
+
+#include "core/metrics/metrics.h"
+#include "core/metrics/timer.h"
+
+#define SYBIL_METRIC_COUNT(name, n)                                          \
+  do {                                                                       \
+    if (::sybil::core::metrics::metrics_enabled()) {                         \
+      static ::sybil::core::metrics::Counter& sybil_metric_counter_ =        \
+          ::sybil::core::metrics::MetricsRegistry::instance().counter(name); \
+      sybil_metric_counter_.add(n);                                          \
+    }                                                                        \
+  } while (0)
+
+#define SYBIL_METRIC_GAUGE_SET(name, v)                                    \
+  do {                                                                     \
+    if (::sybil::core::metrics::metrics_enabled()) {                       \
+      static ::sybil::core::metrics::Gauge& sybil_metric_gauge_ =          \
+          ::sybil::core::metrics::MetricsRegistry::instance().gauge(name); \
+      sybil_metric_gauge_.set(static_cast<double>(v));                     \
+    }                                                                      \
+  } while (0)
+
+#define SYBIL_METRIC_OBSERVE(name, v)                                  \
+  do {                                                                 \
+    if (::sybil::core::metrics::metrics_enabled()) {                   \
+      static ::sybil::core::metrics::Histogram& sybil_metric_hist_ =   \
+          ::sybil::core::metrics::MetricsRegistry::instance()          \
+              .histogram(name);                                        \
+      sybil_metric_hist_.observe(static_cast<double>(v));              \
+    }                                                                  \
+  } while (0)
+
+#define SYBIL_METRIC_SCOPED_TIMER(var, name) \
+  ::sybil::core::metrics::ScopedTimer var(name)
+
+#else  // SYBIL_METRICS_COMPILED == 0: everything vanishes.
+
+#define SYBIL_METRIC_COUNT(name, n) \
+  do {                              \
+  } while (0)
+#define SYBIL_METRIC_GAUGE_SET(name, v) \
+  do {                                  \
+  } while (0)
+#define SYBIL_METRIC_OBSERVE(name, v) \
+  do {                                \
+  } while (0)
+#define SYBIL_METRIC_SCOPED_TIMER(var, name) \
+  do {                                       \
+  } while (0)
+
+#endif  // SYBIL_METRICS_COMPILED

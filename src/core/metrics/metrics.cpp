@@ -1,0 +1,262 @@
+#include "core/metrics/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/metrics/export.h"
+
+namespace sybil::core::metrics {
+
+namespace {
+
+/// Global runtime switch shared by every call site; metrics_enabled()
+/// is a single relaxed load. Initialized once from the environment.
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{[] {
+    const char* env = std::getenv("SYBIL_METRICS");
+    if (env == nullptr) return true;
+    return std::strcmp(env, "off") != 0 && std::strcmp(env, "0") != 0 &&
+           std::strcmp(env, "false") != 0;
+  }()};
+  return flag;
+}
+
+}  // namespace
+
+std::size_t thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return shard;
+}
+
+bool metrics_enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Counter
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() noexcept {
+  for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = default_duration_bounds_ms();
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    std::sort(bounds_.begin(), bounds_.end());
+  }
+  const std::size_t buckets = bounds_.size() + 1;
+  for (Shard& s : shards_) {
+    s.buckets = std::make_unique<std::atomic<std::uint64_t>[]>(buckets);
+    for (std::size_t i = 0; i < buckets; ++i) {
+      s.buckets[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  const std::size_t b = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  Shard& s = shards_[thread_shard()];
+  s.buckets[b].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (const Shard& s : shards_) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const noexcept {
+  double total = 0.0;
+  for (const Shard& s : shards_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::reset() noexcept {
+  for (Shard& s : shards_) {
+    for (std::size_t i = 0; i < bounds_.size() + 1; ++i) {
+      s.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Timer
+
+Timer::Timer() : duration_ms_(default_duration_bounds_ms()) {}
+
+void Timer::reset() noexcept {
+  calls_.reset();
+  duration_ms_.reset();
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    std::string_view name, Kind kind, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : entries_) {
+    if (entry->name == name) {
+      if (entry->kind != kind) {
+        throw std::logic_error("metrics: '" + std::string(name) +
+                               "' already registered with a different kind");
+      }
+      return *entry;
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>(std::move(bounds));
+      break;
+    case Kind::kTimer:
+      entry->timer = std::make_unique<Timer>();
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return *find_or_create(name, Kind::kCounter, {}).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return *find_or_create(name, Kind::kGauge, {}).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  return *find_or_create(name, Kind::kHistogram, std::move(bounds)).histogram;
+}
+
+Timer& MetricsRegistry::timer(std::string_view name) {
+  return *find_or_create(name, Kind::kTimer, {}).timer;
+}
+
+void MetricsRegistry::set_enabled(bool enabled) noexcept {
+  enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsRegistry::enabled() const noexcept { return metrics_enabled(); }
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& entry : entries_) {
+      switch (entry->kind) {
+        case Kind::kCounter:
+          snap.counters.push_back({entry->name, entry->counter->value()});
+          break;
+        case Kind::kGauge:
+          snap.gauges.push_back({entry->name, entry->gauge->value()});
+          break;
+        case Kind::kHistogram:
+          snap.histograms.push_back({entry->name,
+                                     entry->histogram->bounds(),
+                                     entry->histogram->bucket_counts(),
+                                     entry->histogram->count(),
+                                     entry->histogram->sum()});
+          break;
+        case Kind::kTimer:
+          snap.timers.push_back({entry->name, entry->timer->calls(),
+                                 entry->timer->total_ms(),
+                                 entry->timer->durations().bounds(),
+                                 entry->timer->durations().bucket_counts()});
+          break;
+      }
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  std::sort(snap.timers.begin(), snap.timers.end(), by_name);
+  return snap;
+}
+
+std::string MetricsRegistry::to_text(bool include_wallclock) const {
+  return export_text(snapshot(), include_wallclock);
+}
+
+std::string MetricsRegistry::to_json(const JsonOptions& options) const {
+  return export_json(snapshot(), options);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : entries_) {
+    switch (entry->kind) {
+      case Kind::kCounter:
+        entry->counter->reset();
+        break;
+      case Kind::kGauge:
+        entry->gauge->reset();
+        break;
+      case Kind::kHistogram:
+        entry->histogram->reset();
+        break;
+      case Kind::kTimer:
+        entry->timer->reset();
+        break;
+    }
+  }
+}
+
+const std::vector<double>& default_duration_bounds_ms() {
+  static const std::vector<double> bounds = {0.01, 0.1,    1.0,    10.0,
+                                             100.0, 1000.0, 10000.0};
+  return bounds;
+}
+
+}  // namespace sybil::core::metrics

@@ -1,0 +1,246 @@
+// Lightweight, thread-safe observability primitives for the detection
+// pipeline: named counters, gauges, and fixed-bucket histograms owned by
+// a process-wide MetricsRegistry.
+//
+// Hot-path cost model: every mutation is one relaxed atomic add into a
+// per-thread shard (threads are spread over kShards cache-line-padded
+// slots), and aggregation happens only on read. Instrumented loops —
+// the parallel layer's chunk dispatch, StreamDetector event handlers,
+// RealTimeDetector sweeps, each registered SybilDefense::score — pay
+// nothing else.
+//
+// Determinism contract (see DESIGN.md §8): metric collection is
+// observe-only. It never feeds back into RNG streams, chunk partitions,
+// or detector verdicts, so enabling or disabling metrics cannot perturb
+// any bench series or test result. Counter values and integer-valued
+// histogram observations are exact integer sums and therefore identical
+// for any SYBIL_THREADS; wall-clock durations are inherently not, which
+// is why the JSON exporter excludes them unless asked (see export.h).
+//
+// Off switches:
+//   * compile time — build with SYBIL_METRICS_COMPILED=0 (the
+//     `metrics-off` CMake preset) and every instrumentation macro in
+//     instrument.h expands to nothing;
+//   * runtime — SYBIL_METRICS=off (or 0/false) in the environment, or
+//     MetricsRegistry::set_enabled(false), short-circuits the macros.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sybil::core::metrics {
+
+/// Number of per-thread shards per metric (power of two). Threads are
+/// assigned shards round-robin on first use; contention is bounded by
+/// threads sharing a shard, never by readers.
+inline constexpr std::size_t kShards = 16;
+
+/// Shard index of the calling thread (stable for the thread's lifetime).
+std::size_t thread_shard() noexcept;
+
+/// Fast runtime check used by the instrumentation macros. Initialized
+/// from the SYBIL_METRICS environment variable ("off"/"0"/"false"
+/// disable; anything else, including unset, enables).
+bool metrics_enabled() noexcept;
+
+/// Monotonically increasing event count. add() is a relaxed fetch_add
+/// into the caller's shard; value() sums the shards.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[thread_shard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept;
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Last-write-wins instantaneous value (e.g. accounts currently
+/// tracked). A single atomic, not sharded: sets are rare.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i],
+/// with one implicit overflow bucket above the last bound. Buckets,
+/// count, and sum are sharded like Counter.
+///
+/// Determinism note: count and bucket counts are exact integer sums.
+/// sum() folds per-shard doubles in fixed shard order, which is exact
+/// (hence thread-count-independent) for integer-valued observations
+/// below 2^53 — the kind every deterministic series in this repo
+/// records. Wall-clock observations are not expected to be stable.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Aggregated per-bucket counts (size == bounds().size() + 1).
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const noexcept;
+  double sum() const noexcept;
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+  std::vector<double> bounds_;
+  Shard shards_[kShards];
+};
+
+/// A timed span: a call counter (deterministic) plus a wall-clock
+/// duration histogram in milliseconds (not deterministic — excluded
+/// from the JSON snapshot by default). Fed by ScopedTimer (timer.h).
+class Timer {
+ public:
+  Timer();
+
+  void record_ms(double ms) noexcept {
+    calls_.add(1);
+    duration_ms_.observe(ms);
+  }
+
+  std::uint64_t calls() const noexcept { return calls_.value(); }
+  double total_ms() const noexcept { return duration_ms_.sum(); }
+  const Histogram& durations() const noexcept { return duration_ms_; }
+  void reset() noexcept;
+
+ private:
+  Counter calls_;
+  Histogram duration_ms_;
+};
+
+/// Aggregated point-in-time view of every metric, sorted by name so the
+/// exporters are independent of registration order (which may interleave
+/// across threads).
+struct Snapshot {
+  struct CounterSample {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  struct TimerSample {
+    std::string name;
+    std::uint64_t calls = 0;
+    double total_ms = 0.0;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;
+  };
+
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+  std::vector<TimerSample> timers;
+};
+
+/// Options for the JSON exporter. Wall-clock-derived timer fields are
+/// excluded by default so the snapshot is a deterministic function of
+/// the workload (the bit the tier-1 determinism tests pin down); opt in
+/// for ops dashboards that want latency distributions.
+struct JsonOptions {
+  bool include_wallclock = false;
+};
+
+/// Process-wide, thread-safe metric registry. Metric handles returned by
+/// counter()/gauge()/histogram()/timer() are stable for the process
+/// lifetime (reset() zeroes values in place, it never invalidates
+/// references), so call sites may cache them in function-local statics —
+/// the pattern the instrument.h macros use.
+///
+/// The registry is default-constructible so tests and tools can build
+/// isolated instances; instrumentation always targets instance().
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& instance();
+
+  /// Finds or creates the named metric. Looking up an existing name with
+  /// a mismatched kind throws std::logic_error.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` applies only on first registration (empty = default
+  /// decade buckets).
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> bounds = {});
+  Timer& timer(std::string_view name);
+
+  /// Runtime collection switch (the instrument.h macros consult the
+  /// global metrics_enabled(), which set_enabled on instance() flips).
+  void set_enabled(bool enabled) noexcept;
+  bool enabled() const noexcept;
+
+  /// Aggregates every metric into a name-sorted snapshot.
+  Snapshot snapshot() const;
+
+  /// Human-readable dump. Includes wall-clock timings by default; pass
+  /// false for a fully deterministic dump (the bench runner's choice,
+  /// so whole bench outputs stay byte-identical across SYBIL_THREADS).
+  std::string to_text(bool include_wallclock = true) const;
+
+  /// Stable JSON snapshot: keys sorted, fixed number formatting,
+  /// wall-clock excluded unless opted in — byte-identical for any
+  /// SYBIL_THREADS on a deterministic workload.
+  std::string to_json(const JsonOptions& options = {}) const;
+
+  /// Zeroes every metric in place. Handles stay valid.
+  void reset();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kTimer };
+  struct Entry {
+    std::string name;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<Timer> timer;
+  };
+
+  Entry& find_or_create(std::string_view name, Kind kind,
+                        std::vector<double> bounds);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/// Default duration buckets (milliseconds) used for timers and
+/// histograms registered without explicit bounds.
+const std::vector<double>& default_duration_bounds_ms();
+
+}  // namespace sybil::core::metrics

@@ -1,0 +1,37 @@
+#include "core/metrics/timer.h"
+
+namespace sybil::core::metrics {
+
+namespace {
+
+thread_local ScopedTimer* tls_current_span = nullptr;
+
+}  // namespace
+
+ScopedTimer::ScopedTimer(std::string_view name, MetricsRegistry& registry) {
+  if (!metrics_enabled()) return;
+  parent_ = tls_current_span;
+  if (parent_ != nullptr) {
+    path_.reserve(parent_->path_.size() + 1 + name.size());
+    path_ = parent_->path_;
+    path_ += '/';
+    path_ += name;
+  } else {
+    path_ = std::string(name);
+  }
+  timer_ = &registry.timer(path_);
+  tls_current_span = this;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (timer_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  timer_->record_ms(
+      std::chrono::duration<double, std::milli>(elapsed).count());
+  tls_current_span = parent_;
+}
+
+const ScopedTimer* ScopedTimer::current() noexcept { return tls_current_span; }
+
+}  // namespace sybil::core::metrics

@@ -1,0 +1,49 @@
+// RAII timed spans with optional parent-span nesting — the cheap
+// tracing half of the metrics subsystem.
+//
+// A ScopedTimer opened while another span is active on the same thread
+// records under "<parent-path>/<name>", so one Timer metric exists per
+// distinct call path (e.g. "bench.run_battery/defense.score.sybilrank").
+// Nesting state is a thread-local stack of raw pointers: opening a span
+// costs one registry lookup; closing it costs one steady_clock read and
+// one sharded record. When metrics are disabled at runtime the
+// constructor does nothing at all.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "core/metrics/metrics.h"
+
+namespace sybil::core::metrics {
+
+class ScopedTimer {
+ public:
+  /// Opens a span in the global registry (no-op when metrics are
+  /// disabled). The recorded metric name is the '/'-joined path of
+  /// enclosing ScopedTimers on this thread plus `name`.
+  explicit ScopedTimer(std::string_view name)
+      : ScopedTimer(name, MetricsRegistry::instance()) {}
+
+  ScopedTimer(std::string_view name, MetricsRegistry& registry);
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer();
+
+  /// Full span path ("a/b/c"); empty when the span is inactive.
+  const std::string& path() const noexcept { return path_; }
+
+  /// The innermost active span on this thread (nullptr outside spans).
+  static const ScopedTimer* current() noexcept;
+
+ private:
+  Timer* timer_ = nullptr;  // nullptr = disabled, destructor is a no-op
+  ScopedTimer* parent_ = nullptr;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sybil::core::metrics

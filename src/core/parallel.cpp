@@ -8,6 +8,8 @@
 #include <mutex>
 #include <thread>
 
+#include "core/metrics/instrument.h"
+
 namespace sybil::core {
 
 namespace {
@@ -219,6 +221,12 @@ void parallel_for(std::size_t n,
                   std::size_t grain) {
   const auto chunks = chunk_partition(n, grain);
   if (chunks.empty()) return;
+  // Per-job accounting only — per-chunk work pays nothing. Job and
+  // chunk counts are pure functions of (n, grain), so these metrics are
+  // identical for any SYBIL_THREADS.
+  SYBIL_METRIC_COUNT("parallel.jobs", 1);
+  SYBIL_METRIC_COUNT("parallel.chunks", chunks.size());
+  SYBIL_METRIC_OBSERVE("parallel.chunks_per_job", chunks.size());
   ThreadPool::instance().run(chunks, body);
 }
 

@@ -1,34 +1,48 @@
 #include "core/realtime_detector.h"
 
+#include "core/metrics/instrument.h"
+
 namespace sybil::core {
 
-RealTimeDetector::RealTimeDetector(RealTimeConfig config)
-    : config_(config), detector_(config.rule), tuner_([&] {
-        AdaptiveConfig t = config.tuner;
-        t.initial = config.rule;
+RealTimeDetector::RealTimeDetector(const DetectorOptions& options)
+    : options_([&] {
+        options.validate();  // reject nonsense before any member is built
+        return options;
+      }()),
+      detector_(options.rule), tuner_([&] {
+        AdaptiveConfig t = options.tuner;
+        t.initial = options.rule;
         return t;
       }()) {}
 
-std::vector<osn::NodeId> RealTimeDetector::sweep(
-    const osn::Network& net, const std::vector<osn::NodeId>& candidates) {
-  const FeatureExtractor extractor(net);
-  std::vector<osn::NodeId> newly_flagged;
+FlagBatch RealTimeDetector::sweep(const osn::Network& net,
+                                  const std::vector<osn::NodeId>& candidates,
+                                  graph::Time now) {
+  SYBIL_METRIC_SCOPED_TIMER(span, "realtime.sweep");
+  SYBIL_METRIC_COUNT("realtime.candidates", candidates.size());
+  const FeatureExtractor extractor(net, /*long_window_hours=*/400.0,
+                                   options_.first_friends);
+  FlagBatch newly_flagged;
   for (osn::NodeId id : candidates) {
     if (flagged_.contains(id) || net.account(id).banned()) continue;
     const SybilFeatures f = extractor.extract(id);
     if (detector_.is_sybil(f, net.ledger(id).sent())) {
       flagged_.insert(id);
-      newly_flagged.push_back(id);
+      newly_flagged.records.push_back(FlagRecord{id, f, now});
     }
   }
+  SYBIL_METRIC_COUNT("realtime.flagged", newly_flagged.size());
+  SYBIL_METRIC_OBSERVE("realtime.flagged_per_sweep", newly_flagged.size());
   return newly_flagged;
 }
 
 void RealTimeDetector::confirm(const SybilFeatures& features,
                                bool confirmed_sybil) {
-  if (!config_.adaptive) return;
+  if (!options_.adaptive) return;
+  SYBIL_METRIC_COUNT("realtime.confirmations", 1);
   tuner_.observe(features, confirmed_sybil);
-  if (++confirmations_ % config_.retune_every == 0) {
+  if (++confirmations_ % options_.retune_every == 0) {
+    SYBIL_METRIC_COUNT("realtime.retunes", 1);
     detector_.set_rule(tuner_.retune());
   }
 }

@@ -6,6 +6,10 @@
 // and reports accounts to flag. Renren's workflow — flag, manual
 // verification, ban, feedback into the tuner — is modeled by the caller
 // confirming flags back into the pipeline.
+//
+// Observability: each sweep runs under a "realtime.sweep" span and
+// bumps candidate/flag counters; confirmations and retunes are counted
+// too. Collection never affects verdicts or tuner state.
 #pragma once
 
 #include <cstdint>
@@ -13,29 +17,31 @@
 #include <vector>
 
 #include "core/adaptive.h"
+#include "core/detector.h"
+#include "core/detector_options.h"
 #include "core/features.h"
 #include "core/threshold_detector.h"
 #include "osn/network.h"
 
 namespace sybil::core {
 
-struct RealTimeConfig {
-  ThresholdRule rule{};
-  bool adaptive = true;
-  AdaptiveConfig tuner{};
-  /// Retune after this many confirmations.
-  std::size_t retune_every = 200;
-};
+/// Deprecated alias kept for one release: the real-time path now shares
+/// DetectorOptions with the streaming path.
+using RealTimeConfig [[deprecated("use sybil::core::DetectorOptions")]] =
+    DetectorOptions;
 
 class RealTimeDetector {
  public:
-  explicit RealTimeDetector(RealTimeConfig config = {});
+  /// Throws std::invalid_argument if `options` fails validate().
+  explicit RealTimeDetector(const DetectorOptions& options = {});
 
   /// Evaluates `candidates` against the current rule using a fresh
-  /// feature snapshot of `net`. Returns newly flagged account ids
-  /// (accounts flagged in earlier sweeps are skipped).
-  std::vector<osn::NodeId> sweep(const osn::Network& net,
-                                 const std::vector<osn::NodeId>& candidates);
+  /// feature snapshot of `net`. Returns the newly flagged accounts with
+  /// the features the rule fired on, stamped with `now` (accounts
+  /// flagged in earlier sweeps are skipped).
+  FlagBatch sweep(const osn::Network& net,
+                  const std::vector<osn::NodeId>& candidates,
+                  graph::Time now = 0.0);
 
   /// Manual-verification feedback: the account's features at flag time
   /// plus the verdict. Drives the adaptive tuner.
@@ -48,7 +54,7 @@ class RealTimeDetector {
   }
 
  private:
-  RealTimeConfig config_;
+  DetectorOptions options_;
   ThresholdDetector detector_;
   AdaptiveThresholdTuner tuner_;
   std::unordered_set<osn::NodeId> flagged_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/metrics/instrument.h"
+
 namespace sybil::core {
 
 namespace {
@@ -13,57 +15,67 @@ std::uint64_t edge_key(osn::NodeId a, osn::NodeId b) noexcept {
 
 }  // namespace
 
-StreamDetector::StreamDetector(Config config)
-    : config_(config), detector_(config.rule) {}
+StreamDetector::StreamDetector(const DetectorOptions& options)
+    : options_([&] {
+        options.validate();  // reject nonsense before any member is built
+        return options;
+      }()),
+      detector_(options.rule) {}
 
 void StreamDetector::ensure(osn::NodeId id) {
   if (id >= accounts_.size()) {
     accounts_.resize(id + 1);
     watchers_.resize(id + 1);
+    SYBIL_METRIC_GAUGE_SET("stream.accounts_seen", accounts_.size());
   }
 }
 
 void StreamDetector::on_request_sent(osn::NodeId from, osn::NodeId to,
                                      graph::Time t) {
+  SYBIL_METRIC_COUNT("stream.events.request_sent", 1);
   ensure(std::max(from, to));
   accounts_[from].ledger.record_sent(t);
   accounts_[to].ledger.record_received();
-  maybe_flag(from);
+  maybe_flag(from, t);
 }
 
 void StreamDetector::on_request_rejected(osn::NodeId from, osn::NodeId to,
-                                         graph::Time) {
+                                         graph::Time t) {
+  SYBIL_METRIC_COUNT("stream.events.request_rejected", 1);
   ensure(std::max(from, to));
   // Rejection changes no counter (the ledger tracks sent vs accepted),
   // but it is the moment the outgoing ratio's shortfall becomes
   // observable — re-check the sender.
-  maybe_flag(from);
+  maybe_flag(from, t);
 }
 
 void StreamDetector::on_request_accepted(osn::NodeId from, osn::NodeId to,
                                          graph::Time t) {
+  SYBIL_METRIC_COUNT("stream.events.request_accepted", 1);
   ensure(std::max(from, to));
   accounts_[from].ledger.record_sent_accepted();
   accounts_[to].ledger.record_received_accepted();
   add_edge(from, to, t);
-  maybe_flag(from);
-  maybe_flag(to);
+  maybe_flag(from, t);
+  maybe_flag(to, t);
 }
 
 void StreamDetector::on_friendship(osn::NodeId u, osn::NodeId v,
                                    graph::Time t) {
+  SYBIL_METRIC_COUNT("stream.events.friendship", 1);
   ensure(std::max(u, v));
   add_edge(u, v, t);
 }
 
 void StreamDetector::on_account_banned(osn::NodeId who) {
+  SYBIL_METRIC_COUNT("stream.events.account_banned", 1);
   ensure(who);
   accounts_[who].banned = true;
 }
 
 void StreamDetector::attach_friend(osn::NodeId u, osn::NodeId v) {
   AccountState& acc = accounts_[u];
-  if (acc.first_friends.size() >= config_.first_friends) return;
+  if (acc.first_friends.size() >= options_.first_friends) return;
   // Count existing links between the newcomer and the already-watched
   // friends before inserting.
   for (osn::NodeId f : acc.first_friends) {
@@ -122,23 +134,26 @@ SybilFeatures StreamDetector::features(osn::NodeId account) const {
   return f;
 }
 
-void StreamDetector::maybe_flag(osn::NodeId id) {
+void StreamDetector::maybe_flag(osn::NodeId id, graph::Time t) {
   AccountState& acc = accounts_[id];
   if (acc.flagged || acc.banned) return;
-  if (detector_.is_sybil(features(id), acc.ledger.sent())) {
+  const SybilFeatures f = features(id);
+  if (detector_.is_sybil(f, acc.ledger.sent())) {
     acc.flagged = true;
     ++flagged_total_;
-    newly_flagged_.push_back(id);
+    newly_flagged_.push_back(FlagRecord{id, f, t});
+    SYBIL_METRIC_COUNT("stream.flagged", 1);
   }
 }
 
-std::vector<osn::NodeId> StreamDetector::take_flagged() {
-  std::vector<osn::NodeId> out;
-  out.swap(newly_flagged_);
+FlagBatch StreamDetector::take_flagged() {
+  FlagBatch out;
+  out.records.swap(newly_flagged_);
   return out;
 }
 
 void StreamDetector::replay(const osn::EventLog& log) {
+  SYBIL_METRIC_SCOPED_TIMER(span, "stream.replay");
   for (const osn::Event& e : log.events()) {
     switch (e.type) {
       case osn::EventType::kRequestSent:
@@ -159,7 +174,8 @@ void StreamDetector::replay(const osn::EventLog& log) {
         break;
       case osn::EventType::kAccountCreated:
       case osn::EventType::kRequestDropped:
-        break;  // no feature effect
+        break;  // no feature effect, no counter — matches the live path,
+                // which has no handler for these event types either
     }
   }
 }

@@ -16,12 +16,19 @@
 // Feeding the detector a network's event log reproduces the batch
 // features exactly (tested in stream_detector_test.cpp), so a deployment
 // can run either path and trust they agree.
+//
+// Observability: every event handler bumps a "stream.events.*" counter,
+// and flags bump "stream.flagged" — replay() drives the handlers, so a
+// replayed log and the equivalent live stream report identical totals
+// (pinned by a regression test). Collection never affects verdicts.
 #pragma once
 
 #include <cstdint>
 #include <unordered_set>
 #include <vector>
 
+#include "core/detector.h"
+#include "core/detector_options.h"
 #include "core/features.h"
 #include "core/threshold_detector.h"
 #include "osn/events.h"
@@ -31,14 +38,14 @@ namespace sybil::core {
 
 class StreamDetector {
  public:
-  struct Config {
-    ThresholdRule rule{};
-    /// Clustering prefix length (the paper's 50 first friends).
-    std::size_t first_friends = 50;
-  };
+  /// Deprecated alias kept for one release: the streaming path now
+  /// shares DetectorOptions with the batch path.
+  using Config [[deprecated("use sybil::core::DetectorOptions")]] =
+      DetectorOptions;
 
-  StreamDetector() : StreamDetector(Config{}) {}
-  explicit StreamDetector(Config config);
+  StreamDetector() : StreamDetector(DetectorOptions{}) {}
+  /// Throws std::invalid_argument if `options` fails validate().
+  explicit StreamDetector(const DetectorOptions& options);
 
   /// Event-stream entry points. Events must arrive in nondecreasing
   /// time order per account (the order a platform log provides).
@@ -51,16 +58,20 @@ class StreamDetector {
   void on_account_banned(osn::NodeId who);
 
   /// Replays a whole event log (convenience for batch catch-up).
+  /// Dispatches to the on_* handlers, so metrics counters advance
+  /// exactly as they would for the equivalent live stream.
   void replay(const osn::EventLog& log);
 
   /// Current streaming features of an account (zero-state for accounts
   /// never seen).
   SybilFeatures features(osn::NodeId account) const;
 
-  /// Accounts newly crossing the threshold rule since the last call;
-  /// each account is reported at most once, banned accounts never.
-  std::vector<osn::NodeId> take_flagged();
+  /// Accounts newly crossing the threshold rule since the last call,
+  /// with their features captured at flag time; each account is
+  /// reported at most once, banned accounts never.
+  FlagBatch take_flagged();
 
+  const ThresholdRule& rule() const noexcept { return detector_.rule(); }
   std::size_t flagged_total() const noexcept { return flagged_total_; }
   std::size_t accounts_seen() const noexcept { return accounts_.size(); }
 
@@ -78,16 +89,16 @@ class StreamDetector {
   /// Registers v as a (possibly) watched friend of u and updates u's
   /// internal link count against the already-watched friends.
   void attach_friend(osn::NodeId u, osn::NodeId v);
-  void maybe_flag(osn::NodeId id);
+  void maybe_flag(osn::NodeId id, graph::Time t);
 
-  Config config_;
+  DetectorOptions options_;
   ThresholdDetector detector_;
   std::vector<AccountState> accounts_;
   /// watchers_[v] = accounts whose first-K friend set contains v.
   std::vector<std::vector<osn::NodeId>> watchers_;
   /// Existing edges, for the internal-link update (canonical u<v keys).
   std::unordered_set<std::uint64_t> edges_;
-  std::vector<osn::NodeId> newly_flagged_;
+  std::vector<FlagRecord> newly_flagged_;
   std::size_t flagged_total_ = 0;
 };
 

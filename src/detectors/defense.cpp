@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/metrics/instrument.h"
 #include "detectors/clustering_ranker.h"
 #include "detectors/community.h"
 #include "detectors/sumup.h"
@@ -120,6 +121,45 @@ void Registry::register_builtins() {
   });
 }
 
+#if SYBIL_METRICS_COMPILED
+/// Decorator the registry wraps every created defense in: score() runs
+/// under a "defense.score.<name>" span and bumps call/node counters.
+/// Observation only — scores pass through untouched, so the registry's
+/// bit-identity golden tests hold with metrics on or off.
+class InstrumentedDefense final : public SybilDefense {
+ public:
+  explicit InstrumentedDefense(std::unique_ptr<SybilDefense> inner)
+      : inner_(std::move(inner)),
+        span_name_("defense.score." + std::string(inner_->name())) {}
+
+  std::string_view name() const noexcept override { return inner_->name(); }
+  Determinism determinism() const noexcept override {
+    return inner_->determinism();
+  }
+
+  std::vector<double> score(const graph::CsrGraph& g,
+                            const DefenseContext& ctx) const override {
+    SYBIL_METRIC_SCOPED_TIMER(span, span_name_);
+    SYBIL_METRIC_COUNT("defense.score_calls", 1);
+    SYBIL_METRIC_COUNT("defense.nodes_scored", g.node_count());
+    return inner_->score(g, ctx);
+  }
+
+ private:
+  std::unique_ptr<SybilDefense> inner_;
+  std::string span_name_;
+};
+#endif  // SYBIL_METRICS_COMPILED
+
+std::unique_ptr<SybilDefense> maybe_instrument(
+    std::unique_ptr<SybilDefense> defense) {
+#if SYBIL_METRICS_COMPILED
+  return std::make_unique<InstrumentedDefense>(std::move(defense));
+#else
+  return defense;
+#endif
+}
+
 }  // namespace
 
 void DefenseRegistry::register_defense(std::string name, Factory factory) {
@@ -161,7 +201,7 @@ std::unique_ptr<SybilDefense> DefenseRegistry::create(
     throw std::out_of_range("defense registry: unknown defense '" +
                             std::string(name) + "'");
   }
-  return factory(tuning);
+  return maybe_instrument(factory(tuning));
 }
 
 }  // namespace sybil::detect

@@ -5,6 +5,8 @@
 #include <span>
 #include <stdexcept>
 
+#include "core/metrics/instrument.h"
+
 namespace sybil::osn {
 
 GroundTruthSimulator::GroundTruthSimulator(GroundTruthConfig config)
@@ -123,6 +125,8 @@ NodeId GroundTruthSimulator::pick_sybil_target(NodeId self) {
 }
 
 void GroundTruthSimulator::hour_step(Time t) {
+  SYBIL_METRIC_SCOPED_TIMER(span, "osn.hour_step");
+  SYBIL_METRIC_COUNT("osn.hours", 1);
   const auto respond_time = [&](Time now) {
     return now + stats::sample_exponential(
                      rng_, 1.0 / config_.response_delay_mean);
@@ -199,6 +203,8 @@ void GroundTruthSimulator::hour_step(Time t) {
 void GroundTruthSimulator::run() {
   if (ran_) throw std::logic_error("simulator: run() called twice");
   ran_ = true;
+  SYBIL_METRIC_SCOPED_TIMER(span, "osn.run");
+  SYBIL_METRIC_GAUGE_SET("osn.accounts", net_.account_count());
   const auto hours = static_cast<std::uint64_t>(config_.sim_hours);
   std::uint64_t next_rebuild = 0;
   for (std::uint64_t h = 0; h < hours; ++h) {

@@ -1,0 +1,107 @@
+#include "core/detector_options.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "core/realtime_detector.h"
+#include "core/stream_detector.h"
+
+namespace sybil::core {
+namespace {
+
+TEST(DetectorOptions, DefaultsAreValid) {
+  EXPECT_NO_THROW(DetectorOptions{}.validate());
+}
+
+TEST(DetectorOptions, RejectsZeroFirstFriends) {
+  DetectorOptions opts;
+  opts.first_friends = 0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+}
+
+TEST(DetectorOptions, RejectsZeroRetuneCadence) {
+  DetectorOptions opts;
+  opts.retune_every = 0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+}
+
+TEST(DetectorOptions, RejectsOutOfRangeRuleRatios) {
+  DetectorOptions opts;
+  opts.rule.outgoing_accept_max = 1.5;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+
+  opts = {};
+  opts.rule.outgoing_accept_max = -0.1;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+
+  opts = {};
+  opts.rule.invite_rate_min = -1.0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+
+  opts = {};
+  opts.rule.clustering_max = 2.0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+}
+
+TEST(DetectorOptions, RejectsNaNRuleFields) {
+  DetectorOptions opts;
+  opts.rule.invite_rate_min = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+}
+
+TEST(DetectorOptions, RejectsBadTunerConfig) {
+  DetectorOptions opts;
+  opts.tuner.fp_quantile = 1.0;  // must be strictly inside (0, 1)
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+
+  opts = {};
+  opts.tuner.fp_quantile = 0.0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+
+  opts = {};
+  opts.tuner.smoothing = 1.5;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+
+  opts = {};
+  opts.tuner.reservoir_capacity = 0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+}
+
+TEST(DetectorOptions, ErrorNamesTheOffendingField) {
+  DetectorOptions opts;
+  opts.first_friends = 0;
+  try {
+    opts.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("first_friends"), std::string::npos);
+  }
+}
+
+/// Both detector front-ends validate at construction: a bad options
+/// value never produces a half-built detector.
+TEST(DetectorOptions, DetectorsRejectInvalidOptionsOnConstruction) {
+  DetectorOptions opts;
+  opts.first_friends = 0;
+  EXPECT_THROW(StreamDetector{opts}, std::invalid_argument);
+  EXPECT_THROW(RealTimeDetector{opts}, std::invalid_argument);
+}
+
+/// One options value configures both halves of a deployment; the fields
+/// each path ignores are harmless.
+TEST(DetectorOptions, OneValueConfiguresBothDetectorPaths) {
+  DetectorOptions opts;
+  opts.rule.invite_rate_min = 5.0;
+  opts.first_friends = 10;
+  opts.adaptive = false;  // ignored by the streaming path
+  StreamDetector stream(opts);
+  RealTimeDetector realtime(opts);
+  EXPECT_DOUBLE_EQ(realtime.rule().invite_rate_min, 5.0);
+  EXPECT_DOUBLE_EQ(stream.rule().invite_rate_min, 5.0);
+}
+
+}  // namespace
+}  // namespace sybil::core

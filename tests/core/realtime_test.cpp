@@ -39,10 +39,14 @@ struct Scenario {
 TEST(RealTime, SweepFlagsOnlySybil) {
   Scenario sc;
   RealTimeDetector detector;
-  const auto flagged =
-      detector.sweep(sc.net, {sc.sybil, sc.normal});
+  const FlagBatch flagged =
+      detector.sweep(sc.net, {sc.sybil, sc.normal}, /*now=*/2.0);
   ASSERT_EQ(flagged.size(), 1u);
-  EXPECT_EQ(flagged[0], sc.sybil);
+  EXPECT_EQ(flagged[0].account, sc.sybil);
+  EXPECT_DOUBLE_EQ(flagged[0].flagged_at, 2.0);
+  // The record carries the features the rule fired on.
+  EXPECT_LT(flagged[0].features.outgoing_accept_ratio, 0.5);
+  EXPECT_EQ(flagged.ids(), std::vector<osn::NodeId>{sc.sybil});
   EXPECT_TRUE(detector.already_flagged(sc.sybil));
   EXPECT_FALSE(detector.already_flagged(sc.normal));
 }
@@ -76,7 +80,7 @@ TEST(RealTime, LowActivityAccountNeverFlagged) {
 }
 
 TEST(RealTime, AdaptiveFeedbackRetunesRule) {
-  RealTimeConfig cfg;
+  DetectorOptions cfg;
   cfg.adaptive = true;
   cfg.retune_every = 10;
   cfg.tuner.min_observations = 10;
@@ -92,7 +96,7 @@ TEST(RealTime, AdaptiveFeedbackRetunesRule) {
 }
 
 TEST(RealTime, NonAdaptiveIgnoresFeedback) {
-  RealTimeConfig cfg;
+  DetectorOptions cfg;
   cfg.adaptive = false;
   RealTimeDetector detector(cfg);
   const double initial_rate = detector.rule().invite_rate_min;

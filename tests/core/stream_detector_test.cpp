@@ -3,7 +3,12 @@
 #include <gtest/gtest.h>
 
 #include "core/features.h"
+#include "core/metrics/instrument.h"
 #include "osn/simulator.h"
+
+#if SYBIL_METRICS_COMPILED
+#include "core/metrics/metrics.h"
+#endif
 
 namespace sybil::core {
 namespace {
@@ -47,7 +52,7 @@ TEST(StreamDetector, ClusteringTracksTriangles) {
 }
 
 TEST(StreamDetector, FirstFriendsPrefixIsBounded) {
-  StreamDetector::Config cfg;
+  DetectorOptions cfg;
   cfg.first_friends = 3;
   StreamDetector det(cfg);
   for (osn::NodeId v = 1; v <= 10; ++v) {
@@ -83,9 +88,12 @@ TEST(StreamDetector, FlagsBurstySenderOnce) {
       det.on_request_rejected(0, static_cast<osn::NodeId>(i + 1), 0.8);
     }
   }
-  const auto flagged = det.take_flagged();
+  const FlagBatch flagged = det.take_flagged();
   ASSERT_EQ(flagged.size(), 1u);
-  EXPECT_EQ(flagged[0], 0u);
+  EXPECT_EQ(flagged[0].account, 0u);
+  // The rule fires mid-burst, while the invites are still going out.
+  EXPECT_DOUBLE_EQ(flagged[0].flagged_at, 0.3);
+  EXPECT_LT(flagged[0].features.outgoing_accept_ratio, 0.5);
   EXPECT_TRUE(det.take_flagged().empty());  // reported once
   EXPECT_EQ(det.flagged_total(), 1u);
 }
@@ -151,6 +159,76 @@ TEST(StreamDetector, ReplayMatchesBatchExtractor) {
         << id;
   }
 }
+
+#if SYBIL_METRICS_COMPILED
+/// Replaying a log must advance the stream.* metrics exactly as the
+/// equivalent live event stream does: replay dispatches through the
+/// same handlers, so event totals are identical on both paths.
+TEST(StreamDetector, ReplayDrivesSameMetricCountersAsLiveStream) {
+  auto& registry = metrics::MetricsRegistry::instance();
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(true);  // the test counts; restored at the end
+  const auto counters = [&] {
+    return std::vector<std::uint64_t>{
+        registry.counter("stream.events.request_sent").value(),
+        registry.counter("stream.events.request_accepted").value(),
+        registry.counter("stream.events.request_rejected").value(),
+        registry.counter("stream.events.friendship").value(),
+        registry.counter("stream.events.account_banned").value(),
+        registry.counter("stream.flagged").value(),
+    };
+  };
+  const auto delta = [](const std::vector<std::uint64_t>& before,
+                        const std::vector<std::uint64_t>& after) {
+    std::vector<std::uint64_t> d(before.size());
+    for (std::size_t i = 0; i < before.size(); ++i) d[i] = after[i] - before[i];
+    return d;
+  };
+
+  // One sequence exercising every handler, expressed twice: as direct
+  // handler calls (live) and as an osn::EventLog (replay). The log also
+  // carries created/dropped events, which have no live handler and must
+  // therefore not count on either path.
+  StreamDetector live;
+  const auto before_live = counters();
+  live.on_friendship(0, 1, 0.5);
+  live.on_request_sent(2, 3, 1.0);
+  live.on_request_sent(2, 4, 1.1);
+  live.on_request_accepted(2, 3, 2.0);
+  live.on_request_rejected(2, 4, 2.1);
+  live.on_account_banned(4);
+  const auto live_delta = delta(before_live, counters());
+
+  osn::EventLog log;
+  log.append({osn::EventType::kAccountCreated, 0, 0, 0.0});
+  log.append({osn::EventType::kFriendshipSeeded, 0, 1, 0.5});
+  log.append({osn::EventType::kRequestSent, 2, 3, 1.0});
+  log.append({osn::EventType::kRequestSent, 2, 4, 1.1});
+  // Log convention: actor = who answered, subject = sender.
+  log.append({osn::EventType::kRequestAccepted, 3, 2, 2.0});
+  log.append({osn::EventType::kRequestRejected, 4, 2, 2.1});
+  log.append({osn::EventType::kRequestDropped, 4, 2, 2.2});
+  log.append({osn::EventType::kAccountBanned, 4, 4, 2.3});
+  StreamDetector replayed;
+  const auto before_replay = counters();
+  replayed.replay(log);
+  const auto replay_delta = delta(before_replay, counters());
+
+  EXPECT_EQ(live_delta, replay_delta);
+  EXPECT_EQ(live_delta[0], 2u);  // request_sent
+  EXPECT_EQ(live_delta[1], 1u);  // request_accepted
+  EXPECT_EQ(live_delta[2], 1u);  // request_rejected
+  EXPECT_EQ(live_delta[3], 1u);  // friendship
+  EXPECT_EQ(live_delta[4], 1u);  // account_banned
+  // And the two detectors agree on state, not just on counters.
+  for (osn::NodeId id = 0; id <= 4; ++id) {
+    EXPECT_DOUBLE_EQ(live.features(id).outgoing_accept_ratio,
+                     replayed.features(id).outgoing_accept_ratio)
+        << id;
+  }
+  registry.set_enabled(was_enabled);
+}
+#endif  // SYBIL_METRICS_COMPILED
 
 }  // namespace
 }  // namespace sybil::core
