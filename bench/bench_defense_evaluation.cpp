@@ -13,15 +13,48 @@
 // false-rejection budget). The paper's prediction: high on SYNTHETIC,
 // chance-level on WILD — with the paper's own clustering signal the
 // one ranker that flips the other way.
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "bench_common.h"
 #include "runner.h"
 
+namespace {
+
+constexpr char kUsage[] =
+    "[--save-graph <path>] [--load-graph <path>] "
+    "[normal_users] [sybils] [campaign_hours]";
+
+/// Extracts "--flag <path>" from argv, compacting the remaining
+/// positional arguments in place. Returns the path or "".
+std::string take_flag(int& argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) != 0) continue;
+    if (i + 1 >= argc) {
+      sybil::bench::usage_error(argv[0], kUsage, flag, "flag (missing path)");
+    }
+    std::string path = argv[i + 1];
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+    return path;
+  }
+  return {};
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace sybil;
+  const std::string save_path = take_flag(argc, argv, "--save-graph");
+  const std::string load_path = take_flag(argc, argv, "--load-graph");
+
   bench::print_header(
       "Defense evaluation — prior Sybil defenses: synthetic vs wild",
       "synthetic: 60k honest + 6k injected; wild: campaign at same scale "
-      "(override: <normals> <sybils> <hours>)");
+      "(override: " +
+          std::string(kUsage) + ")");
 
   // Parse overrides up front: an argv typo must fail before the
   // synthetic battery burns minutes of simulation.
@@ -30,18 +63,17 @@ int main(int argc, char** argv) {
   cfg.sybils = 6'000;
   cfg.campaign_hours = 20'000.0;
   if (argc > 1) {
-    cfg.normal_users = static_cast<std::uint32_t>(
-        bench::parse_count(argv[0], bench::kCampaignUsage, argv[1],
-                           "normal user count", 50'000'000));
+    cfg.normal_users = static_cast<std::uint32_t>(bench::parse_count(
+        argv[0], kUsage, argv[1], "normal user count", 50'000'000));
   }
   if (argc > 2) {
     cfg.sybils = static_cast<std::uint32_t>(
-        bench::parse_count(argv[0], bench::kCampaignUsage, argv[2],
-                           "sybil count", 50'000'000));
+        bench::parse_count(argv[0], kUsage, argv[2], "sybil count",
+                           50'000'000));
   }
   if (argc > 3) {
-    cfg.campaign_hours = bench::parse_hours(argv[0], bench::kCampaignUsage,
-                                            argv[3], "campaign hours");
+    cfg.campaign_hours =
+        bench::parse_hours(argv[0], kUsage, argv[3], "campaign hours");
   }
 
   bench::BatteryOptions options;
@@ -61,7 +93,27 @@ int main(int argc, char** argv) {
     bench::print_battery(synthetic, bench::run_battery(synthetic, options));
   }
   {
-    const bench::DefenseScenario wild = bench::campaign_scenario(cfg);
+    // The wild graph is the expensive part (hours of simulated campaign
+    // at scale): --save-graph snapshots it after the build, --load-graph
+    // serves it back out of the binary container instead of simulating.
+    const auto start = std::chrono::steady_clock::now();
+    const bench::DefenseScenario wild =
+        load_path.empty() ? bench::campaign_scenario(cfg)
+                          : bench::load_scenario(load_path);
+    const auto stop = std::chrono::steady_clock::now();
+    const double millis =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    const char* timing_env = std::getenv("SYBIL_BENCH_TIMING");
+    if (timing_env == nullptr || std::strcmp(timing_env, "off") != 0) {
+      std::printf("# timing: wild scenario %s %.1f ms\n",
+                  load_path.empty() ? "simulated in"
+                                    : "loaded from snapshot in",
+                  millis);
+    }
+    if (!save_path.empty()) {
+      bench::save_scenario(wild, save_path);
+      std::printf("# wild scenario saved to %s\n", save_path.c_str());
+    }
     bench::print_battery(wild, bench::run_battery(wild, options));
   }
   std::printf(

@@ -1,7 +1,12 @@
 // Microbenchmarks (google-benchmark) of the hot operations behind the
 // experiment pipeline: graph construction, feature extraction, component
-// decomposition, clustering, random routes, max-flow, alias sampling.
+// decomposition, clustering, random routes, max-flow, alias sampling,
+// and binary snapshot save/load (the regenerate-vs-reload tradeoff).
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "core/features.h"
 #include "osn/simulator.h"
@@ -10,6 +15,7 @@
 #include "graph/generators.h"
 #include "graph/maxflow.h"
 #include "graph/walks.h"
+#include "io/graph_snapshot.h"
 #include "stats/distributions.h"
 
 namespace {
@@ -41,6 +47,74 @@ void BM_CsrSnapshot(benchmark::State& state) {
                           static_cast<std::int64_t>(g.edge_count()));
 }
 BENCHMARK(BM_CsrSnapshot);
+
+// --- Snapshot persistence: what --load-graph buys over regenerating ---
+//
+// BM_OsnGraphGenerate is the cost a bench pays to rebuild the shared
+// 50k-node graph from its seed; the Snapshot benches are the cost of
+// reading the same structure back from a binary container. The mmap
+// variant is the zero-copy path (arrays served in place), the stream
+// variant the portable read() fallback (SYBIL_IO_MMAP=off).
+
+void BM_OsnGraphGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    stats::Rng rng(1);
+    benchmark::DoNotOptimize(graph::osn_like_graph(
+        {.nodes = 50'000, .mean_links = 12.0, .triadic_closure = 0.2,
+         .pa_beta = 1.0},
+        rng));
+  }
+}
+BENCHMARK(BM_OsnGraphGenerate);
+
+std::string snapshot_path(const char* name) {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr ? tmp : "/tmp") + "/" + name;
+}
+
+void BM_GraphSnapshotSave(benchmark::State& state) {
+  const auto& g = shared_graph();
+  const std::string path = snapshot_path("sybil_bench_graph.snap");
+  for (auto _ : state) {
+    io::save_graph_snapshot(g, path);
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_GraphSnapshotSave);
+
+void BM_GraphSnapshotLoad(benchmark::State& state) {
+  const auto& g = shared_graph();
+  const std::string path = snapshot_path("sybil_bench_graph.snap");
+  io::save_graph_snapshot(g, path);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::load_graph_snapshot(path));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.edge_count()));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_GraphSnapshotLoad);
+
+void BM_CsrSnapshotLoad(benchmark::State& state) {
+  const bool use_mmap = state.range(0) != 0;
+  const std::string path = snapshot_path("sybil_bench_csr.snap");
+  io::save_csr_snapshot(shared_csr(), path);
+  for (auto _ : state) {
+    const graph::CsrGraph loaded = io::load_csr_snapshot(path, use_mmap);
+    // Touch the structure so lazily-faulted mmap pages are charged to
+    // the benchmark, not to the first algorithm that walks the graph.
+    std::uint64_t acc = 0;
+    for (graph::NodeId u = 0; u < loaded.node_count(); u += 997) {
+      acc += loaded.degree(u);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetLabel(use_mmap ? "mmap" : "stream");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shared_csr().edge_count()));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_CsrSnapshotLoad)->Arg(1)->Arg(0);
 
 void BM_ConnectedComponents(benchmark::State& state) {
   const auto& csr = shared_csr();

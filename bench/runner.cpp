@@ -9,6 +9,7 @@
 
 #include "core/metrics/instrument.h"
 #include "graph/generators.h"
+#include "io/container.h"
 #include "stats/rng.h"
 
 #if SYBIL_METRICS_COMPILED
@@ -101,6 +102,120 @@ DefenseScenario campaign_scenario(const attack::CampaignConfig& config) {
   s.is_sybil.assign(s.g.node_count(), false);
   for (graph::NodeId v : result.sybil_ids) s.is_sybil[v] = true;
   pick_seeds_and_sample(s, result.normal_ids, result.sybil_ids);
+  return s;
+}
+
+namespace {
+
+// Scenario container sections (docs/FORMATS.md §Scenario).
+constexpr std::uint32_t kSecMeta = 1;
+constexpr std::uint32_t kSecName = 2;
+constexpr std::uint32_t kSecOffsets = 3;
+constexpr std::uint32_t kSecTargets = 4;
+constexpr std::uint32_t kSecIsSybil = 5;
+constexpr std::uint32_t kSecHonestSeeds = 6;
+constexpr std::uint32_t kSecEvalSample = 7;
+
+}  // namespace
+
+void save_scenario(const DefenseScenario& scenario, const std::string& path) {
+  SYBIL_METRIC_SCOPED_TIMER(span, "bench.scenario.save");
+  io::ContainerWriter writer(io::PayloadKind::kDefenseScenario);
+  {
+    io::ByteWriter w;
+    w.write<std::uint64_t>(scenario.g.node_count());
+    w.write<std::uint64_t>(scenario.g.targets().size());
+    w.write<std::uint64_t>(scenario.honest_seeds.size());
+    w.write<std::uint64_t>(scenario.eval_sample.size());
+    w.write<std::uint64_t>(scenario.name.size());
+    writer.add_section(kSecMeta, std::move(w).take());
+  }
+  {
+    std::vector<std::byte> name(scenario.name.size());
+    std::memcpy(name.data(), scenario.name.data(), scenario.name.size());
+    writer.add_section(kSecName, std::move(name));
+  }
+  writer.add_pod_section<std::uint64_t>(kSecOffsets, scenario.g.offsets());
+  writer.add_pod_section<graph::NodeId>(kSecTargets, scenario.g.targets());
+  {
+    std::vector<std::uint8_t> labels(scenario.is_sybil.size());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      labels[i] = scenario.is_sybil[i] ? 1 : 0;
+    }
+    writer.add_pod_section<std::uint8_t>(kSecIsSybil, labels);
+  }
+  writer.add_pod_section<graph::NodeId>(kSecHonestSeeds,
+                                        scenario.honest_seeds);
+  writer.add_pod_section<graph::NodeId>(kSecEvalSample, scenario.eval_sample);
+  writer.commit(path);
+}
+
+DefenseScenario load_scenario(const std::string& path) {
+  SYBIL_METRIC_SCOPED_TIMER(span, "bench.scenario.load");
+  auto reader = std::make_shared<io::ContainerReader>(
+      path, io::PayloadKind::kDefenseScenario);
+
+  io::ByteReader meta(reader->section(kSecMeta));
+  const auto nodes = meta.read<std::uint64_t>();
+  const auto half_edges = meta.read<std::uint64_t>();
+  const auto honest = meta.read<std::uint64_t>();
+  const auto eval = meta.read<std::uint64_t>();
+  const auto name_len = meta.read<std::uint64_t>();
+  if (!meta.exhausted()) {
+    throw io::SnapshotError(io::SnapshotErrorCode::kMalformedSection,
+                            "scenario meta has trailing bytes");
+  }
+
+  const auto offsets = reader->pod_section<std::uint64_t>(kSecOffsets);
+  const auto targets = reader->pod_section<graph::NodeId>(kSecTargets);
+  const auto labels = reader->pod_section<std::uint8_t>(kSecIsSybil);
+  const auto seeds = reader->pod_section<graph::NodeId>(kSecHonestSeeds);
+  const auto sample = reader->pod_section<graph::NodeId>(kSecEvalSample);
+  const auto name = reader->section(kSecName);
+  if (offsets.size() != nodes + 1 || targets.size() != half_edges ||
+      labels.size() != nodes || seeds.size() != honest ||
+      sample.size() != eval || name.size() != name_len) {
+    throw io::SnapshotError(io::SnapshotErrorCode::kMalformedSection,
+                            "scenario sections inconsistent with meta");
+  }
+  if (offsets.front() != 0 || offsets.back() != targets.size() ||
+      !std::is_sorted(offsets.begin(), offsets.end())) {
+    throw io::SnapshotError(io::SnapshotErrorCode::kFormatViolation,
+                            "scenario CSR offsets not a valid offset array");
+  }
+  for (const graph::NodeId t : targets) {
+    if (t >= nodes) {
+      throw io::SnapshotError(io::SnapshotErrorCode::kFormatViolation,
+                              "scenario CSR target out of range");
+    }
+  }
+  const auto in_range = [nodes](std::span<const graph::NodeId> ids) {
+    for (const graph::NodeId v : ids) {
+      if (v >= nodes) return false;
+    }
+    return true;
+  };
+  if (!in_range(seeds) || !in_range(sample)) {
+    throw io::SnapshotError(io::SnapshotErrorCode::kFormatViolation,
+                            "scenario seed/sample node id out of range");
+  }
+  for (const std::uint8_t b : labels) {
+    if (b > 1) {
+      throw io::SnapshotError(io::SnapshotErrorCode::kFormatViolation,
+                              "scenario label byte out of range");
+    }
+  }
+
+  DefenseScenario s;
+  s.name.assign(reinterpret_cast<const char*>(name.data()), name.size());
+  // The reader (and its mapping) stays alive as the view's backing.
+  s.g = graph::CsrGraph::view(offsets, targets, reader);
+  s.is_sybil.resize(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    s.is_sybil[i] = labels[i] != 0;
+  }
+  s.honest_seeds.assign(seeds.begin(), seeds.end());
+  s.eval_sample.assign(sample.begin(), sample.end());
   return s;
 }
 

@@ -84,6 +84,18 @@ DefenseScenario synthetic_scenario(graph::NodeId honest, graph::NodeId sybils,
 /// requests in the campaign simulator.
 DefenseScenario campaign_scenario(const attack::CampaignConfig& config);
 
+/// Persists a scenario (CSR graph, labels, seed/sample picks) as a
+/// kDefenseScenario container (docs/FORMATS.md §Scenario), so a bench
+/// can reuse an expensive simulated graph instead of regenerating it —
+/// the bench_defense_evaluation --save-graph/--load-graph flags.
+/// Atomic (temp file + rename) like every snapshot writer.
+void save_scenario(const DefenseScenario& scenario, const std::string& path);
+
+/// Loads a saved scenario. The CSR arrays are served zero-copy out of
+/// the file mapping when mmap is available; corrupt or mistyped files
+/// are rejected with typed io::SnapshotErrors.
+DefenseScenario load_scenario(const std::string& path);
+
 /// One defense's result on one scenario.
 struct DefenseRun {
   std::string defense;

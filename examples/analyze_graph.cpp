@@ -6,13 +6,14 @@
 // those files. No simulation involved.
 //
 // Usage:
-//   analyze_graph <edges.txt> <sybil_ids.txt>
+//   analyze_graph <edges.txt|edges.snap> <sybil_ids.txt>
 //   analyze_graph --demo <output_dir>     # write sample inputs and exit
 //
-// Edge file format (graph::save_edge_list):
-//   nodes N
-//   u v timestamp
-// Sybil id file: one node id per line; '#' comments allowed.
+// The edge file is either the plain-text format (graph::save_edge_list:
+// "nodes N" header then "u v timestamp" lines) or a binary graph
+// snapshot (io::save_graph_snapshot) — detected by the container magic,
+// no flag needed. Binary is the full-fidelity, checksummed format; see
+// docs/FORMATS.md. Sybil id file: one node id per line; '#' comments.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,6 +24,7 @@
 #include "core/edge_order.h"
 #include "core/topology.h"
 #include "graph/io.h"
+#include "io/graph_snapshot.h"
 
 namespace {
 
@@ -38,6 +40,14 @@ std::vector<sybil::osn::NodeId> load_ids(const std::string& path) {
   return ids;
 }
 
+/// True when the file starts with the binary container magic ("SYBS").
+bool is_snapshot(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  return is && std::memcmp(magic, "SYBS", sizeof(magic)) == 0;
+}
+
 int write_demo(const std::string& dir) {
   using namespace sybil;
   std::printf("Generating demo inputs (small campaign)...\n");
@@ -47,13 +57,16 @@ int write_demo(const std::string& dir) {
   cfg.campaign_hours = 5'000.0;
   const auto result = attack::run_campaign(cfg);
   const std::string edges = dir + "/demo_edges.txt";
+  const std::string snap = dir + "/demo_edges.snap";
   const std::string sybils = dir + "/demo_sybils.txt";
   graph::save_edge_list(result.network->graph(), edges);
+  io::save_graph_snapshot(result.network->graph(), snap);
   std::ofstream os(sybils);
   os << "# demo Sybil ids\n";
   for (auto s : result.sybil_ids) os << s << '\n';
-  std::printf("Wrote %s and %s\nRun: analyze_graph %s %s\n", edges.c_str(),
-              sybils.c_str(), edges.c_str(), sybils.c_str());
+  std::printf("Wrote %s, %s and %s\nRun: analyze_graph %s %s\n",
+              edges.c_str(), snap.c_str(), sybils.c_str(), edges.c_str(),
+              sybils.c_str());
   return 0;
 }
 
@@ -66,13 +79,15 @@ int main(int argc, char** argv) {
   }
   if (argc != 3) {
     std::fprintf(stderr,
-                 "usage: %s <edges.txt> <sybil_ids.txt>\n"
+                 "usage: %s <edges.txt|edges.snap> <sybil_ids.txt>\n"
                  "       %s --demo <output_dir>\n",
                  argv[0], argv[0]);
     return 2;
   }
 
-  const graph::TimestampedGraph g = graph::load_edge_list(argv[1]);
+  const graph::TimestampedGraph g = is_snapshot(argv[1])
+                                        ? io::load_graph_snapshot(argv[1])
+                                        : graph::load_edge_list(argv[1]);
   const auto sybil_ids = load_ids(argv[2]);
   std::printf("Loaded %u nodes, %llu edges, %zu Sybil ids\n", g.node_count(),
               static_cast<unsigned long long>(g.edge_count()),

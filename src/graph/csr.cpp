@@ -5,43 +5,113 @@
 
 namespace sybil::graph {
 
+CsrGraph::CsrGraph(const CsrGraph& other)
+    : offsets_store_(other.offsets_store_),
+      targets_store_(other.targets_store_),
+      backing_(other.backing_) {
+  if (backing_ != nullptr) {
+    offsets_ = other.offsets_;
+    targets_ = other.targets_;
+  } else {
+    anchor();
+  }
+}
+
+CsrGraph& CsrGraph::operator=(const CsrGraph& other) {
+  if (this != &other) {
+    CsrGraph tmp(other);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
+
+CsrGraph::CsrGraph(CsrGraph&& other) noexcept
+    : offsets_store_(std::move(other.offsets_store_)),
+      targets_store_(std::move(other.targets_store_)),
+      backing_(std::move(other.backing_)) {
+  // Moved vectors keep their heap buffers, so the source's spans stay
+  // valid for owners too — but re-anchor to be explicit.
+  if (backing_ != nullptr) {
+    offsets_ = other.offsets_;
+    targets_ = other.targets_;
+  } else {
+    anchor();
+  }
+  other.offsets_ = {};
+  other.targets_ = {};
+}
+
+CsrGraph& CsrGraph::operator=(CsrGraph&& other) noexcept {
+  if (this != &other) {
+    offsets_store_ = std::move(other.offsets_store_);
+    targets_store_ = std::move(other.targets_store_);
+    backing_ = std::move(other.backing_);
+    if (backing_ != nullptr) {
+      offsets_ = other.offsets_;
+      targets_ = other.targets_;
+    } else {
+      anchor();
+    }
+    other.offsets_ = {};
+    other.targets_ = {};
+  }
+  return *this;
+}
+
 CsrGraph CsrGraph::from(const TimestampedGraph& g) {
   CsrGraph csr;
   const NodeId n = g.node_count();
-  csr.offsets_.assign(n + 1, 0);
+  csr.offsets_store_.assign(n + 1, 0);
   for (NodeId u = 0; u < n; ++u) {
-    csr.offsets_[u + 1] = csr.offsets_[u] + g.degree(u);
+    csr.offsets_store_[u + 1] = csr.offsets_store_[u] + g.degree(u);
   }
-  csr.targets_.resize(csr.offsets_[n]);
+  csr.targets_store_.resize(csr.offsets_store_[n]);
   for (NodeId u = 0; u < n; ++u) {
-    std::uint64_t at = csr.offsets_[u];
-    for (const Neighbor& nb : g.neighbors(u)) csr.targets_[at++] = nb.node;
+    std::uint64_t at = csr.offsets_store_[u];
+    for (const Neighbor& nb : g.neighbors(u)) {
+      csr.targets_store_[at++] = nb.node;
+    }
   }
+  csr.anchor();
   return csr;
 }
 
 CsrGraph CsrGraph::from_edges(
     NodeId node_count, std::span<const std::pair<NodeId, NodeId>> edges) {
   CsrGraph csr;
-  csr.offsets_.assign(static_cast<std::size_t>(node_count) + 1, 0);
+  csr.offsets_store_.assign(static_cast<std::size_t>(node_count) + 1, 0);
   for (const auto& [u, v] : edges) {
     if (u >= node_count || v >= node_count) {
       throw std::out_of_range("csr: edge endpoint out of range");
     }
     if (u == v) throw std::invalid_argument("csr: self-loop");
-    ++csr.offsets_[u + 1];
-    ++csr.offsets_[v + 1];
+    ++csr.offsets_store_[u + 1];
+    ++csr.offsets_store_[v + 1];
   }
-  for (std::size_t i = 1; i < csr.offsets_.size(); ++i) {
-    csr.offsets_[i] += csr.offsets_[i - 1];
+  for (std::size_t i = 1; i < csr.offsets_store_.size(); ++i) {
+    csr.offsets_store_[i] += csr.offsets_store_[i - 1];
   }
-  csr.targets_.resize(csr.offsets_.back());
-  std::vector<std::uint64_t> cursor(csr.offsets_.begin(),
-                                    csr.offsets_.end() - 1);
+  csr.targets_store_.resize(csr.offsets_store_.back());
+  std::vector<std::uint64_t> cursor(csr.offsets_store_.begin(),
+                                    csr.offsets_store_.end() - 1);
   for (const auto& [u, v] : edges) {
-    csr.targets_[cursor[u]++] = v;
-    csr.targets_[cursor[v]++] = u;
+    csr.targets_store_[cursor[u]++] = v;
+    csr.targets_store_[cursor[v]++] = u;
   }
+  csr.anchor();
+  return csr;
+}
+
+CsrGraph CsrGraph::view(std::span<const std::uint64_t> offsets,
+                        std::span<const NodeId> targets,
+                        std::shared_ptr<const void> backing) {
+  if (backing == nullptr) {
+    throw std::invalid_argument("csr view: null backing");
+  }
+  CsrGraph csr;
+  csr.offsets_ = offsets;
+  csr.targets_ = targets;
+  csr.backing_ = std::move(backing);
   return csr;
 }
 

@@ -5,9 +5,15 @@
 // contiguous offsets array plus one contiguous targets array, which is
 // dramatically more cache-friendly than per-node vectors for the
 // multi-hundred-thousand-node runs the benches perform.
+//
+// A CsrGraph either owns its arrays (the from()/from_edges() builders)
+// or is a zero-copy *view* over externally owned storage — the io layer
+// uses view() to serve a graph directly out of an mmap'd snapshot
+// without materializing the arrays (see io/graph_snapshot.h).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -29,6 +35,24 @@ class CsrGraph {
   static CsrGraph from_edges(NodeId node_count,
                              std::span<const std::pair<NodeId, NodeId>> edges);
 
+  /// Zero-copy view over CSR arrays owned elsewhere; `backing` keeps the
+  /// storage (e.g. a file mapping) alive for the view's lifetime.
+  /// Preconditions: offsets is a valid CSR offset array (size n+1,
+  /// non-decreasing, offsets[0] == 0, offsets[n] == targets.size()) —
+  /// the snapshot loader validates before calling.
+  static CsrGraph view(std::span<const std::uint64_t> offsets,
+                       std::span<const NodeId> targets,
+                       std::shared_ptr<const void> backing);
+
+  // Owning copies re-anchor their spans onto the copied vectors; views
+  // share the backing. Defaulted members would leave a copied owner's
+  // spans pointing into the source.
+  CsrGraph(const CsrGraph& other);
+  CsrGraph& operator=(const CsrGraph& other);
+  CsrGraph(CsrGraph&& other) noexcept;
+  CsrGraph& operator=(CsrGraph&& other) noexcept;
+  ~CsrGraph() = default;
+
   NodeId node_count() const noexcept {
     return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
   }
@@ -49,9 +73,28 @@ class CsrGraph {
   /// All undirected edges as (u, v) with u < v, in row order.
   std::vector<std::pair<NodeId, NodeId>> edges() const;
 
+  /// Raw CSR arrays (what the snapshot writer serializes).
+  std::span<const std::uint64_t> offsets() const noexcept { return offsets_; }
+  std::span<const NodeId> targets() const noexcept { return targets_; }
+
+  /// True when this graph references external storage instead of
+  /// owning its arrays.
+  bool is_view() const noexcept { return backing_ != nullptr; }
+
  private:
-  std::vector<std::uint64_t> offsets_;  // size node_count()+1
-  std::vector<NodeId> targets_;         // size 2*edge_count()
+  void anchor() noexcept {
+    offsets_ = offsets_store_;
+    targets_ = targets_store_;
+  }
+
+  // Owning storage (empty for views).
+  std::vector<std::uint64_t> offsets_store_;
+  std::vector<NodeId> targets_store_;
+  // The arrays algorithms read: either the stores above or external
+  // memory kept alive by backing_.
+  std::span<const std::uint64_t> offsets_;
+  std::span<const NodeId> targets_;
+  std::shared_ptr<const void> backing_;
 };
 
 }  // namespace sybil::graph

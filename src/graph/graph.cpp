@@ -23,6 +23,17 @@ bool TimestampedGraph::add_edge(NodeId u, NodeId v, Time t, bool weak) {
   return true;
 }
 
+TimestampedGraph TimestampedGraph::from_adjacency(
+    std::vector<std::vector<Neighbor>> adj) {
+  TimestampedGraph g;
+  std::uint64_t half_edges = 0;
+  for (const auto& list : adj) half_edges += list.size();
+  assert(half_edges % 2 == 0);
+  g.adj_ = std::move(adj);
+  g.edge_count_ = half_edges / 2;
+  return g;
+}
+
 bool TimestampedGraph::has_edge(NodeId u, NodeId v) const {
   // Scan the shorter list; adjacency lists in social graphs are short on
   // average, and the simulator's hot path keeps a separate intent check.

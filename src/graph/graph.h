@@ -65,6 +65,14 @@ class TimestampedGraph {
   /// Timestamp of edge {u, v}, or nullopt if absent.
   std::optional<Time> edge_time(NodeId u, NodeId v) const;
 
+  /// Direct adjacency restore for snapshot loading: adopts the lists
+  /// as-is (preserving per-node insertion order, which add_edge replay
+  /// could not reproduce without the global edge order). Precondition:
+  /// `adj` satisfies the class invariants — symmetric, no self-loops or
+  /// duplicates; the binary loader validates before calling.
+  static TimestampedGraph from_adjacency(
+      std::vector<std::vector<Neighbor>> adj);
+
   /// Neighbors of u in chronological insertion order.
   std::span<const Neighbor> neighbors(NodeId u) const {
     return adj_[u];

@@ -1,12 +1,21 @@
 #include "graph/io.h"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
-#include <stdexcept>
+
+#include "io/error.h"
 
 namespace sybil::graph {
 
+using io::SnapshotError;
+using io::SnapshotErrorCode;
+
 void save_edge_list(const TimestampedGraph& g, std::ostream& os) {
+  // max_digits10 keeps timestamps round-trip exact; the format stays
+  // lossy in other ways (see graph/io.h).
+  const auto old_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
   os << "nodes " << g.node_count() << '\n';
   for (NodeId u = 0; u < g.node_count(); ++u) {
     for (const Neighbor& nb : g.neighbors(u)) {
@@ -15,48 +24,100 @@ void save_edge_list(const TimestampedGraph& g, std::ostream& os) {
       }
     }
   }
+  os.precision(old_precision);
 }
 
 void save_edge_list(const TimestampedGraph& g, const std::string& path) {
   std::ofstream os(path);
-  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  if (!os) {
+    throw SnapshotError(SnapshotErrorCode::kOpenFailed,
+                        "cannot open for writing: " + path);
+  }
   save_edge_list(g, os);
-  if (!os) throw std::runtime_error("write failed: " + path);
+  os.flush();
+  if (!os) {
+    throw SnapshotError(SnapshotErrorCode::kWriteFailed,
+                        "write failed: " + path);
+  }
 }
+
+namespace {
+
+[[noreturn]] void fail(SnapshotErrorCode code, std::uint64_t line_no,
+                       const std::string& what) {
+  throw SnapshotError(code, "edge list: " + what + " at line " +
+                                std::to_string(line_no));
+}
+
+bool only_whitespace(const std::string& s) {
+  return s.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+}  // namespace
 
 TimestampedGraph load_edge_list(std::istream& is) {
   std::string keyword;
   std::uint64_t n = 0;
   if (!(is >> keyword >> n) || keyword != "nodes") {
-    throw std::runtime_error("edge list: missing 'nodes N' header");
+    throw SnapshotError(SnapshotErrorCode::kMalformedSection,
+                        "edge list: missing 'nodes N' header");
+  }
+  if (n > std::numeric_limits<NodeId>::max()) {
+    throw SnapshotError(SnapshotErrorCode::kFormatViolation,
+                        "edge list: node count exceeds 32-bit id space");
   }
   TimestampedGraph g(static_cast<NodeId>(n));
   std::string line;
-  std::getline(is, line);  // consume header remainder
+  std::getline(is, line);  // header remainder
+  if (!only_whitespace(line)) {
+    throw SnapshotError(SnapshotErrorCode::kMalformedSection,
+                        "edge list: trailing characters after header");
+  }
   std::uint64_t line_no = 1;
   while (std::getline(is, line)) {
     ++line_no;
-    if (line.empty()) continue;
+    if (only_whitespace(line)) continue;
     std::istringstream ls(line);
     std::uint64_t u = 0, v = 0;
-    double t = 0.0;
     if (!(ls >> u >> v)) {
-      throw std::runtime_error("edge list: parse error at line " +
-                               std::to_string(line_no));
+      fail(SnapshotErrorCode::kMalformedSection, line_no,
+           "expected 'u v [t]'");
     }
-    ls >> t;  // optional timestamp
-    if (u >= n || v >= n || u == v) {
-      throw std::runtime_error("edge list: invalid edge at line " +
-                               std::to_string(line_no));
+    double t = 0.0;
+    if (!(ls >> t)) {
+      // No third token is fine (timestamp defaults to 0); a third token
+      // that is not a number is not.
+      if (!ls.eof()) {
+        fail(SnapshotErrorCode::kMalformedSection, line_no,
+             "malformed timestamp");
+      }
+    } else {
+      std::string junk;
+      if (ls >> junk) {
+        fail(SnapshotErrorCode::kMalformedSection, line_no,
+             "trailing characters after edge");
+      }
     }
-    g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), t);
+    if (u >= n || v >= n) {
+      fail(SnapshotErrorCode::kFormatViolation, line_no,
+           "endpoint out of range");
+    }
+    if (u == v) {
+      fail(SnapshotErrorCode::kFormatViolation, line_no, "self-loop");
+    }
+    if (!g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), t)) {
+      fail(SnapshotErrorCode::kFormatViolation, line_no, "duplicate edge");
+    }
   }
   return g;
 }
 
 TimestampedGraph load_edge_list(const std::string& path) {
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+  if (!is) {
+    throw SnapshotError(SnapshotErrorCode::kOpenFailed,
+                        "cannot open for reading: " + path);
+  }
   return load_edge_list(is);
 }
 

@@ -2,6 +2,12 @@
 // simulation outputs can be saved, reloaded and inspected with standard
 // tools. Format: one "u v t" triple per line ("u v" accepted on load,
 // timestamp defaults to 0).
+//
+// The text format is interchange-only and lossy relative to the binary
+// snapshots in src/io/ (docs/FORMATS.md §Text edge lists): it drops the
+// weak/strong tie flag and per-node adjacency insertion order, carries
+// no checksum, and round-trips timestamps through decimal. Use
+// io::save_graph_snapshot for full-fidelity persistence.
 #pragma once
 
 #include <iosfwd>
@@ -15,8 +21,11 @@ namespace sybil::graph {
 void save_edge_list(const TimestampedGraph& g, std::ostream& os);
 void save_edge_list(const TimestampedGraph& g, const std::string& path);
 
-/// Parses the format produced by save_edge_list. Throws std::runtime_error
-/// on malformed input (bad header, out-of-range endpoints, self-loops).
+/// Parses the format produced by save_edge_list. Rejects malformed input
+/// with the same typed errors as the binary loaders (io/error.h):
+/// kMalformedSection for unparsable lines / trailing junk,
+/// kFormatViolation for out-of-range endpoints, self-loops and duplicate
+/// edges, kOpenFailed when the path cannot be opened.
 TimestampedGraph load_edge_list(std::istream& is);
 TimestampedGraph load_edge_list(const std::string& path);
 

@@ -1,0 +1,271 @@
+#include "io/container.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/metrics/instrument.h"
+#include "io/crc32.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace sybil::io {
+namespace {
+
+// "SYBS" in little-endian byte order: snapshot files start 53 59 42 53.
+constexpr std::uint32_t kMagic = 0x53425953u;
+// Written natively; a reader on a foreign-endian machine sees 0x0201.
+constexpr std::uint16_t kEndianTag = 0x0102u;
+constexpr std::uint16_t kHeaderSize = 32;
+constexpr std::size_t kTableEntrySize = 24;
+constexpr std::size_t kAlignment = 8;
+
+struct Header {
+  std::uint32_t magic;
+  std::uint16_t endian_tag;
+  std::uint16_t header_size;
+  std::uint32_t format_version;
+  std::uint32_t payload_kind;
+  std::uint32_t section_count;
+  std::uint32_t table_crc;
+  std::uint64_t file_size;
+};
+static_assert(sizeof(Header) == kHeaderSize);
+
+constexpr std::size_t align_up(std::size_t n) noexcept {
+  return (n + kAlignment - 1) & ~(kAlignment - 1);
+}
+
+}  // namespace
+
+void ContainerWriter::add_section(std::uint32_t id,
+                                  std::vector<std::byte> payload) {
+  for (const Section& s : sections_) {
+    if (s.id == id) {
+      throw SnapshotError(SnapshotErrorCode::kFormatViolation,
+                          "duplicate section id " + std::to_string(id));
+    }
+  }
+  sections_.push_back({id, std::move(payload)});
+}
+
+std::vector<std::byte> ContainerWriter::serialize() const {
+  const std::size_t table_size = sections_.size() * kTableEntrySize;
+  std::size_t offset = align_up(kHeaderSize + table_size);
+
+  std::vector<std::byte> table(table_size);
+  std::size_t cursor = 0;
+  const auto put32 = [&](std::uint32_t v) {
+    std::memcpy(table.data() + cursor, &v, 4);
+    cursor += 4;
+  };
+  const auto put64 = [&](std::uint64_t v) {
+    std::memcpy(table.data() + cursor, &v, 8);
+    cursor += 8;
+  };
+  std::size_t total = offset;
+  for (const Section& s : sections_) {
+    put32(s.id);
+    put32(crc32(s.payload));
+    put64(total);
+    put64(s.payload.size());
+    total = align_up(total + s.payload.size());
+  }
+
+  Header header{};
+  header.magic = kMagic;
+  header.endian_tag = kEndianTag;
+  header.header_size = kHeaderSize;
+  header.format_version = kFormatVersion;
+  header.payload_kind = static_cast<std::uint32_t>(kind_);
+  header.section_count = static_cast<std::uint32_t>(sections_.size());
+  header.table_crc = crc32(table);
+  // The last section is not padded on disk; file_size reflects that.
+  std::size_t file_size = offset;
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    file_size = (i + 1 == sections_.size())
+                    ? file_size + sections_[i].payload.size()
+                    : align_up(file_size + sections_[i].payload.size());
+  }
+  header.file_size = file_size;
+
+  std::vector<std::byte> out(file_size, std::byte{0});
+  std::memcpy(out.data(), &header, sizeof(header));
+  std::memcpy(out.data() + kHeaderSize, table.data(), table.size());
+  std::size_t at = offset;
+  for (const Section& s : sections_) {
+    if (!s.payload.empty()) {
+      std::memcpy(out.data() + at, s.payload.data(), s.payload.size());
+    }
+    at = align_up(at + s.payload.size());
+  }
+  return out;
+}
+
+void ContainerWriter::commit(const std::string& path) const {
+  SYBIL_METRIC_SCOPED_TIMER(span, "io.container.commit");
+  const std::vector<std::byte> image = serialize();
+  const std::string tmp = path + ".tmp";
+  // Write-to-temp-then-rename: the target name only ever points at a
+  // complete, fsync'd image, so a crash mid-save cannot corrupt an
+  // existing snapshot or leave a short file under the final name.
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw SnapshotError(SnapshotErrorCode::kWriteFailed,
+                        "cannot create " + tmp);
+  }
+  const bool wrote =
+      image.empty() ||
+      std::fwrite(image.data(), 1, image.size(), f) == image.size();
+  bool synced = wrote && std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  synced = synced && ::fsync(::fileno(f)) == 0;
+#endif
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !synced || !closed) {
+    std::remove(tmp.c_str());
+    throw SnapshotError(SnapshotErrorCode::kWriteFailed,
+                        "write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SnapshotError(SnapshotErrorCode::kWriteFailed,
+                        "rename failed: " + tmp + " -> " + path);
+  }
+  SYBIL_METRIC_COUNT("io.bytes_written", image.size());
+  SYBIL_METRIC_COUNT("io.snapshots_saved", 1);
+}
+
+ContainerReader::ContainerReader(const std::string& path,
+                                 PayloadKind expected, bool prefer_mmap)
+    : file_(MappedFile::open(path, prefer_mmap)) {
+  validate(expected);
+}
+
+ContainerReader::ContainerReader(std::vector<std::byte> image,
+                                 PayloadKind expected)
+    : image_(std::move(image)) {
+  validate(expected);
+}
+
+std::span<const std::byte> ContainerReader::bytes() const noexcept {
+  return file_ ? file_->bytes() : std::span<const std::byte>(image_);
+}
+
+void ContainerReader::validate(PayloadKind expected) {
+  SYBIL_METRIC_SCOPED_TIMER(span, "io.container.validate");
+  const auto data = bytes();
+  if (data.size() < kHeaderSize) {
+    throw SnapshotError(SnapshotErrorCode::kTruncated,
+                        "file shorter than header (" +
+                            std::to_string(data.size()) + " bytes)");
+  }
+  Header header;
+  std::memcpy(&header, data.data(), sizeof(header));
+  if (header.magic != kMagic) {
+    throw SnapshotError(SnapshotErrorCode::kBadMagic,
+                        "not a sybil snapshot container");
+  }
+  if (header.endian_tag != kEndianTag) {
+    throw SnapshotError(SnapshotErrorCode::kBadEndianness,
+                        "written on an incompatible-endian machine");
+  }
+  if (header.header_size != kHeaderSize) {
+    throw SnapshotError(SnapshotErrorCode::kMalformedSection,
+                        "unexpected header size");
+  }
+  if (header.format_version > kFormatVersion) {
+    throw SnapshotError(
+        SnapshotErrorCode::kUnsupportedVersion,
+        "file format v" + std::to_string(header.format_version) +
+            " newer than supported v" + std::to_string(kFormatVersion));
+  }
+  version_ = header.format_version;
+  if (header.payload_kind != static_cast<std::uint32_t>(expected)) {
+    throw SnapshotError(SnapshotErrorCode::kWrongPayload,
+                        "payload kind " +
+                            std::to_string(header.payload_kind) +
+                            ", expected " +
+                            std::to_string(
+                                static_cast<std::uint32_t>(expected)));
+  }
+  if (header.file_size != data.size()) {
+    throw SnapshotError(SnapshotErrorCode::kTruncated,
+                        "header declares " +
+                            std::to_string(header.file_size) +
+                            " bytes, file has " +
+                            std::to_string(data.size()));
+  }
+  const std::size_t table_size =
+      static_cast<std::size_t>(header.section_count) * kTableEntrySize;
+  if (data.size() - kHeaderSize < table_size) {
+    throw SnapshotError(SnapshotErrorCode::kTruncated,
+                        "section table extends past end of file");
+  }
+  const auto table = data.subspan(kHeaderSize, table_size);
+  if (crc32(table) != header.table_crc) {
+    throw SnapshotError(SnapshotErrorCode::kChecksumMismatch,
+                        "section table checksum mismatch");
+  }
+
+  entries_.reserve(header.section_count);
+  std::vector<std::uint32_t> crcs(header.section_count);
+  for (std::uint32_t i = 0; i < header.section_count; ++i) {
+    const std::byte* at = table.data() + i * kTableEntrySize;
+    Entry e;
+    std::memcpy(&e.id, at, 4);
+    std::memcpy(&crcs[i], at + 4, 4);
+    std::memcpy(&e.offset, at + 8, 8);
+    std::memcpy(&e.length, at + 16, 8);
+    if (e.offset % kAlignment != 0 || e.offset > data.size() ||
+        e.length > data.size() - e.offset) {
+      throw SnapshotError(SnapshotErrorCode::kMalformedSection,
+                          "section " + std::to_string(e.id) +
+                              " out of bounds or misaligned");
+    }
+    for (const Entry& prev : entries_) {
+      if (prev.id == e.id) {
+        throw SnapshotError(SnapshotErrorCode::kMalformedSection,
+                            "duplicate section id " + std::to_string(e.id));
+      }
+      const bool disjoint = e.offset >= prev.offset + prev.length ||
+                            prev.offset >= e.offset + e.length;
+      if (!disjoint) {
+        throw SnapshotError(SnapshotErrorCode::kMalformedSection,
+                            "overlapping sections");
+      }
+    }
+    entries_.push_back(e);
+  }
+  // Verify every payload CRC up front: a reader that constructs holds a
+  // fully integrity-checked file, and nothing downstream can observe a
+  // bit-flipped section. For mmap'd files this is the one full pass
+  // over the data (page-cache warm-up the consumer benefits from).
+  for (std::uint32_t i = 0; i < header.section_count; ++i) {
+    const Entry& e = entries_[i];
+    if (crc32(data.subspan(e.offset, e.length)) != crcs[i]) {
+      throw SnapshotError(SnapshotErrorCode::kChecksumMismatch,
+                          "section " + std::to_string(e.id) +
+                              " payload checksum mismatch");
+    }
+  }
+  SYBIL_METRIC_COUNT("io.bytes_read", data.size());
+  SYBIL_METRIC_COUNT("io.snapshots_loaded", 1);
+}
+
+bool ContainerReader::has_section(std::uint32_t id) const noexcept {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [id](const Entry& e) { return e.id == id; });
+}
+
+std::span<const std::byte> ContainerReader::section(std::uint32_t id) const {
+  for (const Entry& e : entries_) {
+    if (e.id == id) return bytes().subspan(e.offset, e.length);
+  }
+  throw SnapshotError(SnapshotErrorCode::kMalformedSection,
+                      "missing section " + std::to_string(id));
+}
+
+}  // namespace sybil::io

@@ -1,0 +1,35 @@
+#include "io/crc32.h"
+
+#include <array>
+
+namespace sybil::io {
+namespace {
+
+// Slice-by-one table for the reflected IEEE polynomial 0xEDB88320.
+// Generated at static-init time; 1 KiB, fits comfortably in L1.
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> bytes,
+                    std::uint32_t seed) noexcept {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const std::byte b : bytes) {
+    c = kTable[(c ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace sybil::io

@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for snapshot section
+// integrity. A bit flip anywhere in a section payload is detected at
+// load time and reported as SnapshotErrorCode::kChecksumMismatch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace sybil::io {
+
+/// CRC of `bytes`, optionally continuing from a previous partial CRC
+/// (pass the prior return value to checksum data in chunks).
+std::uint32_t crc32(std::span<const std::byte> bytes,
+                    std::uint32_t seed = 0) noexcept;
+
+}  // namespace sybil::io

@@ -1,0 +1,54 @@
+#include "io/dataset_snapshot.h"
+
+#include <vector>
+
+#include "core/metrics/instrument.h"
+#include "io/container.h"
+
+namespace sybil::io {
+namespace {
+
+constexpr std::uint32_t kSecMeta = 1;    // u64 rows, u64 features
+constexpr std::uint32_t kSecData = 2;    // f64[rows*features] row-major
+constexpr std::uint32_t kSecLabels = 3;  // i32[rows], each +1 or -1
+
+}  // namespace
+
+void save_dataset_snapshot(const ml::Dataset& data, const std::string& path) {
+  SYBIL_METRIC_SCOPED_TIMER(span, "io.dataset.save");
+  ContainerWriter writer(PayloadKind::kDataset);
+  const std::uint64_t meta[2] = {data.size(), data.feature_count()};
+  writer.add_pod_section<std::uint64_t>(kSecMeta, meta);
+  writer.add_pod_section<double>(kSecData, data.raw_data());
+  writer.add_pod_section<int>(kSecLabels, data.raw_labels());
+  writer.commit(path);
+}
+
+ml::Dataset load_dataset_snapshot(const std::string& path) {
+  SYBIL_METRIC_SCOPED_TIMER(span, "io.dataset.load");
+  const ContainerReader reader(path, PayloadKind::kDataset);
+  const auto meta = reader.pod_section<std::uint64_t>(kSecMeta);
+  if (meta.size() != 2) {
+    throw SnapshotError(SnapshotErrorCode::kMalformedSection,
+                        "dataset meta section must hold 2 u64 values");
+  }
+  const std::uint64_t rows = meta[0];
+  const std::uint64_t features = meta[1];
+  const auto values = reader.pod_section<double>(kSecData);
+  const auto labels = reader.pod_section<int>(kSecLabels);
+  if (labels.size() != rows || values.size() != rows * features) {
+    throw SnapshotError(SnapshotErrorCode::kMalformedSection,
+                        "dataset sections inconsistent with meta counts");
+  }
+  for (const int label : labels) {
+    if (label != ml::kSybilLabel && label != ml::kNormalLabel) {
+      throw SnapshotError(SnapshotErrorCode::kFormatViolation,
+                          "dataset label must be +1 or -1");
+    }
+  }
+  return ml::Dataset::from_raw(
+      features, std::vector<double>(values.begin(), values.end()),
+      std::vector<int>(labels.begin(), labels.end()));
+}
+
+}  // namespace sybil::io

@@ -1,0 +1,21 @@
+// Binary ML dataset snapshots (docs/FORMATS.md §Dataset).
+//
+// Stores an ml::Dataset — the row-major feature matrix plus ±1 labels —
+// losslessly: doubles are written bit-exact, so a reloaded dataset
+// produces byte-identical classifier training runs, unlike the CSV
+// path (ml/dataset_io.h) which round-trips through decimal text.
+#pragma once
+
+#include <string>
+
+#include "ml/dataset.h"
+
+namespace sybil::io {
+
+/// Atomically writes `path` (temp file + rename).
+void save_dataset_snapshot(const ml::Dataset& data, const std::string& path);
+
+/// Rejects corrupt/truncated/mislabeled files with typed SnapshotErrors.
+ml::Dataset load_dataset_snapshot(const std::string& path);
+
+}  // namespace sybil::io

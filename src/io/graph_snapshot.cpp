@@ -1,0 +1,156 @@
+#include "io/graph_snapshot.h"
+
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/metrics/instrument.h"
+#include "io/container.h"
+
+namespace sybil::io {
+namespace {
+
+using graph::NodeId;
+
+// Section ids shared by the graph payloads (docs/FORMATS.md).
+constexpr std::uint32_t kSecMeta = 1;      // u64 node_count, u64 half_edges
+constexpr std::uint32_t kSecDegrees = 2;   // u32[n] adjacency list lengths
+constexpr std::uint32_t kSecNbrNode = 3;   // u32[half_edges] neighbor ids
+constexpr std::uint32_t kSecNbrTime = 4;   // f64[half_edges] timestamps
+constexpr std::uint32_t kSecNbrWeak = 5;   // u8[half_edges] weak-tie flags
+constexpr std::uint32_t kSecOffsets = 6;   // u64[n+1] CSR offsets
+constexpr std::uint32_t kSecTargets = 7;   // u32[m] CSR targets
+
+struct GraphMeta {
+  std::uint64_t node_count;
+  std::uint64_t half_edges;
+};
+
+GraphMeta read_meta(const ContainerReader& reader) {
+  const auto meta = reader.pod_section<std::uint64_t>(kSecMeta);
+  if (meta.size() != 2) {
+    throw SnapshotError(SnapshotErrorCode::kMalformedSection,
+                        "graph meta section must hold 2 u64 values");
+  }
+  if (meta[0] > std::numeric_limits<NodeId>::max()) {
+    throw SnapshotError(SnapshotErrorCode::kFormatViolation,
+                        "node count exceeds NodeId range");
+  }
+  return {meta[0], meta[1]};
+}
+
+}  // namespace
+
+void save_graph_snapshot(const graph::TimestampedGraph& g,
+                         const std::string& path) {
+  SYBIL_METRIC_SCOPED_TIMER(span, "io.graph.save");
+  const NodeId n = g.node_count();
+  const std::uint64_t half_edges = 2 * g.edge_count();
+  std::vector<std::uint32_t> degrees(n);
+  std::vector<NodeId> nodes;
+  std::vector<double> times;
+  std::vector<std::uint8_t> weak;
+  nodes.reserve(half_edges);
+  times.reserve(half_edges);
+  weak.reserve(half_edges);
+  for (NodeId u = 0; u < n; ++u) {
+    degrees[u] = g.degree(u);
+    for (const graph::Neighbor& nb : g.neighbors(u)) {
+      nodes.push_back(nb.node);
+      times.push_back(nb.created_at);
+      weak.push_back(nb.weak ? 1 : 0);
+    }
+  }
+  ContainerWriter writer(PayloadKind::kTimestampedGraph);
+  const std::uint64_t meta[2] = {n, half_edges};
+  writer.add_pod_section<std::uint64_t>(kSecMeta, meta);
+  writer.add_pod_section<std::uint32_t>(kSecDegrees, degrees);
+  writer.add_pod_section<NodeId>(kSecNbrNode, nodes);
+  writer.add_pod_section<double>(kSecNbrTime, times);
+  writer.add_pod_section<std::uint8_t>(kSecNbrWeak, weak);
+  writer.commit(path);
+}
+
+graph::TimestampedGraph load_graph_snapshot(const std::string& path) {
+  SYBIL_METRIC_SCOPED_TIMER(span, "io.graph.load");
+  const ContainerReader reader(path, PayloadKind::kTimestampedGraph);
+  const GraphMeta meta = read_meta(reader);
+  const auto degrees = reader.pod_section<std::uint32_t>(kSecDegrees);
+  const auto nodes = reader.pod_section<NodeId>(kSecNbrNode);
+  const auto times = reader.pod_section<double>(kSecNbrTime);
+  const auto weak = reader.pod_section<std::uint8_t>(kSecNbrWeak);
+  if (degrees.size() != meta.node_count || nodes.size() != meta.half_edges ||
+      times.size() != meta.half_edges || weak.size() != meta.half_edges ||
+      meta.half_edges % 2 != 0) {
+    throw SnapshotError(SnapshotErrorCode::kMalformedSection,
+                        "graph sections inconsistent with meta counts");
+  }
+  std::uint64_t sum = 0;
+  for (const std::uint32_t d : degrees) sum += d;
+  if (sum != meta.half_edges) {
+    throw SnapshotError(SnapshotErrorCode::kFormatViolation,
+                        "degree sum does not match half-edge count");
+  }
+  std::vector<std::vector<graph::Neighbor>> adj(meta.node_count);
+  std::size_t at = 0;
+  for (std::uint64_t u = 0; u < meta.node_count; ++u) {
+    adj[u].reserve(degrees[u]);
+    for (std::uint32_t k = 0; k < degrees[u]; ++k, ++at) {
+      if (nodes[at] >= meta.node_count || nodes[at] == u) {
+        throw SnapshotError(SnapshotErrorCode::kFormatViolation,
+                            "neighbor id out of range or self-loop");
+      }
+      adj[u].push_back({nodes[at], times[at], weak[at] != 0});
+    }
+  }
+  return graph::TimestampedGraph::from_adjacency(std::move(adj));
+}
+
+void save_csr_snapshot(const graph::CsrGraph& g, const std::string& path) {
+  SYBIL_METRIC_SCOPED_TIMER(span, "io.csr.save");
+  ContainerWriter writer(PayloadKind::kCsrGraph);
+  const std::uint64_t meta[2] = {g.node_count(), g.targets().size()};
+  writer.add_pod_section<std::uint64_t>(kSecMeta, meta);
+  writer.add_pod_section<std::uint64_t>(kSecOffsets, g.offsets());
+  writer.add_pod_section<NodeId>(kSecTargets, g.targets());
+  writer.commit(path);
+}
+
+graph::CsrGraph load_csr_snapshot(const std::string& path, bool prefer_mmap) {
+  SYBIL_METRIC_SCOPED_TIMER(span, "io.csr.load");
+  // The reader is moved into the shared backing below so the mapping
+  // outlives this function while the view reads it in place.
+  auto reader = std::make_shared<ContainerReader>(path, PayloadKind::kCsrGraph,
+                                                  prefer_mmap);
+  const GraphMeta meta = read_meta(*reader);
+  const auto offsets = reader->pod_section<std::uint64_t>(kSecOffsets);
+  const auto targets = reader->pod_section<NodeId>(kSecTargets);
+  if (offsets.size() != meta.node_count + 1 ||
+      targets.size() != meta.half_edges) {
+    throw SnapshotError(SnapshotErrorCode::kMalformedSection,
+                        "csr sections inconsistent with meta counts");
+  }
+  if (offsets.front() != 0 || offsets.back() != targets.size()) {
+    throw SnapshotError(SnapshotErrorCode::kFormatViolation,
+                        "csr offsets do not bracket the target array");
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      throw SnapshotError(SnapshotErrorCode::kFormatViolation,
+                          "csr offsets not monotonic");
+    }
+  }
+  for (const NodeId t : targets) {
+    if (t >= meta.node_count) {
+      throw SnapshotError(SnapshotErrorCode::kFormatViolation,
+                          "csr target out of range");
+    }
+  }
+  SYBIL_METRIC_COUNT(reader->mapped() ? "io.csr.load_mmap"
+                                      : "io.csr.load_stream",
+                     1);
+  return graph::CsrGraph::view(offsets, targets, std::move(reader));
+}
+
+}  // namespace sybil::io

@@ -1,0 +1,38 @@
+// Binary graph snapshots over the io container (docs/FORMATS.md §Graph).
+//
+// Two payloads:
+//   - TimestampedGraph: full fidelity — per-node adjacency lists with
+//     neighbor ids, edge-creation timestamps and weak-tie flags, in
+//     insertion order (which the temporal analyses rely on and which a
+//     text edge list cannot represent losslessly);
+//   - CsrGraph: the structure-only CSR arrays, laid out so the loader
+//     can serve the graph zero-copy out of an mmap'd file — offsets and
+//     targets are read in place, no materialization.
+//
+// Both loaders reject truncated, bit-flipped, misdeclared or
+// future-versioned files with typed SnapshotErrors before any graph
+// object is constructed — there is no partially loaded state.
+#pragma once
+
+#include <string>
+
+#include "graph/csr.h"
+#include "graph/graph.h"
+
+namespace sybil::io {
+
+/// Atomically writes `path` (temp file + rename).
+void save_graph_snapshot(const graph::TimestampedGraph& g,
+                         const std::string& path);
+void save_csr_snapshot(const graph::CsrGraph& g, const std::string& path);
+
+graph::TimestampedGraph load_graph_snapshot(const std::string& path);
+
+/// Loads a CSR snapshot. With `prefer_mmap` (and SYBIL_IO_MMAP not
+/// "off") the returned graph is a zero-copy view over the mapping,
+/// which it keeps alive; otherwise the arrays live in an owned buffer
+/// (still without per-element conversion).
+graph::CsrGraph load_csr_snapshot(const std::string& path,
+                                  bool prefer_mmap = true);
+
+}  // namespace sybil::io

@@ -1,0 +1,43 @@
+// Crash-safe simulator checkpoints (docs/FORMATS.md §Checkpoint).
+//
+// save_checkpoint captures the COMPLETE GroundTruthSimulator state —
+// configuration, the xoshiro RNG stream, every account and ledger, the
+// friendship graph with per-node adjacency order, the pending-request
+// heap in its exact array order, the all-time request-dedup set, the
+// event log, subject rosters, scheduled ban times, the popularity
+// sampler's last-rebuild weights, and the progress cursor — such that
+//
+//   load_checkpoint(save_checkpoint(sim))->run()
+//
+// produces byte-identical downstream results (feature columns, bench
+// series, event logs) versus the same simulator never having stopped.
+// Writes are atomic (temp file + rename): a process killed mid-save
+// leaves the previous checkpoint intact, never a torn file.
+//
+// Intended use: attach an hour hook that calls save_checkpoint every N
+// hours; after a crash, load_checkpoint and call run() to finish the
+// window (see examples/checkpoint_resume.cpp).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "osn/simulator.h"
+
+namespace sybil::osn {
+
+/// Atomically writes the simulator's full state to `path`. May be
+/// called mid-run from an hour hook (the hook fires between hours, when
+/// the state is at a consistent hour boundary). Throws
+/// io::SnapshotError(kWriteFailed) on I/O failure.
+void save_checkpoint(const GroundTruthSimulator& sim,
+                     const std::string& path);
+
+/// Restores a simulator from a checkpoint. Call run() on the result to
+/// continue the window; hooks are not serialized — re-attach before
+/// running. Rejects corrupt, truncated, version-bumped or non-checkpoint
+/// files with typed io::SnapshotErrors, never partial state.
+std::unique_ptr<GroundTruthSimulator> load_checkpoint(
+    const std::string& path);
+
+}  // namespace sybil::osn

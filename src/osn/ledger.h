@@ -44,6 +44,36 @@ class RequestLedger {
   graph::Time first_send() const noexcept { return first_send_; }
   graph::Time last_send() const noexcept { return last_send_; }
 
+  /// Flat copy of the full counter state, for checkpointing — includes
+  /// the in-progress hour bucket, which the public accessors fold away
+  /// but an exact resume must preserve.
+  struct Raw {
+    std::uint32_t sent, sent_accepted, received, received_accepted;
+    std::int64_t current_bucket;
+    std::uint32_t current_bucket_count, active_hours, max_hourly;
+    graph::Time first_send, last_send;
+  };
+  Raw raw() const noexcept {
+    return {sent_,           sent_accepted_, received_,
+            received_accepted_, current_bucket_, current_bucket_count_,
+            active_hours_,   max_hourly_,    first_send_,
+            last_send_};
+  }
+  static RequestLedger from_raw(const Raw& r) noexcept {
+    RequestLedger ledger;
+    ledger.sent_ = r.sent;
+    ledger.sent_accepted_ = r.sent_accepted;
+    ledger.received_ = r.received;
+    ledger.received_accepted_ = r.received_accepted;
+    ledger.current_bucket_ = r.current_bucket;
+    ledger.current_bucket_count_ = r.current_bucket_count;
+    ledger.active_hours_ = r.active_hours;
+    ledger.max_hourly_ = r.max_hourly;
+    ledger.first_send_ = r.first_send;
+    ledger.last_send_ = r.last_send;
+    return ledger;
+  }
+
  private:
   std::uint32_t sent_ = 0;
   std::uint32_t sent_accepted_ = 0;

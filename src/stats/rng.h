@@ -6,6 +6,7 @@
 // which is the recommended seeding procedure from the xoshiro authors.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -55,6 +56,18 @@ class Rng {
   /// Forks an independent child generator. The child's seed is derived
   /// from this generator's stream, so distinct forks are decorrelated.
   Rng fork() noexcept;
+
+  /// Full 256-bit stream state, for checkpointing: from_state(state())
+  /// continues the exact output sequence (osn/checkpoint relies on this
+  /// for deterministic simulator resume).
+  std::array<std::uint64_t, 4> state() const noexcept {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  static Rng from_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    Rng rng(0);
+    for (int i = 0; i < 4; ++i) rng.s_[i] = s[i];
+    return rng;
+  }
 
  private:
   std::uint64_t s_[4];

@@ -2,13 +2,25 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <sstream>
 
 #include "graph/generators.h"
+#include "io/error.h"
 #include "stats/rng.h"
 
 namespace sybil::graph {
 namespace {
+
+io::SnapshotErrorCode code_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const io::SnapshotError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected a SnapshotError";
+  return io::SnapshotErrorCode::kOpenFailed;
+}
 
 TEST(GraphIo, RoundTripPreservesStructureAndTimes) {
   stats::Rng rng(1);
@@ -58,6 +70,35 @@ TEST(GraphIo, RejectsSelfLoop) {
 TEST(GraphIo, RejectsGarbageLine) {
   std::stringstream in("nodes 2\nhello world\n");
   EXPECT_THROW(load_edge_list(in), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsDuplicateEdge) {
+  std::stringstream in("nodes 3\n0 1\n1 2\n1 0 5.0\n");
+  EXPECT_EQ(code_of([&] { load_edge_list(in); }),
+            io::SnapshotErrorCode::kFormatViolation);
+}
+
+TEST(GraphIo, RejectsTrailingJunkAfterEdge) {
+  std::stringstream in("nodes 2\n0 1 3.5 surprise\n");
+  EXPECT_EQ(code_of([&] { load_edge_list(in); }),
+            io::SnapshotErrorCode::kMalformedSection);
+}
+
+TEST(GraphIo, RejectsNonNumericTimestamp) {
+  std::stringstream in("nodes 2\n0 1 soon\n");
+  EXPECT_EQ(code_of([&] { load_edge_list(in); }),
+            io::SnapshotErrorCode::kMalformedSection);
+}
+
+TEST(GraphIo, RejectsTrailingJunkAfterHeader) {
+  std::stringstream in("nodes 2 extra\n0 1\n");
+  EXPECT_EQ(code_of([&] { load_edge_list(in); }),
+            io::SnapshotErrorCode::kMalformedSection);
+}
+
+TEST(GraphIo, MissingFileIsOpenFailed) {
+  EXPECT_EQ(code_of([] { load_edge_list("/nonexistent/sybil.edges"); }),
+            io::SnapshotErrorCode::kOpenFailed);
 }
 
 TEST(GraphIo, FileRoundTrip) {

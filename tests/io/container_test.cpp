@@ -1,0 +1,191 @@
+#include "io/container.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sybil::io {
+namespace {
+
+std::vector<std::byte> payload_of(std::initializer_list<std::uint8_t> v) {
+  std::vector<std::byte> out;
+  for (auto b : v) out.push_back(std::byte{b});
+  return out;
+}
+
+/// A small two-section container image used by every corruption test.
+std::vector<std::byte> sample_image() {
+  ContainerWriter writer(PayloadKind::kDataset);
+  writer.add_section(1, payload_of({1, 2, 3, 4, 5}));
+  const std::vector<std::uint64_t> values = {42, 7, 0xdeadbeef};
+  writer.add_pod_section<std::uint64_t>(2, values);
+  return writer.serialize();
+}
+
+SnapshotErrorCode code_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const SnapshotError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected a SnapshotError";
+  return SnapshotErrorCode::kOpenFailed;
+}
+
+SnapshotErrorCode open_code(std::vector<std::byte> image) {
+  return code_of([image = std::move(image)]() mutable {
+    ContainerReader reader(std::move(image), PayloadKind::kDataset);
+  });
+}
+
+TEST(Container, RoundTripsSectionsInMemory) {
+  const ContainerReader reader(sample_image(), PayloadKind::kDataset);
+  EXPECT_EQ(reader.format_version(), kFormatVersion);
+  EXPECT_TRUE(reader.has_section(1));
+  EXPECT_TRUE(reader.has_section(2));
+  EXPECT_FALSE(reader.has_section(3));
+
+  const auto raw = reader.section(1);
+  ASSERT_EQ(raw.size(), 5u);
+  EXPECT_EQ(std::to_integer<int>(raw[4]), 5);
+
+  const auto typed = reader.pod_section<std::uint64_t>(2);
+  ASSERT_EQ(typed.size(), 3u);
+  EXPECT_EQ(typed[2], 0xdeadbeefu);
+}
+
+TEST(Container, CommitThenOpenBothIoPaths) {
+  const std::string path = ::testing::TempDir() + "/container_rt.snap";
+  ContainerWriter writer(PayloadKind::kDataset);
+  writer.add_section(9, payload_of({0xab, 0xcd}));
+  writer.commit(path);
+
+  for (const bool mmap : {true, false}) {
+    const ContainerReader reader(path, PayloadKind::kDataset, mmap);
+    const auto bytes = reader.section(9);
+    ASSERT_EQ(bytes.size(), 2u);
+    EXPECT_EQ(std::to_integer<int>(bytes[0]), 0xab);
+  }
+  // No temp file left behind after a successful commit.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(Container, CommitReplacesExistingFileAtomically) {
+  const std::string path = ::testing::TempDir() + "/container_replace.snap";
+  ContainerWriter first(PayloadKind::kDataset);
+  first.add_section(1, payload_of({1}));
+  first.commit(path);
+  ContainerWriter second(PayloadKind::kDataset);
+  second.add_section(1, payload_of({2, 2}));
+  second.commit(path);
+  const ContainerReader reader(path, PayloadKind::kDataset);
+  EXPECT_EQ(reader.section(1).size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Container, MissingFileIsOpenFailed) {
+  EXPECT_EQ(code_of([] {
+              ContainerReader r("/nonexistent/sybil.snap",
+                                PayloadKind::kDataset);
+            }),
+            SnapshotErrorCode::kOpenFailed);
+}
+
+TEST(Container, RejectsTruncationAtEveryBoundary) {
+  const auto image = sample_image();
+  // Shorter than the header, mid-table, mid-payload, one byte short.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{16}, std::size_t{40}, image.size() - 1}) {
+    std::vector<std::byte> cut(image.begin(), image.begin() + keep);
+    EXPECT_EQ(open_code(std::move(cut)), SnapshotErrorCode::kTruncated)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(Container, RejectsBitFlipInPayload) {
+  auto image = sample_image();
+  image.back() ^= std::byte{0x01};  // last payload byte
+  EXPECT_EQ(open_code(std::move(image)),
+            SnapshotErrorCode::kChecksumMismatch);
+}
+
+TEST(Container, RejectsBitFlipInSectionTable) {
+  auto image = sample_image();
+  image[32] ^= std::byte{0x40};  // first table entry's id field
+  EXPECT_EQ(open_code(std::move(image)),
+            SnapshotErrorCode::kChecksumMismatch);
+}
+
+TEST(Container, RejectsWrongMagic) {
+  auto image = sample_image();
+  image[0] = std::byte{'X'};
+  EXPECT_EQ(open_code(std::move(image)), SnapshotErrorCode::kBadMagic);
+}
+
+TEST(Container, RejectsForeignEndianness) {
+  auto image = sample_image();
+  std::swap(image[4], image[5]);  // endian tag reads 0x0201
+  EXPECT_EQ(open_code(std::move(image)), SnapshotErrorCode::kBadEndianness);
+}
+
+TEST(Container, RejectsFutureFormatVersion) {
+  auto image = sample_image();
+  const std::uint32_t future = kFormatVersion + 1;
+  std::memcpy(image.data() + 8, &future, sizeof(future));
+  EXPECT_EQ(open_code(std::move(image)),
+            SnapshotErrorCode::kUnsupportedVersion);
+}
+
+TEST(Container, RejectsWrongPayloadKind) {
+  EXPECT_EQ(code_of([] {
+              ContainerReader r(sample_image(), PayloadKind::kCsrGraph);
+            }),
+            SnapshotErrorCode::kWrongPayload);
+}
+
+TEST(Container, RejectsDeclaredSizeMismatch) {
+  auto image = sample_image();
+  image.push_back(std::byte{0});  // grow past the declared file_size
+  EXPECT_EQ(open_code(std::move(image)), SnapshotErrorCode::kTruncated);
+}
+
+TEST(Container, MissingSectionIsTypedError) {
+  const ContainerReader reader(sample_image(), PayloadKind::kDataset);
+  EXPECT_EQ(code_of([&] { reader.section(77); }),
+            SnapshotErrorCode::kMalformedSection);
+}
+
+TEST(Container, PodSectionRejectsLengthMismatch) {
+  const ContainerReader reader(sample_image(), PayloadKind::kDataset);
+  // Section 1 holds 5 bytes: not a multiple of sizeof(uint64_t).
+  EXPECT_EQ(code_of([&] { reader.pod_section<std::uint64_t>(1); }),
+            SnapshotErrorCode::kMalformedSection);
+}
+
+TEST(Container, WriterRejectsDuplicateSectionId) {
+  ContainerWriter writer(PayloadKind::kDataset);
+  writer.add_section(1, payload_of({1}));
+  EXPECT_EQ(code_of([&] { writer.add_section(1, payload_of({2})); }),
+            SnapshotErrorCode::kFormatViolation);
+}
+
+TEST(Container, ByteReaderRejectsOverrun) {
+  const auto bytes = payload_of({1, 2, 3});
+  ByteReader r(bytes);
+  EXPECT_EQ(r.read<std::uint8_t>(), 1);
+  EXPECT_EQ(code_of([&] { r.read<std::uint32_t>(); }),
+            SnapshotErrorCode::kMalformedSection);
+}
+
+TEST(Container, SerializeIsDeterministic) {
+  EXPECT_EQ(sample_image(), sample_image());
+}
+
+}  // namespace
+}  // namespace sybil::io
