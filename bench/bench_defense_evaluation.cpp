@@ -15,6 +15,7 @@
 // one ranker that flips the other way.
 #include <chrono>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,20 +26,22 @@ namespace {
 
 constexpr char kUsage[] =
     "[--save-graph <path>] [--load-graph <path>] "
+    "[--chaos-seed <n>] [--chaos-rate <r>] [--chaos-skew <hours>] "
     "[normal_users] [sybils] [campaign_hours]";
 
-/// Extracts "--flag <path>" from argv, compacting the remaining
-/// positional arguments in place. Returns the path or "".
+/// Extracts "--flag <value>" from argv, compacting the remaining
+/// positional arguments in place. Returns the value or "".
 std::string take_flag(int& argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], flag) != 0) continue;
     if (i + 1 >= argc) {
-      sybil::bench::usage_error(argv[0], kUsage, flag, "flag (missing path)");
+      sybil::bench::usage_error(argv[0], kUsage, flag,
+                                "flag (missing value)");
     }
-    std::string path = argv[i + 1];
+    std::string value = argv[i + 1];
     for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
     argc -= 2;
-    return path;
+    return value;
   }
   return {};
 }
@@ -49,6 +52,17 @@ int main(int argc, char** argv) {
   using namespace sybil;
   const std::string save_path = take_flag(argc, argv, "--save-graph");
   const std::string load_path = take_flag(argc, argv, "--load-graph");
+  const std::string chaos_seed = take_flag(argc, argv, "--chaos-seed");
+  const std::string chaos_rate = take_flag(argc, argv, "--chaos-rate");
+  const std::string chaos_skew = take_flag(argc, argv, "--chaos-skew");
+  const bool chaos =
+      !chaos_seed.empty() || !chaos_rate.empty() || !chaos_skew.empty();
+  if (chaos && !load_path.empty()) {
+    // Scenario snapshots persist only the graph; the chaos passes need
+    // the campaign's event log, which only a fresh simulation carries.
+    bench::usage_error(argv[0], kUsage, "--chaos-*",
+                       "flag (incompatible with --load-graph)");
+  }
 
   bench::print_header(
       "Defense evaluation — prior Sybil defenses: synthetic vs wild",
@@ -96,10 +110,13 @@ int main(int argc, char** argv) {
     // The wild graph is the expensive part (hours of simulated campaign
     // at scale): --save-graph snapshots it after the build, --load-graph
     // serves it back out of the binary container instead of simulating.
+    cfg.keep_event_log = chaos;  // the chaos passes replay the log
     const auto start = std::chrono::steady_clock::now();
+    std::optional<attack::CampaignResult> campaign;
+    if (load_path.empty()) campaign = attack::run_campaign(cfg);
     const bench::DefenseScenario wild =
-        load_path.empty() ? bench::campaign_scenario(cfg)
-                          : bench::load_scenario(load_path);
+        campaign ? bench::scenario_from_campaign(*campaign)
+                 : bench::load_scenario(load_path);
     const auto stop = std::chrono::steady_clock::now();
     const double millis =
         std::chrono::duration<double, std::milli>(stop - start).count();
@@ -115,6 +132,35 @@ int main(int argc, char** argv) {
       std::printf("# wild scenario saved to %s\n", save_path.c_str());
     }
     bench::print_battery(wild, bench::run_battery(wild, options));
+
+    if (chaos) {
+      // One knob stresses every fault channel at the same rate; the
+      // skew bound shapes reordering/redelivery, the seed makes the
+      // whole degraded feed replayable.
+      faults::FaultRates rates;
+      rates.seed = chaos_seed.empty()
+                       ? 0
+                       : bench::parse_count(argv[0], kUsage,
+                                            chaos_seed.c_str(), "chaos seed",
+                                            ~std::uint64_t{0});
+      const double rate =
+          chaos_rate.empty()
+              ? 0.01
+              : bench::parse_hours(argv[0], kUsage, chaos_rate.c_str(),
+                                   "chaos rate");
+      if (rate > 1.0) {
+        bench::usage_error(argv[0], kUsage, chaos_rate.c_str(),
+                           "chaos rate (must be <= 1)");
+      }
+      rates.drop = rates.reorder = rates.duplicate = rates.regress =
+          rates.malform = rates.banned_party = rate;
+      if (!chaos_skew.empty()) {
+        rates.max_skew_hours = bench::parse_hours(
+            argv[0], kUsage, chaos_skew.c_str(), "chaos skew hours");
+      }
+      bench::print_chaos(bench::run_chaos(campaign->network->log(),
+                                          wild.is_sybil, {}, rates));
+    }
   }
   std::printf(
       "\n# paper's conclusion: every detector that separates the synthetic\n"

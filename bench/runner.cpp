@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "core/metrics/instrument.h"
+#include "core/stream_detector.h"
 #include "graph/generators.h"
 #include "io/container.h"
 #include "stats/rng.h"
@@ -94,8 +95,7 @@ DefenseScenario synthetic_scenario(graph::NodeId honest, graph::NodeId sybils,
   return s;
 }
 
-DefenseScenario campaign_scenario(const attack::CampaignConfig& config) {
-  const auto result = attack::run_campaign(config);
+DefenseScenario scenario_from_campaign(const attack::CampaignResult& result) {
   DefenseScenario s;
   s.name = "WILD (campaign simulator)";
   s.g = graph::CsrGraph::from(result.network->graph());
@@ -103,6 +103,10 @@ DefenseScenario campaign_scenario(const attack::CampaignConfig& config) {
   for (graph::NodeId v : result.sybil_ids) s.is_sybil[v] = true;
   pick_seeds_and_sample(s, result.normal_ids, result.sybil_ids);
   return s;
+}
+
+DefenseScenario campaign_scenario(const attack::CampaignConfig& config) {
+  return scenario_from_campaign(attack::run_campaign(config));
 }
 
 namespace {
@@ -286,6 +290,105 @@ void print_battery(const DefenseScenario& scenario,
     }
   }
   print_metrics_block();
+}
+
+namespace {
+
+/// Precision/recall of a flag set against ground-truth labels.
+void score_flags(const core::FlagBatch& flags,
+                 const std::vector<bool>& is_sybil, std::size_t& count,
+                 double& precision, double& recall) {
+  std::size_t true_pos = 0;
+  for (const core::FlagRecord& r : flags.records) {
+    if (r.account < is_sybil.size() && is_sybil[r.account]) ++true_pos;
+  }
+  std::size_t sybils = 0;
+  for (const bool b : is_sybil) sybils += b ? 1 : 0;
+  count = flags.size();
+  precision = count == 0 ? 1.0 : static_cast<double>(true_pos) / count;
+  recall = sybils == 0 ? 1.0 : static_cast<double>(true_pos) / sybils;
+}
+
+}  // namespace
+
+ChaosRun run_chaos(const osn::EventLog& log,
+                   const std::vector<bool>& is_sybil,
+                   const core::DetectorOptions& options,
+                   const faults::FaultRates& rates) {
+  SYBIL_METRIC_SCOPED_TIMER(span, "bench.run_chaos");
+  ChaosRun run;
+  // The watermark must absorb the log's own inversions (responses are
+  // logged behind later sends) plus whatever skew the injector adds —
+  // twice over, because a duplicate's redelivery delay compounds on its
+  // original's reorder delay.
+  core::DetectorOptions opts = options;
+  opts.ingest.watermark_hours =
+      log.max_inversion_hours() + 2.0 * rates.max_skew_hours;
+  run.watermark_hours = opts.ingest.watermark_hours;
+
+  core::StreamDetector clean(opts);
+  const auto& events = log.events();
+  for (std::size_t i = 0; i < events.size(); ++i) clean.ingest(events[i], i);
+  clean.finish();
+  if (clean.deadletter_total() != 0) {
+    throw std::logic_error(
+        "run_chaos: clean pass quarantined events — watermark too small "
+        "or log malformed");
+  }
+  const core::FlagBatch clean_flags = clean.take_flagged();
+  score_flags(clean_flags, is_sybil, run.clean_flagged, run.clean_precision,
+              run.clean_recall);
+
+  faults::FaultInjector injector(rates);
+  const std::vector<faults::Arrival> arrivals = injector.corrupt(log);
+  run.report = injector.report();
+
+  core::StreamDetector faulted(opts);
+  for (const faults::Arrival& a : arrivals) faulted.ingest(a.event, a.seq);
+  faulted.finish();
+  const core::FlagBatch faulted_flags = faulted.take_flagged();
+  score_flags(faulted_flags, is_sybil, run.faulted_flagged,
+              run.faulted_precision, run.faulted_recall);
+  run.applied = faulted.applied_total();
+  run.deduped = faulted.deduped_total();
+  run.deadlettered = faulted.deadletter_total();
+  run.banned_party = faulted.banned_party_total();
+  return run;
+}
+
+void print_chaos(const ChaosRun& run) {
+  std::printf(
+      "\n--- CHAOS (clean vs faulted ingestion, watermark %.1f h) ---\n",
+      run.watermark_hours);
+  std::printf(
+      "# faults: in=%llu out=%llu dropped=%llu reordered=%llu "
+      "duplicated=%llu regressed=%llu malformed=%llu banned_party=%llu\n",
+      static_cast<unsigned long long>(run.report.events_in),
+      static_cast<unsigned long long>(run.report.events_out),
+      static_cast<unsigned long long>(run.report.dropped),
+      static_cast<unsigned long long>(run.report.reordered),
+      static_cast<unsigned long long>(run.report.duplicated),
+      static_cast<unsigned long long>(run.report.regressed),
+      static_cast<unsigned long long>(run.report.malformed),
+      static_cast<unsigned long long>(run.report.banned_party_injected));
+  std::printf(
+      "# ingest: applied=%llu deduped=%llu deadletter=%llu "
+      "banned_party=%llu\n",
+      static_cast<unsigned long long>(run.applied),
+      static_cast<unsigned long long>(run.deduped),
+      static_cast<unsigned long long>(run.deadlettered),
+      static_cast<unsigned long long>(run.banned_party));
+  std::printf("%-8s %10s %10s %8s\n", "pass", "flagged", "precision",
+              "recall");
+  std::printf("%-8s %10zu %10.3f %8.3f\n", "clean", run.clean_flagged,
+              run.clean_precision, run.clean_recall);
+  std::printf("%-8s %10zu %10.3f %8.3f\n", "faulted", run.faulted_flagged,
+              run.faulted_precision, run.faulted_recall);
+  std::printf("%-8s %10lld %10.3f %8.3f\n", "delta",
+              static_cast<long long>(run.faulted_flagged) -
+                  static_cast<long long>(run.clean_flagged),
+              run.faulted_precision - run.clean_precision,
+              run.faulted_recall - run.clean_recall);
 }
 
 void print_metrics_block() {

@@ -27,10 +27,13 @@
 #include <vector>
 
 #include "attack/campaign.h"
+#include "core/detector_options.h"
 #include "core/ground_truth.h"
 #include "detectors/defense.h"
 #include "detectors/evaluation.h"
+#include "faults/fault_injector.h"
 #include "graph/csr.h"
+#include "osn/events.h"
 #include "osn/simulator.h"
 
 namespace sybil::bench {
@@ -84,6 +87,11 @@ DefenseScenario synthetic_scenario(graph::NodeId honest, graph::NodeId sybils,
 /// requests in the campaign simulator.
 DefenseScenario campaign_scenario(const attack::CampaignConfig& config);
 
+/// Builds the scenario from an already-run campaign — for callers that
+/// need the CampaignResult itself too (e.g. the chaos bench keeps the
+/// network's event log). campaign_scenario() is run_campaign + this.
+DefenseScenario scenario_from_campaign(const attack::CampaignResult& result);
+
 /// Persists a scenario (CSR graph, labels, seed/sample picks) as a
 /// kDefenseScenario container (docs/FORMATS.md §Scenario), so a bench
 /// can reuse an expensive simulated graph instead of regenerating it —
@@ -132,5 +140,41 @@ void print_battery(const DefenseScenario& scenario,
 /// is compiled out). print_battery calls this; standalone benches that
 /// skip the battery can call it directly.
 void print_metrics_block();
+
+/// One clean-vs-faulted streaming-detector comparison: the same event
+/// log ingested twice through StreamDetector::ingest — once verbatim,
+/// once through a seeded FaultInjector — with identical options.
+/// Measures how much detection accuracy a degraded feed costs.
+struct ChaosRun {
+  /// What the injector actually did (events in/out, per-fault counts).
+  faults::FaultReport report;
+  /// Watermark used for both passes: the log's intrinsic inversion
+  /// bound plus the injected skew bound.
+  double watermark_hours = 0.0;
+  /// Faulted-pass ingestion accounting (clean-pass dead letters are
+  /// required to be zero; run_chaos throws if they are not).
+  std::uint64_t applied = 0;
+  std::uint64_t deduped = 0;
+  std::uint64_t deadlettered = 0;
+  std::uint64_t banned_party = 0;
+  /// Flag-set accuracy against the campaign's ground-truth labels.
+  std::size_t clean_flagged = 0;
+  std::size_t faulted_flagged = 0;
+  double clean_precision = 0.0;
+  double clean_recall = 0.0;
+  double faulted_precision = 0.0;
+  double faulted_recall = 0.0;
+};
+
+/// Runs both passes. Deterministic in (log, options, rates) — the
+/// faulted arrival sequence is a pure function of rates.seed.
+ChaosRun run_chaos(const osn::EventLog& log,
+                   const std::vector<bool>& is_sybil,
+                   const core::DetectorOptions& options,
+                   const faults::FaultRates& rates);
+
+/// Prints the clean row, the faulted row, and the accuracy delta —
+/// byte-stable rows (fault counts and flag sets are seed-determined).
+void print_chaos(const ChaosRun& run);
 
 }  // namespace sybil::bench

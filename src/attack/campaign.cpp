@@ -91,7 +91,7 @@ std::unique_ptr<stats::AliasSampler> build_popularity(
 CampaignResult run_campaign(const CampaignConfig& config) {
   stats::Rng rng(config.seed);
   CampaignResult result;
-  result.network = std::make_unique<osn::Network>();
+  result.network = std::make_unique<osn::Network>(config.keep_event_log);
   osn::Network& net = *result.network;
 
   // --- Established normal user base with a static social graph. ---

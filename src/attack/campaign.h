@@ -113,6 +113,12 @@ struct CampaignConfig {
   double response_delay_mean = 12.0;
   double popularity_rebuild_hours = 72.0;
 
+  /// Record the full osn::EventLog on the campaign network. Off by
+  /// default (the log costs memory proportional to total activity);
+  /// the chaos bench and fault-injection harness need it to replay the
+  /// campaign through a hardened StreamDetector.
+  bool keep_event_log = false;
+
   std::uint64_t seed = 7;
 };
 

@@ -1,5 +1,6 @@
 #include "core/detector_options.h"
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -37,6 +38,17 @@ void DetectorOptions::validate() const {
   }
   if (tuner.reservoir_capacity == 0) {
     reject("tuner.reservoir_capacity must be >= 1");
+  }
+  if (!(ingest.watermark_hours >= 0.0) ||
+      !std::isfinite(ingest.watermark_hours)) {
+    reject("ingest.watermark_hours must be a finite non-negative skew");
+  }
+  if (ingest.max_account_id == 0) {
+    reject("ingest.max_account_id must be >= 1");
+  }
+  if (!(sweep_deadline_millis >= 0.0) ||
+      !std::isfinite(sweep_deadline_millis)) {
+    reject("sweep_deadline_millis must be finite and >= 0 (0 disables)");
   }
 }
 

@@ -1,29 +1,57 @@
 // The unified configuration surface of the detection pipeline.
 //
 // Before this header, each deployment path grew its own config struct —
-// StreamDetector::Config (rule + clustering prefix), RealTimeConfig
-// (rule + adaptive tuner), and bare ThresholdRule construction — which
-// meant three places to set the same rule and no validation anywhere.
-// DetectorOptions is the one struct every detector front-end accepts:
-// named-field defaults match the paper's deployment (Section 2.3), and
-// validate() rejects nonsense before a detector is built with it.
+// which meant three places to set the same rule and no validation
+// anywhere. DetectorOptions is the one struct every detector front-end
+// accepts: named-field defaults match the paper's deployment
+// (Section 2.3), and validate() rejects nonsense before a detector is
+// built with it.
 //
 // Fields a given detector does not use are simply ignored (the
 // streaming path has no adaptive tuner; the batch path has no event
 // handlers), so one options value can configure both halves of a
 // deployment and guarantee they agree on the rule.
-//
-// Migration note: `RealTimeConfig` and `StreamDetector::Config` remain
-// as deprecated aliases for one release; in-tree code uses
-// DetectorOptions everywhere.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "core/adaptive.h"
 #include "core/threshold_detector.h"
 
 namespace sybil::core {
+
+/// What StreamDetector::ingest does with an event it must reject.
+enum class IngestPolicy {
+  /// Quarantine the event into the dead-letter queue with a reason
+  /// code and keep going — the production posture (docs/ROBUSTNESS.md).
+  kLenient,
+  /// Throw a typed StreamError on the first rejected event — the
+  /// debugging/backfill posture, where bad input means a broken feed.
+  kStrict,
+};
+
+/// Hostile-input hardening knobs of the streaming ingestion path
+/// (StreamDetector::ingest; the trusted on_* handlers bypass them).
+struct IngestOptions {
+  /// Reorder tolerance: an event may arrive up to this many hours of
+  /// event time behind the newest event seen and still be slotted into
+  /// its correct position; anything older is quarantined as
+  /// kTimeRegression. 0 applies events immediately in arrival order.
+  double watermark_hours = 48.0;
+
+  IngestPolicy policy = IngestPolicy::kLenient;
+
+  /// Most recent quarantined events retained for inspection. Older
+  /// entries are evicted (and counted as dropped) once the queue is
+  /// full; the deadletter_total counter is exact regardless.
+  std::size_t dead_letter_capacity = 1024;
+
+  /// Largest account id the ingestion path will allocate state for.
+  /// A hostile id above this is quarantined as kInvalidAccountId
+  /// instead of forcing a multi-gigabyte vector resize.
+  std::uint32_t max_account_id = (1u << 24) - 1;
+};
 
 struct DetectorOptions {
   /// The threshold rule both detector paths apply (paper Section 2.3).
@@ -39,9 +67,24 @@ struct DetectorOptions {
   /// Retune after this many manual-verification confirmations.
   std::size_t retune_every = 200;
 
+  /// Streaming ingestion hardening (see IngestOptions).
+  IngestOptions ingest{};
+
+  /// Real-time sweep degradation: at most this many candidates are
+  /// evaluated per sweep (0 = unlimited); the remainder carries over to
+  /// the next sweep in order, so a huge candidate batch degrades into
+  /// several bounded sweeps instead of one stalled sweep.
+  std::size_t sweep_budget = 0;
+
+  /// Wall-clock budget per sweep in milliseconds (0 = none). At least
+  /// one candidate is always evaluated so successive sweeps make
+  /// progress. Deterministic runs should use sweep_budget instead.
+  double sweep_deadline_millis = 0.0;
+
   /// Throws std::invalid_argument naming the offending field when the
   /// options cannot configure any detector (zero prefix length, zero
-  /// retune cadence, out-of-range ratios/quantiles, ...).
+  /// retune cadence, out-of-range ratios/quantiles, negative or
+  /// non-finite watermark, ...).
   void validate() const;
 };
 

@@ -1,6 +1,9 @@
 #include "core/stream_detector.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
 
 #include "core/metrics/instrument.h"
 
@@ -13,6 +16,10 @@ std::uint64_t edge_key(osn::NodeId a, osn::NodeId b) noexcept {
   return (static_cast<std::uint64_t>(a) << 32) | b;
 }
 
+/// Auto-assigned sequence numbers live in the top half of the u64
+/// space so they can never collide with transport offsets/log indices.
+constexpr std::uint64_t kAutoSeqBase = std::uint64_t{1} << 63;
+
 }  // namespace
 
 StreamDetector::StreamDetector(const DetectorOptions& options)
@@ -20,7 +27,9 @@ StreamDetector::StreamDetector(const DetectorOptions& options)
         options.validate();  // reject nonsense before any member is built
         return options;
       }()),
-      detector_(options.rule) {}
+      detector_(options.rule),
+      high_watermark_(-std::numeric_limits<graph::Time>::infinity()),
+      next_auto_seq_(kAutoSeqBase) {}
 
 void StreamDetector::ensure(osn::NodeId id) {
   if (id >= accounts_.size()) {
@@ -34,8 +43,14 @@ void StreamDetector::on_request_sent(osn::NodeId from, osn::NodeId to,
                                      graph::Time t) {
   SYBIL_METRIC_COUNT("stream.events.request_sent", 1);
   ensure(std::max(from, to));
-  accounts_[from].ledger.record_sent(t);
-  accounts_[to].ledger.record_received();
+  const bool from_banned = accounts_[from].banned;
+  const bool to_banned = accounts_[to].banned;
+  if (from_banned || to_banned) {
+    ++banned_party_total_;
+    SYBIL_METRIC_COUNT("stream.events.banned_party", 1);
+  }
+  if (!from_banned) accounts_[from].ledger.record_sent(t);
+  if (!to_banned) accounts_[to].ledger.record_received();
   maybe_flag(from, t);
 }
 
@@ -43,6 +58,10 @@ void StreamDetector::on_request_rejected(osn::NodeId from, osn::NodeId to,
                                          graph::Time t) {
   SYBIL_METRIC_COUNT("stream.events.request_rejected", 1);
   ensure(std::max(from, to));
+  if (accounts_[from].banned || accounts_[to].banned) {
+    ++banned_party_total_;
+    SYBIL_METRIC_COUNT("stream.events.banned_party", 1);
+  }
   // Rejection changes no counter (the ledger tracks sent vs accepted),
   // but it is the moment the outgoing ratio's shortfall becomes
   // observable — re-check the sender.
@@ -53,9 +72,18 @@ void StreamDetector::on_request_accepted(osn::NodeId from, osn::NodeId to,
                                          graph::Time t) {
   SYBIL_METRIC_COUNT("stream.events.request_accepted", 1);
   ensure(std::max(from, to));
-  accounts_[from].ledger.record_sent_accepted();
-  accounts_[to].ledger.record_received_accepted();
-  add_edge(from, to, t);
+  const bool from_banned = accounts_[from].banned;
+  const bool to_banned = accounts_[to].banned;
+  if (from_banned || to_banned) {
+    ++banned_party_total_;
+    SYBIL_METRIC_COUNT("stream.events.banned_party", 1);
+  }
+  if (!from_banned) accounts_[from].ledger.record_sent_accepted();
+  if (!to_banned) accounts_[to].ledger.record_received_accepted();
+  // No friendship materializes with a banned party: the platform
+  // removes a banned account's edges, so installing one would leak
+  // state the batch path can never see.
+  if (!from_banned && !to_banned) add_edge(from, to, t);
   maybe_flag(from, t);
   maybe_flag(to, t);
 }
@@ -64,6 +92,11 @@ void StreamDetector::on_friendship(osn::NodeId u, osn::NodeId v,
                                    graph::Time t) {
   SYBIL_METRIC_COUNT("stream.events.friendship", 1);
   ensure(std::max(u, v));
+  if (accounts_[u].banned || accounts_[v].banned) {
+    ++banned_party_total_;
+    SYBIL_METRIC_COUNT("stream.events.banned_party", 1);
+    return;
+  }
   add_edge(u, v, t);
 }
 
@@ -152,32 +185,154 @@ FlagBatch StreamDetector::take_flagged() {
   return out;
 }
 
+void StreamDetector::dispatch(const osn::Event& e) {
+  switch (e.type) {
+    case osn::EventType::kRequestSent:
+      on_request_sent(e.actor, e.subject, e.time);
+      break;
+    case osn::EventType::kRequestAccepted:
+      // Log convention: actor = target (who accepted), subject = sender.
+      on_request_accepted(e.subject, e.actor, e.time);
+      break;
+    case osn::EventType::kRequestRejected:
+      on_request_rejected(e.subject, e.actor, e.time);
+      break;
+    case osn::EventType::kFriendshipSeeded:
+      on_friendship(e.actor, e.subject, e.time);
+      break;
+    case osn::EventType::kAccountBanned:
+      on_account_banned(e.actor);
+      break;
+    case osn::EventType::kAccountCreated:
+    case osn::EventType::kRequestDropped:
+      break;  // no feature effect, no counter — matches the live path,
+              // which has no handler for these event types either
+  }
+}
+
 void StreamDetector::replay(const osn::EventLog& log) {
   SYBIL_METRIC_SCOPED_TIMER(span, "stream.replay");
-  for (const osn::Event& e : log.events()) {
-    switch (e.type) {
-      case osn::EventType::kRequestSent:
-        on_request_sent(e.actor, e.subject, e.time);
-        break;
-      case osn::EventType::kRequestAccepted:
-        // Log convention: actor = target (who accepted), subject = sender.
-        on_request_accepted(e.subject, e.actor, e.time);
-        break;
-      case osn::EventType::kRequestRejected:
-        on_request_rejected(e.subject, e.actor, e.time);
-        break;
-      case osn::EventType::kFriendshipSeeded:
-        on_friendship(e.actor, e.subject, e.time);
-        break;
-      case osn::EventType::kAccountBanned:
-        on_account_banned(e.actor);
-        break;
-      case osn::EventType::kAccountCreated:
-      case osn::EventType::kRequestDropped:
-        break;  // no feature effect, no counter — matches the live path,
-                // which has no handler for these event types either
-    }
+  for (const osn::Event& e : log.events()) dispatch(e);
+}
+
+bool StreamDetector::structurally_valid(const osn::Event& e,
+                                        StreamErrorCode& reason) const {
+  if (!osn::event_type_known(static_cast<std::uint8_t>(e.type))) {
+    reason = StreamErrorCode::kUnknownEventType;
+    return false;
   }
+  if (!std::isfinite(e.time)) {
+    reason = StreamErrorCode::kNonFiniteTime;
+    return false;
+  }
+  if (e.actor > options_.ingest.max_account_id ||
+      e.subject > options_.ingest.max_account_id) {
+    reason = StreamErrorCode::kInvalidAccountId;
+    return false;
+  }
+  if (osn::event_is_relational(e.type) && e.actor == e.subject) {
+    reason = StreamErrorCode::kSelfReferential;
+    return false;
+  }
+  return true;
+}
+
+void StreamDetector::quarantine(const osn::Event& e, std::uint64_t seq,
+                                StreamErrorCode reason) {
+  ++deadletter_total_;
+  SYBIL_METRIC_COUNT("stream.deadletter.total", 1);
+  switch (reason) {
+    case StreamErrorCode::kUnknownEventType:
+      SYBIL_METRIC_COUNT("stream.deadletter.unknown_event_type", 1);
+      break;
+    case StreamErrorCode::kInvalidAccountId:
+      SYBIL_METRIC_COUNT("stream.deadletter.invalid_account_id", 1);
+      break;
+    case StreamErrorCode::kSelfReferential:
+      SYBIL_METRIC_COUNT("stream.deadletter.self_referential", 1);
+      break;
+    case StreamErrorCode::kNonFiniteTime:
+      SYBIL_METRIC_COUNT("stream.deadletter.non_finite_time", 1);
+      break;
+    case StreamErrorCode::kTimeRegression:
+      SYBIL_METRIC_COUNT("stream.deadletter.time_regression", 1);
+      break;
+  }
+  if (options_.ingest.dead_letter_capacity == 0) {
+    ++dead_letters_dropped_;
+    SYBIL_METRIC_COUNT("stream.deadletter.dropped", 1);
+  } else {
+    if (dead_letters_.size() >= options_.ingest.dead_letter_capacity) {
+      dead_letters_.pop_front();
+      ++dead_letters_dropped_;
+      SYBIL_METRIC_COUNT("stream.deadletter.dropped", 1);
+    }
+    dead_letters_.push_back(DeadLetter{e, seq, reason});
+  }
+  if (options_.ingest.policy == IngestPolicy::kStrict) {
+    throw StreamError(reason,
+                      "event seq " + std::to_string(seq) + " (type " +
+                          std::to_string(static_cast<unsigned>(e.type)) +
+                          ", t=" + std::to_string(e.time) + ") rejected");
+  }
+}
+
+void StreamDetector::release_ready() {
+  const graph::Time low = high_watermark_ - options_.ingest.watermark_hours;
+  while (!reorder_.empty() && reorder_.top().time <= low) {
+    const osn::Event e = reorder_.top().event;
+    reorder_.pop();
+    ++applied_total_;
+    SYBIL_METRIC_COUNT("stream.ingest.applied", 1);
+    dispatch(e);
+  }
+  // Prune duplicate-detection state that the watermark has passed: a
+  // redelivery of a pruned seq necessarily carries an event time below
+  // the low watermark and is quarantined as kTimeRegression before the
+  // dedup check can matter.
+  while (!seen_by_time_.empty() && seen_by_time_.top().first < low) {
+    seen_seqs_.erase(seen_by_time_.top().second);
+    seen_by_time_.pop();
+  }
+}
+
+void StreamDetector::ingest(const osn::Event& e, std::uint64_t seq) {
+  ++events_in_;
+  SYBIL_METRIC_COUNT("stream.ingest.events_in", 1);
+  if (seq == kAutoSeq) seq = next_auto_seq_++;
+  StreamErrorCode reason;
+  if (!structurally_valid(e, reason)) {
+    quarantine(e, seq, reason);
+    return;
+  }
+  if (seen_seqs_.contains(seq)) {
+    ++deduped_total_;
+    SYBIL_METRIC_COUNT("stream.ingest.deduped", 1);
+    return;
+  }
+  // Before any event is accepted the high watermark is -inf, so the
+  // low watermark is -inf too and no finite time can regress past it.
+  if (e.time < high_watermark_ - options_.ingest.watermark_hours) {
+    quarantine(e, seq, StreamErrorCode::kTimeRegression);
+    return;
+  }
+  seen_seqs_.insert(seq);
+  seen_by_time_.push({e.time, seq});
+  reorder_.push(Buffered{e.time, seq, e});
+  if (e.time > high_watermark_) high_watermark_ = e.time;
+  release_ready();
+  SYBIL_METRIC_GAUGE_SET("stream.ingest.buffered", reorder_.size());
+}
+
+void StreamDetector::finish() {
+  while (!reorder_.empty()) {
+    const osn::Event e = reorder_.top().event;
+    reorder_.pop();
+    ++applied_total_;
+    SYBIL_METRIC_COUNT("stream.ingest.applied", 1);
+    dispatch(e);
+  }
+  SYBIL_METRIC_GAUGE_SET("stream.ingest.buffered", 0);
 }
 
 }  // namespace sybil::core

@@ -13,23 +13,43 @@
 //     accounts) lets a new friendship (a, b) update the internal-link
 //     counter of exactly the accounts that watch both endpoints.
 //
+// Two ingestion surfaces, one feature engine:
+//
+//   * the on_* handlers and replay() are the TRUSTED path: events are
+//     applied immediately and must arrive in nondecreasing time order
+//     per account (the order a platform log provides);
+//   * ingest()/finish() is the HARDENED path for hostile or degraded
+//     feeds (late, duplicated, reordered, malformed records): events
+//     pass structural validation, sequence-number deduplication and a
+//     watermark-based reorder buffer before reaching the same handlers,
+//     and rejected events are quarantined into a bounded dead-letter
+//     queue with typed reason codes (core/stream_error.h). Policy,
+//     watermark and bounds live in DetectorOptions::ingest; semantics
+//     are specified in docs/ROBUSTNESS.md.
+//
+// The hardened path maintains an exact accounting invariant at all
+// times:  events_in == applied + deduped + dead-lettered + buffered.
+//
 // Feeding the detector a network's event log reproduces the batch
 // features exactly (tested in stream_detector_test.cpp), so a deployment
 // can run either path and trust they agree.
 //
 // Observability: every event handler bumps a "stream.events.*" counter,
-// and flags bump "stream.flagged" — replay() drives the handlers, so a
-// replayed log and the equivalent live stream report identical totals
-// (pinned by a regression test). Collection never affects verdicts.
+// and flags bump "stream.flagged"; the hardened path adds
+// "stream.ingest.*" and "stream.deadletter.*" counters. Collection
+// never affects verdicts.
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <queue>
 #include <unordered_set>
 #include <vector>
 
 #include "core/detector.h"
 #include "core/detector_options.h"
 #include "core/features.h"
+#include "core/stream_error.h"
 #include "core/threshold_detector.h"
 #include "osn/events.h"
 #include "osn/ledger.h"
@@ -38,17 +58,17 @@ namespace sybil::core {
 
 class StreamDetector {
  public:
-  /// Deprecated alias kept for one release: the streaming path now
-  /// shares DetectorOptions with the batch path.
-  using Config [[deprecated("use sybil::core::DetectorOptions")]] =
-      DetectorOptions;
-
   StreamDetector() : StreamDetector(DetectorOptions{}) {}
   /// Throws std::invalid_argument if `options` fails validate().
   explicit StreamDetector(const DetectorOptions& options);
 
-  /// Event-stream entry points. Events must arrive in nondecreasing
-  /// time order per account (the order a platform log provides).
+  /// Trusted event-stream entry points. Events must arrive in
+  /// nondecreasing time order per account (the order a platform log
+  /// provides); use ingest() for feeds that cannot promise that.
+  /// Events referencing an already-banned account never mutate the
+  /// banned account's state (the late-ban/request race): the banned
+  /// side is frozen, the live side still updates, and the event is
+  /// counted under banned_party_total / "stream.events.banned_party".
   void on_request_sent(osn::NodeId from, osn::NodeId to, graph::Time t);
   void on_request_rejected(osn::NodeId from, osn::NodeId to, graph::Time t);
   /// `from`'s request was accepted by `to` at time t (creates an edge).
@@ -61,6 +81,59 @@ class StreamDetector {
   /// Dispatches to the on_* handlers, so metrics counters advance
   /// exactly as they would for the equivalent live stream.
   void replay(const osn::EventLog& log);
+
+  // ---- Hardened ingestion (hostile / degraded feeds) ----
+
+  /// Sentinel: let ingest() assign a unique sequence number (disables
+  /// duplicate detection for that event — auto numbers never repeat).
+  static constexpr std::uint64_t kAutoSeq = ~std::uint64_t{0};
+
+  /// One quarantined event: what arrived, its transport sequence
+  /// number, and why it was rejected.
+  struct DeadLetter {
+    osn::Event event;
+    std::uint64_t seq;
+    StreamErrorCode reason;
+  };
+
+  /// Validates, deduplicates and reorder-buffers one event, then
+  /// applies every event whose time has passed the watermark. `seq` is
+  /// the transport-level sequence number (a log index, a Kafka offset);
+  /// redelivery of an already-seen seq within the reorder horizon is
+  /// counted as a duplicate and ignored. Under IngestPolicy::kStrict a
+  /// rejected event throws StreamError *after* being accounted for.
+  void ingest(const osn::Event& e, std::uint64_t seq = kAutoSeq);
+
+  /// Drains the reorder buffer (end of stream / shutdown). Events still
+  /// in flight are applied in (time, seq) order. ingest() may be called
+  /// again afterwards; the watermark is retained.
+  void finish();
+
+  /// Exact ingestion accounting. Invariant at every point:
+  ///   events_in() == applied_total() + deduped_total()
+  ///                  + deadletter_total() + buffered().
+  std::uint64_t events_in() const noexcept { return events_in_; }
+  std::uint64_t applied_total() const noexcept { return applied_total_; }
+  std::uint64_t deduped_total() const noexcept { return deduped_total_; }
+  std::uint64_t deadletter_total() const noexcept {
+    return deadletter_total_;
+  }
+  std::uint64_t buffered() const noexcept { return reorder_.size(); }
+
+  /// Most recent quarantined events (at most ingest.dead_letter_capacity;
+  /// older entries evicted and counted in dead_letters_dropped()).
+  const std::deque<DeadLetter>& dead_letters() const noexcept {
+    return dead_letters_;
+  }
+  std::uint64_t dead_letters_dropped() const noexcept {
+    return dead_letters_dropped_;
+  }
+
+  /// Events (trusted or hardened path) that referenced an account
+  /// already banned at apply time — tolerated, banned side frozen.
+  std::uint64_t banned_party_total() const noexcept {
+    return banned_party_total_;
+  }
 
   /// Current streaming features of an account (zero-state for accounts
   /// never seen).
@@ -84,12 +157,37 @@ class StreamDetector {
     bool banned = false;
   };
 
+  /// Reorder-buffer entry, released in (time, seq) order so replays of
+  /// the same event multiset apply identically whatever the arrival
+  /// interleaving (the chaos-equivalence invariant).
+  struct Buffered {
+    graph::Time time;
+    std::uint64_t seq;
+    osn::Event event;
+    bool operator>(const Buffered& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
   void ensure(osn::NodeId id);
   void add_edge(osn::NodeId u, osn::NodeId v, graph::Time t);
   /// Registers v as a (possibly) watched friend of u and updates u's
   /// internal link count against the already-watched friends.
   void attach_friend(osn::NodeId u, osn::NodeId v);
   void maybe_flag(osn::NodeId id, graph::Time t);
+  /// Dispatches one log-convention event to the on_* handlers (shared
+  /// by replay() and the reorder-buffer release path).
+  void dispatch(const osn::Event& e);
+  /// Structural validation of an untrusted record. Returns true when
+  /// the event may be applied; otherwise sets `reason`.
+  bool structurally_valid(const osn::Event& e, StreamErrorCode& reason) const;
+  /// Accounts for a rejected event (dead-letter queue + counters);
+  /// throws StreamError afterwards under the strict policy.
+  void quarantine(const osn::Event& e, std::uint64_t seq,
+                  StreamErrorCode reason);
+  /// Applies every buffered event at or below the low watermark.
+  void release_ready();
 
   DetectorOptions options_;
   ThresholdDetector detector_;
@@ -100,6 +198,26 @@ class StreamDetector {
   std::unordered_set<std::uint64_t> edges_;
   std::vector<FlagRecord> newly_flagged_;
   std::size_t flagged_total_ = 0;
+
+  // ---- hardened-path state ----
+  std::priority_queue<Buffered, std::vector<Buffered>, std::greater<>>
+      reorder_;
+  /// Seqs accepted within the reorder horizon (duplicate detection);
+  /// pruned as the low watermark advances past their event time.
+  std::unordered_set<std::uint64_t> seen_seqs_;
+  std::priority_queue<std::pair<graph::Time, std::uint64_t>,
+                      std::vector<std::pair<graph::Time, std::uint64_t>>,
+                      std::greater<>>
+      seen_by_time_;
+  graph::Time high_watermark_;  // max event time accepted so far
+  std::deque<DeadLetter> dead_letters_;
+  std::uint64_t next_auto_seq_;
+  std::uint64_t events_in_ = 0;
+  std::uint64_t applied_total_ = 0;
+  std::uint64_t deduped_total_ = 0;
+  std::uint64_t deadletter_total_ = 0;
+  std::uint64_t dead_letters_dropped_ = 0;
+  std::uint64_t banned_party_total_ = 0;
 };
 
 }  // namespace sybil::core

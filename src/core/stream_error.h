@@ -1,0 +1,64 @@
+// Typed error taxonomy for the streaming ingestion path.
+//
+// Mirrors io/error.h: where SnapshotError classifies why a *file* was
+// rejected, StreamErrorCode classifies why an *event* was quarantined
+// by StreamDetector::ingest — so operators can alert on the reason mix
+// (a burst of kTimeRegression means a feed replaying stale history; a
+// burst of kUnknownEventType means a producer running a newer schema)
+// instead of string-matching log lines.
+//
+// Under the lenient policy (the default) no exception is thrown: each
+// rejected event is quarantined into the bounded dead-letter queue with
+// its reason code. Under the strict policy the first rejected event
+// throws StreamError after being accounted for, so the accounting
+// invariant (events_in == applied + deduped + dead-lettered + buffered)
+// holds even at the throw site.
+//
+// Header-only like io/error.h, and for the same reason: the faults
+// layer and the bench runner share the taxonomy without adding link
+// dependencies.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sybil::core {
+
+enum class StreamErrorCode {
+  kUnknownEventType,  // type byte outside the EventType enum
+  kInvalidAccountId,  // actor/subject above the configured account bound
+  kSelfReferential,   // relational event with actor == subject
+  kNonFiniteTime,     // NaN or infinite timestamp
+  kTimeRegression,    // event time below the reorder low watermark
+};
+
+/// Returns a stable identifier ("time-regression", ...) for logging,
+/// metrics suffixes and test assertions.
+constexpr const char* to_string(StreamErrorCode code) noexcept {
+  switch (code) {
+    case StreamErrorCode::kUnknownEventType: return "unknown-event-type";
+    case StreamErrorCode::kInvalidAccountId: return "invalid-account-id";
+    case StreamErrorCode::kSelfReferential: return "self-referential";
+    case StreamErrorCode::kNonFiniteTime: return "non-finite-time";
+    case StreamErrorCode::kTimeRegression: return "time-regression";
+  }
+  return "unknown";
+}
+
+/// Thrown by StreamDetector::ingest under IngestPolicy::kStrict.
+/// Derives from std::runtime_error so generic catch sites keep working;
+/// new code should catch StreamError and inspect code().
+class StreamError : public std::runtime_error {
+ public:
+  StreamError(StreamErrorCode code, const std::string& detail)
+      : std::runtime_error(std::string("stream [") + to_string(code) +
+                           "]: " + detail),
+        code_(code) {}
+
+  StreamErrorCode code() const noexcept { return code_; }
+
+ private:
+  StreamErrorCode code_;
+};
+
+}  // namespace sybil::core

@@ -1,0 +1,202 @@
+#include "faults/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "core/metrics/instrument.h"
+#include "stats/rng.h"
+
+namespace sybil::faults {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& what) {
+  throw std::invalid_argument("FaultRates: " + what);
+}
+
+void check_rate(double rate, const char* name) {
+  if (!(rate >= 0.0 && rate <= 1.0)) {
+    reject(std::string(name) + " must be a probability in [0, 1]");
+  }
+}
+
+/// Fault kinds get disjoint RNG streams per event so the rates are
+/// independent knobs: raising `drop` never changes which events
+/// `duplicate` picks.
+enum StreamKind : std::uint64_t {
+  kDropStream = 1,
+  kReorderStream,
+  kDuplicateStream,
+  kRegressStream,
+  kMalformStream,
+  kBannedPartyStream,
+};
+
+stats::Rng kind_rng(std::uint64_t seed, std::uint64_t index,
+                    std::uint64_t kind) {
+  std::uint64_t state =
+      seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)) ^ (kind << 56);
+  return stats::Rng(stats::splitmix64_next(state));
+}
+
+/// Synthesized events (banned-party probes) get seqs from their own
+/// range: above any log index, below StreamDetector's auto-seq range.
+constexpr std::uint64_t kSynthSeqBase = std::uint64_t{1} << 62;
+
+}  // namespace
+
+void FaultRates::validate() const {
+  check_rate(drop, "drop");
+  check_rate(reorder, "reorder");
+  check_rate(duplicate, "duplicate");
+  check_rate(regress, "regress");
+  check_rate(malform, "malform");
+  check_rate(banned_party, "banned_party");
+  if (!(max_skew_hours >= 0.0) || !std::isfinite(max_skew_hours)) {
+    reject("max_skew_hours must be finite and >= 0");
+  }
+  if (!(regress_hours > 0.0) || !std::isfinite(regress_hours)) {
+    reject("regress_hours must be finite and > 0");
+  }
+}
+
+FaultInjector::FaultInjector(const FaultRates& rates) : rates_(rates) {
+  rates_.validate();
+}
+
+std::vector<Arrival> FaultInjector::corrupt(
+    std::span<const osn::Event> events) {
+  struct Staged {
+    Arrival a;
+    std::uint64_t emit;  // tie-break: emission order is deterministic
+  };
+  std::vector<Staged> staged;
+  staged.reserve(events.size());
+  FaultReport delta;
+  delta.events_in = events.size();
+
+  graph::Time envelope = -std::numeric_limits<graph::Time>::infinity();
+  std::uint64_t emit = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const std::uint64_t index = base_index_ + i;
+    const osn::Event& e = events[i];
+    // The transport delivers in log order at a nondecreasing clock: the
+    // running max of event times (responses can trail later sends).
+    envelope = std::max(envelope, e.time);
+
+    if (rates_.drop > 0.0 &&
+        kind_rng(rates_.seed, index, kDropStream).bernoulli(rates_.drop)) {
+      ++delta.dropped;
+      continue;
+    }
+
+    Arrival a{e, index, envelope};
+    if (rates_.reorder > 0.0) {
+      stats::Rng rng = kind_rng(rates_.seed, index, kReorderStream);
+      if (rng.bernoulli(rates_.reorder)) {
+        a.arrival = envelope + rng.uniform(0.0, rates_.max_skew_hours);
+        ++delta.reordered;
+      }
+    }
+    if (rates_.regress > 0.0 &&
+        kind_rng(rates_.seed, index, kRegressStream)
+            .bernoulli(rates_.regress)) {
+      a.event.time -= rates_.regress_hours;
+      ++delta.regressed;
+    }
+    if (rates_.malform > 0.0) {
+      stats::Rng rng = kind_rng(rates_.seed, index, kMalformStream);
+      if (rng.bernoulli(rates_.malform)) {
+        switch (rng.uniform_index(4)) {
+          case 0:
+            a.event.type = static_cast<osn::EventType>(0xFF);
+            break;
+          case 1:
+            a.event.actor = kMalformedNodeId;
+            break;
+          case 2:
+            a.event.time = std::numeric_limits<graph::Time>::quiet_NaN();
+            break;
+          default:
+            if (osn::event_is_relational(a.event.type)) {
+              a.event.subject = a.event.actor;
+            } else {
+              a.event.type = static_cast<osn::EventType>(0xFF);
+            }
+            break;
+        }
+        ++delta.malformed;
+      }
+    }
+    staged.push_back({a, emit++});
+
+    if (rates_.duplicate > 0.0) {
+      stats::Rng rng = kind_rng(rates_.seed, index, kDuplicateStream);
+      if (rng.bernoulli(rates_.duplicate)) {
+        Arrival dup = a;
+        dup.arrival = a.arrival + (rates_.max_skew_hours > 0.0
+                                       ? rng.uniform(0.0,
+                                                     rates_.max_skew_hours)
+                                       : 0.0);
+        staged.push_back({dup, emit++});
+        ++delta.duplicated;
+      }
+    }
+    if (rates_.banned_party > 0.0 &&
+        e.type == osn::EventType::kAccountBanned &&
+        kind_rng(rates_.seed, index, kBannedPartyStream)
+            .bernoulli(rates_.banned_party)) {
+      // The bot keeps sending after the ban: a request from the banned
+      // account, slightly after the ban, to a deterministic target.
+      osn::Event hostile{osn::EventType::kRequestSent, e.actor,
+                         e.actor == 0 ? 1u : e.actor - 1u, e.time + 0.25};
+      staged.push_back(
+          {Arrival{hostile, kSynthSeqBase + next_synth_seq_++,
+                   envelope + 0.25},
+           emit++});
+      ++delta.banned_party_injected;
+    }
+  }
+  base_index_ += events.size();
+
+  std::sort(staged.begin(), staged.end(),
+            [](const Staged& x, const Staged& y) {
+              if (x.a.arrival != y.a.arrival) {
+                return x.a.arrival < y.a.arrival;
+              }
+              return x.emit < y.emit;
+            });
+
+  std::vector<Arrival> out;
+  out.reserve(staged.size());
+  for (const Staged& s : staged) out.push_back(s.a);
+  delta.events_out = out.size();
+
+  report_.events_in += delta.events_in;
+  report_.events_out += delta.events_out;
+  report_.dropped += delta.dropped;
+  report_.reordered += delta.reordered;
+  report_.duplicated += delta.duplicated;
+  report_.regressed += delta.regressed;
+  report_.malformed += delta.malformed;
+  report_.banned_party_injected += delta.banned_party_injected;
+
+  SYBIL_METRIC_COUNT("stream.faults.events_in", delta.events_in);
+  SYBIL_METRIC_COUNT("stream.faults.dropped", delta.dropped);
+  SYBIL_METRIC_COUNT("stream.faults.reordered", delta.reordered);
+  SYBIL_METRIC_COUNT("stream.faults.duplicated", delta.duplicated);
+  SYBIL_METRIC_COUNT("stream.faults.regressed", delta.regressed);
+  SYBIL_METRIC_COUNT("stream.faults.malformed", delta.malformed);
+  SYBIL_METRIC_COUNT("stream.faults.banned_party_injected",
+                     delta.banned_party_injected);
+  return out;
+}
+
+std::vector<Arrival> FaultInjector::corrupt(const osn::EventLog& log) {
+  return corrupt(std::span<const osn::Event>(log.events()));
+}
+
+}  // namespace sybil::faults

@@ -1,0 +1,124 @@
+// Deterministic fault injection for event streams — the chaos half of
+// the hostile-input hardening layer (docs/ROBUSTNESS.md).
+//
+// A FaultInjector models the unreliable transport between a platform's
+// event producers and the streaming detector: it takes a clean
+// osn::EventLog (or any span of events) and emits the *arrival*
+// sequence a degraded feed would deliver — events delayed out of order
+// within a bounded skew, redelivered, dropped, stamped with regressed
+// or non-finite times, carrying unknown type bytes or hostile account
+// ids, plus synthetic post-ban requests exercising the late-ban race.
+// Each fault kind has its own rate knob and its own RNG stream, so
+// raising one rate never changes which events another fault selects.
+//
+// Determinism is absolute: the output is a pure function of
+// (input events, FaultRates) — per-event decisions draw from
+// splitmix64-derived streams keyed by (seed, event index, fault kind),
+// no wall clock, no global RNG. The same seed replays byte-identically,
+// which is what lets the chaos tests assert exact invariants and lets a
+// failure found at one seed be replayed forever.
+//
+// Arrival model: the clean log is delivered in log order at a
+// nondecreasing transport clock (the running maximum of event times —
+// real logs interleave responses slightly behind later sends, see
+// EventLog::max_inversion_hours). Reordering delays an event's arrival
+// by up to max_skew_hours past its in-order slot, and a duplicate is
+// redelivered up to max_skew_hours after its (possibly already delayed)
+// original — delays compound, so the worst-case lag behind the in-order
+// slot is 2 x max_skew_hours. With all rates zero, corrupt() is the
+// identity. A StreamDetector watermark of
+// max_inversion_hours() + 2 * max_skew_hours therefore absorbs every
+// injected reordering and redelivery.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "osn/events.h"
+
+namespace sybil::faults {
+
+/// Per-fault probabilities (each in [0, 1]) and shape knobs.
+struct FaultRates {
+  std::uint64_t seed = 0;
+
+  /// P(event silently dropped by the transport).
+  double drop = 0.0;
+
+  /// P(event's arrival delayed by uniform(0, max_skew_hours)).
+  double reorder = 0.0;
+  /// Arrival-delay bound for reordering and duplicate redelivery.
+  double max_skew_hours = 6.0;
+
+  /// P(event redelivered once more, again within max_skew_hours).
+  double duplicate = 0.0;
+
+  /// P(event's *timestamp* rewound by regress_hours — a producer with a
+  /// broken clock). Rewinds beyond the detector watermark quarantine.
+  double regress = 0.0;
+  double regress_hours = 1000.0;
+
+  /// P(one field corrupted: unknown type byte, hostile account id,
+  /// NaN timestamp, or actor == subject on a relational event).
+  double malform = 0.0;
+
+  /// P(a synthetic post-ban request from the banned account follows
+  /// each ban event — bots keep sending after the ban lands).
+  double banned_party = 0.0;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+/// One delivered record: the event as it arrives (possibly corrupted),
+/// its transport sequence number (original log index; a redelivery
+/// shares its original's seq; synthesized events get fresh seqs past
+/// the input size), and the transport arrival time that ordered it.
+struct Arrival {
+  osn::Event event;
+  std::uint64_t seq = 0;
+  graph::Time arrival = 0.0;
+};
+
+/// What one corrupt() pass did, for assertions and the bench's chaos
+/// rows. events_out == events_in - dropped + duplicated
+///                     + banned_party_injected.
+struct FaultReport {
+  std::uint64_t events_in = 0;
+  std::uint64_t events_out = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t regressed = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t banned_party_injected = 0;
+};
+
+class FaultInjector {
+ public:
+  /// Throws std::invalid_argument if `rates` fails validate().
+  explicit FaultInjector(const FaultRates& rates);
+
+  /// Emits the deterministic corrupted arrival sequence for `events`,
+  /// sorted by (arrival time, emission order). Counters accumulate in
+  /// report() and "stream.faults.*" metrics. May be called repeatedly;
+  /// synthesized seqs continue past earlier calls.
+  std::vector<Arrival> corrupt(std::span<const osn::Event> events);
+  std::vector<Arrival> corrupt(const osn::EventLog& log);
+
+  const FaultReport& report() const noexcept { return report_; }
+  const FaultRates& rates() const noexcept { return rates_; }
+
+  /// Account id used by malformed-id corruption: far above any
+  /// plausible ingest.max_account_id bound.
+  static constexpr graph::NodeId kMalformedNodeId = 0xFFFFFFF0u;
+
+ private:
+  FaultRates rates_;
+  FaultReport report_;
+  std::uint64_t next_synth_seq_ = 0;
+  std::uint64_t base_index_ = 0;  // event-index offset across calls
+};
+
+}  // namespace sybil::faults

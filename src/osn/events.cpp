@@ -1,5 +1,8 @@
 #include "osn/events.h"
 
+#include <algorithm>
+#include <limits>
+
 namespace sybil::osn {
 
 void EventLog::append(Event e) {
@@ -10,6 +13,16 @@ void EventLog::append(Event e) {
 void EventLog::clear() {
   events_.clear();
   for (auto& c : counts_) c = 0;
+}
+
+graph::Time EventLog::max_inversion_hours() const noexcept {
+  graph::Time running_max = -std::numeric_limits<graph::Time>::infinity();
+  graph::Time worst = 0.0;
+  for (const Event& e : events_) {
+    if (e.time < running_max) worst = std::max(worst, running_max - e.time);
+    running_max = std::max(running_max, e.time);
+  }
+  return worst;
 }
 
 }  // namespace sybil::osn

@@ -23,6 +23,20 @@ enum class EventType : std::uint8_t {
   kFriendshipSeeded,  // pre-existing edge installed without a request
 };
 
+inline constexpr std::size_t kEventTypeCount = 7;
+
+/// True when a raw type byte names a known EventType — the validation
+/// hook the hardened ingestion path uses on untrusted records.
+constexpr bool event_type_known(std::uint8_t raw) noexcept {
+  return raw < kEventTypeCount;
+}
+
+/// Relational events involve two distinct parties; account-scoped
+/// events (created/banned) legitimately carry actor == subject.
+constexpr bool event_is_relational(EventType t) noexcept {
+  return t != EventType::kAccountCreated && t != EventType::kAccountBanned;
+}
+
 struct Event {
   EventType type;
   graph::NodeId actor;    // who performed the action
@@ -42,9 +56,17 @@ class EventLog {
   }
   void clear();
 
+  /// Largest amount (hours) by which an event's time lags the running
+  /// maximum over the log so far — the intrinsic out-of-orderness of
+  /// this log (responses are logged at their due time, which can trail
+  /// later sends). A reorder watermark at least this wide replays the
+  /// log without quarantining anything; the chaos harness sizes
+  /// watermarks as max_inversion_hours() + injected skew.
+  graph::Time max_inversion_hours() const noexcept;
+
  private:
   std::vector<Event> events_;
-  std::uint64_t counts_[7] = {};
+  std::uint64_t counts_[kEventTypeCount] = {};
 };
 
 }  // namespace sybil::osn

@@ -70,6 +70,43 @@ TEST(DetectorOptions, RejectsBadTunerConfig) {
   EXPECT_THROW(opts.validate(), std::invalid_argument);
 }
 
+TEST(DetectorOptions, RejectsBadIngestOptions) {
+  DetectorOptions opts;
+  opts.ingest.watermark_hours = -1.0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+
+  opts = {};
+  opts.ingest.watermark_hours = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+
+  opts = {};
+  opts.ingest.watermark_hours = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+
+  opts = {};
+  opts.ingest.max_account_id = 0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+}
+
+TEST(DetectorOptions, RejectsBadSweepDeadline) {
+  DetectorOptions opts;
+  opts.sweep_deadline_millis = -1.0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+
+  opts = {};
+  opts.sweep_deadline_millis = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+}
+
+TEST(DetectorOptions, ZeroWatermarkAndBudgetsAreValid) {
+  DetectorOptions opts;
+  opts.ingest.watermark_hours = 0.0;   // release immediately
+  opts.ingest.dead_letter_capacity = 0;  // count-only quarantine
+  opts.sweep_budget = 0;               // unlimited
+  opts.sweep_deadline_millis = 0.0;    // no deadline
+  EXPECT_NO_THROW(opts.validate());
+}
+
 TEST(DetectorOptions, ErrorNamesTheOffendingField) {
   DetectorOptions opts;
   opts.first_friends = 0;

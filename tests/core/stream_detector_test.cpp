@@ -160,6 +160,83 @@ TEST(StreamDetector, ReplayMatchesBatchExtractor) {
   }
 }
 
+/// A late request referencing an already-banned account (the ban won
+/// the race against an in-flight request) must not mutate the banned
+/// account's state: the banned side is frozen, the live side updates.
+TEST(StreamDetector, BannedPartyEventFreezesBannedSideOnly) {
+  StreamDetector det;
+  det.on_request_sent(0, 1, 0.5);
+  det.on_account_banned(0);
+  EXPECT_EQ(det.banned_party_total(), 0u);
+
+  // The bot's client keeps sending after the ban landed.
+  det.on_request_sent(0, 2, 1.0);
+  EXPECT_EQ(det.banned_party_total(), 1u);
+  // Sender's ledger frozen at one send; recipient still counted it.
+  EXPECT_DOUBLE_EQ(det.features(0).invite_rate_short, 1.0);
+  EXPECT_DOUBLE_EQ(det.features(2).incoming_accept_ratio, 0.0);
+
+  // A response for the pre-ban request arrives after the ban: the live
+  // recipient's incoming-accept counters update, the banned sender's
+  // outgoing ones do not, and no edge materializes.
+  det.on_request_accepted(0, 1, 1.5);
+  EXPECT_EQ(det.banned_party_total(), 2u);
+  // Frozen: the banned sender's accept was never counted (0 of 1 sent).
+  EXPECT_DOUBLE_EQ(det.features(0).outgoing_accept_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(det.features(1).incoming_accept_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(det.features(1).clustering_coefficient, 0.0);
+  EXPECT_TRUE(det.take_flagged().empty());
+}
+
+/// In-order ingest() with unique seqs is behaviourally identical to the
+/// trusted replay() path: same features, nothing quarantined.
+TEST(StreamDetector, InOrderIngestMatchesReplay) {
+  osn::EventLog log;
+  log.append({osn::EventType::kFriendshipSeeded, 0, 1, 0.5});
+  log.append({osn::EventType::kRequestSent, 2, 3, 1.0});
+  log.append({osn::EventType::kRequestSent, 2, 4, 1.1});
+  log.append({osn::EventType::kRequestAccepted, 3, 2, 2.0});
+  log.append({osn::EventType::kRequestRejected, 4, 2, 2.1});
+  log.append({osn::EventType::kAccountBanned, 4, 4, 2.3});
+
+  StreamDetector replayed;
+  replayed.replay(log);
+  StreamDetector ingested;
+  const auto& events = log.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    ingested.ingest(events[i], i);
+  }
+  ingested.finish();
+
+  EXPECT_EQ(ingested.events_in(), events.size());
+  EXPECT_EQ(ingested.applied_total(), events.size());
+  EXPECT_EQ(ingested.deduped_total(), 0u);
+  EXPECT_EQ(ingested.deadletter_total(), 0u);
+  EXPECT_EQ(ingested.buffered(), 0u);
+  for (osn::NodeId id = 0; id <= 4; ++id) {
+    const SybilFeatures a = replayed.features(id);
+    const SybilFeatures b = ingested.features(id);
+    EXPECT_DOUBLE_EQ(a.invite_rate_short, b.invite_rate_short) << id;
+    EXPECT_DOUBLE_EQ(a.outgoing_accept_ratio, b.outgoing_accept_ratio) << id;
+    EXPECT_DOUBLE_EQ(a.incoming_accept_ratio, b.incoming_accept_ratio) << id;
+    EXPECT_DOUBLE_EQ(a.clustering_coefficient, b.clustering_coefficient)
+        << id;
+  }
+}
+
+/// Auto-assigned sequence numbers never repeat, so kAutoSeq events are
+/// exempt from duplicate suppression by construction.
+TEST(StreamDetector, AutoSeqEventsAreNeverDeduplicated) {
+  StreamDetector det;
+  const osn::Event e{osn::EventType::kRequestSent, 0, 1, 1.0};
+  det.ingest(e);
+  det.ingest(e);
+  det.finish();
+  EXPECT_EQ(det.applied_total(), 2u);
+  EXPECT_EQ(det.deduped_total(), 0u);
+  EXPECT_DOUBLE_EQ(det.features(0).invite_rate_short, 2.0);
+}
+
 #if SYBIL_METRICS_COMPILED
 /// Replaying a log must advance the stream.* metrics exactly as the
 /// equivalent live event stream does: replay dispatches through the

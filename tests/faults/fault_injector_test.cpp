@@ -1,0 +1,224 @@
+#include "faults/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "core/stream_detector.h"
+
+namespace sybil::faults {
+namespace {
+
+/// Small clean log: seeded friendships, a request round, one ban.
+osn::EventLog sample_log() {
+  osn::EventLog log;
+  log.append({osn::EventType::kAccountCreated, 0, 0, 0.0});
+  log.append({osn::EventType::kFriendshipSeeded, 0, 1, 0.5});
+  for (int i = 0; i < 40; ++i) {
+    const auto t = 1.0 + 0.1 * i;
+    const auto from = static_cast<graph::NodeId>(i % 5);
+    const auto to = static_cast<graph::NodeId>(5 + i % 7);
+    log.append({osn::EventType::kRequestSent, from, to, t});
+    log.append({i % 3 == 0 ? osn::EventType::kRequestAccepted
+                           : osn::EventType::kRequestRejected,
+                to, from, t + 0.05});
+  }
+  log.append({osn::EventType::kAccountBanned, 3, 3, 6.0});
+  log.append({osn::EventType::kRequestSent, 0, 9, 6.5});
+  return log;
+}
+
+bool same_event(const osn::Event& a, const osn::Event& b) {
+  return a.type == b.type && a.actor == b.actor && a.subject == b.subject &&
+         ((std::isnan(a.time) && std::isnan(b.time)) || a.time == b.time);
+}
+
+TEST(FaultInjector, ZeroRatesIsIdentity) {
+  const osn::EventLog log = sample_log();
+  FaultInjector injector({});
+  const std::vector<Arrival> out = injector.corrupt(log);
+  ASSERT_EQ(out.size(), log.events().size());
+  graph::Time prev = -1e300;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(same_event(out[i].event, log.events()[i])) << i;
+    EXPECT_EQ(out[i].seq, i);
+    EXPECT_GE(out[i].arrival, prev);  // delivery clock never rewinds
+    prev = out[i].arrival;
+  }
+  const FaultReport& r = injector.report();
+  EXPECT_EQ(r.events_in, log.events().size());
+  EXPECT_EQ(r.events_out, log.events().size());
+  EXPECT_EQ(r.dropped + r.reordered + r.duplicated + r.regressed +
+                r.malformed + r.banned_party_injected,
+            0u);
+}
+
+TEST(FaultInjector, SameSeedReplaysByteIdentically) {
+  const osn::EventLog log = sample_log();
+  FaultRates rates;
+  rates.seed = 99;
+  rates.drop = 0.2;
+  rates.reorder = 0.4;
+  rates.duplicate = 0.3;
+  rates.regress = 0.1;
+  rates.malform = 0.2;
+  rates.banned_party = 1.0;
+  FaultInjector a(rates), b(rates);
+  const auto out_a = a.corrupt(log);
+  const auto out_b = b.corrupt(log);
+  ASSERT_EQ(out_a.size(), out_b.size());
+  for (std::size_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_TRUE(same_event(out_a[i].event, out_b[i].event)) << i;
+    EXPECT_EQ(out_a[i].seq, out_b[i].seq) << i;
+    EXPECT_EQ(out_a[i].arrival, out_b[i].arrival) << i;
+  }
+}
+
+TEST(FaultInjector, ReportAccountingIsExact) {
+  const osn::EventLog log = sample_log();
+  FaultRates rates;
+  rates.seed = 7;
+  rates.drop = 0.3;
+  rates.duplicate = 0.3;
+  rates.banned_party = 1.0;
+  FaultInjector injector(rates);
+  const auto out = injector.corrupt(log);
+  const FaultReport& r = injector.report();
+  EXPECT_EQ(r.events_out, out.size());
+  EXPECT_EQ(r.events_out, r.events_in - r.dropped + r.duplicated +
+                              r.banned_party_injected);
+  EXPECT_GT(r.dropped, 0u);
+  EXPECT_GT(r.duplicated, 0u);
+  EXPECT_EQ(r.banned_party_injected, 1u);  // one ban in the log
+}
+
+/// Every reordered arrival stays within the skew bound of its in-order
+/// delivery slot, so a watermark of max_inversion + max_skew suffices.
+TEST(FaultInjector, ReorderSkewIsBounded) {
+  const osn::EventLog log = sample_log();
+  FaultRates rates;
+  rates.seed = 3;
+  rates.reorder = 1.0;
+  rates.max_skew_hours = 5.0;
+  FaultInjector injector(rates);
+  const auto out = injector.corrupt(log);
+  // In-order slot of event i is the running max of times up to i.
+  std::map<std::uint64_t, graph::Time> slot;
+  graph::Time envelope = -1e300;
+  for (std::size_t i = 0; i < log.events().size(); ++i) {
+    envelope = std::max(envelope, log.events()[i].time);
+    slot[i] = envelope;
+  }
+  graph::Time prev = -1e300;
+  for (const Arrival& a : out) {
+    ASSERT_TRUE(slot.contains(a.seq));
+    EXPECT_GE(a.arrival, slot[a.seq]);
+    EXPECT_LE(a.arrival, slot[a.seq] + rates.max_skew_hours);
+    EXPECT_GE(a.arrival, prev);  // output sorted by arrival
+    prev = a.arrival;
+  }
+}
+
+/// Raising one fault's rate must not change which events another fault
+/// selects: the dropped log's duplicates are exactly the surviving
+/// subset of the drop-free run's duplicates.
+TEST(FaultInjector, FaultStreamsAreIndependent) {
+  const osn::EventLog log = sample_log();
+  FaultRates base;
+  base.seed = 11;
+  base.duplicate = 0.5;
+  FaultRates with_drop = base;
+  with_drop.drop = 0.4;
+
+  const auto count_seqs = [](const std::vector<Arrival>& out) {
+    std::map<std::uint64_t, int> c;
+    for (const Arrival& a : out) ++c[a.seq];
+    return c;
+  };
+  const auto dup_only = count_seqs(FaultInjector(base).corrupt(log));
+  const auto dropped = count_seqs(FaultInjector(with_drop).corrupt(log));
+  for (const auto& [seq, count] : dropped) {
+    // Every surviving event was duplicated iff it was duplicated in the
+    // drop-free run.
+    EXPECT_EQ(count, dup_only.at(seq)) << seq;
+  }
+}
+
+/// Each malformed corruption trips structural validation: feeding the
+/// injector's output into the hardened path quarantines exactly the
+/// malformed arrivals, with typed reasons.
+TEST(FaultInjector, MalformedEventsAreQuarantinedWithReasons) {
+  const osn::EventLog log = sample_log();
+  FaultRates rates;
+  rates.seed = 5;
+  rates.malform = 1.0;
+  FaultInjector injector(rates);
+  const auto out = injector.corrupt(log);
+  ASSERT_EQ(injector.report().malformed, log.events().size());
+
+  core::DetectorOptions opts;
+  opts.ingest.watermark_hours = 100.0;
+  core::StreamDetector det(opts);
+  for (const Arrival& a : out) det.ingest(a.event, a.seq);
+  det.finish();
+  EXPECT_EQ(det.deadletter_total(), out.size());
+  EXPECT_EQ(det.applied_total(), 0u);
+  std::map<core::StreamErrorCode, int> reasons;
+  for (const auto& dl : det.dead_letters()) ++reasons[dl.reason];
+  // All four corruption kinds appear across 84 events.
+  EXPECT_GT(reasons[core::StreamErrorCode::kUnknownEventType], 0);
+  EXPECT_GT(reasons[core::StreamErrorCode::kInvalidAccountId], 0);
+  EXPECT_GT(reasons[core::StreamErrorCode::kNonFiniteTime], 0);
+  EXPECT_GT(reasons[core::StreamErrorCode::kSelfReferential], 0);
+}
+
+/// The synthetic post-ban request reaches the detector after the ban
+/// and must leave the banned account's state frozen.
+TEST(FaultInjector, InjectedBannedPartyRequestLeavesBannedStateFrozen) {
+  const osn::EventLog log = sample_log();
+  FaultRates rates;
+  rates.seed = 21;
+  rates.banned_party = 1.0;
+  FaultInjector injector(rates);
+  const auto out = injector.corrupt(log);
+  ASSERT_EQ(injector.report().banned_party_injected, 1u);
+
+  core::DetectorOptions opts;
+  opts.ingest.watermark_hours = 100.0;
+  core::StreamDetector det(opts);
+  core::StreamDetector clean(opts);
+  for (const Arrival& a : out) det.ingest(a.event, a.seq);
+  det.finish();
+  const auto& events = log.events();
+  for (std::size_t i = 0; i < events.size(); ++i) clean.ingest(events[i], i);
+  clean.finish();
+
+  EXPECT_GE(det.banned_party_total(), 1u);
+  // Account 3 (banned at t=6) has identical features with and without
+  // the injected post-ban request.
+  const core::SybilFeatures a = det.features(3);
+  const core::SybilFeatures b = clean.features(3);
+  EXPECT_DOUBLE_EQ(a.invite_rate_short, b.invite_rate_short);
+  EXPECT_DOUBLE_EQ(a.outgoing_accept_ratio, b.outgoing_accept_ratio);
+  EXPECT_DOUBLE_EQ(a.incoming_accept_ratio, b.incoming_accept_ratio);
+}
+
+TEST(FaultInjector, ValidateRejectsBadRates) {
+  FaultRates rates;
+  rates.drop = 1.5;
+  EXPECT_THROW(FaultInjector{rates}, std::invalid_argument);
+  rates = {};
+  rates.reorder = -0.1;
+  EXPECT_THROW(FaultInjector{rates}, std::invalid_argument);
+  rates = {};
+  rates.max_skew_hours = -1.0;
+  EXPECT_THROW(FaultInjector{rates}, std::invalid_argument);
+  rates = {};
+  rates.regress_hours = 0.0;
+  EXPECT_THROW(FaultInjector{rates}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sybil::faults
