@@ -27,7 +27,7 @@ namespace {
 constexpr char kUsage[] =
     "[--save-graph <path>] [--load-graph <path>] "
     "[--chaos-seed <n>] [--chaos-rate <r>] [--chaos-skew <hours>] "
-    "[normal_users] [sybils] [campaign_hours]";
+    "[--crash-every <n>] [normal_users] [sybils] [campaign_hours]";
 
 /// Extracts "--flag <value>" from argv, compacting the remaining
 /// positional arguments in place. Returns the value or "".
@@ -55,14 +55,22 @@ int main(int argc, char** argv) {
   const std::string chaos_seed = take_flag(argc, argv, "--chaos-seed");
   const std::string chaos_rate = take_flag(argc, argv, "--chaos-rate");
   const std::string chaos_skew = take_flag(argc, argv, "--chaos-skew");
+  const std::string crash_every_arg = take_flag(argc, argv, "--crash-every");
   const bool chaos =
       !chaos_seed.empty() || !chaos_rate.empty() || !chaos_skew.empty();
-  if (chaos && !load_path.empty()) {
-    // Scenario snapshots persist only the graph; the chaos passes need
-    // the campaign's event log, which only a fresh simulation carries.
-    bench::usage_error(argv[0], kUsage, "--chaos-*",
+  if ((chaos || !crash_every_arg.empty()) && !load_path.empty()) {
+    // Scenario snapshots persist only the graph; the chaos and
+    // crash-recovery passes need the campaign's event log, which only a
+    // fresh simulation carries.
+    bench::usage_error(argv[0], kUsage, "--chaos-*/--crash-every",
                        "flag (incompatible with --load-graph)");
   }
+  const std::uint64_t crash_every =
+      crash_every_arg.empty()
+          ? 0
+          : bench::parse_count(argv[0], kUsage, crash_every_arg.c_str(),
+                               "crash-every event count",
+                               ~std::uint64_t{0});
 
   bench::print_header(
       "Defense evaluation — prior Sybil defenses: synthetic vs wild",
@@ -110,7 +118,8 @@ int main(int argc, char** argv) {
     // The wild graph is the expensive part (hours of simulated campaign
     // at scale): --save-graph snapshots it after the build, --load-graph
     // serves it back out of the binary container instead of simulating.
-    cfg.keep_event_log = chaos;  // the chaos passes replay the log
+    // The chaos and crash-recovery passes replay the log.
+    cfg.keep_event_log = chaos || crash_every > 0;
     const auto start = std::chrono::steady_clock::now();
     std::optional<attack::CampaignResult> campaign;
     if (load_path.empty()) campaign = attack::run_campaign(cfg);
@@ -160,6 +169,14 @@ int main(int argc, char** argv) {
       }
       bench::print_chaos(bench::run_chaos(campaign->network->log(),
                                           wild.is_sybil, {}, rates));
+    }
+
+    if (crash_every > 0) {
+      // Kill-and-recover the supervised service every N events and
+      // compare verdicts against the uninterrupted service: the delta
+      // row is required to be zero (run_crash_recovery throws if not).
+      bench::print_crash_recovery(bench::run_crash_recovery(
+          campaign->network->log(), wild.is_sybil, {}, crash_every));
     }
   }
   std::printf(

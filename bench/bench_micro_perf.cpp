@@ -1,14 +1,17 @@
 // Microbenchmarks (google-benchmark) of the hot operations behind the
 // experiment pipeline: graph construction, feature extraction, component
 // decomposition, clustering, random routes, max-flow, alias sampling,
-// and binary snapshot save/load (the regenerate-vs-reload tradeoff).
+// binary snapshot save/load (the regenerate-vs-reload tradeoff), and
+// the service WAL's append/replay path (the durability cost per event).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
 #include "core/features.h"
+#include "service/wal.h"
 #include "osn/simulator.h"
 #include "graph/clustering.h"
 #include "graph/components.h"
@@ -229,6 +232,68 @@ void BM_FeatureExtraction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FeatureExtraction);
+
+// --- Service WAL: append and replay throughput ---------------------
+
+std::string wal_bench_dir() {
+  return (std::filesystem::temp_directory_path() / "sybil_bench_wal")
+      .string();
+}
+
+osn::Event wal_bench_event(std::uint64_t i) {
+  return osn::Event{osn::EventType::kRequestSent,
+                    static_cast<graph::NodeId>(i % 997),
+                    static_cast<graph::NodeId>((i * 31 + 1) % 997),
+                    static_cast<double>(i) * 1e-3};
+}
+
+/// Arg: fsync policy (0 = every append, 2 = never) — the durability
+/// cost per logged event is exactly the gap between the two series.
+void BM_WalAppend(benchmark::State& state) {
+  const std::string dir = wal_bench_dir();
+  std::filesystem::remove_all(dir);
+  service::WalOptions options;
+  options.dir = dir;
+  options.fsync = static_cast<service::WalFsync>(state.range(0));
+  std::uint64_t i = 0;
+  {
+    service::WalWriter wal(options, 0);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(wal.append(wal_bench_event(i), i, 0));
+      ++i;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(i));
+  state.SetBytesProcessed(static_cast<std::int64_t>(i) * 44);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_WalAppend)->Arg(0)->Arg(2);
+
+/// Full-log recovery scan (CRC every record) over 64k records.
+void BM_WalReplay(benchmark::State& state) {
+  static const std::string dir = [] {
+    const std::string d = wal_bench_dir() + "_replay";
+    std::filesystem::remove_all(d);
+    service::WalOptions options;
+    options.dir = d;
+    options.fsync = service::WalFsync::kNever;
+    service::WalWriter wal(options, 0);
+    for (std::uint64_t i = 0; i < 65'536; ++i) {
+      wal.append(wal_bench_event(i), i, 0);
+    }
+    return d;
+  }();
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    service::WalScanReport report;
+    const auto replayed = service::scan_wal(dir, 0, report);
+    benchmark::DoNotOptimize(replayed.data());
+    records += report.records_returned;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+  state.SetBytesProcessed(static_cast<std::int64_t>(records) * 44);
+}
+BENCHMARK(BM_WalReplay);
 
 }  // namespace
 

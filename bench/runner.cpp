@@ -5,10 +5,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
 
 #include "core/metrics/instrument.h"
 #include "core/stream_detector.h"
+#include "service/supervisor.h"
 #include "graph/generators.h"
 #include "io/container.h"
 #include "stats/rng.h"
@@ -389,6 +391,131 @@ void print_chaos(const ChaosRun& run) {
                   static_cast<long long>(run.clean_flagged),
               run.faulted_precision - run.clean_precision,
               run.faulted_recall - run.clean_recall);
+}
+
+CrashRecoveryRun run_crash_recovery(const osn::EventLog& log,
+                                    const std::vector<bool>& is_sybil,
+                                    const core::DetectorOptions& options,
+                                    std::uint64_t crash_every) {
+  SYBIL_METRIC_SCOPED_TIMER(span, "bench.run_crash_recovery");
+  if (crash_every == 0) {
+    throw std::invalid_argument("run_crash_recovery: crash_every must be >= 1");
+  }
+  namespace fs = std::filesystem;
+  const auto& events = log.events();
+  CrashRecoveryRun run;
+  run.crash_every = crash_every;
+  run.events = events.size();
+
+  core::DetectorOptions opts = options;
+  opts.ingest.watermark_hours = log.max_inversion_hours();
+  // The comparison pins verdict equality, so neither pass may shed:
+  // shedding decisions depend on the pump schedule, which a crash
+  // legitimately perturbs. Both passes pump continuously instead.
+  opts.overload.queue_capacity = events.size() + 2;
+  opts.overload.sweep_only_watermark = events.size() + 1;
+  opts.overload.shed_watermark = events.size() + 1;
+  opts.overload.resume_watermark = 0;
+
+  service::ServiceOptions service_opts;
+  service_opts.detector = opts;
+  service_opts.wal_fsync = service::WalFsync::kNever;  // throwaway state
+  // Deliberately misaligned with crash_every so crashes land between
+  // checkpoints and every recovery exercises real WAL-suffix replay.
+  service_opts.checkpoint_every = crash_every / 2 + 1;
+  const std::string root =
+      (fs::temp_directory_path() / "sybil_bench_crash").string();
+  fs::remove_all(root);
+
+  {
+    service_opts.dir = root + "/clean";
+    service::ServiceSupervisor clean(service_opts);
+    clean.start();
+    for (std::uint64_t i = 0; i < events.size(); ++i) {
+      clean.offer(events[i], i);
+      if (i % 1024 == 1023) clean.pump();
+    }
+    clean.flush();
+    score_flags(clean.take_flagged(), is_sybil, run.clean_flagged,
+                run.clean_precision, run.clean_recall);
+  }
+
+  service_opts.dir = root + "/crash";
+  std::uint64_t next = 0;
+  bool finished = false;
+  while (!finished) {
+    // A fresh supervisor per life: the previous one was dropped with no
+    // flush and no warning — the WAL + checkpoints are all that's left.
+    service::ServiceSupervisor s(service_opts);
+    const auto t0 = std::chrono::steady_clock::now();
+    const service::RecoveryReport report = s.start();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (next != 0) {  // the first start is a cold boot, not a recovery
+      run.recovery_total_ms += ms;
+      run.recovery_max_ms = std::max(run.recovery_max_ms, ms);
+      run.records_replayed += report.records_replayed;
+    }
+    next = report.next_index;
+    const std::uint64_t stop =
+        std::min<std::uint64_t>(events.size(), next + crash_every);
+    for (; next < stop; ++next) {
+      s.offer(events[next], next);
+      if (next % 1024 == 1023) s.pump();
+    }
+    if (stop == events.size()) {
+      s.flush();
+      score_flags(s.take_flagged(), is_sybil, run.recovered_flagged,
+                  run.recovered_precision, run.recovered_recall);
+      finished = true;
+    } else {
+      ++run.crashes;
+    }
+  }
+  fs::remove_all(root);
+
+  if (run.recovered_flagged != run.clean_flagged ||
+      run.recovered_precision != run.clean_precision ||
+      run.recovered_recall != run.clean_recall) {
+    throw std::logic_error(
+        "run_crash_recovery: recovered verdicts differ from the "
+        "uninterrupted run — exactly-once recovery is broken");
+  }
+  return run;
+}
+
+void print_crash_recovery(const CrashRecoveryRun& run) {
+  std::printf(
+      "\n--- CRASH RECOVERY (kill + recover every %llu events) ---\n",
+      static_cast<unsigned long long>(run.crash_every));
+  std::printf("# service: events=%llu crashes=%llu wal_replayed=%llu\n",
+              static_cast<unsigned long long>(run.events),
+              static_cast<unsigned long long>(run.crashes),
+              static_cast<unsigned long long>(run.records_replayed));
+  const char* timing_env = std::getenv("SYBIL_BENCH_TIMING");
+  if ((timing_env == nullptr || std::strcmp(timing_env, "off") != 0) &&
+      run.crashes > 0) {
+    std::printf(
+        "# timing: %llu recoveries in %.1f ms (mean %.2f ms, max %.2f "
+        "ms)\n",
+        static_cast<unsigned long long>(run.crashes),
+        run.recovery_total_ms,
+        run.recovery_total_ms / static_cast<double>(run.crashes),
+        run.recovery_max_ms);
+  }
+  std::printf("%-10s %10s %10s %8s\n", "pass", "flagged", "precision",
+              "recall");
+  std::printf("%-10s %10zu %10.3f %8.3f\n", "clean", run.clean_flagged,
+              run.clean_precision, run.clean_recall);
+  std::printf("%-10s %10zu %10.3f %8.3f\n", "recovered",
+              run.recovered_flagged, run.recovered_precision,
+              run.recovered_recall);
+  std::printf("%-10s %10lld %10.3f %8.3f\n", "delta",
+              static_cast<long long>(run.recovered_flagged) -
+                  static_cast<long long>(run.clean_flagged),
+              run.recovered_precision - run.clean_precision,
+              run.recovered_recall - run.clean_recall);
 }
 
 void print_metrics_block() {

@@ -177,4 +177,37 @@ ChaosRun run_chaos(const osn::EventLog& log,
 /// byte-stable rows (fault counts and flag sets are seed-determined).
 void print_chaos(const ChaosRun& run);
 
+/// One clean-vs-crash-recovered service comparison: the same event log
+/// driven through a supervised service twice — once uninterrupted, once
+/// killed (no flush, no warning) and recovered every `crash_every`
+/// offers. Exactly-once recovery makes the flag sets identical; the
+/// precision/recall delta row this produces is REQUIRED to be zero.
+struct CrashRecoveryRun {
+  std::uint64_t crash_every = 0;
+  std::uint64_t events = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t records_replayed = 0;  // summed over all recoveries
+  double recovery_total_ms = 0.0;      // wall clock, not byte-stable
+  double recovery_max_ms = 0.0;
+  std::size_t clean_flagged = 0;
+  std::size_t recovered_flagged = 0;
+  double clean_precision = 0.0;
+  double clean_recall = 0.0;
+  double recovered_precision = 0.0;
+  double recovered_recall = 0.0;
+};
+
+/// Runs both passes in throwaway state directories under the system
+/// temp dir. Deterministic in (log, options, crash_every) apart from
+/// the wall-clock latency fields.
+CrashRecoveryRun run_crash_recovery(const osn::EventLog& log,
+                                    const std::vector<bool>& is_sybil,
+                                    const core::DetectorOptions& options,
+                                    std::uint64_t crash_every);
+
+/// Prints the clean row, the recovered row, and the delta row
+/// (byte-stable); recovery latency goes to a `# timing` comment line,
+/// suppressed by SYBIL_BENCH_TIMING=off like every other timing line.
+void print_crash_recovery(const CrashRecoveryRun& run);
+
 }  // namespace sybil::bench

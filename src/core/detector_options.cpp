@@ -50,6 +50,20 @@ void DetectorOptions::validate() const {
       !std::isfinite(sweep_deadline_millis)) {
     reject("sweep_deadline_millis must be finite and >= 0 (0 disables)");
   }
+  if (overload.queue_capacity == 0) {
+    reject("overload.queue_capacity must be >= 1");
+  }
+  if (overload.shed_watermark == 0 ||
+      overload.shed_watermark > overload.sweep_only_watermark) {
+    reject("overload.shed_watermark must be in [1, sweep_only_watermark]");
+  }
+  if (overload.sweep_only_watermark > overload.queue_capacity) {
+    reject("overload.sweep_only_watermark must be <= queue_capacity");
+  }
+  if (overload.resume_watermark >= overload.shed_watermark) {
+    reject(
+        "overload.resume_watermark must be < shed_watermark (hysteresis)");
+  }
 }
 
 }  // namespace sybil::core

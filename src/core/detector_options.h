@@ -53,6 +53,52 @@ struct IngestOptions {
   std::uint32_t max_account_id = (1u << 24) - 1;
 };
 
+/// Degradation tier of the supervised detection service
+/// (service::ServiceSupervisor). Ordered by severity; transitions are
+/// driven by ingest-queue depth watermarks (see OverloadOptions).
+enum class ServiceTier : std::uint32_t {
+  /// Every admissible event kind is accepted.
+  kFull = 0,
+  /// Low-priority event kinds (account creations, dropped requests,
+  /// seeded friendships) are shed; the request/accept/reject/ban flow
+  /// that drives the threshold features still lands.
+  kShedLowPriority = 1,
+  /// Flag-sweep-only: everything except bans is shed. The detector
+  /// keeps its existing state current against bans and keeps emitting
+  /// flags from periodic sweeps, but ingests no new feature evidence.
+  kSweepOnly = 2,
+};
+
+constexpr const char* to_string(ServiceTier tier) noexcept {
+  switch (tier) {
+    case ServiceTier::kFull: return "full";
+    case ServiceTier::kShedLowPriority: return "shed-low-priority";
+    case ServiceTier::kSweepOnly: return "sweep-only";
+  }
+  return "unknown";
+}
+
+/// Overload-control knobs of the supervised service: a bounded ingest
+/// queue with watermark-based tier transitions (hysteresis: the service
+/// degrades at the shed/sweep-only watermarks and recovers only once
+/// the queue has drained to the resume watermark, so a load spike does
+/// not make the tier flap). Ban events are never shed at any tier or
+/// depth — a ban that fails to apply would corrupt verdicts.
+struct OverloadOptions {
+  /// Hard bound on queued events; beyond it every non-ban event is
+  /// shed regardless of tier.
+  std::size_t queue_capacity = 8192;
+  /// Queue depth at or above which the service enters
+  /// ServiceTier::kShedLowPriority.
+  std::size_t shed_watermark = 4096;
+  /// Queue depth at or above which the service enters
+  /// ServiceTier::kSweepOnly.
+  std::size_t sweep_only_watermark = 6144;
+  /// Queue depth at or below which a degraded service returns to
+  /// ServiceTier::kFull.
+  std::size_t resume_watermark = 1024;
+};
+
 struct DetectorOptions {
   /// The threshold rule both detector paths apply (paper Section 2.3).
   ThresholdRule rule{};
@@ -69,6 +115,10 @@ struct DetectorOptions {
 
   /// Streaming ingestion hardening (see IngestOptions).
   IngestOptions ingest{};
+
+  /// Degradation tiers of the supervised service (see OverloadOptions;
+  /// ignored by detectors used without a ServiceSupervisor).
+  OverloadOptions overload{};
 
   /// Real-time sweep degradation: at most this many candidates are
   /// evaluated per sweep (0 = unlimited); the remainder carries over to

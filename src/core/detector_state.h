@@ -1,0 +1,47 @@
+// Exact-state codec for the detection pipeline, used by the service
+// layer's incremental checkpoints (src/service/checkpoint.h).
+//
+// serialize_*/restore_* capture the COMPLETE private state of a
+// StreamDetector / RealTimeDetector — ledgers, watcher index, reorder
+// buffer (exact heap array, so resumed releases pop in the same order),
+// dedup sets, accounting counters, adaptive-tuner reservoirs and RNG
+// stream — such that a restored detector is byte-identical to one that
+// never stopped: same verdicts, same feature snapshots, same counters,
+// and identical bytes from the next serialize call (save-load-save
+// stability). Hash-set contents are serialized sorted for that
+// stability; their iteration order is never observable in behavior.
+//
+// The caller must restore into a detector constructed with the SAME
+// DetectorOptions that produced the blob (the service persists options
+// digest-free: options are code-level configuration, not state).
+//
+// Uses only the header-only ByteWriter/ByteReader and typed
+// SnapshotError from src/io — no link dependency on sybil_io, keeping
+// core -> io acyclic at the library level (the same arrangement as
+// graph's use of io/error.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sybil::core {
+
+class StreamDetector;
+class RealTimeDetector;
+
+/// Blob format revision; bumped when the member list changes. Readers
+/// reject newer revisions with SnapshotError(kUnsupportedVersion).
+inline constexpr std::uint32_t kDetectorStateVersion = 1;
+
+std::vector<std::byte> serialize_stream_state(const StreamDetector& d);
+/// Throws io::SnapshotError on truncated/malformed/newer-version blobs;
+/// `d` is left in an unspecified but destructible state on throw.
+void restore_stream_state(StreamDetector& d, std::span<const std::byte> blob);
+
+std::vector<std::byte> serialize_realtime_state(const RealTimeDetector& d);
+void restore_realtime_state(RealTimeDetector& d,
+                            std::span<const std::byte> blob);
+
+}  // namespace sybil::core

@@ -29,7 +29,19 @@ StreamDetector::StreamDetector(const DetectorOptions& options)
       }()),
       detector_(options.rule),
       high_watermark_(-std::numeric_limits<graph::Time>::infinity()),
-      next_auto_seq_(kAutoSeqBase) {}
+      next_auto_seq_(kAutoSeqBase) {
+  // Pre-register the dead-letter reason counters so every metrics
+  // export carries the full reason breakdown (zeros included) — a
+  // dashboard can tell "no dead letters" from "counter never existed",
+  // and the shed/deadletter tiers stay distinguishable.
+  SYBIL_METRIC_COUNT("stream.deadletter.total", 0);
+  SYBIL_METRIC_COUNT("stream.deadletter.unknown_event_type", 0);
+  SYBIL_METRIC_COUNT("stream.deadletter.invalid_account_id", 0);
+  SYBIL_METRIC_COUNT("stream.deadletter.self_referential", 0);
+  SYBIL_METRIC_COUNT("stream.deadletter.non_finite_time", 0);
+  SYBIL_METRIC_COUNT("stream.deadletter.time_regression", 0);
+  SYBIL_METRIC_COUNT("stream.deadletter.dropped", 0);
+}
 
 void StreamDetector::ensure(osn::NodeId id) {
   if (id >= accounts_.size()) {
@@ -185,6 +197,15 @@ FlagBatch StreamDetector::take_flagged() {
   return out;
 }
 
+std::size_t StreamDetector::sweep_flags(graph::Time now) {
+  SYBIL_METRIC_SCOPED_TIMER(span, "stream.sweep_flags");
+  const std::size_t before = newly_flagged_.size();
+  for (osn::NodeId id = 0; id < accounts_.size(); ++id) {
+    maybe_flag(id, now);
+  }
+  return newly_flagged_.size() - before;
+}
+
 void StreamDetector::dispatch(const osn::Event& e) {
   switch (e.type) {
     case osn::EventType::kRequestSent:
@@ -240,6 +261,7 @@ bool StreamDetector::structurally_valid(const osn::Event& e,
 void StreamDetector::quarantine(const osn::Event& e, std::uint64_t seq,
                                 StreamErrorCode reason) {
   ++deadletter_total_;
+  ++deadletter_by_reason_[static_cast<std::size_t>(reason)];
   SYBIL_METRIC_COUNT("stream.deadletter.total", 1);
   switch (reason) {
     case StreamErrorCode::kUnknownEventType:

@@ -120,6 +120,14 @@ class StreamDetector {
   }
   std::uint64_t buffered() const noexcept { return reorder_.size(); }
 
+  /// Exact dead-letter count for one rejection reason; the sum over all
+  /// reasons equals deadletter_total(). Unlike the dead-letter queue
+  /// (bounded, evicting) these counters never lose history — they are
+  /// what the service's accounting JSON and dashboards break down by.
+  std::uint64_t deadletter_by_reason(StreamErrorCode reason) const noexcept {
+    return deadletter_by_reason_[static_cast<std::size_t>(reason)];
+  }
+
   /// Most recent quarantined events (at most ingest.dead_letter_capacity;
   /// older entries evicted and counted in dead_letters_dropped()).
   const std::deque<DeadLetter>& dead_letters() const noexcept {
@@ -144,11 +152,23 @@ class StreamDetector {
   /// reported at most once, banned accounts never.
   FlagBatch take_flagged();
 
+  /// Re-evaluates every known account against the rule and stamps new
+  /// flags with `now` — the flag-sweep-only degradation tier's periodic
+  /// pass, which must keep emitting verdicts from existing evidence
+  /// even while feature ingestion is shed. Returns how many accounts
+  /// were newly flagged (retrieve them via take_flagged()).
+  std::size_t sweep_flags(graph::Time now);
+
   const ThresholdRule& rule() const noexcept { return detector_.rule(); }
   std::size_t flagged_total() const noexcept { return flagged_total_; }
   std::size_t accounts_seen() const noexcept { return accounts_.size(); }
 
  private:
+  /// Checkpoint codec (core/detector_state.h): serializes the complete
+  /// private state so a recovered detector is byte-identical to one
+  /// that never stopped. Kept out of the public API on purpose.
+  friend struct DetectorStateAccess;
+
   struct AccountState {
     osn::RequestLedger ledger;
     std::vector<osn::NodeId> first_friends;  // chronological, size <= K
@@ -216,6 +236,7 @@ class StreamDetector {
   std::uint64_t applied_total_ = 0;
   std::uint64_t deduped_total_ = 0;
   std::uint64_t deadletter_total_ = 0;
+  std::uint64_t deadletter_by_reason_[kStreamErrorCodeCount] = {};
   std::uint64_t dead_letters_dropped_ = 0;
   std::uint64_t banned_party_total_ = 0;
 };

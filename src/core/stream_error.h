@@ -19,6 +19,7 @@
 // dependencies.
 #pragma once
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 
@@ -31,6 +32,10 @@ enum class StreamErrorCode {
   kNonFiniteTime,     // NaN or infinite timestamp
   kTimeRegression,    // event time below the reorder low watermark
 };
+
+/// Number of StreamErrorCode values — sizes the per-reason dead-letter
+/// counter array and lets exporters iterate the taxonomy.
+inline constexpr std::size_t kStreamErrorCodeCount = 5;
 
 /// Returns a stable identifier ("time-regression", ...) for logging,
 /// metrics suffixes and test assertions.

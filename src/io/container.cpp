@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "core/metrics/instrument.h"
 #include "io/crc32.h"
@@ -39,6 +41,30 @@ constexpr std::size_t align_up(std::size_t n) noexcept {
 }
 
 }  // namespace
+
+bool fsync_enabled() noexcept {
+  const char* v = std::getenv("SYBIL_IO_FSYNC");
+  if (v == nullptr) return true;  // durable by default
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0);
+}
+
+bool fsync_parent_dir(const std::string& path) noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (ok) SYBIL_METRIC_COUNT("io.fsyncs", 1);
+  return ok;
+#else
+  (void)path;
+  return true;
+#endif
+}
 
 void ContainerWriter::add_section(std::uint32_t id,
                                   std::vector<std::byte> payload) {
@@ -104,13 +130,18 @@ std::vector<std::byte> ContainerWriter::serialize() const {
   return out;
 }
 
-void ContainerWriter::commit(const std::string& path) const {
+void ContainerWriter::commit(const std::string& path, SyncMode sync) const {
   SYBIL_METRIC_SCOPED_TIMER(span, "io.container.commit");
+  const bool want_sync =
+      sync == SyncMode::kAlways || (sync == SyncMode::kEnv && fsync_enabled());
   const std::vector<std::byte> image = serialize();
   const std::string tmp = path + ".tmp";
   // Write-to-temp-then-rename: the target name only ever points at a
-  // complete, fsync'd image, so a crash mid-save cannot corrupt an
+  // complete image, so a process crash mid-save cannot corrupt an
   // existing snapshot or leave a short file under the final name.
+  // Machine-crash durability additionally requires fsync of the image
+  // and, after the rename, of the parent directory (the rename itself
+  // lives in directory metadata) — governed by `sync`.
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     throw SnapshotError(SnapshotErrorCode::kWriteFailed,
@@ -121,7 +152,10 @@ void ContainerWriter::commit(const std::string& path) const {
       std::fwrite(image.data(), 1, image.size(), f) == image.size();
   bool synced = wrote && std::fflush(f) == 0;
 #if defined(__unix__) || defined(__APPLE__)
-  synced = synced && ::fsync(::fileno(f)) == 0;
+  if (want_sync) {
+    synced = synced && ::fsync(::fileno(f)) == 0;
+    if (synced) SYBIL_METRIC_COUNT("io.fsyncs", 1);
+  }
 #endif
   const bool closed = std::fclose(f) == 0;
   if (!wrote || !synced || !closed) {
@@ -133,6 +167,10 @@ void ContainerWriter::commit(const std::string& path) const {
     std::remove(tmp.c_str());
     throw SnapshotError(SnapshotErrorCode::kWriteFailed,
                         "rename failed: " + tmp + " -> " + path);
+  }
+  if (want_sync && !fsync_parent_dir(path)) {
+    throw SnapshotError(SnapshotErrorCode::kWriteFailed,
+                        "directory fsync failed for " + path);
   }
   SYBIL_METRIC_COUNT("io.bytes_written", image.size());
   SYBIL_METRIC_COUNT("io.snapshots_saved", 1);

@@ -40,7 +40,33 @@ enum class PayloadKind : std::uint32_t {
   kDataset = 3,
   kSimulatorCheckpoint = 4,
   kDefenseScenario = 5,
+  kServiceCheckpoint = 6,
 };
+
+/// Durability policy of ContainerWriter::commit. The temp+rename dance
+/// alone survives a *process* crash; surviving a *machine* crash also
+/// needs the file and its parent directory fsync'd before rename is
+/// trusted (an unsynced rename can vanish on power loss).
+enum class SyncMode {
+  /// Honor the SYBIL_IO_FSYNC environment knob (default: sync). The
+  /// posture for ordinary snapshots: durable unless an operator or a
+  /// bench harness opts out for throughput.
+  kEnv,
+  /// Always fsync file + parent directory regardless of the knob.
+  kAlways,
+  /// Never fsync (temp files a bench discards; still atomic vs process
+  /// crash via temp+rename).
+  kNever,
+};
+
+/// The SYBIL_IO_FSYNC knob, read per call like SYBIL_IO_MMAP: unset,
+/// "1" or "on" → true; "0" or "off" → false.
+bool fsync_enabled() noexcept;
+
+/// fsyncs an already-renamed path's parent directory so the rename
+/// itself is durable. Returns false on failure (non-fatal for readers;
+/// commit() turns it into kWriteFailed). No-op on non-POSIX builds.
+bool fsync_parent_dir(const std::string& path) noexcept;
 
 /// Newest container revision this build writes and the fence readers
 /// enforce: version <= kFormatVersion loads, anything newer is rejected
@@ -70,8 +96,10 @@ class ContainerWriter {
 
   /// Serializes header + table + payloads and atomically replaces
   /// `path`. Throws SnapshotError(kWriteFailed) on any I/O failure; the
-  /// temp file is removed, the target is left untouched.
-  void commit(const std::string& path) const;
+  /// temp file is removed, the target is left untouched. `sync` decides
+  /// whether the image and the parent directory are fsync'd before the
+  /// commit is reported durable (see SyncMode).
+  void commit(const std::string& path, SyncMode sync = SyncMode::kEnv) const;
 
   /// In-memory serialization (what commit() writes) — for tests and
   /// corruption-injection tooling.

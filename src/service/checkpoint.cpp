@@ -1,0 +1,164 @@
+#include "service/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/metrics/instrument.h"
+#include "io/container.h"
+#include "io/error.h"
+
+namespace sybil::service {
+
+namespace fs = std::filesystem;
+using io::ByteReader;
+using io::ByteWriter;
+using io::SnapshotError;
+using io::SnapshotErrorCode;
+
+namespace {
+
+// Section ids within the kServiceCheckpoint container.
+constexpr std::uint32_t kSecMeta = 1;
+constexpr std::uint32_t kSecQueue = 2;
+constexpr std::uint32_t kSecStream = 3;
+constexpr std::uint32_t kSecRealtime = 4;
+
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+}  // namespace
+
+void save_service_checkpoint(const std::string& path,
+                             const ServiceCheckpointState& state) {
+  SYBIL_METRIC_SCOPED_TIMER(span, "service.checkpoint.save");
+  io::ContainerWriter writer(io::PayloadKind::kServiceCheckpoint);
+
+  ByteWriter meta;
+  meta.write(kCheckpointVersion);
+  meta.write(state.tier);
+  meta.write(state.wal_position);
+  meta.write(state.offered);
+  meta.write(state.admitted);
+  meta.write(state.pumped);
+  meta.write(state.shed_low_priority);
+  meta.write(state.shed_sweep_only);
+  meta.write(state.shed_capacity);
+  meta.write(state.sweeps);
+  meta.write(state.sweep_flagged);
+  writer.add_section(kSecMeta, std::move(meta).take());
+
+  ByteWriter queue;
+  queue.write(static_cast<std::uint64_t>(state.queue.size()));
+  for (const WalRecord& r : state.queue) {
+    queue.write(r.index);
+    queue.write(r.seq);
+    queue.write(static_cast<std::uint32_t>(r.event.type));
+    queue.write(r.event.actor);
+    queue.write(r.event.subject);
+    queue.write(r.event.time);
+    queue.write(r.flags);
+  }
+  writer.add_section(kSecQueue, std::move(queue).take());
+
+  writer.add_section(kSecStream, state.stream_state);
+  writer.add_section(kSecRealtime, state.realtime_state);
+  // SyncMode::kEnv: durable by default; the SYBIL_IO_FSYNC knob can
+  // turn sync off for throwaway state dirs (benches, crash sweeps).
+  writer.commit(path, io::SyncMode::kEnv);
+  SYBIL_METRIC_COUNT("service.checkpoint.saved", 1);
+}
+
+ServiceCheckpointState load_service_checkpoint(const std::string& path) {
+  SYBIL_METRIC_SCOPED_TIMER(span, "service.checkpoint.load");
+  const io::ContainerReader reader(path, io::PayloadKind::kServiceCheckpoint);
+  ServiceCheckpointState state;
+
+  ByteReader meta(reader.section(kSecMeta));
+  const auto version = meta.read<std::uint32_t>();
+  if (version > kCheckpointVersion) {
+    throw SnapshotError(SnapshotErrorCode::kUnsupportedVersion,
+                        "service checkpoint v" + std::to_string(version) +
+                            " newer than supported v" +
+                            std::to_string(kCheckpointVersion));
+  }
+  state.tier = meta.read<std::uint32_t>();
+  state.wal_position = meta.read<std::uint64_t>();
+  state.offered = meta.read<std::uint64_t>();
+  state.admitted = meta.read<std::uint64_t>();
+  state.pumped = meta.read<std::uint64_t>();
+  state.shed_low_priority = meta.read<std::uint64_t>();
+  state.shed_sweep_only = meta.read<std::uint64_t>();
+  state.shed_capacity = meta.read<std::uint64_t>();
+  state.sweeps = meta.read<std::uint64_t>();
+  state.sweep_flagged = meta.read<std::uint64_t>();
+
+  ByteReader queue(reader.section(kSecQueue));
+  const auto n = queue.read<std::uint64_t>();
+  if (n > (std::uint64_t{1} << 32)) {
+    throw SnapshotError(SnapshotErrorCode::kFormatViolation,
+                        "checkpoint queue count implausibly large");
+  }
+  state.queue.resize(n);
+  for (WalRecord& r : state.queue) {
+    r.index = queue.read<std::uint64_t>();
+    r.seq = queue.read<std::uint64_t>();
+    r.event.type = static_cast<osn::EventType>(queue.read<std::uint32_t>());
+    r.event.actor = queue.read<graph::NodeId>();
+    r.event.subject = queue.read<graph::NodeId>();
+    r.event.time = queue.read<graph::Time>();
+    r.flags = queue.read<std::uint32_t>();
+  }
+
+  const auto stream = reader.section(kSecStream);
+  state.stream_state.assign(stream.begin(), stream.end());
+  const auto realtime = reader.section(kSecRealtime);
+  state.realtime_state.assign(realtime.begin(), realtime.end());
+  SYBIL_METRIC_COUNT("service.checkpoint.loaded", 1);
+  return state;
+}
+
+std::string checkpoint_path(const std::string& dir, std::uint64_t position) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "ckpt-%020llu.sybs",
+                static_cast<unsigned long long>(position));
+  return dir + "/" + buf;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> list_checkpoints(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  if (!fs::exists(dir)) return out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() != 30 || name.rfind("ckpt-", 0) != 0 ||
+        name.substr(25) != ".sybs") {
+      continue;
+    }
+    const std::string digits = name.substr(5, 20);
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    out.emplace_back(std::stoull(digits), entry.path().string());
+  }
+  if (ec) {
+    throw SnapshotError(SnapshotErrorCode::kOpenFailed,
+                        "cannot list checkpoint directory " + dir);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t prune_checkpoints(const std::string& dir, std::size_t retain) {
+  const auto generations = list_checkpoints(dir);
+  std::uint64_t removed = 0;
+  if (generations.size() <= retain) return removed;
+  for (std::size_t i = 0; i + retain < generations.size(); ++i) {
+    std::error_code ec;
+    if (fs::remove(generations[i].second, ec) && !ec) ++removed;
+  }
+  if (removed > 0) {
+    SYBIL_METRIC_COUNT("service.checkpoint.pruned", removed);
+  }
+  return removed;
+}
+
+}  // namespace sybil::service

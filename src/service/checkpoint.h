@@ -1,0 +1,72 @@
+// Incremental service checkpoints: SYBS containers (PR 3 subsystem,
+// PayloadKind::kServiceCheckpoint) capturing everything the supervisor
+// needs to resume byte-identically — the two detectors' exact state
+// (core/detector_state.h), the admitted-but-unpumped queue, the
+// replay-exact accounting counters, the degradation tier, and the WAL
+// position P (count of WAL records written when the checkpoint was
+// taken). Recovery = load the newest valid generation + replay WAL
+// records with index >= P; the checkpointed queue holds exactly the
+// admitted records below P that had not reached the detector, so the
+// two sources are disjoint and exactly-once is exact by construction
+// (the detector's seq dedup remains as defense in depth).
+//
+// Generations: files are named "ckpt-<20-digit P>.sybs" in their own
+// directory; bounded retention keeps the newest K. A corrupt newest
+// generation (typed SnapshotError on load) falls back to the previous
+// one — never a crash, never silent loss (docs/ROBUSTNESS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/wal.h"
+
+namespace sybil::service {
+
+/// Everything a checkpoint stores; the supervisor fills/consumes it.
+struct ServiceCheckpointState {
+  std::uint64_t wal_position = 0;
+  std::uint32_t tier = 0;
+  // Replay-exact workload counters (see ServiceSupervisor::stats_json).
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t pumped = 0;
+  std::uint64_t shed_low_priority = 0;
+  std::uint64_t shed_sweep_only = 0;
+  std::uint64_t shed_capacity = 0;
+  std::uint64_t sweeps = 0;
+  std::uint64_t sweep_flagged = 0;
+  /// Admitted records (index < wal_position) not yet pumped, in offer
+  /// order.
+  std::vector<WalRecord> queue;
+  /// core::serialize_stream_state / serialize_realtime_state blobs.
+  std::vector<std::byte> stream_state;
+  std::vector<std::byte> realtime_state;
+};
+
+/// Atomically commits `state` to `path`, durably unless the
+/// SYBIL_IO_FSYNC knob opts out (io::SyncMode::kEnv — the machine-crash
+/// recovery proof assumes the knob is on, its default; process-crash
+/// recovery holds either way). Throws io::SnapshotError.
+void save_service_checkpoint(const std::string& path,
+                             const ServiceCheckpointState& state);
+
+/// Loads and fully validates one generation; throws the matching typed
+/// io::SnapshotError on any corruption (the supervisor catches it and
+/// falls back a generation).
+ServiceCheckpointState load_service_checkpoint(const std::string& path);
+
+/// "<dir>/ckpt-<20-digit position>.sybs".
+std::string checkpoint_path(const std::string& dir, std::uint64_t position);
+
+/// Checkpoint generations in `dir`, sorted by WAL position ascending.
+std::vector<std::pair<std::uint64_t, std::string>> list_checkpoints(
+    const std::string& dir);
+
+/// Deletes all but the newest `retain` generations; returns how many
+/// were removed.
+std::uint64_t prune_checkpoints(const std::string& dir, std::size_t retain);
+
+}  // namespace sybil::service

@@ -1,0 +1,370 @@
+#include "service/supervisor.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+#include "core/detector_state.h"
+#include "core/metrics/instrument.h"
+#include "io/error.h"
+
+namespace sybil::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t tier_bits(core::ServiceTier tier) noexcept {
+  return (static_cast<std::uint32_t>(tier) << WalRecordFlags::kTierShift) &
+         WalRecordFlags::kTierMask;
+}
+
+constexpr core::ServiceTier tier_from_flags(std::uint32_t flags) noexcept {
+  return static_cast<core::ServiceTier>((flags & WalRecordFlags::kTierMask) >>
+                                        WalRecordFlags::kTierShift);
+}
+
+/// Kinds shed at ServiceTier::kShedLowPriority — bookkeeping events
+/// whose loss degrades feature freshness but cannot lose a verdict
+/// (the request/accept/reject flow and bans still land).
+bool low_priority(osn::EventType t) noexcept {
+  return t == osn::EventType::kAccountCreated ||
+         t == osn::EventType::kRequestDropped ||
+         t == osn::EventType::kFriendshipSeeded;
+}
+
+void fire(const CrashHook& hook, CrashPoint p) {
+  if (hook) hook(p);
+}
+
+void append_field(std::string& out, const char* key, std::uint64_t value) {
+  if (out.back() != '{') out += ',';
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+void ServiceOptions::validate() const {
+  detector.validate();
+  if (dir.empty()) {
+    throw std::invalid_argument("ServiceOptions::dir must be non-empty");
+  }
+  if (wal_segment_records == 0) {
+    throw std::invalid_argument(
+        "ServiceOptions::wal_segment_records must be >= 1");
+  }
+  if (checkpoint_retain == 0) {
+    throw std::invalid_argument("ServiceOptions::checkpoint_retain must be "
+                                ">= 1 (retention is the fallback depth)");
+  }
+}
+
+ServiceSupervisor::ServiceSupervisor(const ServiceOptions& options)
+    : options_((options.validate(), options)),
+      detector_(options.detector),
+      realtime_(options.detector) {}
+
+ServiceSupervisor::~ServiceSupervisor() = default;
+
+void ServiceSupervisor::require_started(const char* what) const {
+  if (!started_) {
+    throw std::logic_error(std::string("ServiceSupervisor::") + what +
+                           " before start()");
+  }
+}
+
+void ServiceSupervisor::reset_state() {
+  detector_ = core::StreamDetector(options_.detector);
+  realtime_ = core::RealTimeDetector(options_.detector);
+  queue_.clear();
+  tier_ = core::ServiceTier::kFull;
+  offered_ = admitted_ = pumped_ = 0;
+  shed_low_priority_ = shed_sweep_only_ = shed_capacity_ = 0;
+  sweeps_ = sweep_flagged_ = 0;
+}
+
+RecoveryReport ServiceSupervisor::start() {
+  if (started_) {
+    throw std::logic_error("ServiceSupervisor::start called twice");
+  }
+  SYBIL_METRIC_SCOPED_TIMER(span, "service.recovery");
+  const std::string wal_dir = options_.dir + "/wal";
+  const std::string ckpt_dir = options_.dir + "/ckpt";
+  fs::create_directories(ckpt_dir);
+
+  RecoveryReport report;
+  std::uint64_t from_index = 0;
+
+  // Newest valid checkpoint generation wins; corrupt generations are
+  // discarded (typed SnapshotError) and the previous one is tried —
+  // never a crash, never silent loss, just a longer WAL replay.
+  const auto generations = list_checkpoints(ckpt_dir);
+  for (std::size_t i = generations.size(); i-- > 0;) {
+    try {
+      const ServiceCheckpointState state =
+          load_service_checkpoint(generations[i].second);
+      core::restore_stream_state(detector_, state.stream_state);
+      core::restore_realtime_state(realtime_, state.realtime_state);
+      queue_.assign(state.queue.begin(), state.queue.end());
+      tier_ = static_cast<core::ServiceTier>(state.tier);
+      offered_ = state.offered;
+      admitted_ = state.admitted;
+      pumped_ = state.pumped;
+      shed_low_priority_ = state.shed_low_priority;
+      shed_sweep_only_ = state.shed_sweep_only;
+      shed_capacity_ = state.shed_capacity;
+      sweeps_ = state.sweeps;
+      sweep_flagged_ = state.sweep_flagged;
+      report.cold_start = false;
+      report.checkpoint_file = generations[i].second;
+      report.checkpoint_position = state.wal_position;
+      from_index = state.wal_position;
+      break;
+    } catch (const io::SnapshotError&) {
+      reset_state();  // a partial restore must not leak into a fallback
+      ++report.generations_discarded;
+      SYBIL_METRIC_COUNT("service.recovery.generations_discarded", 1);
+    }
+  }
+
+  // Replay the WAL suffix, re-executing each record's recorded
+  // admission verdict: shed records advance the shed counters they
+  // advanced the first time, admitted records re-enter the queue. The
+  // checkpointed queue holds only indices below from_index and the
+  // replay only indices at or above it, so nothing is applied twice.
+  WalScanReport scan;
+  const std::vector<WalRecord> records = scan_wal(wal_dir, from_index, scan);
+  for (const WalRecord& r : records) {
+    ++offered_;
+    if (r.shed()) {
+      if ((r.flags & WalRecordFlags::kCapacity) != 0) {
+        ++shed_capacity_;
+      } else if (tier_from_flags(r.flags) == core::ServiceTier::kSweepOnly) {
+        ++shed_sweep_only_;
+      } else {
+        ++shed_low_priority_;
+      }
+    } else {
+      queue_.push_back(r);
+      ++admitted_;
+    }
+    tier_ = tier_from_flags(r.flags);
+  }
+  report.records_replayed = records.size();
+  report.records_truncated = scan.records_truncated;
+  report.torn_tails_healed = scan.torn_tails_healed;
+
+  // Appends resume on a fresh segment past everything durable. (The
+  // max guards the kOnRotate/kNever policies, where a checkpoint may
+  // outlive unsynced WAL records it thought it covered.)
+  const std::uint64_t next = std::max(from_index, scan.next_index);
+  WalOptions wal_opts;
+  wal_opts.dir = wal_dir;
+  wal_opts.segment_records = options_.wal_segment_records;
+  wal_opts.fsync = options_.wal_fsync;
+  wal_opts.crash_hook = options_.crash_hook;
+  wal_ = std::make_unique<WalWriter>(wal_opts, next);
+
+  report.next_index = next;
+  recovery_ = report;
+  started_ = true;
+  SYBIL_METRIC_COUNT("service.recovery.count", 1);
+  if (report.cold_start) SYBIL_METRIC_COUNT("service.recovery.cold_starts", 1);
+  SYBIL_METRIC_COUNT("service.recovery.replayed_records",
+                     report.records_replayed);
+  SYBIL_METRIC_GAUGE_SET("service.queue.depth", queue_.size());
+  SYBIL_METRIC_GAUGE_SET("service.tier", static_cast<std::uint32_t>(tier_));
+  return report;
+}
+
+void ServiceSupervisor::update_tier() {
+  const auto& o = options_.detector.overload;
+  const std::size_t depth = queue_.size();
+  core::ServiceTier next = tier_;
+  if (depth >= o.sweep_only_watermark) {
+    next = core::ServiceTier::kSweepOnly;
+  } else if (depth >= o.shed_watermark) {
+    // Degrade at least one tier, but never un-degrade here: a queue
+    // between the watermarks keeps the tier it has (hysteresis).
+    if (tier_ == core::ServiceTier::kFull) {
+      next = core::ServiceTier::kShedLowPriority;
+    }
+  } else if (depth <= o.resume_watermark) {
+    next = core::ServiceTier::kFull;
+  }
+  if (next != tier_) {
+    tier_ = next;
+    ++tier_transitions_;
+    SYBIL_METRIC_COUNT("service.tier.transitions", 1);
+  }
+  SYBIL_METRIC_GAUGE_SET("service.tier", static_cast<std::uint32_t>(tier_));
+}
+
+bool ServiceSupervisor::offer(const osn::Event& e, std::uint64_t seq) {
+  require_started("offer");
+  update_tier();
+  const bool ban = e.type == osn::EventType::kAccountBanned;
+  bool shed = false;
+  bool capacity = false;
+  if (!ban) {
+    if (queue_.size() >= options_.detector.overload.queue_capacity) {
+      shed = capacity = true;
+    } else if (tier_ == core::ServiceTier::kSweepOnly) {
+      shed = true;
+    } else if (tier_ == core::ServiceTier::kShedLowPriority &&
+               low_priority(e.type)) {
+      shed = true;
+    }
+  }
+
+  std::uint32_t flags = tier_bits(tier_);
+  if (shed) flags |= WalRecordFlags::kShed;
+  if (capacity) flags |= WalRecordFlags::kCapacity;
+
+  // Durability first: the verdict is logged before it takes effect, so
+  // a crash between append and enqueue loses only counter increments
+  // that replay re-derives from the record itself.
+  const std::uint64_t index = wal_->append(e, seq, flags);
+  ++offered_;
+  if (shed) {
+    if (capacity) {
+      ++shed_capacity_;
+      SYBIL_METRIC_COUNT("service.shed.capacity", 1);
+    } else if (tier_ == core::ServiceTier::kSweepOnly) {
+      ++shed_sweep_only_;
+      SYBIL_METRIC_COUNT("service.shed.sweep_only", 1);
+    } else {
+      ++shed_low_priority_;
+      SYBIL_METRIC_COUNT("service.shed.low_priority", 1);
+    }
+  } else {
+    queue_.push_back(WalRecord{index, seq, e, flags});
+    ++admitted_;
+  }
+  SYBIL_METRIC_GAUGE_SET("service.queue.depth", queue_.size());
+  maybe_checkpoint();
+  return !shed;
+}
+
+std::size_t ServiceSupervisor::pump(std::size_t max_events) {
+  require_started("pump");
+  std::size_t n = 0;
+  while (!queue_.empty() && (max_events == 0 || n < max_events)) {
+    const WalRecord r = queue_.front();
+    queue_.pop_front();
+    ++pumped_;
+    ++n;
+    detector_.ingest(r.event, r.seq);
+  }
+  SYBIL_METRIC_GAUGE_SET("service.queue.depth", queue_.size());
+  return n;
+}
+
+std::size_t ServiceSupervisor::sweep_flags(graph::Time now) {
+  require_started("sweep_flags");
+  ++sweeps_;
+  const std::size_t n = detector_.sweep_flags(now);
+  sweep_flagged_ += n;
+  SYBIL_METRIC_COUNT("service.sweeps", 1);
+  return n;
+}
+
+void ServiceSupervisor::maybe_checkpoint() {
+  if (options_.checkpoint_every == 0) return;
+  if (wal_->next_index() % options_.checkpoint_every == 0) checkpoint_now();
+}
+
+void ServiceSupervisor::checkpoint_now() {
+  require_started("checkpoint_now");
+  fire(options_.crash_hook, CrashPoint::kCheckpointCommit);
+  wal_->sync();  // a checkpoint must never claim a position past the WAL
+
+  ServiceCheckpointState state;
+  state.wal_position = wal_->next_index();
+  state.tier = static_cast<std::uint32_t>(tier_);
+  state.offered = offered_;
+  state.admitted = admitted_;
+  state.pumped = pumped_;
+  state.shed_low_priority = shed_low_priority_;
+  state.shed_sweep_only = shed_sweep_only_;
+  state.shed_capacity = shed_capacity_;
+  state.sweeps = sweeps_;
+  state.sweep_flagged = sweep_flagged_;
+  state.queue.assign(queue_.begin(), queue_.end());
+  state.stream_state = core::serialize_stream_state(detector_);
+  state.realtime_state = core::serialize_realtime_state(realtime_);
+
+  const std::string ckpt_dir = options_.dir + "/ckpt";
+  save_service_checkpoint(checkpoint_path(ckpt_dir, state.wal_position),
+                          state);
+  fire(options_.crash_hook, CrashPoint::kCheckpointCommitted);
+
+  // Retention, then WAL pruning up to the oldest *retained* generation
+  // — the fallback path must always find the records it would replay.
+  prune_checkpoints(ckpt_dir, options_.checkpoint_retain);
+  const auto generations = list_checkpoints(ckpt_dir);
+  if (!generations.empty()) {
+    prune_wal(options_.dir + "/wal", generations.front().first);
+  }
+}
+
+void ServiceSupervisor::flush() {
+  require_started("flush");
+  pump(0);
+  detector_.finish();
+  checkpoint_now();
+}
+
+bool ServiceSupervisor::accounting_ok() const noexcept {
+  const std::uint64_t shed_total =
+      shed_low_priority_ + shed_sweep_only_ + shed_capacity_;
+  if (offered_ != shed_total + queue_.size() + detector_.events_in()) {
+    return false;
+  }
+  if (admitted_ != offered_ - shed_total) return false;
+  if (pumped_ != detector_.events_in()) return false;
+  return detector_.events_in() ==
+         detector_.applied_total() + detector_.deduped_total() +
+             detector_.deadletter_total() + detector_.buffered();
+}
+
+std::string ServiceSupervisor::stats_json() const {
+  std::string out = "{";
+  append_field(out, "offered", offered_);
+  append_field(out, "admitted", admitted_);
+  out += ",\"shed\":{";
+  append_field(out, "low_priority", shed_low_priority_);
+  append_field(out, "sweep_only", shed_sweep_only_);
+  append_field(out, "capacity", shed_capacity_);
+  append_field(out, "total",
+               shed_low_priority_ + shed_sweep_only_ + shed_capacity_);
+  out += '}';
+  append_field(out, "queued", queue_.size());
+  append_field(out, "pumped", pumped_);
+  append_field(out, "applied", detector_.applied_total());
+  append_field(out, "deduped", detector_.deduped_total());
+  out += ",\"deadlettered\":{";
+  append_field(out, "total", detector_.deadletter_total());
+  for (std::size_t i = 0; i < core::kStreamErrorCodeCount; ++i) {
+    const auto code = static_cast<core::StreamErrorCode>(i);
+    append_field(out, core::to_string(code),
+                 detector_.deadletter_by_reason(code));
+  }
+  append_field(out, "dropped", detector_.dead_letters_dropped());
+  out += '}';
+  append_field(out, "buffered", detector_.buffered());
+  append_field(out, "banned_party", detector_.banned_party_total());
+  append_field(out, "accounts_seen", detector_.accounts_seen());
+  append_field(out, "flagged_total", detector_.flagged_total());
+  append_field(out, "sweeps", sweeps_);
+  append_field(out, "sweep_flagged", sweep_flagged_);
+  out += ",\"tier\":\"";
+  out += core::to_string(tier_);
+  out += "\"}";
+  return out;
+}
+
+}  // namespace sybil::service

@@ -1,0 +1,197 @@
+// Supervised, crash-fault-tolerant detection service.
+//
+// ServiceSupervisor wraps the StreamDetector + RealTimeDetector pair
+// behind a durable event path (the deployment posture the paper's
+// Section 2.3 pipeline implies — a service banning ~100k accounts
+// cannot drop or double-count friend-request events across restarts):
+//
+//   offer(event) ──admission──▶ WAL append ──▶ ingest queue
+//                                                 │ pump()
+//                                                 ▼
+//                                        StreamDetector::ingest
+//
+// Every offered event is WAL-logged with its admission verdict before
+// anything else happens; periodic checkpoints capture exact detector
+// state plus the WAL position; recovery (start()) loads the newest
+// valid checkpoint generation — falling back past corrupt ones — and
+// replays the WAL suffix, re-executing recorded admission verdicts.
+// The recovered service is byte-identical to one that never crashed:
+// same verdicts, same features, same accounting JSON (tested at every
+// crash point; docs/ROBUSTNESS.md §Recovery model).
+//
+// Overload control: a bounded ingest queue with three degradation
+// tiers (DetectorOptions::overload) — full service, shed-low-priority,
+// flag-sweep-only — entered at depth watermarks and left with
+// hysteresis. Ban events are never shed. The accounting identity
+//
+//   offered == applied + deduped + dead-lettered + buffered
+//              + queued + shed
+//
+// extends the hardened-ingest invariant and holds at every instant
+// (accounting_ok()).
+//
+// Threading: the supervisor is single-threaded by design — determinism
+// is the property the recovery proof rests on. SYBIL_THREADS affects
+// nothing on this path (asserted by the recovery tests at 1 and 8).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "core/detector_options.h"
+#include "core/realtime_detector.h"
+#include "core/stream_detector.h"
+#include "service/checkpoint.h"
+#include "service/wal.h"
+
+namespace sybil::service {
+
+struct ServiceOptions {
+  core::DetectorOptions detector{};
+  /// Service state root: WAL segments under <dir>/wal, checkpoint
+  /// generations under <dir>/ckpt. Created on demand.
+  std::string dir;
+  WalFsync wal_fsync = WalFsync::kEveryAppend;
+  std::uint64_t wal_segment_records = 4096;
+  /// Take a checkpoint whenever the WAL reaches a multiple of this many
+  /// records (0 = only explicit checkpoint_now()/flush() calls).
+  /// Index-based, not counter-based, so an uninterrupted run and a
+  /// recovered run checkpoint at the same stream positions.
+  std::uint64_t checkpoint_every = 10000;
+  /// Checkpoint generations kept on disk (the corrupt-latest fallback
+  /// depth); older generations and fully-covered WAL segments are
+  /// pruned after each successful checkpoint.
+  std::size_t checkpoint_retain = 2;
+  /// Test seam: invoked at every durability boundary (see CrashPoint).
+  CrashHook crash_hook{};
+
+  /// Throws std::invalid_argument naming the offending field (also
+  /// validates the embedded DetectorOptions).
+  void validate() const;
+};
+
+/// What start() found and did — the typed recovery outcome.
+struct RecoveryReport {
+  /// No usable checkpoint generation existed (first boot, or every
+  /// generation corrupt); state was rebuilt from the full WAL.
+  bool cold_start = true;
+  /// Generation recovered from (empty on cold start).
+  std::string checkpoint_file;
+  std::uint64_t checkpoint_position = 0;
+  /// Corrupt generations skipped before a valid one loaded.
+  std::uint64_t generations_discarded = 0;
+  std::uint64_t records_replayed = 0;
+  std::uint64_t records_truncated = 0;
+  std::uint64_t torn_tails_healed = 0;
+  /// WAL index where offers resume. Events the caller offered at or
+  /// past this index before the crash never became durable (torn tail)
+  /// and must be offered again — at-least-once delivery upstream plus
+  /// the WAL's exactly-once replay below this index.
+  std::uint64_t next_index = 0;
+};
+
+class ServiceSupervisor {
+ public:
+  /// Validates options and builds the detectors; no I/O until start().
+  explicit ServiceSupervisor(const ServiceOptions& options);
+  ~ServiceSupervisor();
+  ServiceSupervisor(const ServiceSupervisor&) = delete;
+  ServiceSupervisor& operator=(const ServiceSupervisor&) = delete;
+
+  /// Recovers state (checkpoint + WAL replay) and opens the WAL for
+  /// appending. Must be called exactly once, before any offer/pump.
+  RecoveryReport start();
+
+  /// Admission control + WAL + enqueue for one event. Returns true if
+  /// the event was admitted, false if shed (it is still WAL-logged
+  /// either way, so recovery reconstructs shed accounting exactly).
+  /// Ban events are always admitted. Throws io::SnapshotError if the
+  /// WAL cannot be written — an event that cannot be made durable is
+  /// never silently applied.
+  bool offer(const osn::Event& e,
+             std::uint64_t seq = core::StreamDetector::kAutoSeq);
+
+  /// Drains up to `max_events` queued events (0 = all) into the
+  /// detector. Returns how many were pumped.
+  std::size_t pump(std::size_t max_events = 0);
+
+  /// Flag-sweep-only tier's periodic pass: re-evaluates existing
+  /// evidence without new ingestion. Returns newly flagged count.
+  std::size_t sweep_flags(graph::Time now);
+
+  /// Takes an incremental checkpoint at the current WAL position and
+  /// prunes old generations / covered WAL segments.
+  void checkpoint_now();
+
+  /// End of stream: pump everything, drain the detector's reorder
+  /// buffer, checkpoint. After flush() the service can keep ingesting.
+  void flush();
+
+  core::FlagBatch take_flagged() { return detector_.take_flagged(); }
+
+  core::ServiceTier tier() const noexcept { return tier_; }
+  std::size_t queue_depth() const noexcept { return queue_.size(); }
+  const RecoveryReport& recovery() const noexcept { return recovery_; }
+
+  // Replay-exact workload counters (the same values stats_json reports).
+  std::uint64_t offered() const noexcept { return offered_; }
+  std::uint64_t admitted() const noexcept { return admitted_; }
+  std::uint64_t pumped() const noexcept { return pumped_; }
+  std::uint64_t shed_low_priority() const noexcept {
+    return shed_low_priority_;
+  }
+  std::uint64_t shed_sweep_only() const noexcept { return shed_sweep_only_; }
+  std::uint64_t shed_capacity() const noexcept { return shed_capacity_; }
+  std::uint64_t shed_total() const noexcept {
+    return shed_low_priority_ + shed_sweep_only_ + shed_capacity_;
+  }
+  std::uint64_t tier_transitions() const noexcept {
+    return tier_transitions_;
+  }
+
+  /// The workload-accounting identity, checkable at any instant.
+  bool accounting_ok() const noexcept;
+
+  /// Deterministic accounting snapshot as canonical JSON — the
+  /// "metrics JSON" the recovery-determinism tests pin byte-for-byte.
+  /// Contains only replay-exact workload counters (offered/shed/
+  /// applied/deduped/dead-letter-by-reason/flagged/...); operational
+  /// incident counters (checkpoints written, fsyncs, recoveries) live
+  /// in the global metrics registry, which recovery legitimately
+  /// perturbs (docs/OBSERVABILITY.md §service.*).
+  std::string stats_json() const;
+
+  core::StreamDetector& detector() noexcept { return detector_; }
+  const core::StreamDetector& detector() const noexcept { return detector_; }
+  core::RealTimeDetector& realtime() noexcept { return realtime_; }
+
+ private:
+  void require_started(const char* what) const;
+  void reset_state();
+  void update_tier();
+  void maybe_checkpoint();
+
+  ServiceOptions options_;
+  core::StreamDetector detector_;
+  core::RealTimeDetector realtime_;
+  std::unique_ptr<WalWriter> wal_;
+  std::deque<WalRecord> queue_;
+  core::ServiceTier tier_ = core::ServiceTier::kFull;
+  RecoveryReport recovery_{};
+  bool started_ = false;
+
+  // Replay-exact workload counters (mirrored into checkpoints).
+  std::uint64_t offered_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t pumped_ = 0;
+  std::uint64_t shed_low_priority_ = 0;
+  std::uint64_t shed_sweep_only_ = 0;
+  std::uint64_t shed_capacity_ = 0;
+  std::uint64_t sweeps_ = 0;
+  std::uint64_t sweep_flagged_ = 0;
+  std::uint64_t tier_transitions_ = 0;  // ops-only, not in stats_json
+};
+
+}  // namespace sybil::service

@@ -1,0 +1,339 @@
+#include "service/wal.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "core/metrics/instrument.h"
+#include "io/container.h"
+#include "io/crc32.h"
+#include "io/error.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace sybil::service {
+
+namespace fs = std::filesystem;
+using io::SnapshotError;
+using io::SnapshotErrorCode;
+
+namespace {
+
+// "SYWL" in little-endian byte order: segment files start 53 59 57 4C.
+constexpr std::uint32_t kWalMagic = 0x4C575953u;
+constexpr std::uint16_t kWalEndianTag = 0x0102u;
+constexpr std::uint16_t kWalHeaderSize = 24;
+constexpr std::uint32_t kWalFormatVersion = 1;
+
+struct SegmentHeader {
+  std::uint32_t magic;
+  std::uint16_t endian_tag;
+  std::uint16_t header_size;
+  std::uint32_t format_version;
+  std::uint32_t reserved;
+  std::uint64_t base_index;
+};
+static_assert(sizeof(SegmentHeader) == kWalHeaderSize);
+
+/// Record payload as laid out on disk, after the leading CRC32. The
+/// field order packs without padding; the static_assert enforces it.
+struct RecordDisk {
+  std::uint64_t index;
+  std::uint64_t seq;
+  double time;
+  std::uint32_t actor;
+  std::uint32_t subject;
+  std::uint32_t type;
+  std::uint32_t flags;
+};
+constexpr std::size_t kRecordPayloadSize = 40;
+constexpr std::size_t kRecordSize = 4 + kRecordPayloadSize;
+static_assert(sizeof(RecordDisk) == kRecordPayloadSize);
+
+std::string segment_name(std::uint64_t base) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "wal-%020llu.seg",
+                static_cast<unsigned long long>(base));
+  return buf;
+}
+
+std::uint32_t payload_crc(const RecordDisk& rec) noexcept {
+  return io::crc32({reinterpret_cast<const std::byte*>(&rec), sizeof(rec)});
+}
+
+/// Segment files in `dir`, sorted by base index parsed from the name.
+std::vector<std::pair<std::uint64_t, fs::path>> list_segments(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, fs::path>> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() != 28 || name.rfind("wal-", 0) != 0 ||
+        name.substr(24) != ".seg") {
+      continue;
+    }
+    const std::string digits = name.substr(4, 20);
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    out.emplace_back(std::stoull(digits), entry.path());
+  }
+  if (ec) {
+    throw SnapshotError(SnapshotErrorCode::kOpenFailed,
+                        "cannot list WAL directory " + dir);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool fsync_file(std::FILE* f) noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  if (::fsync(::fileno(f)) != 0) return false;
+  SYBIL_METRIC_COUNT("service.wal.fsyncs", 1);
+  return true;
+#else
+  (void)f;
+  return true;
+#endif
+}
+
+}  // namespace
+
+void WalOptions::validate() const {
+  if (dir.empty()) {
+    throw std::invalid_argument("WalOptions: dir must be non-empty");
+  }
+  if (segment_records == 0) {
+    throw std::invalid_argument("WalOptions: segment_records must be >= 1");
+  }
+}
+
+WalWriter::WalWriter(const WalOptions& options, std::uint64_t next_index)
+    : options_(options), next_index_(next_index) {
+  options_.validate();
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    throw SnapshotError(SnapshotErrorCode::kWriteFailed,
+                        "cannot create WAL directory " + options_.dir);
+  }
+  open_segment();
+}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void WalWriter::open_segment() {
+  if (file_ != nullptr) {
+    // Seal the outgoing segment: whatever durability the policy
+    // promises must hold before the writer moves on.
+    std::fflush(file_);
+    if (options_.fsync != WalFsync::kNever) fsync_file(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  segment_base_ = next_index_;
+  segment_path_ = options_.dir + "/" + segment_name(segment_base_);
+  file_ = std::fopen(segment_path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw SnapshotError(SnapshotErrorCode::kWriteFailed,
+                        "cannot create WAL segment " + segment_path_);
+  }
+  SegmentHeader header{};
+  header.magic = kWalMagic;
+  header.endian_tag = kWalEndianTag;
+  header.header_size = kWalHeaderSize;
+  header.format_version = kWalFormatVersion;
+  header.base_index = segment_base_;
+  write_bytes(&header, sizeof(header));
+  if (std::fflush(file_) != 0) {
+    throw SnapshotError(SnapshotErrorCode::kWriteFailed,
+                        "cannot write WAL segment header " + segment_path_);
+  }
+  if (options_.fsync != WalFsync::kNever) {
+    fsync_file(file_);
+    // Make the directory entry itself durable: a synced segment that
+    // vanishes on power loss is no WAL at all.
+    io::fsync_parent_dir(segment_path_);
+  }
+  ++segments_opened_;
+  SYBIL_METRIC_COUNT("service.wal.segments", 1);
+  if (options_.crash_hook) options_.crash_hook(CrashPoint::kWalRotate);
+}
+
+void WalWriter::write_bytes(const void* data, std::size_t n) {
+  if (std::fwrite(data, 1, n, file_) != n) {
+    throw SnapshotError(SnapshotErrorCode::kWriteFailed,
+                        "WAL write failed: " + segment_path_);
+  }
+}
+
+std::uint64_t WalWriter::append(const osn::Event& e, std::uint64_t seq,
+                                std::uint32_t flags) {
+  if (next_index_ - segment_base_ >= options_.segment_records) {
+    open_segment();
+  }
+  RecordDisk rec{};
+  rec.index = next_index_;
+  rec.seq = seq;
+  rec.time = e.time;
+  rec.actor = e.actor;
+  rec.subject = e.subject;
+  rec.type = static_cast<std::uint32_t>(e.type);
+  rec.flags = flags;
+  const std::uint32_t crc = payload_crc(rec);
+  if (options_.crash_hook) {
+    // Two-phase write so a hook throwing at kWalRecordHalf leaves a
+    // genuinely torn record on disk (the flushed first half survives
+    // the simulated crash; the second half was never written).
+    const auto* bytes = reinterpret_cast<const std::byte*>(&rec);
+    write_bytes(&crc, sizeof(crc));
+    write_bytes(bytes, kRecordPayloadSize / 2);
+    std::fflush(file_);
+    options_.crash_hook(CrashPoint::kWalRecordHalf);
+    write_bytes(bytes + kRecordPayloadSize / 2, kRecordPayloadSize / 2);
+  } else {
+    write_bytes(&crc, sizeof(crc));
+    write_bytes(&rec, sizeof(rec));
+  }
+  if (options_.fsync == WalFsync::kEveryAppend) {
+    if (std::fflush(file_) != 0 || !fsync_file(file_)) {
+      throw SnapshotError(SnapshotErrorCode::kWriteFailed,
+                          "WAL fsync failed: " + segment_path_);
+    }
+  }
+  SYBIL_METRIC_COUNT("service.wal.appends", 1);
+  SYBIL_METRIC_COUNT("service.wal.bytes", kRecordSize);
+  const std::uint64_t index = next_index_++;
+  if (options_.crash_hook) options_.crash_hook(CrashPoint::kWalAppend);
+  return index;
+}
+
+void WalWriter::sync() {
+  if (std::fflush(file_) != 0) {
+    throw SnapshotError(SnapshotErrorCode::kWriteFailed,
+                        "WAL flush failed: " + segment_path_);
+  }
+  if (options_.fsync != WalFsync::kNever) fsync_file(file_);
+}
+
+std::vector<WalRecord> scan_wal(const std::string& dir,
+                                std::uint64_t from_index,
+                                WalScanReport& report) {
+  report = WalScanReport{};
+  report.next_index = from_index;
+  std::vector<WalRecord> out;
+  if (!fs::exists(dir)) return out;  // cold start: nothing logged yet
+  const auto segments = list_segments(dir);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const auto& [base, path] = segments[i];
+    // A segment's record range ends where the next one begins; skip
+    // segments entirely behind the checkpoint without reading records.
+    if (i + 1 < segments.size() && segments[i + 1].first <= from_index) {
+      continue;
+    }
+    ++report.segments_scanned;
+    std::FILE* f = std::fopen(path.string().c_str(), "rb");
+    if (f == nullptr) {
+      throw SnapshotError(SnapshotErrorCode::kOpenFailed,
+                          "cannot open WAL segment " + path.string());
+    }
+    SegmentHeader header{};
+    const bool header_ok =
+        std::fread(&header, 1, sizeof(header), f) == sizeof(header) &&
+        header.magic == kWalMagic && header.endian_tag == kWalEndianTag &&
+        header.header_size == kWalHeaderSize &&
+        header.format_version <= kWalFormatVersion &&
+        header.base_index == base;
+    if (!header_ok) {
+      // An unreadable header means the whole segment is untrustworthy
+      // (created but never secured). Nothing in it can be replayed;
+      // leave the file for a writer at this base to overwrite.
+      std::fclose(f);
+      ++report.torn_tails_healed;
+      SYBIL_METRIC_COUNT("service.wal.torn_tails", 1);
+      continue;
+    }
+    std::uint64_t valid = 0;  // records validated in this segment
+    bool tail_bad = false;
+    for (;;) {
+      std::uint32_t crc = 0;
+      RecordDisk rec{};
+      const std::size_t got_crc = std::fread(&crc, 1, sizeof(crc), f);
+      if (got_crc == 0) break;  // clean end of segment
+      const std::size_t got_rec = got_crc == sizeof(crc)
+                                      ? std::fread(&rec, 1, sizeof(rec), f)
+                                      : 0;
+      if (got_rec != sizeof(rec) || payload_crc(rec) != crc ||
+          rec.index != base + valid) {
+        tail_bad = true;
+        break;
+      }
+      ++valid;
+      ++report.records_scanned;
+      if (rec.index >= from_index) {
+        WalRecord r;
+        r.index = rec.index;
+        r.seq = rec.seq;
+        r.event.type = static_cast<osn::EventType>(rec.type);
+        r.event.actor = rec.actor;
+        r.event.subject = rec.subject;
+        r.event.time = rec.time;
+        r.flags = rec.flags;
+        out.push_back(r);
+        ++report.records_returned;
+      }
+      report.next_index = std::max(report.next_index, rec.index + 1);
+    }
+    if (tail_bad) {
+      // Strict prefix semantics: nothing at or after the first bad
+      // record is trusted. Heal the file back to its last valid record
+      // so the next scan is clean.
+      std::error_code size_ec;
+      const auto file_size = fs::file_size(path, size_ec);
+      std::fclose(f);
+      const std::uint64_t keep = kWalHeaderSize + valid * kRecordSize;
+      if (!size_ec && file_size > keep) {
+        const std::uint64_t dropped_bytes = file_size - keep;
+        // Whole bad records plus any partial trailing bytes count as
+        // one truncated record each.
+        report.records_truncated +=
+            (dropped_bytes + kRecordSize - 1) / kRecordSize;
+        std::error_code resize_ec;
+        fs::resize_file(path, keep, resize_ec);
+        if (resize_ec) {
+          throw SnapshotError(SnapshotErrorCode::kWriteFailed,
+                              "cannot heal WAL segment " + path.string());
+        }
+        ++report.torn_tails_healed;
+        SYBIL_METRIC_COUNT("service.wal.torn_tails", 1);
+        SYBIL_METRIC_COUNT("service.wal.truncated_records",
+                           (dropped_bytes + kRecordSize - 1) / kRecordSize);
+      }
+    } else {
+      std::fclose(f);
+    }
+  }
+  SYBIL_METRIC_COUNT("service.wal.scanned_records", report.records_scanned);
+  return out;
+}
+
+std::uint64_t prune_wal(const std::string& dir, std::uint64_t index) {
+  if (!fs::exists(dir)) return 0;
+  const auto segments = list_segments(dir);
+  std::uint64_t removed = 0;
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+    // Segment i covers [base_i, base_{i+1}); delete it only when every
+    // record it can hold is behind the oldest retained checkpoint.
+    if (segments[i + 1].first <= index) {
+      std::error_code ec;
+      if (fs::remove(segments[i].second, ec) && !ec) ++removed;
+    }
+  }
+  if (removed > 0) SYBIL_METRIC_COUNT("service.wal.segments_pruned", removed);
+  return removed;
+}
+
+}  // namespace sybil::service

@@ -1,0 +1,177 @@
+// Segmented write-ahead log for the supervised detection service.
+//
+// Every event OFFERED to the service — admitted or shed — is appended
+// here before anything else happens to it, together with the admission
+// verdict, so recovery can re-execute recorded decisions instead of
+// re-deciding them: replay reconstructs the exact accounting (applied /
+// deduped / dead-lettered / shed counters) of the uninterrupted run,
+// not merely the same detector state.
+//
+// On-disk layout (docs/FORMATS.md §WAL has the byte-level spec and a
+// worked hexdump). A segment file "wal-<base>.seg" is a 24-byte header
+// followed by fixed-size 44-byte records:
+//
+//   header   magic "SYWL", endian tag, header size, format version,
+//            reserved, base record index (u64)
+//   record   crc32 (of the following 40 bytes) ·
+//            index u64 · seq u64 · time f64 ·
+//            actor u32 · subject u32 · type u32 · flags u32
+//
+// Fixed-size records make torn-tail detection trivial: a crash mid-
+// append leaves either a partial trailing record (length not a multiple
+// of 44) or a trailing record whose CRC fails; recovery truncates the
+// segment back to its last valid record and reports both. Rotation is
+// atomic in the container sense: a new segment is created, headered and
+// (per policy) fsync'd before the writer moves to it; existing segments
+// are never rewritten.
+//
+// Durability: WalFsync::kEveryAppend (the default, and what the
+// crash-consistency proof assumes) fsyncs after every record; kOnRotate
+// fsyncs only at segment boundaries (bounded loss window); kNever is
+// for benches. Directory entries are fsync'd when a segment is created
+// (io::fsync_parent_dir), so a machine crash cannot unlink a synced
+// segment.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "osn/events.h"
+
+namespace sybil::service {
+
+/// Durability boundaries the service crosses, exposed as a test seam:
+/// the crash hook (if any) is invoked at each, and a hook that throws
+/// simulates the process dying exactly there (faults::CrashInjector).
+/// kWalRecordHalf fires between the two halves of a record write and
+/// yields a genuinely torn tail on disk.
+enum class CrashPoint : std::uint32_t {
+  kWalRecordHalf = 0,
+  kWalAppend = 1,           // record fully written (and synced per policy)
+  kWalRotate = 2,           // new segment created and headered
+  kCheckpointCommit = 3,    // checkpoint container about to commit
+  kCheckpointCommitted = 4, // checkpoint durable, retention not yet pruned
+};
+
+constexpr const char* to_string(CrashPoint p) noexcept {
+  switch (p) {
+    case CrashPoint::kWalRecordHalf: return "wal-record-half";
+    case CrashPoint::kWalAppend: return "wal-append";
+    case CrashPoint::kWalRotate: return "wal-rotate";
+    case CrashPoint::kCheckpointCommit: return "checkpoint-commit";
+    case CrashPoint::kCheckpointCommitted: return "checkpoint-committed";
+  }
+  return "unknown";
+}
+
+using CrashHook = std::function<void(CrashPoint)>;
+
+enum class WalFsync : std::uint32_t {
+  kEveryAppend = 0,
+  kOnRotate = 1,
+  kNever = 2,
+};
+
+struct WalOptions {
+  std::string dir;  // segment directory; created if absent
+  /// Records per segment before rotation.
+  std::uint64_t segment_records = 4096;
+  WalFsync fsync = WalFsync::kEveryAppend;
+  /// Test seam; empty in production. A non-empty hook also switches
+  /// appends to a two-phase write so kWalRecordHalf can tear records.
+  CrashHook crash_hook{};
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+/// Admission-verdict bits stored in a record's flags word.
+struct WalRecordFlags {
+  static constexpr std::uint32_t kShed = 1u << 0;
+  /// Bits 1-2: ServiceTier at decision time.
+  static constexpr std::uint32_t kTierShift = 1;
+  static constexpr std::uint32_t kTierMask = 3u << kTierShift;
+  /// Bit 3: capacity shed (vs tier shed), for the shed.* breakdown.
+  static constexpr std::uint32_t kCapacity = 1u << 3;
+};
+
+/// One logged offer, in memory.
+struct WalRecord {
+  std::uint64_t index = 0;  // global record index, 0-based
+  std::uint64_t seq = 0;    // transport seq as offered (may be kAutoSeq)
+  osn::Event event{};
+  std::uint32_t flags = 0;
+
+  bool shed() const noexcept { return (flags & WalRecordFlags::kShed) != 0; }
+};
+
+/// Appender. Always starts a fresh segment (recovery never appends to a
+/// possibly-torn file); close() or destruction flushes, destruction
+/// never throws.
+class WalWriter {
+ public:
+  /// Opens a new segment whose base index is `next_index`. Throws
+  /// io::SnapshotError(kWriteFailed) on I/O failure.
+  WalWriter(const WalOptions& options, std::uint64_t next_index);
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record; returns its global index. Rotates first when
+  /// the current segment is full.
+  std::uint64_t append(const osn::Event& e, std::uint64_t seq,
+                       std::uint32_t flags);
+
+  /// Flushes (and per policy fsyncs) the current segment.
+  void sync();
+
+  std::uint64_t next_index() const noexcept { return next_index_; }
+  std::uint64_t segments_opened() const noexcept { return segments_opened_; }
+
+ private:
+  void open_segment();
+  void write_bytes(const void* data, std::size_t n);
+
+  WalOptions options_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t next_index_;
+  std::uint64_t segment_base_ = 0;
+  std::uint64_t segments_opened_ = 0;
+  std::string segment_path_;
+};
+
+/// What a recovery scan found and did.
+struct WalScanReport {
+  std::uint64_t segments_scanned = 0;
+  std::uint64_t records_scanned = 0;   // valid records seen (all segments)
+  std::uint64_t records_returned = 0;  // records with index >= from_index
+  /// Whole records dropped because they sat at or behind a corrupt
+  /// record (strict prefix semantics: nothing after the first bad CRC
+  /// in a segment is trusted).
+  std::uint64_t records_truncated = 0;
+  /// Segments whose tail was healed (file truncated in place back to
+  /// its last valid record).
+  std::uint64_t torn_tails_healed = 0;
+  /// Highest valid record index seen + 1 (0 when the log is empty):
+  /// where the next WalWriter continues.
+  std::uint64_t next_index = 0;
+};
+
+/// Scans `dir` in segment order, validates every record CRC, heals torn
+/// tails in place, and returns the valid records with index >=
+/// `from_index` in index order. Segments entirely below `from_index`
+/// are skipped without reading their records. Throws io::SnapshotError
+/// on unreadable directories; corrupt *content* never throws — it is
+/// truncated and reported (a WAL's job is to survive exactly that).
+std::vector<WalRecord> scan_wal(const std::string& dir,
+                                std::uint64_t from_index,
+                                WalScanReport& report);
+
+/// Deletes segments whose entire record range lies below `index` (all
+/// retained checkpoints are at or above it). Returns segments removed.
+std::uint64_t prune_wal(const std::string& dir, std::uint64_t index);
+
+}  // namespace sybil::service

@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/metrics/export.h"
+#include "core/metrics/metrics.h"
 #include "core/parallel.h"
 #include "core/stream_detector.h"
 #include "faults/fault_injector.h"
@@ -332,6 +334,45 @@ TEST(Chaos, TimeRegressionBeyondWatermarkIsQuarantined) {
   EXPECT_EQ(det.applied_total(), 2u);
   EXPECT_EQ(det.deadletter_total(), 1u);
 }
+
+#if SYBIL_METRICS_COMPILED
+/// Dead-letter reasons must be distinguishable in dashboards: every
+/// per-reason counter is pre-registered (visible at zero) and bumped on
+/// quarantine, and all of them survive into the JSON export.
+TEST(Chaos, DeadLetterReasonsExportedPerReason) {
+  auto& registry = core::metrics::MetricsRegistry::instance();
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(true);
+  const auto count_of = [&](const char* name) {
+    return registry.counter(name).value();
+  };
+  const std::uint64_t self_before =
+      count_of("stream.deadletter.self_referential");
+  const std::uint64_t unknown_before =
+      count_of("stream.deadletter.unknown_event_type");
+
+  core::StreamDetector det;
+  det.ingest({osn::EventType::kRequestSent, 4, 4, 1.0}, 0);
+  det.ingest({static_cast<osn::EventType>(0xEE), 0, 1, 1.0}, 1);
+  EXPECT_EQ(count_of("stream.deadletter.self_referential"),
+            self_before + 1);
+  EXPECT_EQ(count_of("stream.deadletter.unknown_event_type"),
+            unknown_before + 1);
+
+  const std::string json =
+      core::metrics::export_json(registry.snapshot());
+  for (const char* name :
+       {"stream.deadletter.unknown_event_type",
+        "stream.deadletter.invalid_account_id",
+        "stream.deadletter.self_referential",
+        "stream.deadletter.non_finite_time",
+        "stream.deadletter.time_regression",
+        "stream.deadletter.dropped"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+  registry.set_enabled(was_enabled);
+}
+#endif  // SYBIL_METRICS_COMPILED
 
 }  // namespace
 }  // namespace sybil::faults
