@@ -27,7 +27,8 @@ namespace {
 constexpr char kUsage[] =
     "[--save-graph <path>] [--load-graph <path>] "
     "[--chaos-seed <n>] [--chaos-rate <r>] [--chaos-skew <hours>] "
-    "[--crash-every <n>] [normal_users] [sybils] [campaign_hours]";
+    "[--crash-every <n>] [--shards <n>] "
+    "[normal_users] [sybils] [campaign_hours]";
 
 /// Extracts "--flag <value>" from argv, compacting the remaining
 /// positional arguments in place. Returns the value or "".
@@ -56,6 +57,7 @@ int main(int argc, char** argv) {
   const std::string chaos_rate = take_flag(argc, argv, "--chaos-rate");
   const std::string chaos_skew = take_flag(argc, argv, "--chaos-skew");
   const std::string crash_every_arg = take_flag(argc, argv, "--crash-every");
+  const std::string shards_arg = take_flag(argc, argv, "--shards");
   const bool chaos =
       !chaos_seed.empty() || !chaos_rate.empty() || !chaos_skew.empty();
   if ((chaos || !crash_every_arg.empty()) && !load_path.empty()) {
@@ -71,6 +73,17 @@ int main(int argc, char** argv) {
           : bench::parse_count(argv[0], kUsage, crash_every_arg.c_str(),
                                "crash-every event count",
                                ~std::uint64_t{0});
+  // Shard count for the crash-recovery pass: >1 routes both passes
+  // through the N-way ShardRouter (whole-fleet kills, min-frontier
+  // resume) instead of a single supervisor.
+  const std::uint64_t shards =
+      shards_arg.empty()
+          ? 1
+          : bench::parse_count(argv[0], kUsage, shards_arg.c_str(),
+                               "shard count", 1024);
+  if (shards == 0) {
+    bench::usage_error(argv[0], kUsage, "--shards", "flag (must be >= 1)");
+  }
 
   bench::print_header(
       "Defense evaluation — prior Sybil defenses: synthetic vs wild",
@@ -176,7 +189,8 @@ int main(int argc, char** argv) {
       // compare verdicts against the uninterrupted service: the delta
       // row is required to be zero (run_crash_recovery throws if not).
       bench::print_crash_recovery(bench::run_crash_recovery(
-          campaign->network->log(), wild.is_sybil, {}, crash_every));
+          campaign->network->log(), wild.is_sybil, {}, crash_every,
+          shards));
     }
   }
   std::printf(

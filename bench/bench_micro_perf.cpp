@@ -1,17 +1,29 @@
 // Microbenchmarks (google-benchmark) of the hot operations behind the
 // experiment pipeline: graph construction, feature extraction, component
 // decomposition, clustering, random routes, max-flow, alias sampling,
-// binary snapshot save/load (the regenerate-vs-reload tradeoff), and
-// the service WAL's append/replay path (the durability cost per event).
+// binary snapshot save/load (the regenerate-vs-reload tradeoff), the
+// service WAL's append/replay path (the durability cost per event),
+// streaming ingest and flag-sweep throughput, and the shard-routing
+// decision.
+//
+// `--json <path>` additionally writes a compact machine-readable
+// series — one entry per benchmark with its real time and derived
+// rates — which CI diffs against the committed BENCH_micro.json
+// baseline. All other flags pass through to google-benchmark.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "core/features.h"
+#include "core/stream_detector.h"
+#include "service/router.h"
 #include "service/wal.h"
+#include "service/workload.h"
 #include "osn/simulator.h"
 #include "graph/clustering.h"
 #include "graph/components.h"
@@ -295,6 +307,169 @@ void BM_WalReplay(benchmark::State& state) {
 }
 BENCHMARK(BM_WalReplay);
 
+// --- Streaming detection: ingest, sweep, and shard routing ----------
+
+const std::vector<osn::Event>& service_bench_events() {
+  static const std::vector<osn::Event> events = [] {
+    service::WorkloadOptions w;
+    w.accounts = 20'000;
+    w.events = 100'000;
+    w.hours = 48.0;
+    w.seed = 2;
+    w.malformed_fraction = 0.01;  // keep the dead-letter branch hot
+    return service::synthetic_workload(w);
+  }();
+  return events;
+}
+
+core::DetectorOptions service_bench_options() {
+  core::DetectorOptions d;
+  d.rule.invite_rate_min = 4.0;
+  d.rule.outgoing_accept_max = 0.5;
+  d.rule.min_requests = 5;
+  return d;
+}
+
+/// Event-application throughput of the streaming detector (events/sec
+/// over a 20k-account, 100k-event synthetic feed).
+void BM_ServiceIngest(benchmark::State& state) {
+  const auto& events = service_bench_events();
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::StreamDetector detector(service_bench_options());
+    state.ResumeTiming();
+    std::uint64_t seq = 0;
+    for (const auto& e : events) detector.ingest(e, seq++);
+    benchmark::DoNotOptimize(detector.applied_total());
+    n += events.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ServiceIngest);
+
+/// Flag-sweep pass over a fully ingested population (candidate
+/// re-evaluations/sec — the cost of the sweep-only degradation tier).
+void BM_SweepFlags(benchmark::State& state) {
+  static core::StreamDetector* detector = [] {
+    auto* d = new core::StreamDetector(service_bench_options());
+    std::uint64_t seq = 0;
+    for (const auto& e : service_bench_events()) d->ingest(e, seq++);
+    d->finish();
+    return d;
+  }();
+  std::uint64_t sweeps = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector->sweep_flags(49.0));
+    ++sweeps;
+  }
+  // Every sweep re-examines each tracked account as a flag candidate.
+  state.SetItemsProcessed(static_cast<std::int64_t>(sweeps) * 20'000);
+}
+BENCHMARK(BM_SweepFlags);
+
+/// Pure routing decision: which shards an event must reach (decisions/
+/// sec; the per-event overhead the router adds before any WAL I/O).
+void BM_ShardRoute(benchmark::State& state) {
+  const auto& events = service_bench_events();
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+  std::size_t i = 0;
+  std::uint64_t copies = 0;
+  for (auto _ : state) {
+    copies += service::route_shards(events[i], shards).size();
+    benchmark::DoNotOptimize(copies);
+    i = (i + 1) % events.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ShardRoute)->Arg(1)->Arg(8);
+
+// --- Compact JSON series for CI baselines ---------------------------
+
+/// Console output plus a collected {name, real_time, rates} record per
+/// run, written as compact JSON. Wall-clock numbers are machine-scoped:
+/// the committed baseline freezes the *schema* and the machine class it
+/// was measured on, not a portable truth.
+class JsonSeriesReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Entry e;
+      e.name = run.benchmark_name();
+      e.real_time_ns = run.GetAdjustedRealTime();
+      // Counters reach reporters already finalized: kIsRate values are
+      // per-second rates, not raw totals.
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        e.items_per_second = items->second.value;
+      }
+      const auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) {
+        e.bytes_per_second = bytes->second.value;
+      }
+      entries_.push_back(std::move(e));
+    }
+  }
+
+  /// Writes the collected series; returns false on I/O failure.
+  bool write_json(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f, "    {\"name\": \"%s\", \"real_time_ns\": %.1f",
+                   e.name.c_str(), e.real_time_ns);
+      if (e.items_per_second > 0.0) {
+        std::fprintf(f, ", \"items_per_second\": %.1f", e.items_per_second);
+      }
+      if (e.bytes_per_second > 0.0) {
+        std::fprintf(f, ", \"bytes_per_second\": %.1f", e.bytes_per_second);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double real_time_ns = 0.0;
+    double items_per_second = 0.0;
+    double bytes_per_second = 0.0;
+  };
+  std::vector<Entry> entries_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip `--json <path>` before google-benchmark sees the argv.
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") != 0) continue;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "bench_micro_perf: --json needs a path\n");
+      return 2;
+    }
+    json_path = argv[i + 1];
+    for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+    break;
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonSeriesReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() && !reporter.write_json(json_path)) {
+    std::fprintf(stderr, "bench_micro_perf: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

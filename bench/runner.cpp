@@ -10,6 +10,7 @@
 
 #include "core/metrics/instrument.h"
 #include "core/stream_detector.h"
+#include "service/router.h"
 #include "service/supervisor.h"
 #include "graph/generators.h"
 #include "io/container.h"
@@ -396,15 +397,20 @@ void print_chaos(const ChaosRun& run) {
 CrashRecoveryRun run_crash_recovery(const osn::EventLog& log,
                                     const std::vector<bool>& is_sybil,
                                     const core::DetectorOptions& options,
-                                    std::uint64_t crash_every) {
+                                    std::uint64_t crash_every,
+                                    std::uint64_t shards) {
   SYBIL_METRIC_SCOPED_TIMER(span, "bench.run_crash_recovery");
   if (crash_every == 0) {
     throw std::invalid_argument("run_crash_recovery: crash_every must be >= 1");
+  }
+  if (shards == 0) {
+    throw std::invalid_argument("run_crash_recovery: shards must be >= 1");
   }
   namespace fs = std::filesystem;
   const auto& events = log.events();
   CrashRecoveryRun run;
   run.crash_every = crash_every;
+  run.shards = shards;
   run.events = events.size();
 
   core::DetectorOptions opts = options;
@@ -426,6 +432,72 @@ CrashRecoveryRun run_crash_recovery(const osn::EventLog& log,
   const std::string root =
       (fs::temp_directory_path() / "sybil_bench_crash").string();
   fs::remove_all(root);
+
+  if (shards > 1) {
+    // Sharded variant: both passes through an N-way router, every kill
+    // takes the whole fleet down, and each recovery resumes from the
+    // min-frontier across shards (redelivered copies below a shard's
+    // own frontier are suppressed, so per-shard WALs stay exactly-once).
+    service::ShardRouterOptions router_opts;
+    router_opts.shard = service_opts;
+    router_opts.shards = static_cast<std::uint32_t>(shards);
+    {
+      router_opts.shard.dir = root + "/clean";
+      service::ShardRouter clean(router_opts);
+      clean.start();
+      for (std::uint64_t i = 0; i < events.size(); ++i) {
+        clean.offer(events[i], i);
+        if (i % 1024 == 1023) clean.pump();
+      }
+      clean.flush();
+      score_flags(clean.take_flagged(), is_sybil, run.clean_flagged,
+                  run.clean_precision, run.clean_recall);
+    }
+
+    router_opts.shard.dir = root + "/crash";
+    std::uint64_t next = 0;
+    bool finished = false;
+    while (!finished) {
+      service::ShardRouter s(router_opts);
+      const auto t0 = std::chrono::steady_clock::now();
+      const service::RouterRecoveryReport report = s.start();
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      if (next != 0) {
+        run.recovery_total_ms += ms;
+        run.recovery_max_ms = std::max(run.recovery_max_ms, ms);
+        for (const auto& shard_report : report.shards) {
+          run.records_replayed += shard_report.records_replayed;
+        }
+      }
+      next = report.next_seq;
+      const std::uint64_t stop =
+          std::min<std::uint64_t>(events.size(), next + crash_every);
+      for (; next < stop; ++next) {
+        s.offer(events[next], next);
+        if (next % 1024 == 1023) s.pump();
+      }
+      if (stop == events.size()) {
+        s.flush();
+        score_flags(s.take_flagged(), is_sybil, run.recovered_flagged,
+                    run.recovered_precision, run.recovered_recall);
+        finished = true;
+      } else {
+        ++run.crashes;
+      }
+    }
+    fs::remove_all(root);
+
+    if (run.recovered_flagged != run.clean_flagged ||
+        run.recovered_precision != run.clean_precision ||
+        run.recovered_recall != run.clean_recall) {
+      throw std::logic_error(
+          "run_crash_recovery: sharded recovered verdicts differ from "
+          "the uninterrupted run — exactly-once recovery is broken");
+    }
+    return run;
+  }
 
   {
     service_opts.dir = root + "/clean";
@@ -487,8 +559,11 @@ CrashRecoveryRun run_crash_recovery(const osn::EventLog& log,
 
 void print_crash_recovery(const CrashRecoveryRun& run) {
   std::printf(
-      "\n--- CRASH RECOVERY (kill + recover every %llu events) ---\n",
-      static_cast<unsigned long long>(run.crash_every));
+      "\n--- CRASH RECOVERY (kill + recover every %llu events, %llu "
+      "shard%s) ---\n",
+      static_cast<unsigned long long>(run.crash_every),
+      static_cast<unsigned long long>(run.shards),
+      run.shards == 1 ? "" : "s");
   std::printf("# service: events=%llu crashes=%llu wal_replayed=%llu\n",
               static_cast<unsigned long long>(run.events),
               static_cast<unsigned long long>(run.crashes),

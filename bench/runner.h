@@ -182,8 +182,12 @@ void print_chaos(const ChaosRun& run);
 /// killed (no flush, no warning) and recovered every `crash_every`
 /// offers. Exactly-once recovery makes the flag sets identical; the
 /// precision/recall delta row this produces is REQUIRED to be zero.
+/// With `shards` > 1 both passes run through an N-way ShardRouter and
+/// every kill takes the whole fleet down; recovery resumes from the
+/// min-frontier across shards (docs/ROBUSTNESS.md §Sharded recovery).
 struct CrashRecoveryRun {
   std::uint64_t crash_every = 0;
+  std::uint64_t shards = 1;
   std::uint64_t events = 0;
   std::uint64_t crashes = 0;
   std::uint64_t records_replayed = 0;  // summed over all recoveries
@@ -198,12 +202,13 @@ struct CrashRecoveryRun {
 };
 
 /// Runs both passes in throwaway state directories under the system
-/// temp dir. Deterministic in (log, options, crash_every) apart from
-/// the wall-clock latency fields.
+/// temp dir. Deterministic in (log, options, crash_every, shards)
+/// apart from the wall-clock latency fields.
 CrashRecoveryRun run_crash_recovery(const osn::EventLog& log,
                                     const std::vector<bool>& is_sybil,
                                     const core::DetectorOptions& options,
-                                    std::uint64_t crash_every);
+                                    std::uint64_t crash_every,
+                                    std::uint64_t shards = 1);
 
 /// Prints the clean row, the recovered row, and the delta row
 /// (byte-stable); recovery latency goes to a `# timing` comment line,

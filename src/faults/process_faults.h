@@ -94,6 +94,37 @@ class CrashInjector {
   bool armed_ = true;
 };
 
+/// CrashInjector with shard addressing: binds to the sharded service's
+/// two-argument hook (service::ShardCrashHook — `(shard, point)`) and
+/// counts only the targeted shard's boundary crossings, so a sweep can
+/// kill shard k at its Nth durability boundary while every other shard
+/// runs clean. kAnyShard degenerates to a fleet-wide CrashInjector.
+/// Same layering rule as above: generic over the point type, no service
+/// dependency.
+class ShardCrashInjector {
+ public:
+  static constexpr std::uint32_t kAnyShard = ~std::uint32_t{0};
+
+  ShardCrashInjector(std::uint32_t shard, std::uint64_t crash_at,
+                     std::uint32_t point = CrashInjector::kAnyPoint) noexcept
+      : shard_(shard), inner_(crash_at, point) {}
+
+  template <typename Point>
+  void operator()(std::uint32_t shard, Point p) {
+    if (shard_ != kAnyShard && shard != shard_) return;
+    inner_(p);
+  }
+
+  /// Boundary crossings counted on the targeted shard.
+  std::uint64_t crossings() const noexcept { return inner_.crossings(); }
+  bool armed() const noexcept { return inner_.armed(); }
+  void disarm() noexcept { inner_.disarm(); }
+
+ private:
+  std::uint32_t shard_;
+  CrashInjector inner_;
+};
+
 /// What tear_file_tail did to the file.
 struct TornTailReport {
   std::uint64_t original_size = 0;

@@ -24,7 +24,11 @@ constexpr std::uint32_t kSecQueue = 2;
 constexpr std::uint32_t kSecStream = 3;
 constexpr std::uint32_t kSecRealtime = 4;
 
-constexpr std::uint32_t kCheckpointVersion = 1;
+// v1: PR 5 single-instance layout. v2 appends the shard identity
+// (shard_id/shard_count) and the redelivery frontier (next_seq) to the
+// meta section; every other section is unchanged, so v1 blobs load with
+// the new fields defaulted (shard_count 0 = identity unknown).
+constexpr std::uint32_t kCheckpointVersion = 2;
 
 }  // namespace
 
@@ -45,6 +49,9 @@ void save_service_checkpoint(const std::string& path,
   meta.write(state.shed_capacity);
   meta.write(state.sweeps);
   meta.write(state.sweep_flagged);
+  meta.write(state.shard_id);
+  meta.write(state.shard_count);
+  meta.write(state.next_seq);
   writer.add_section(kSecMeta, std::move(meta).take());
 
   ByteWriter queue;
@@ -91,6 +98,11 @@ ServiceCheckpointState load_service_checkpoint(const std::string& path) {
   state.shed_capacity = meta.read<std::uint64_t>();
   state.sweeps = meta.read<std::uint64_t>();
   state.sweep_flagged = meta.read<std::uint64_t>();
+  if (version >= 2) {
+    state.shard_id = meta.read<std::uint32_t>();
+    state.shard_count = meta.read<std::uint32_t>();
+    state.next_seq = meta.read<std::uint64_t>();
+  }
 
   ByteReader queue(reader.section(kSecQueue));
   const auto n = queue.read<std::uint64_t>();

@@ -29,6 +29,18 @@ namespace sybil::service {
 struct ServiceCheckpointState {
   std::uint64_t wal_position = 0;
   std::uint32_t tier = 0;
+  /// Shard identity (format v2). A checkpoint written by shard i of N
+  /// refuses to restore into a supervisor configured as a different
+  /// shard — a misdirected state directory must fail loudly, not decode
+  /// quietly into the wrong partition. shard_count == 0 means "written
+  /// by a v1 build / unknown"; identity is then not checked.
+  std::uint32_t shard_id = 0;
+  std::uint32_t shard_count = 0;
+  /// One past the highest explicit transport seq ever offered (v2).
+  /// Recovery needs it because fully-covered WAL segments are pruned:
+  /// the redelivery frontier must survive even when the records that
+  /// established it no longer exist on disk.
+  std::uint64_t next_seq = 0;
   // Replay-exact workload counters (see ServiceSupervisor::stats_json).
   std::uint64_t offered = 0;
   std::uint64_t admitted = 0;

@@ -1,0 +1,263 @@
+// Operator CLI for the sharded detection service.
+//
+// Drives a deterministic synthetic population (service/workload.h)
+// through a ShardRouter and reports the router accounting JSON plus a
+// canonical digest of the owner-merged FlagBatch. With --verify-single
+// it runs the same stream through N shards and through 1 shard and
+// fails unless the merged FlagBatches are byte-identical — the sharded
+// architecture's acceptance check, executable at any population size:
+//
+//   SYBIL_IO_FSYNC=0 sybil_service --shards 8 --accounts 5000000
+//     --events 6000000 --fsync never --checkpoint-every 0
+//     --no-final-checkpoint --verify-single   (one line)
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "service/router.h"
+#include "service/workload.h"
+
+namespace {
+
+using namespace sybil;
+
+constexpr const char* kUsage = R"(usage: sybil_service [options]
+
+Sharded detection service driver (synthetic workload).
+
+options:
+  --shards N            shard count (default 1)
+  --dir PATH            state root (default: ./sybil-service-state)
+  --accounts M          population size (default 2000)
+  --events E            stream length (default 20000)
+  --seed S              workload seed (default 1)
+  --hours H             stream span in simulated hours (default 96)
+  --burst-senders K     sybil-like hot senders (default 8)
+  --fsync MODE          WAL durability: always|rotate|never (default always)
+  --segment-records R   WAL records per segment (default 4096)
+  --checkpoint-every C  checkpoint cadence in WAL records, 0 = manual only
+                        (default 10000)
+  --no-final-checkpoint skip the checkpoint inside the final flush
+  --verify-single       run N shards then 1 shard; fail unless the merged
+                        FlagBatches are byte-identical
+  --stats               print the full router stats JSON
+  --help                this text
+
+Checkpoint fsync honours the SYBIL_IO_FSYNC env knob; set it to 0 for
+throwaway state directories.
+)";
+
+struct CliOptions {
+  std::uint32_t shards = 1;
+  std::string dir = "./sybil-service-state";
+  service::WorkloadOptions workload{};
+  service::WalFsync fsync = service::WalFsync::kEveryAppend;
+  std::uint64_t segment_records = 4096;
+  std::uint64_t checkpoint_every = 10000;
+  bool final_checkpoint = true;
+  bool verify_single = false;
+  bool stats = false;
+};
+
+/// Removes `flag` (with `values` following operands) from argv; returns
+/// the operands or empty when the flag is absent.
+std::vector<std::string> take_flag(int& argc, char** argv, const char* flag,
+                                   int values) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) != 0) continue;
+    if (i + values >= argc) {
+      std::fprintf(stderr, "sybil_service: %s needs %d value(s)\n", flag,
+                   values);
+      std::exit(2);
+    }
+    std::vector<std::string> out;
+    for (int v = 1; v <= values; ++v) out.emplace_back(argv[i + v]);
+    for (int j = i; j + values + 1 <= argc; ++j) argv[j] = argv[j + values + 1];
+    argc -= values + 1;
+    return out.empty() ? std::vector<std::string>{""} : out;
+  }
+  return {};
+}
+
+/// Threshold rule the synthetic burst senders are designed to cross
+/// (the tests use the same relaxation; production rules come from
+/// config, not from this driver).
+core::DetectorOptions detector_options() {
+  core::DetectorOptions d;
+  d.rule.invite_rate_min = 4.0;
+  d.rule.outgoing_accept_max = 0.5;
+  d.rule.min_requests = 5;
+  return d;
+}
+
+service::ShardRouterOptions router_options(const CliOptions& cli,
+                                           std::uint32_t shards,
+                                           const std::string& dir) {
+  service::ShardRouterOptions o;
+  o.shards = shards;
+  o.shard.detector = detector_options();
+  o.shard.dir = dir;
+  o.shard.wal_fsync = cli.fsync;
+  o.shard.wal_segment_records = cli.segment_records;
+  o.shard.checkpoint_every = cli.checkpoint_every;
+  return o;
+}
+
+/// FNV-1a over the canonical byte layout of a merged FlagBatch, so two
+/// runs (any shard count, any machine) can be compared from logs alone.
+std::uint64_t flag_digest(const core::FlagBatch& batch) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](const void* p, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const core::FlagRecord& r : batch.records) {
+    mix(&r.account, sizeof(r.account));
+    mix(&r.flagged_at, sizeof(r.flagged_at));
+    const auto f = r.features.as_vector();
+    mix(f.data(), f.size() * sizeof(double));
+  }
+  return h;
+}
+
+struct RunResult {
+  core::FlagBatch flags;
+  std::string stats;
+};
+
+RunResult run_once(const CliOptions& cli,
+                   const std::vector<osn::Event>& events,
+                   std::uint32_t shards, const std::string& dir) {
+  service::ShardRouter router(router_options(cli, shards, dir));
+  router.start();
+  for (std::uint64_t seq = 0; seq < events.size(); ++seq) {
+    router.offer(events[seq], seq);
+    if ((seq + 1) % 1024 == 0) router.pump();
+  }
+  router.flush(cli.final_checkpoint);
+  router.sweep_flags(cli.workload.hours + 1.0);
+  if (!router.accounting_ok()) {
+    std::fprintf(stderr, "sybil_service: accounting identity violated\n");
+    std::exit(1);
+  }
+  RunResult result;
+  result.flags = router.take_flagged();
+  result.stats = router.stats_json();
+  return result;
+}
+
+bool batches_identical(const core::FlagBatch& a, const core::FlagBatch& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& ra = a[i];
+    const auto& rb = b[i];
+    if (ra.account != rb.account || ra.flagged_at != rb.flagged_at ||
+        ra.features.as_vector() != rb.features.as_vector()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!take_flag(argc, argv, "--help", 0).empty()) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  if (const auto v = take_flag(argc, argv, "--shards", 1); !v.empty()) {
+    cli.shards = static_cast<std::uint32_t>(std::stoul(v[0]));
+  }
+  if (const auto v = take_flag(argc, argv, "--dir", 1); !v.empty()) {
+    cli.dir = v[0];
+  }
+  if (const auto v = take_flag(argc, argv, "--accounts", 1); !v.empty()) {
+    cli.workload.accounts = static_cast<std::uint32_t>(std::stoul(v[0]));
+  }
+  if (const auto v = take_flag(argc, argv, "--events", 1); !v.empty()) {
+    cli.workload.events = std::stoull(v[0]);
+  }
+  if (const auto v = take_flag(argc, argv, "--seed", 1); !v.empty()) {
+    cli.workload.seed = std::stoull(v[0]);
+  }
+  if (const auto v = take_flag(argc, argv, "--hours", 1); !v.empty()) {
+    cli.workload.hours = std::stod(v[0]);
+  }
+  if (const auto v = take_flag(argc, argv, "--burst-senders", 1); !v.empty()) {
+    cli.workload.burst_senders = static_cast<std::uint32_t>(std::stoul(v[0]));
+  }
+  if (const auto v = take_flag(argc, argv, "--fsync", 1); !v.empty()) {
+    if (v[0] == "always") {
+      cli.fsync = service::WalFsync::kEveryAppend;
+    } else if (v[0] == "rotate") {
+      cli.fsync = service::WalFsync::kOnRotate;
+    } else if (v[0] == "never") {
+      cli.fsync = service::WalFsync::kNever;
+    } else {
+      std::fprintf(stderr, "sybil_service: unknown --fsync mode %s\n",
+                   v[0].c_str());
+      return 2;
+    }
+  }
+  if (const auto v = take_flag(argc, argv, "--segment-records", 1);
+      !v.empty()) {
+    cli.segment_records = std::stoull(v[0]);
+  }
+  if (const auto v = take_flag(argc, argv, "--checkpoint-every", 1);
+      !v.empty()) {
+    cli.checkpoint_every = std::stoull(v[0]);
+  }
+  if (!take_flag(argc, argv, "--no-final-checkpoint", 0).empty()) {
+    cli.final_checkpoint = false;
+  }
+  if (!take_flag(argc, argv, "--verify-single", 0).empty()) {
+    cli.verify_single = true;
+  }
+  if (!take_flag(argc, argv, "--stats", 0).empty()) cli.stats = true;
+  if (argc > 1) {
+    std::fprintf(stderr, "sybil_service: unknown argument %s\n%s", argv[1],
+                 kUsage);
+    return 2;
+  }
+
+  // Account ids must fit the ingestion bound.
+  if (cli.workload.accounts >
+      core::DetectorOptions{}.ingest.max_account_id) {
+    std::fprintf(stderr,
+                 "sybil_service: --accounts exceeds the ingestion account-id "
+                 "bound\n");
+    return 2;
+  }
+
+  const std::vector<osn::Event> events =
+      service::synthetic_workload(cli.workload);
+  std::printf("workload: accounts=%u events=%zu shards=%u\n",
+              cli.workload.accounts, events.size(), cli.shards);
+
+  const RunResult sharded =
+      run_once(cli, events, cli.shards,
+               cli.dir + "/n" + std::to_string(cli.shards));
+  std::printf("flags: %zu  digest: %016llx\n", sharded.flags.size(),
+              static_cast<unsigned long long>(flag_digest(sharded.flags)));
+  if (cli.stats) std::printf("%s\n", sharded.stats.c_str());
+
+  if (cli.verify_single && cli.shards != 1) {
+    const RunResult single = run_once(cli, events, 1, cli.dir + "/n1");
+    const bool ok = batches_identical(sharded.flags, single.flags);
+    std::printf("verify-single: %u-shard flags %s 1-shard flags "
+                "(%zu vs %zu records)\n",
+                cli.shards, ok ? "==" : "!=", sharded.flags.size(),
+                single.flags.size());
+    if (!ok) return 1;
+  }
+  return 0;
+}

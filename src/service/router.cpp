@@ -1,0 +1,337 @@
+#include "service/router.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+namespace sybil::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kMaxShards = 4096;
+
+std::string shard_dir_name(std::uint32_t i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "shard-%04u", i);
+  return buf;
+}
+
+void append_field(std::string& out, const char* key, std::uint64_t value) {
+  if (out.back() != '{') out += ',';
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+}  // namespace
+
+std::uint32_t shard_of(graph::NodeId id, std::uint32_t shards) noexcept {
+  if (shards <= 1) return 0;
+  // splitmix64 finalizer: adjacent account ids land on unrelated shards,
+  // so id-assignment patterns in a feed cannot stripe one shard.
+  std::uint64_t x = static_cast<std::uint64_t>(id) + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<std::uint32_t>(x % shards);
+}
+
+std::vector<std::uint32_t> route_shards(const osn::Event& e,
+                                        std::uint32_t shards) {
+  std::vector<std::uint32_t> out;
+  switch (e.type) {
+    case osn::EventType::kAccountCreated:
+      out.push_back(shard_of(e.actor, shards));
+      break;
+    case osn::EventType::kRequestAccepted:
+    case osn::EventType::kFriendshipSeeded:
+    case osn::EventType::kAccountBanned:
+      // Edge-creating events update the clustering coefficient of
+      // third-party watchers on any shard; ban bits gate every handler.
+      // Both are global dependencies: broadcast.
+      out.resize(shards);
+      for (std::uint32_t i = 0; i < shards; ++i) out[i] = i;
+      break;
+    default: {
+      // Two-party events (and unknown types, which each shard's
+      // dead-letter path will classify): double-delivery to both
+      // owners, collapsed to one copy on a shared shard.
+      const std::uint32_t a = shard_of(e.actor, shards);
+      const std::uint32_t b = shard_of(e.subject, shards);
+      out.push_back(std::min(a, b));
+      if (a != b) out.push_back(std::max(a, b));
+      break;
+    }
+  }
+  return out;
+}
+
+void ShardRouterOptions::validate() const {
+  if (shards == 0 || shards > kMaxShards) {
+    throw std::invalid_argument(
+        "ShardRouterOptions::shards must be in [1, " +
+        std::to_string(kMaxShards) + "]");
+  }
+  if (shard.crash_hook) {
+    throw std::invalid_argument(
+        "ShardRouterOptions::shard.crash_hook must be empty; use the "
+        "shard-addressed ShardRouterOptions::crash_hook");
+  }
+  shard.validate();  // template itself must be coherent (dir etc.)
+}
+
+ShardRouter::ShardRouter(const ShardRouterOptions& options)
+    : options_((options.validate(), options)) {
+  shards_.reserve(options_.shards);
+  for (std::uint32_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<ServiceSupervisor>(shard_options(i)));
+  }
+  frontier_.assign(options_.shards, 0);
+}
+
+ShardRouter::~ShardRouter() = default;
+
+ServiceOptions ShardRouter::shard_options(std::uint32_t i) const {
+  ServiceOptions o = options_.shard;
+  o.dir = options_.shard.dir + "/" + shard_dir_name(i);
+  o.shard_id = i;
+  o.shard_count = options_.shards;
+  if (options_.crash_hook) {
+    const ShardCrashHook hook = options_.crash_hook;
+    o.crash_hook = [i, hook](CrashPoint p) { hook(i, p); };
+  }
+  return o;
+}
+
+RouterRecoveryReport ShardRouter::start() {
+  if (started_) throw std::logic_error("ShardRouter::start called twice");
+  // A root holding state for shards this router was not configured with
+  // means the partition count changed: hash ownership moved, and every
+  // shard would silently replay the wrong slice. Fail before any I/O.
+  if (fs::exists(options_.shard.dir)) {
+    for (const auto& entry : fs::directory_iterator(options_.shard.dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() != 10 || name.rfind("shard-", 0) != 0) continue;
+      const std::string digits = name.substr(6);
+      if (digits.find_first_not_of("0123456789") != std::string::npos) {
+        continue;
+      }
+      if (std::stoul(digits) >= options_.shards) {
+        throw std::runtime_error(
+            "service root " + options_.shard.dir + " contains " + name +
+            " but the router is configured with " +
+            std::to_string(options_.shards) +
+            " shards; resharding requires a migration, not a restart");
+      }
+    }
+  }
+  RouterRecoveryReport report;
+  report.shards.reserve(shards_.size());
+  for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+    report.shards.push_back(shards_[i]->start());
+    frontier_[i] = report.shards.back().next_seq;
+  }
+  report.next_seq = *std::min_element(frontier_.begin(), frontier_.end());
+  started_ = true;
+  return report;
+}
+
+void ShardRouter::deliver(std::uint32_t i, const osn::Event& e,
+                          std::uint64_t seq, RouteResult& result) {
+  if (seq < frontier_[i]) {
+    // Already durable on this shard from a previous process lifetime:
+    // redelivery is the upstream at-least-once contract doing its job.
+    ++copies_routed_;
+    ++result.routed;
+    ++copies_suppressed_;
+    ++result.suppressed;
+    return;
+  }
+  // Account the copy only after the shard's offer returns: a delivery
+  // that dies mid-WAL-append never happened (the resume re-drives it),
+  // so the copies identity survives a crash unwinding through here.
+  const bool admitted = shards_[i]->offer(e, seq);
+  frontier_[i] = seq + 1;
+  ++copies_routed_;
+  ++result.routed;
+  ++copies_delivered_;
+  ++result.delivered;
+  if (admitted) ++result.admitted;
+}
+
+RouteResult ShardRouter::offer(const osn::Event& e, std::uint64_t seq) {
+  if (seq >= kExplicitSeqLimit) {
+    throw std::invalid_argument(
+        "ShardRouter::offer requires an explicit global seq (auto seqs "
+        "cannot define a redelivery frontier)");
+  }
+  ++offers_;
+  RouteResult result;
+  const auto n = static_cast<std::uint32_t>(shards_.size());
+  switch (e.type) {
+    case osn::EventType::kAccountCreated:
+      deliver(shard_of(e.actor, n), e, seq, result);
+      break;
+    case osn::EventType::kRequestAccepted:
+    case osn::EventType::kFriendshipSeeded:
+    case osn::EventType::kAccountBanned:
+      for (std::uint32_t i = 0; i < n; ++i) deliver(i, e, seq, result);
+      break;
+    default: {
+      const std::uint32_t a = shard_of(e.actor, n);
+      const std::uint32_t b = shard_of(e.subject, n);
+      deliver(std::min(a, b), e, seq, result);
+      if (a != b) deliver(std::max(a, b), e, seq, result);
+      break;
+    }
+  }
+  return result;
+}
+
+std::size_t ShardRouter::pump(std::size_t max_per_shard) {
+  std::size_t n = 0;
+  for (auto& s : shards_) n += s->pump(max_per_shard);
+  return n;
+}
+
+std::size_t ShardRouter::sweep_flags(graph::Time now) {
+  std::size_t n = 0;
+  for (auto& s : shards_) n += s->sweep_flags(now);
+  return n;
+}
+
+void ShardRouter::checkpoint_now() {
+  for (auto& s : shards_) s->checkpoint_now();
+}
+
+void ShardRouter::flush(bool checkpoint) {
+  for (auto& s : shards_) s->flush(checkpoint);
+}
+
+core::FlagBatch ShardRouter::take_flagged() {
+  core::FlagBatch merged;
+  const auto n = static_cast<std::uint32_t>(shards_.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    core::FlagBatch batch = shards_[i]->take_flagged();
+    for (const core::FlagRecord& r : batch.records) {
+      // Non-owner replicas see only the slice of an account's history
+      // that was routed to them; their flags are partial-evidence noise
+      // by design. The owner shard saw everything — keep its verdicts.
+      if (shard_of(r.account, n) == i) merged.records.push_back(r);
+    }
+  }
+  std::sort(merged.records.begin(), merged.records.end(),
+            [](const core::FlagRecord& a, const core::FlagRecord& b) {
+              if (a.flagged_at != b.flagged_at) {
+                return a.flagged_at < b.flagged_at;
+              }
+              return a.account < b.account;
+            });
+  return merged;
+}
+
+RecoveryReport ShardRouter::restart_shard(std::uint32_t i) {
+  if (i >= shards_.size()) {
+    throw std::out_of_range("ShardRouter::restart_shard: no such shard");
+  }
+  shards_[i] = std::make_unique<ServiceSupervisor>(shard_options(i));
+  const RecoveryReport report = shards_[i]->start();
+  frontier_[i] = report.next_seq;
+  return report;
+}
+
+std::uint64_t ShardRouter::next_seq() const noexcept {
+  return *std::min_element(frontier_.begin(), frontier_.end());
+}
+
+bool ShardRouter::accounting_ok() const noexcept {
+  if (copies_routed_ != copies_delivered_ + copies_suppressed_) return false;
+  for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i]->accounting_ok()) return false;
+    if (frontier_[i] != shards_[i]->next_seq()) return false;
+  }
+  return true;
+}
+
+std::string ShardRouter::stats_json() const {
+  std::uint64_t offered = 0, admitted = 0, pumped = 0;
+  std::uint64_t shed_low = 0, shed_sweep = 0, shed_cap = 0;
+  std::uint64_t queued = 0, applied = 0, deduped = 0;
+  std::uint64_t deadlettered = 0, dl_dropped = 0, buffered = 0;
+  std::uint64_t banned_party = 0, flagged = 0, sweeps = 0, sweep_flagged = 0;
+  std::uint64_t by_reason[core::kStreamErrorCodeCount] = {};
+  for (const auto& s : shards_) {
+    offered += s->offered();
+    admitted += s->admitted();
+    pumped += s->pumped();
+    shed_low += s->shed_low_priority();
+    shed_sweep += s->shed_sweep_only();
+    shed_cap += s->shed_capacity();
+    queued += s->queue_depth();
+    applied += s->detector().applied_total();
+    deduped += s->detector().deduped_total();
+    deadlettered += s->detector().deadletter_total();
+    dl_dropped += s->detector().dead_letters_dropped();
+    buffered += s->detector().buffered();
+    banned_party += s->detector().banned_party_total();
+    flagged += s->detector().flagged_total();
+    sweeps += s->sweeps();
+    sweep_flagged += s->sweep_flagged();
+    for (std::size_t r = 0; r < core::kStreamErrorCodeCount; ++r) {
+      by_reason[r] +=
+          s->detector().deadletter_by_reason(static_cast<core::StreamErrorCode>(r));
+    }
+  }
+
+  std::string out = "{";
+  append_field(out, "shards", shards_.size());
+  append_field(out, "offers", offers_);
+  out += ",\"copies\":{";
+  append_field(out, "routed", copies_routed_);
+  append_field(out, "delivered", copies_delivered_);
+  append_field(out, "suppressed", copies_suppressed_);
+  out += '}';
+  // Aggregate identity: counts *delivered copies*, so it is the exact
+  // sum of the per-shard identities (cross-shard fanout is visible in
+  // "copies" above, never silently folded away).
+  out += ",\"aggregate\":{";
+  append_field(out, "offered", offered);
+  append_field(out, "admitted", admitted);
+  out += ",\"shed\":{";
+  append_field(out, "low_priority", shed_low);
+  append_field(out, "sweep_only", shed_sweep);
+  append_field(out, "capacity", shed_cap);
+  append_field(out, "total", shed_low + shed_sweep + shed_cap);
+  out += '}';
+  append_field(out, "queued", queued);
+  append_field(out, "pumped", pumped);
+  append_field(out, "applied", applied);
+  append_field(out, "deduped", deduped);
+  out += ",\"deadlettered\":{";
+  append_field(out, "total", deadlettered);
+  for (std::size_t r = 0; r < core::kStreamErrorCodeCount; ++r) {
+    append_field(out, core::to_string(static_cast<core::StreamErrorCode>(r)),
+                 by_reason[r]);
+  }
+  append_field(out, "dropped", dl_dropped);
+  out += '}';
+  append_field(out, "buffered", buffered);
+  append_field(out, "banned_party", banned_party);
+  append_field(out, "flagged_total", flagged);
+  append_field(out, "sweeps", sweeps);
+  append_field(out, "sweep_flagged", sweep_flagged);
+  out += '}';
+  out += ",\"per_shard\":[";
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += shards_[i]->stats_json();
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace sybil::service

@@ -1,0 +1,203 @@
+// N-way sharded detection service: a ShardRouter hash-partitions the
+// event stream by account id across N ServiceSupervisor shards, each
+// owning its own WAL segments, checkpoint generations, recovery path
+// and 3-tier degradation state (one overloaded shard sheds without
+// dragging the others down).
+//
+// Cross-shard protocol. An event's feature effects decide who must see
+// it (derived from the StreamDetector handlers; docs/ROBUSTNESS.md
+// §Sharded recovery has the argument):
+//
+//   kAccountCreated                 → owner(actor) only
+//   kRequestSent/Rejected/Dropped   → owner(actor) + owner(subject)
+//                                     (double-delivery; one copy when
+//                                     both parties hash to one shard)
+//   kRequestAccepted/
+//   kFriendshipSeeded               → every shard (edges feed the
+//                                     clustering coefficient of third-
+//                                     party watchers on any shard)
+//   kAccountBanned                  → every shard (ban bits gate every
+//                                     handler and are never shed)
+//   unknown types                   → routed like a pair event and left
+//                                     for each shard's dead-letter path
+//
+// With this routing the owner shard of any account X receives every
+// event that can mutate X's state, in global (time, seq) order, so its
+// per-account features and flag times are identical to a 1-shard run.
+// Non-owner shards hold partial replicas and may spuriously flag
+// accounts they do not own; take_flagged() keeps owner-shard records
+// only and merges them in canonical (flagged_at, account) order, which
+// is how the N-shard FlagBatch is byte-identical to the 1-shard one.
+//
+// Exactly-once across crashes: every delivered copy lands in the target
+// shard's WAL with its global seq, so each shard's recovery exposes a
+// redelivery frontier (RecoveryReport::next_seq). The router suppresses
+// re-offered seqs below a shard's frontier, keeping per-shard WALs
+// duplicate-free — replay determinism and the kill-at-every-boundary
+// sweep therefore hold *per shard*, with designed cross-shard copies
+// accounted explicitly (copies_routed/delivered/suppressed).
+//
+// Accounting. Each shard keeps the PR 5 identity
+//   offered == applied + deduped + deadlettered + buffered
+//              + queued + shed
+// and the router-aggregated identity is the sum over shards, where
+// "offered" counts delivered copies, not unique events (fanout is
+// reported separately, so unique-event math stays recoverable).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/supervisor.h"
+
+namespace sybil::service {
+
+/// Owning shard of an account id: splitmix64-mixed, then reduced mod
+/// `shards`, so adjacent ids spread instead of striping.
+std::uint32_t shard_of(graph::NodeId id, std::uint32_t shards) noexcept;
+
+/// The shards an event is delivered to, ascending and deduplicated.
+/// Exposed for tests and capacity planning; the router computes the
+/// same set allocation-free on its hot path.
+std::vector<std::uint32_t> route_shards(const osn::Event& e,
+                                        std::uint32_t shards);
+
+/// Crash hook with shard addressing: faults::ShardCrashInjector binds
+/// here to kill one shard at a chosen durability boundary while its
+/// peers run clean.
+using ShardCrashHook = std::function<void(std::uint32_t shard, CrashPoint)>;
+
+struct ShardRouterOptions {
+  /// Template for every shard. `dir` is the *root*: shard i lives in
+  /// "<dir>/shard-<4 digits>". shard_id/shard_count/crash_hook are
+  /// overwritten per shard; the template's own crash_hook must be empty
+  /// (use the shard-addressed hook below).
+  ServiceOptions shard{};
+  std::uint32_t shards = 1;
+  ShardCrashHook crash_hook{};
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+/// What start() found: per-shard recovery outcomes plus the global
+/// resume point.
+struct RouterRecoveryReport {
+  std::vector<RecoveryReport> shards;
+  /// Resume the global stream here: the minimum shard frontier. Events
+  /// at or past it may be missing from some shard; events below it are
+  /// durable everywhere they were routed (re-offering them is harmless
+  /// — every copy is suppressed).
+  std::uint64_t next_seq = 0;
+};
+
+/// Per-offer outcome: how the copies fanned out.
+struct RouteResult {
+  std::uint32_t routed = 0;      // target shards for this event
+  std::uint32_t delivered = 0;   // copies offered into a shard
+  std::uint32_t suppressed = 0;  // copies dropped by a shard's frontier
+  std::uint32_t admitted = 0;    // delivered copies that were not shed
+};
+
+class ShardRouter {
+ public:
+  /// Validates options and builds the shards; no I/O until start().
+  explicit ShardRouter(const ShardRouterOptions& options);
+  ~ShardRouter();
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Recovers every shard (checkpoint + WAL replay each) and opens the
+  /// per-shard WALs. Refuses a root holding shard directories at or
+  /// past `shards` — resharding is not a restart, it needs a migration.
+  RouterRecoveryReport start();
+
+  /// Routes one event. `seq` must be an explicit global stream seq
+  /// (below kExplicitSeqLimit); offers must replay the same (event,
+  /// seq) pairs in the same order after any rewind — at-least-once
+  /// upstream, exactly-once per shard via the frontiers.
+  RouteResult offer(const osn::Event& e, std::uint64_t seq);
+
+  /// Drains up to `max_per_shard` events into each shard's detector
+  /// (0 = all), in shard order. Returns the total pumped.
+  std::size_t pump(std::size_t max_per_shard = 0);
+
+  /// Sweeps every shard. Returns the total newly flagged, *before*
+  /// ownership filtering (non-owner replicas may flag accounts the
+  /// merge later drops).
+  std::size_t sweep_flags(graph::Time now);
+
+  /// Checkpoints every shard at its current WAL position.
+  void checkpoint_now();
+
+  /// Pumps and finishes every shard; checkpoints unless told not to.
+  void flush(bool checkpoint = true);
+
+  /// Owner-filtered, canonically merged flags: each shard's drained
+  /// records are kept only where shard_of(account) owns them, then the
+  /// union is sorted by (flagged_at, account) — a total order, since an
+  /// account flags at most once globally after filtering.
+  core::FlagBatch take_flagged();
+
+  /// Replaces shard `i` with a fresh supervisor recovered from its own
+  /// directory — the single-shard crash path. The caller must then
+  /// re-drive the global stream from the *router's* next_seq() (the
+  /// minimum frontier, not the restarted shard's: the crash may have
+  /// left a later-ordered shard missing a seq the victim already made
+  /// durable). Every shard's frontier suppresses copies it has.
+  RecoveryReport restart_shard(std::uint32_t i);
+
+  /// Global redelivery frontier: the minimum shard frontier. Re-driving
+  /// the stream from here reaches every missing copy; everything below
+  /// it is durable wherever it was routed.
+  std::uint64_t next_seq() const noexcept;
+
+  std::uint32_t shards() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  ServiceSupervisor& shard(std::uint32_t i) { return *shards_.at(i); }
+  const ServiceSupervisor& shard(std::uint32_t i) const {
+    return *shards_.at(i);
+  }
+  std::uint32_t owner_of(graph::NodeId id) const noexcept {
+    return shard_of(id, static_cast<std::uint32_t>(shards_.size()));
+  }
+
+  std::uint64_t offers() const noexcept { return offers_; }
+  std::uint64_t copies_routed() const noexcept { return copies_routed_; }
+  std::uint64_t copies_delivered() const noexcept { return copies_delivered_; }
+  std::uint64_t copies_suppressed() const noexcept {
+    return copies_suppressed_;
+  }
+
+  /// Every shard's identity, plus the router-aggregated one, plus
+  /// frontier consistency (frontier[i] == shard i's next_seq).
+  bool accounting_ok() const noexcept;
+
+  /// Canonical JSON: {"shards":N,"offers":...,"copies":{...},
+  /// "aggregate":{summed replay-exact counters},"per_shard":[...]}.
+  /// Deterministic for any SYBIL_THREADS, like the per-shard JSON it
+  /// embeds.
+  std::string stats_json() const;
+
+ private:
+  ServiceOptions shard_options(std::uint32_t i) const;
+  void deliver(std::uint32_t i, const osn::Event& e, std::uint64_t seq,
+               RouteResult& result);
+
+  ShardRouterOptions options_;
+  std::vector<std::unique_ptr<ServiceSupervisor>> shards_;
+  /// Per-shard redelivery frontier (mirrors each shard's next_seq()).
+  std::vector<std::uint64_t> frontier_;
+  bool started_ = false;
+
+  std::uint64_t offers_ = 0;
+  std::uint64_t copies_routed_ = 0;
+  std::uint64_t copies_delivered_ = 0;
+  std::uint64_t copies_suppressed_ = 0;
+};
+
+}  // namespace sybil::service

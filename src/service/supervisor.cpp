@@ -47,6 +47,101 @@ void append_field(std::string& out, const char* key, std::uint64_t value) {
 
 }  // namespace
 
+#if SYBIL_METRICS_COMPILED
+
+// Per-instance metric handles. The instrument.h macros cache handles in
+// function-local statics, which would fuse every shard of a sharded
+// service onto one metric name; a supervisor therefore resolves its own
+// handles once, under its shard namespace ("service.shard.<i>.*" when
+// it is one of N, plain "service.*" standalone), and sharded counters
+// additionally feed the aggregated "service.*" family so fleet-wide
+// dashboards need no client-side summing (docs/OBSERVABILITY.md).
+struct ServiceSupervisor::Metrics {
+  struct Count {
+    core::metrics::Counter* local = nullptr;
+    core::metrics::Counter* agg = nullptr;  // aggregate twin (sharded only)
+    void add(std::uint64_t n = 1) const noexcept {
+      if (n == 0 || !core::metrics::metrics_enabled()) return;
+      local->add(n);
+      if (agg != nullptr) agg->add(n);
+    }
+  };
+  // Gauges are instantaneous, so an aggregated twin would be
+  // last-writer-wins noise across shards: local only.
+  struct Level {
+    core::metrics::Gauge* local = nullptr;
+    void set(double v) const noexcept {
+      if (core::metrics::metrics_enabled()) local->set(v);
+    }
+  };
+
+  Count recoveries;
+  Count cold_starts;
+  Count replayed_records;
+  Count generations_discarded;
+  Count tier_transitions;
+  Count shed_low_priority;
+  Count shed_sweep_only;
+  Count shed_capacity;
+  Count sweeps;
+  Count deadletter[core::kStreamErrorCodeCount];
+  Count deadletter_total;
+  Count deadletter_dropped;
+  Level queue_depth;
+  Level tier;
+
+  explicit Metrics(const ServiceOptions& o) {
+    auto& reg = core::metrics::MetricsRegistry::instance();
+    const bool sharded = o.shard_count > 1;
+    const std::string prefix =
+        sharded ? "service.shard." + std::to_string(o.shard_id) + "."
+                : std::string("service.");
+    const auto count = [&](const std::string& name) {
+      Count c;
+      c.local = &reg.counter(prefix + name);
+      if (sharded) c.agg = &reg.counter("service." + name);
+      return c;
+    };
+    const auto level = [&](const std::string& name) {
+      Level l;
+      l.local = &reg.gauge(prefix + name);
+      return l;
+    };
+    recoveries = count("recovery.count");
+    cold_starts = count("recovery.cold_starts");
+    replayed_records = count("recovery.replayed_records");
+    generations_discarded = count("recovery.generations_discarded");
+    tier_transitions = count("tier.transitions");
+    shed_low_priority = count("shed.low_priority");
+    shed_sweep_only = count("shed.sweep_only");
+    shed_capacity = count("shed.capacity");
+    sweeps = count("sweeps");
+    for (std::size_t i = 0; i < core::kStreamErrorCodeCount; ++i) {
+      deadletter[i] = count(std::string("deadletter.") +
+                            core::to_string(static_cast<core::StreamErrorCode>(i)));
+    }
+    deadletter_total = count("deadletter.total");
+    deadletter_dropped = count("deadletter.dropped");
+    queue_depth = level("queue.depth");
+    tier = level("tier");
+  }
+};
+
+#define SYBIL_SERVICE_METRIC(expr)           \
+  do {                                       \
+    if (metrics_ != nullptr) metrics_->expr; \
+  } while (0)
+
+#else  // SYBIL_METRICS_COMPILED == 0
+
+struct ServiceSupervisor::Metrics {};
+
+#define SYBIL_SERVICE_METRIC(expr) \
+  do {                             \
+  } while (0)
+
+#endif  // SYBIL_METRICS_COMPILED
+
 void ServiceOptions::validate() const {
   detector.validate();
   if (dir.empty()) {
@@ -60,12 +155,23 @@ void ServiceOptions::validate() const {
     throw std::invalid_argument("ServiceOptions::checkpoint_retain must be "
                                 ">= 1 (retention is the fallback depth)");
   }
+  if (shard_count == 0) {
+    throw std::invalid_argument("ServiceOptions::shard_count must be >= 1");
+  }
+  if (shard_id >= shard_count) {
+    throw std::invalid_argument(
+        "ServiceOptions::shard_id must be < shard_count");
+  }
 }
 
 ServiceSupervisor::ServiceSupervisor(const ServiceOptions& options)
     : options_((options.validate(), options)),
       detector_(options.detector),
-      realtime_(options.detector) {}
+      realtime_(options.detector) {
+#if SYBIL_METRICS_COMPILED
+  metrics_ = std::make_unique<Metrics>(options_);
+#endif
+}
 
 ServiceSupervisor::~ServiceSupervisor() = default;
 
@@ -84,6 +190,7 @@ void ServiceSupervisor::reset_state() {
   offered_ = admitted_ = pumped_ = 0;
   shed_low_priority_ = shed_sweep_only_ = shed_capacity_ = 0;
   sweeps_ = sweep_flagged_ = 0;
+  next_seq_ = 0;
 }
 
 RecoveryReport ServiceSupervisor::start() {
@@ -106,6 +213,21 @@ RecoveryReport ServiceSupervisor::start() {
     try {
       const ServiceCheckpointState state =
           load_service_checkpoint(generations[i].second);
+      // Identity check before anything is restored: a checkpoint from
+      // another shard is misconfiguration, not corruption, so it must
+      // escape the fallback loop and fail the whole start() loudly
+      // (plain logic_error — only SnapshotError triggers fallback).
+      if (state.shard_count != 0 &&
+          (state.shard_count != options_.shard_count ||
+           state.shard_id != options_.shard_id)) {
+        throw std::logic_error(
+            "service checkpoint " + generations[i].second +
+            " was written by shard " + std::to_string(state.shard_id) +
+            "/" + std::to_string(state.shard_count) +
+            " but this supervisor is shard " +
+            std::to_string(options_.shard_id) + "/" +
+            std::to_string(options_.shard_count));
+      }
       core::restore_stream_state(detector_, state.stream_state);
       core::restore_realtime_state(realtime_, state.realtime_state);
       queue_.assign(state.queue.begin(), state.queue.end());
@@ -118,6 +240,7 @@ RecoveryReport ServiceSupervisor::start() {
       shed_capacity_ = state.shed_capacity;
       sweeps_ = state.sweeps;
       sweep_flagged_ = state.sweep_flagged;
+      next_seq_ = state.next_seq;
       report.cold_start = false;
       report.checkpoint_file = generations[i].second;
       report.checkpoint_position = state.wal_position;
@@ -126,7 +249,7 @@ RecoveryReport ServiceSupervisor::start() {
     } catch (const io::SnapshotError&) {
       reset_state();  // a partial restore must not leak into a fallback
       ++report.generations_discarded;
-      SYBIL_METRIC_COUNT("service.recovery.generations_discarded", 1);
+      SYBIL_SERVICE_METRIC(generations_discarded.add(1));
     }
   }
 
@@ -136,9 +259,13 @@ RecoveryReport ServiceSupervisor::start() {
   // checkpointed queue holds only indices below from_index and the
   // replay only indices at or above it, so nothing is applied twice.
   WalScanReport scan;
-  const std::vector<WalRecord> records = scan_wal(wal_dir, from_index, scan);
+  const std::vector<WalRecord> records =
+      scan_wal(wal_dir, from_index, scan, options_.shard_id);
   for (const WalRecord& r : records) {
     ++offered_;
+    if (r.seq < kExplicitSeqLimit) {
+      next_seq_ = std::max(next_seq_, r.seq + 1);
+    }
     if (r.shed()) {
       if ((r.flags & WalRecordFlags::kCapacity) != 0) {
         ++shed_capacity_;
@@ -165,18 +292,19 @@ RecoveryReport ServiceSupervisor::start() {
   wal_opts.dir = wal_dir;
   wal_opts.segment_records = options_.wal_segment_records;
   wal_opts.fsync = options_.wal_fsync;
+  wal_opts.shard_id = options_.shard_id;
   wal_opts.crash_hook = options_.crash_hook;
   wal_ = std::make_unique<WalWriter>(wal_opts, next);
 
   report.next_index = next;
+  report.next_seq = next_seq_;
   recovery_ = report;
   started_ = true;
-  SYBIL_METRIC_COUNT("service.recovery.count", 1);
-  if (report.cold_start) SYBIL_METRIC_COUNT("service.recovery.cold_starts", 1);
-  SYBIL_METRIC_COUNT("service.recovery.replayed_records",
-                     report.records_replayed);
-  SYBIL_METRIC_GAUGE_SET("service.queue.depth", queue_.size());
-  SYBIL_METRIC_GAUGE_SET("service.tier", static_cast<std::uint32_t>(tier_));
+  SYBIL_SERVICE_METRIC(recoveries.add(1));
+  if (report.cold_start) SYBIL_SERVICE_METRIC(cold_starts.add(1));
+  SYBIL_SERVICE_METRIC(replayed_records.add(report.records_replayed));
+  SYBIL_SERVICE_METRIC(queue_depth.set(static_cast<double>(queue_.size())));
+  SYBIL_SERVICE_METRIC(tier.set(static_cast<std::uint32_t>(tier_)));
   return report;
 }
 
@@ -198,9 +326,9 @@ void ServiceSupervisor::update_tier() {
   if (next != tier_) {
     tier_ = next;
     ++tier_transitions_;
-    SYBIL_METRIC_COUNT("service.tier.transitions", 1);
+    SYBIL_SERVICE_METRIC(tier_transitions.add(1));
   }
-  SYBIL_METRIC_GAUGE_SET("service.tier", static_cast<std::uint32_t>(tier_));
+  SYBIL_SERVICE_METRIC(tier.set(static_cast<std::uint32_t>(tier_)));
 }
 
 bool ServiceSupervisor::offer(const osn::Event& e, std::uint64_t seq) {
@@ -229,22 +357,23 @@ bool ServiceSupervisor::offer(const osn::Event& e, std::uint64_t seq) {
   // that replay re-derives from the record itself.
   const std::uint64_t index = wal_->append(e, seq, flags);
   ++offered_;
+  if (seq < kExplicitSeqLimit) next_seq_ = std::max(next_seq_, seq + 1);
   if (shed) {
     if (capacity) {
       ++shed_capacity_;
-      SYBIL_METRIC_COUNT("service.shed.capacity", 1);
+      SYBIL_SERVICE_METRIC(shed_capacity.add(1));
     } else if (tier_ == core::ServiceTier::kSweepOnly) {
       ++shed_sweep_only_;
-      SYBIL_METRIC_COUNT("service.shed.sweep_only", 1);
+      SYBIL_SERVICE_METRIC(shed_sweep_only.add(1));
     } else {
       ++shed_low_priority_;
-      SYBIL_METRIC_COUNT("service.shed.low_priority", 1);
+      SYBIL_SERVICE_METRIC(shed_low_priority.add(1));
     }
   } else {
     queue_.push_back(WalRecord{index, seq, e, flags});
     ++admitted_;
   }
-  SYBIL_METRIC_GAUGE_SET("service.queue.depth", queue_.size());
+  SYBIL_SERVICE_METRIC(queue_depth.set(static_cast<double>(queue_.size())));
   maybe_checkpoint();
   return !shed;
 }
@@ -259,7 +388,8 @@ std::size_t ServiceSupervisor::pump(std::size_t max_events) {
     ++n;
     detector_.ingest(r.event, r.seq);
   }
-  SYBIL_METRIC_GAUGE_SET("service.queue.depth", queue_.size());
+  SYBIL_SERVICE_METRIC(queue_depth.set(static_cast<double>(queue_.size())));
+  publish_metrics();
   return n;
 }
 
@@ -268,8 +398,27 @@ std::size_t ServiceSupervisor::sweep_flags(graph::Time now) {
   ++sweeps_;
   const std::size_t n = detector_.sweep_flags(now);
   sweep_flagged_ += n;
-  SYBIL_METRIC_COUNT("service.sweeps", 1);
+  SYBIL_SERVICE_METRIC(sweeps.add(1));
   return n;
+}
+
+void ServiceSupervisor::publish_metrics() {
+#if SYBIL_METRICS_COMPILED
+  if (metrics_ == nullptr) return;
+  std::uint64_t total_delta = 0;
+  for (std::size_t i = 0; i < core::kStreamErrorCodeCount; ++i) {
+    const std::uint64_t now =
+        detector_.deadletter_by_reason(static_cast<core::StreamErrorCode>(i));
+    const std::uint64_t delta = now - published_deadletter_[i];
+    published_deadletter_[i] = now;
+    total_delta += delta;
+    metrics_->deadletter[i].add(delta);
+  }
+  metrics_->deadletter_total.add(total_delta);
+  const std::uint64_t dropped = detector_.dead_letters_dropped();
+  metrics_->deadletter_dropped.add(dropped - published_deadletter_dropped_);
+  published_deadletter_dropped_ = dropped;
+#endif
 }
 
 void ServiceSupervisor::maybe_checkpoint() {
@@ -285,6 +434,9 @@ void ServiceSupervisor::checkpoint_now() {
   ServiceCheckpointState state;
   state.wal_position = wal_->next_index();
   state.tier = static_cast<std::uint32_t>(tier_);
+  state.shard_id = options_.shard_id;
+  state.shard_count = options_.shard_count;
+  state.next_seq = next_seq_;
   state.offered = offered_;
   state.admitted = admitted_;
   state.pumped = pumped_;
@@ -311,11 +463,12 @@ void ServiceSupervisor::checkpoint_now() {
   }
 }
 
-void ServiceSupervisor::flush() {
+void ServiceSupervisor::flush(bool checkpoint) {
   require_started("flush");
   pump(0);
   detector_.finish();
-  checkpoint_now();
+  publish_metrics();
+  if (checkpoint) checkpoint_now();
 }
 
 bool ServiceSupervisor::accounting_ok() const noexcept {
@@ -361,6 +514,7 @@ std::string ServiceSupervisor::stats_json() const {
   append_field(out, "flagged_total", detector_.flagged_total());
   append_field(out, "sweeps", sweeps_);
   append_field(out, "sweep_flagged", sweep_flagged_);
+  append_field(out, "next_seq", next_seq_);
   out += ",\"tier\":\"";
   out += core::to_string(tier_);
   out += "\"}";

@@ -48,11 +48,25 @@
 
 namespace sybil::service {
 
+/// Explicit transport seqs live below this bound; values at or above it
+/// are reserved for StreamDetector's auto-assigned seqs plus the
+/// kAutoSeq sentinel, and never advance the redelivery frontier.
+inline constexpr std::uint64_t kExplicitSeqLimit = std::uint64_t{1} << 63;
+
 struct ServiceOptions {
   core::DetectorOptions detector{};
   /// Service state root: WAL segments under <dir>/wal, checkpoint
   /// generations under <dir>/ckpt. Created on demand.
   std::string dir;
+  /// Partition identity when this supervisor is one shard of a
+  /// ShardRouter (service/router.h): stamped into WAL segment headers
+  /// and checkpoints, namespaces the operational metrics as
+  /// "service.shard.<id>.*" (aggregated into "service.*"), and makes
+  /// recovery refuse state written by any other shard. The standalone
+  /// default (shard 0 of 1) keeps the PR 5 behaviour: plain "service.*"
+  /// metric names and no second copy.
+  std::uint32_t shard_id = 0;
+  std::uint32_t shard_count = 1;
   WalFsync wal_fsync = WalFsync::kEveryAppend;
   std::uint64_t wal_segment_records = 4096;
   /// Take a checkpoint whenever the WAL reaches a multiple of this many
@@ -90,6 +104,12 @@ struct RecoveryReport {
   /// and must be offered again — at-least-once delivery upstream plus
   /// the WAL's exactly-once replay below this index.
   std::uint64_t next_index = 0;
+  /// Redelivery frontier: one past the highest explicit transport seq
+  /// that is durable on this shard (checkpoint next_seq joined with the
+  /// replayed WAL suffix). A router re-driving the global stream from
+  /// any earlier point must suppress seqs below this before they reach
+  /// offer(), keeping the shard's WAL duplicate-free.
+  std::uint64_t next_seq = 0;
 };
 
 class ServiceSupervisor {
@@ -126,8 +146,16 @@ class ServiceSupervisor {
   void checkpoint_now();
 
   /// End of stream: pump everything, drain the detector's reorder
-  /// buffer, checkpoint. After flush() the service can keep ingesting.
-  void flush();
+  /// buffer, checkpoint (skippable for huge throwaway runs where
+  /// serializing multi-GB detector state buys nothing). After flush()
+  /// the service can keep ingesting.
+  void flush(bool checkpoint = true);
+
+  /// Publishes detector-owned operational counters (per-reason dead
+  /// letters) into the metric registry under this shard's namespace,
+  /// as deltas since the last publish. Called from pump()/flush();
+  /// exposed so tests and ops loops can force a publish point.
+  void publish_metrics();
 
   core::FlagBatch take_flagged() { return detector_.take_flagged(); }
 
@@ -150,6 +178,11 @@ class ServiceSupervisor {
   std::uint64_t tier_transitions() const noexcept {
     return tier_transitions_;
   }
+  std::uint64_t sweeps() const noexcept { return sweeps_; }
+  std::uint64_t sweep_flagged() const noexcept { return sweep_flagged_; }
+  /// One past the highest explicit seq offered (the live redelivery
+  /// frontier; equals recovery().next_seq right after start()).
+  std::uint64_t next_seq() const noexcept { return next_seq_; }
 
   /// The workload-accounting identity, checkable at any instant.
   bool accounting_ok() const noexcept;
@@ -168,6 +201,8 @@ class ServiceSupervisor {
   core::RealTimeDetector& realtime() noexcept { return realtime_; }
 
  private:
+  struct Metrics;  // per-instance handles; see supervisor.cpp
+
   void require_started(const char* what) const;
   void reset_state();
   void update_tier();
@@ -176,6 +211,7 @@ class ServiceSupervisor {
   ServiceOptions options_;
   core::StreamDetector detector_;
   core::RealTimeDetector realtime_;
+  std::unique_ptr<Metrics> metrics_;
   std::unique_ptr<WalWriter> wal_;
   std::deque<WalRecord> queue_;
   core::ServiceTier tier_ = core::ServiceTier::kFull;
@@ -191,7 +227,12 @@ class ServiceSupervisor {
   std::uint64_t shed_capacity_ = 0;
   std::uint64_t sweeps_ = 0;
   std::uint64_t sweep_flagged_ = 0;
+  std::uint64_t next_seq_ = 0;
   std::uint64_t tier_transitions_ = 0;  // ops-only, not in stats_json
+  /// Registry values already published per dead-letter reason, so
+  /// publish_metrics() emits exact deltas (ops-only, not checkpointed).
+  std::uint64_t published_deadletter_[core::kStreamErrorCodeCount] = {};
+  std::uint64_t published_deadletter_dropped_ = 0;
 };
 
 }  // namespace sybil::service

@@ -26,14 +26,17 @@ namespace {
 constexpr std::uint32_t kWalMagic = 0x4C575953u;
 constexpr std::uint16_t kWalEndianTag = 0x0102u;
 constexpr std::uint16_t kWalHeaderSize = 24;
-constexpr std::uint32_t kWalFormatVersion = 1;
+// v1: shard_id field written as zero ("reserved"). v2 stamps the owning
+// shard's id there; layout is byte-identical, so v1 segments still scan
+// (they predate shard identity and skip the ownership check).
+constexpr std::uint32_t kWalFormatVersion = 2;
 
 struct SegmentHeader {
   std::uint32_t magic;
   std::uint16_t endian_tag;
   std::uint16_t header_size;
   std::uint32_t format_version;
-  std::uint32_t reserved;
+  std::uint32_t shard_id;
   std::uint64_t base_index;
 };
 static_assert(sizeof(SegmentHeader) == kWalHeaderSize);
@@ -146,6 +149,7 @@ void WalWriter::open_segment() {
   header.endian_tag = kWalEndianTag;
   header.header_size = kWalHeaderSize;
   header.format_version = kWalFormatVersion;
+  header.shard_id = options_.shard_id;
   header.base_index = segment_base_;
   write_bytes(&header, sizeof(header));
   if (std::fflush(file_) != 0) {
@@ -221,7 +225,8 @@ void WalWriter::sync() {
 
 std::vector<WalRecord> scan_wal(const std::string& dir,
                                 std::uint64_t from_index,
-                                WalScanReport& report) {
+                                WalScanReport& report,
+                                std::uint32_t expected_shard) {
   report = WalScanReport{};
   report.next_index = from_index;
   std::vector<WalRecord> out;
@@ -255,6 +260,15 @@ std::vector<WalRecord> scan_wal(const std::string& dir,
       ++report.torn_tails_healed;
       SYBIL_METRIC_COUNT("service.wal.torn_tails", 1);
       continue;
+    }
+    if (expected_shard != kWalAnyShard && header.format_version >= 2 &&
+        header.shard_id != expected_shard) {
+      std::fclose(f);
+      throw SnapshotError(
+          SnapshotErrorCode::kFormatViolation,
+          "WAL segment " + path.string() + " belongs to shard " +
+              std::to_string(header.shard_id) + ", not shard " +
+              std::to_string(expected_shard));
     }
     std::uint64_t valid = 0;  // records validated in this segment
     bool tail_bad = false;

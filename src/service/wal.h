@@ -12,7 +12,7 @@
 // followed by fixed-size 44-byte records:
 //
 //   header   magic "SYWL", endian tag, header size, format version,
-//            reserved, base record index (u64)
+//            shard id (v2; reserved zero in v1), base record index (u64)
 //   record   crc32 (of the following 40 bytes) ·
 //            index u64 · seq u64 · time f64 ·
 //            actor u32 · subject u32 · type u32 · flags u32
@@ -80,6 +80,11 @@ struct WalOptions {
   /// Records per segment before rotation.
   std::uint64_t segment_records = 4096;
   WalFsync fsync = WalFsync::kEveryAppend;
+  /// Stamped into every segment header (format v2) so a segment
+  /// misplaced into another shard's directory is rejected at scan time
+  /// instead of replaying the wrong partition's history. Single-instance
+  /// services write shard 0.
+  std::uint32_t shard_id = 0;
   /// Test seam; empty in production. A non-empty hook also switches
   /// appends to a two-phase write so kWalRecordHalf can tear records.
   CrashHook crash_hook{};
@@ -160,15 +165,23 @@ struct WalScanReport {
   std::uint64_t next_index = 0;
 };
 
+/// `expected_shard` value that disables the shard-identity check.
+inline constexpr std::uint32_t kWalAnyShard = ~std::uint32_t{0};
+
 /// Scans `dir` in segment order, validates every record CRC, heals torn
 /// tails in place, and returns the valid records with index >=
 /// `from_index` in index order. Segments entirely below `from_index`
 /// are skipped without reading their records. Throws io::SnapshotError
 /// on unreadable directories; corrupt *content* never throws — it is
 /// truncated and reported (a WAL's job is to survive exactly that).
+/// A v2 segment header carrying a shard id other than `expected_shard`
+/// throws SnapshotError(kFormatViolation): a foreign shard's log is
+/// misconfiguration, not corruption, and must never be replayed here
+/// (v1 headers predate shard identity and are exempt).
 std::vector<WalRecord> scan_wal(const std::string& dir,
                                 std::uint64_t from_index,
-                                WalScanReport& report);
+                                WalScanReport& report,
+                                std::uint32_t expected_shard = kWalAnyShard);
 
 /// Deletes segments whose entire record range lies below `index` (all
 /// retained checkpoints are at or above it). Returns segments removed.

@@ -1,0 +1,157 @@
+#include "service/workload.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace sybil::service {
+
+namespace {
+
+using osn::Event;
+using osn::EventType;
+
+/// Bounded pool of outstanding (from, to) requests that accept/reject
+/// events resolve. A ring so memory stays O(1) at any stream length.
+class PendingRing {
+ public:
+  bool empty() const noexcept { return size_ == 0; }
+
+  void push(graph::NodeId from, graph::NodeId to) noexcept {
+    slots_[head_] = {from, to};
+    head_ = (head_ + 1) % kCapacity;
+    if (size_ < kCapacity) ++size_;
+  }
+
+  /// Removes and returns a pseudo-uniformly chosen entry.
+  std::pair<graph::NodeId, graph::NodeId> pop(stats::Rng& rng) noexcept {
+    const std::size_t pick =
+        (head_ + kCapacity - 1 - rng.uniform_index(size_)) % kCapacity;
+    const auto out = slots_[pick];
+    // Swap the victim with the newest entry, then shrink.
+    const std::size_t newest = (head_ + kCapacity - 1) % kCapacity;
+    slots_[pick] = slots_[newest];
+    head_ = newest;
+    --size_;
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kCapacity = 1024;
+  std::pair<graph::NodeId, graph::NodeId> slots_[kCapacity];
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace
+
+void WorkloadOptions::validate() const {
+  if (accounts < 16) {
+    throw std::invalid_argument("WorkloadOptions::accounts must be >= 16");
+  }
+  if (events == 0) {
+    throw std::invalid_argument("WorkloadOptions::events must be >= 1");
+  }
+  if (!(hours > 0.0)) {
+    throw std::invalid_argument("WorkloadOptions::hours must be > 0");
+  }
+  if (burst_senders == 0 || burst_senders >= accounts / 2) {
+    throw std::invalid_argument(
+        "WorkloadOptions::burst_senders must be in [1, accounts/2)");
+  }
+  const double mix = accept_fraction + reject_fraction +
+                     seed_friend_fraction + created_fraction + ban_fraction +
+                     malformed_fraction;
+  if (mix < 0.0 || mix > 0.9) {
+    throw std::invalid_argument(
+        "WorkloadOptions: event-mix fractions must sum to <= 0.9 "
+        "(the remainder is organic request traffic)");
+  }
+}
+
+std::vector<osn::Event> synthetic_workload(const WorkloadOptions& o) {
+  o.validate();
+  stats::Rng rng(o.seed);
+  PendingRing pending;
+  std::vector<Event> out;
+  out.reserve(o.events);
+
+  // Cumulative thresholds over one uniform draw per event.
+  const double t_created = o.created_fraction;
+  const double t_ban = t_created + o.ban_fraction;
+  const double t_accept = t_ban + o.accept_fraction;
+  const double t_reject = t_accept + o.reject_fraction;
+  const double t_seed = t_reject + o.seed_friend_fraction;
+  const double t_malformed = t_seed + o.malformed_fraction;
+
+  // Organic accounts live above the burst-sender id range; bans only
+  // ever hit organic accounts so the burst signature keeps building.
+  const auto organic = [&]() -> graph::NodeId {
+    return o.burst_senders + 1 +
+           static_cast<graph::NodeId>(
+               rng.uniform_index(o.accounts - o.burst_senders - 1));
+  };
+
+  std::uint64_t malformed_shape = 0;
+  for (std::uint64_t i = 0; i < o.events; ++i) {
+    const double t = o.hours * static_cast<double>(i) /
+                     static_cast<double>(o.events);
+    const double u = rng.uniform();
+    if (u < t_created) {
+      const graph::NodeId a = organic();
+      out.push_back({EventType::kAccountCreated, a, a, t});
+    } else if (u < t_ban) {
+      const graph::NodeId a = organic();
+      out.push_back({EventType::kAccountBanned, a, a, t});
+    } else if (u < t_accept && !pending.empty()) {
+      const auto [from, to] = pending.pop(rng);
+      // Dispatch convention: the accepter acts, the sender is subject.
+      out.push_back({EventType::kRequestAccepted, to, from, t});
+    } else if (u < t_reject && !pending.empty()) {
+      const auto [from, to] = pending.pop(rng);
+      out.push_back({EventType::kRequestRejected, to, from, t});
+    } else if (u < t_seed) {
+      const graph::NodeId a = organic();
+      graph::NodeId b = organic();
+      while (b == a) b = organic();
+      out.push_back({EventType::kFriendshipSeeded, a, b, t});
+    } else if (u < t_malformed) {
+      const graph::NodeId a = organic();
+      graph::NodeId b = organic();
+      while (b == a) b = organic();
+      switch (malformed_shape++ % 4) {
+        case 0:
+          out.push_back({static_cast<EventType>(0xEE), a, b, t});
+          break;
+        case 1:
+          out.push_back({EventType::kRequestSent, a, a, t});
+          break;
+        case 2:
+          out.push_back({EventType::kRequestSent, a, b,
+                         std::numeric_limits<double>::quiet_NaN()});
+          break;
+        default:
+          out.push_back({EventType::kRequestSent,
+                         std::numeric_limits<graph::NodeId>::max() - 7, b, t});
+          break;
+      }
+    } else {
+      // A friend request: burst senders take burst_fraction of them.
+      graph::NodeId from;
+      if (rng.bernoulli(o.burst_fraction)) {
+        from = 1 + static_cast<graph::NodeId>(
+                       rng.uniform_index(o.burst_senders));
+      } else {
+        from = organic();
+      }
+      graph::NodeId to = organic();
+      while (to == from) to = organic();
+      out.push_back({EventType::kRequestSent, from, to, t});
+      pending.push(from, to);
+    }
+  }
+  return out;
+}
+
+}  // namespace sybil::service

@@ -1,0 +1,55 @@
+// Deterministic synthetic event workloads for the service layer.
+//
+// The OSN simulator (osn/simulator.h) produces behaviourally rich logs
+// but materializes a full Network; the sharded-service equivalence runs
+// need multi-million-account streams where only the *event stream*
+// matters. synthetic_workload() emits a pure function of its options:
+// a time-ordered mix of friend-request traffic with a configurable set
+// of burst senders (sybil-like: high invite rate, low accept ratio —
+// the paper's §4 signature) that cross a relaxed ThresholdRule, plus
+// optional structurally malformed events for the dead-letter path.
+//
+// Determinism notes: times are strictly nondecreasing (so replay under
+// any reorder watermark applies every event, on every shard — the
+// property the N-vs-1-shard byte-identity proof needs), and malformed
+// events are limited to watermark-independent shapes (unknown type,
+// self-referential, non-finite time, out-of-range id): a time-
+// regression quarantine depends on the local high watermark, which is
+// legitimately shard-local (docs/ROBUSTNESS.md §Sharded recovery).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "osn/events.h"
+
+namespace sybil::service {
+
+struct WorkloadOptions {
+  std::uint32_t accounts = 2000;
+  std::uint64_t events = 20000;
+  /// Stream span in simulated hours; event i is stamped hours*i/events.
+  double hours = 96.0;
+  std::uint64_t seed = 1;
+  /// Accounts 1..burst_senders send `burst_fraction` of all requests —
+  /// far above the organic rate, with near-zero accepts.
+  std::uint32_t burst_senders = 8;
+  double burst_fraction = 0.2;
+  // Event-mix fractions (the remainder is organic kRequestSent).
+  double accept_fraction = 0.15;
+  double reject_fraction = 0.08;
+  double seed_friend_fraction = 0.05;
+  double created_fraction = 0.02;
+  double ban_fraction = 0.002;
+  /// Structurally invalid events (0 = clean feed). Cycled through the
+  /// four watermark-independent dead-letter shapes.
+  double malformed_fraction = 0.0;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+/// The stream, in offer order. Event i's transport seq is its index.
+std::vector<osn::Event> synthetic_workload(const WorkloadOptions& options);
+
+}  // namespace sybil::service
