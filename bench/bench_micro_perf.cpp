@@ -141,16 +141,42 @@ void BM_ConnectedComponents(benchmark::State& state) {
 }
 BENCHMARK(BM_ConnectedComponents);
 
+const graph::NeighborView& shared_view() {
+  static const graph::NeighborView view =
+      graph::NeighborView::from(shared_graph());
+  return view;
+}
+
 void BM_FirstKClustering(benchmark::State& state) {
-  const auto& g = shared_graph();
-  const auto& csr = shared_csr();
+  const auto& view = shared_view();
+  graph::ClusteringScratch scratch;
   graph::NodeId u = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(graph::first_k_clustering(g, csr, u, 50));
-    u = (u + 1) % csr.node_count();
+    benchmark::DoNotOptimize(graph::first_k_clustering(view, u, 50, scratch));
+    u = (u + 1) % view.node_count();
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_FirstKClustering);
+
+/// The batch entry point over a full candidate sweep (coefficients/sec
+/// across 4096 subjects; amortizes chunk scratch and, in real sweeps,
+/// the shared sorted view).
+void BM_FirstKClusteringBatch(benchmark::State& state) {
+  const auto& view = shared_view();
+  std::vector<graph::NodeId> subjects(4096);
+  for (std::size_t i = 0; i < subjects.size(); ++i) {
+    subjects[i] = static_cast<graph::NodeId>((i * 131) % view.node_count());
+  }
+  std::vector<double> out(subjects.size());
+  for (auto _ : state) {
+    graph::first_k_clustering_batch(view, subjects, 50, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(subjects.size()));
+}
+BENCHMARK(BM_FirstKClusteringBatch);
 
 void BM_TriangleCount(benchmark::State& state) {
   const auto& csr = shared_csr();
@@ -261,19 +287,31 @@ osn::Event wal_bench_event(std::uint64_t i) {
 
 /// Arg: fsync policy (0 = every append, 2 = never) — the durability
 /// cost per logged event is exactly the gap between the two series.
+/// The kEveryAppend series runs the way the supervisor pump drives it
+/// in production: appends bracketed into 64-record commit groups, one
+/// coalesced fsync per group (WalWriter::begin_group/commit_group).
 void BM_WalAppend(benchmark::State& state) {
   const std::string dir = wal_bench_dir();
   std::filesystem::remove_all(dir);
   service::WalOptions options;
   options.dir = dir;
   options.fsync = static_cast<service::WalFsync>(state.range(0));
+  const bool grouped = options.fsync == service::WalFsync::kEveryAppend;
+  constexpr std::uint64_t kGroup = 64;
   std::uint64_t i = 0;
   {
     service::WalWriter wal(options, 0);
+    std::uint64_t in_group = 0;
     for (auto _ : state) {
+      if (grouped && in_group == 0) wal.begin_group();
       benchmark::DoNotOptimize(wal.append(wal_bench_event(i), i, 0));
       ++i;
+      if (grouped && ++in_group == kGroup) {
+        wal.commit_group();
+        in_group = 0;
+      }
     }
+    if (grouped && in_group > 0) wal.commit_group();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(i));
   state.SetBytesProcessed(static_cast<std::int64_t>(i) * 44);
@@ -376,7 +414,11 @@ void BM_ShardRoute(benchmark::State& state) {
   std::size_t i = 0;
   std::uint64_t copies = 0;
   for (auto _ : state) {
-    copies += service::route_shards(events[i], shards).size();
+    // The allocation-free plan the router's hot path uses: one type
+    // dispatch per event regardless of fanout, so the 8-shard decision
+    // costs the same as the 1-shard one.
+    const service::RoutePlan plan = service::plan_route(events[i], shards);
+    copies += plan.broadcast ? shards : plan.count;
     benchmark::DoNotOptimize(copies);
     i = (i + 1) % events.size();
   }
@@ -434,32 +476,136 @@ class JsonSeriesReporter : public benchmark::ConsoleReporter {
     return std::fclose(f) == 0;
   }
 
- private:
   struct Entry {
     std::string name;
     double real_time_ns = 0.0;
     double items_per_second = 0.0;
     double bytes_per_second = 0.0;
   };
+
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+ private:
   std::vector<Entry> entries_;
 };
+
+// --- Baseline diffing (--baseline <json>) ---------------------------
+
+/// Parses the exact format write_json() emits (one object per line in
+/// the "benchmarks" array). Not a general JSON parser on purpose: the
+/// baseline is a machine artifact this binary wrote.
+std::vector<JsonSeriesReporter::Entry> load_baseline(
+    const std::string& path) {
+  std::vector<JsonSeriesReporter::Entry> out;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_micro_perf: cannot read baseline %s\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  char line[1024];
+  const auto field = [](const char* s, const char* key, double& value) {
+    const char* p = std::strstr(s, key);
+    if (p == nullptr) return;
+    p = std::strchr(p + std::strlen(key), ':');
+    if (p != nullptr) value = std::strtod(p + 1, nullptr);
+  };
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    const char* name = std::strstr(line, "\"name\"");
+    if (name == nullptr) continue;
+    const char* open = std::strchr(name + 6, '"');
+    const char* close = open != nullptr ? std::strchr(open + 1, '"') : nullptr;
+    if (close == nullptr) continue;
+    JsonSeriesReporter::Entry e;
+    e.name.assign(open + 1, close);
+    field(close + 1, "\"real_time_ns\"", e.real_time_ns);
+    field(close + 1, "\"items_per_second\"", e.items_per_second);
+    field(close + 1, "\"bytes_per_second\"", e.bytes_per_second);
+    out.push_back(std::move(e));
+  }
+  std::fclose(f);
+  return out;
+}
+
+/// Prints the per-benchmark delta table and returns how many tracked
+/// series regressed beyond `threshold` (fractional; rate series compare
+/// items/sec, time-only series compare real time). Series present only
+/// on one side are reported but never counted as regressions.
+int diff_against_baseline(
+    const std::vector<JsonSeriesReporter::Entry>& baseline,
+    const std::vector<JsonSeriesReporter::Entry>& current,
+    double threshold) {
+  int regressions = 0;
+  std::printf("\n%-34s %14s %14s %9s\n", "benchmark vs baseline", "base",
+              "current", "delta");
+  for (const auto& base : baseline) {
+    const JsonSeriesReporter::Entry* cur = nullptr;
+    for (const auto& c : current) {
+      if (c.name == base.name) {
+        cur = &c;
+        break;
+      }
+    }
+    if (cur == nullptr) {
+      std::printf("%-34s %14s %14s %9s\n", base.name.c_str(), "-",
+                  "not run", "-");
+      continue;
+    }
+    const bool rate = base.items_per_second > 0.0 &&
+                      cur->items_per_second > 0.0;
+    const double b = rate ? base.items_per_second : base.real_time_ns;
+    const double c = rate ? cur->items_per_second : cur->real_time_ns;
+    // Positive delta = improvement on both kinds of series.
+    const double delta = rate ? c / b - 1.0 : b / c - 1.0;
+    const bool regressed = delta < -threshold;
+    regressions += regressed ? 1 : 0;
+    std::printf("%-34s %14.4g %14.4g %+8.1f%%%s%s\n", base.name.c_str(), b,
+                c, delta * 100.0, rate ? " items/s" : " (time)",
+                regressed ? "  REGRESSED" : "");
+  }
+  for (const auto& c : current) {
+    bool known = false;
+    for (const auto& base : baseline) known = known || base.name == c.name;
+    if (!known) {
+      std::printf("%-34s %14s %14s %9s\n", c.name.c_str(), "new", "-", "-");
+    }
+  }
+  if (regressions > 0) {
+    std::printf("\n%d series regressed more than %.0f%%\n", regressions,
+                threshold * 100.0);
+  }
+  return regressions;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip `--json <path>` before google-benchmark sees the argv.
+  // Strip our own flags before google-benchmark sees the argv:
+  //   --json <path>               write the compact series
+  //   --baseline <json>           diff against a committed series and
+  //                               exit non-zero on regression
+  //   --regress-threshold <frac>  tolerated fractional drop (default 0.15)
   std::string json_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") != 0) continue;
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "bench_micro_perf: --json needs a path\n");
-      return 2;
+  std::string baseline_path;
+  double threshold = 0.15;
+  const auto take = [&](const char* flag, std::string& into) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], flag) != 0) continue;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_micro_perf: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      into = argv[i + 1];
+      for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return;
     }
-    json_path = argv[i + 1];
-    for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
-    argc -= 2;
-    break;
-  }
+  };
+  take("--json", json_path);
+  take("--baseline", baseline_path);
+  std::string threshold_str;
+  take("--regress-threshold", threshold_str);
+  if (!threshold_str.empty()) threshold = std::strtod(threshold_str.c_str(), nullptr);
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
@@ -470,6 +616,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_micro_perf: cannot write %s\n",
                  json_path.c_str());
     return 1;
+  }
+  if (!baseline_path.empty()) {
+    const auto baseline = load_baseline(baseline_path);
+    if (diff_against_baseline(baseline, reporter.entries(), threshold) > 0) {
+      return 3;
+    }
   }
   return 0;
 }

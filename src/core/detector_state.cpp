@@ -20,11 +20,14 @@ using io::SnapshotError;
 using io::SnapshotErrorCode;
 
 void check_version(std::uint32_t version, const char* what) {
-  if (version > kDetectorStateVersion) {
+  // Exact match: v2 redefined the seen-by-time section (released-only
+  // prune queue instead of the full accepted-seq heap), so a v1 blob
+  // cannot be reinterpreted — and nothing writes v1 anymore.
+  if (version != kDetectorStateVersion) {
     throw SnapshotError(SnapshotErrorCode::kUnsupportedVersion,
                         std::string(what) + " state v" +
                             std::to_string(version) +
-                            " newer than supported v" +
+                            " incompatible with supported v" +
                             std::to_string(kDetectorStateVersion));
   }
 }
@@ -187,7 +190,7 @@ struct DetectorStateAccess {
     const auto& reorder = queue_container(d.reorder_);
     w.write(static_cast<std::uint64_t>(reorder.size()));
     for (const StreamDetector::Buffered& b : reorder) {
-      w.write(b.time);
+      w.write(b.event.time);  // the entry's sort time (see Buffered)
       w.write(b.seq);
       write_event(w, b.event);
     }
@@ -197,9 +200,8 @@ struct DetectorStateAccess {
     w.write(static_cast<std::uint64_t>(seqs.size()));
     for (std::uint64_t s : seqs) w.write(s);
 
-    const auto& seen_heap = queue_container(d.seen_by_time_);
-    w.write(static_cast<std::uint64_t>(seen_heap.size()));
-    for (const auto& [time, seq] : seen_heap) {
+    w.write(static_cast<std::uint64_t>(d.released_.size()));
+    for (const auto& [time, seq] : d.released_) {
       w.write(time);
       w.write(seq);
     }
@@ -264,9 +266,14 @@ struct DetectorStateAccess {
     const std::uint64_t n_buffered = read_count(r, "reorder-buffer");
     reorder.resize(n_buffered);
     for (auto& b : reorder) {
-      b.time = r.read<graph::Time>();
+      const graph::Time time = r.read<graph::Time>();
       b.seq = r.read<std::uint64_t>();
       b.event = read_event(r);
+      if (time != b.event.time) {
+        throw SnapshotError(SnapshotErrorCode::kFormatViolation,
+                            "reorder-buffer entry time disagrees with its "
+                            "event time");
+      }
     }
 
     d.seen_seqs_.clear();
@@ -275,12 +282,12 @@ struct DetectorStateAccess {
     for (std::uint64_t i = 0; i < n_seqs; ++i) {
       d.seen_seqs_.insert(r.read<std::uint64_t>());
     }
-    auto& seen_heap = queue_container_mut(d.seen_by_time_);
-    const std::uint64_t n_seen = read_count(r, "seen-by-time");
-    seen_heap.resize(n_seen);
-    for (auto& entry : seen_heap) {
-      entry.first = r.read<graph::Time>();
-      entry.second = r.read<std::uint64_t>();
+    d.released_.clear();
+    const std::uint64_t n_released = read_count(r, "released-seq");
+    for (std::uint64_t i = 0; i < n_released; ++i) {
+      const graph::Time time = r.read<graph::Time>();
+      const std::uint64_t seq = r.read<std::uint64_t>();
+      d.released_.emplace_back(time, seq);
     }
 
     d.high_watermark_ = r.read<graph::Time>();

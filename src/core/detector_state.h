@@ -33,7 +33,7 @@ class RealTimeDetector;
 
 /// Blob format revision; bumped when the member list changes. Readers
 /// reject newer revisions with SnapshotError(kUnsupportedVersion).
-inline constexpr std::uint32_t kDetectorStateVersion = 1;
+inline constexpr std::uint32_t kDetectorStateVersion = 2;
 
 std::vector<std::byte> serialize_stream_state(const StreamDetector& d);
 /// Throws io::SnapshotError on truncated/malformed/newer-version blobs;

@@ -8,13 +8,13 @@ FeatureExtractor::FeatureExtractor(const osn::Network& net,
                                    double long_window_hours,
                                    std::size_t first_friends)
     : net_(net),
-      csr_(graph::CsrGraph::from(net.graph())),
+      view_(graph::CsrGraph::from(net.graph())),
       long_window_(long_window_hours),
       first_friends_(first_friends) {}
 
-SybilFeatures FeatureExtractor::extract(osn::NodeId account) const {
+void FeatureExtractor::fill_rates(osn::NodeId account,
+                                  SybilFeatures& f) const {
   const osn::RequestLedger& led = net_.ledger(account);
-  SybilFeatures f;
   f.invite_rate_short = led.short_term_rate();
   f.invite_rate_long = led.long_term_rate(long_window_);
   // Accounts with no outgoing (or incoming) request history are treated
@@ -27,17 +27,28 @@ SybilFeatures FeatureExtractor::extract(osn::NodeId account) const {
       led.received() == 0 ? 1.0
                           : static_cast<double>(led.received_accepted()) /
                                 static_cast<double>(led.received());
-  f.clustering_coefficient = graph::first_k_clustering(
-      net_.graph(), csr_, account, first_friends_);
+}
+
+SybilFeatures FeatureExtractor::extract(osn::NodeId account) const {
+  SybilFeatures f;
+  fill_rates(account, f);
+  f.clustering_coefficient =
+      graph::first_k_clustering(view_, account, first_friends_);
   return f;
 }
 
 std::vector<SybilFeatures> FeatureExtractor::extract(
     const std::vector<osn::NodeId>& accounts) const {
   std::vector<SybilFeatures> out(accounts.size());
+  // Clustering — the expensive column — goes through the batched first-k
+  // kernel (per-chunk scratch, one shared sorted view); the ledger-based
+  // rates are cheap and filled alongside.
+  std::vector<double> cc(accounts.size(), 0.0);
+  graph::first_k_clustering_batch(view_, accounts, first_friends_, cc);
   parallel_for(accounts.size(), [&](const ChunkRange& c) {
     for (std::size_t i = c.begin; i < c.end; ++i) {
-      out[i] = extract(accounts[i]);
+      fill_rates(accounts[i], out[i]);
+      out[i].clustering_coefficient = cc[i];
     }
   });
   return out;

@@ -16,6 +16,7 @@
 
 #include "graph/clustering.h"
 #include "graph/csr.h"
+#include "graph/neighbor_view.h"
 #include "osn/network.h"
 
 namespace sybil::core {
@@ -36,8 +37,10 @@ struct SybilFeatures {
   static constexpr std::size_t kFeatureCount = 4;
 };
 
-/// Extracts features for accounts of a Network. Builds one CSR snapshot
-/// at construction; create a fresh extractor after the graph changes.
+/// Extracts features for accounts of a Network. Builds one NeighborView
+/// snapshot (chronological + sorted adjacency) at construction — the
+/// setup cost every candidate of a sweep then amortizes; create a fresh
+/// extractor after the graph changes.
 class FeatureExtractor {
  public:
   /// `long_window_hours` is the paper's 400-hour horizon;
@@ -48,17 +51,22 @@ class FeatureExtractor {
 
   SybilFeatures extract(osn::NodeId account) const;
 
-  /// Batch extraction, parallelized per subject over the fixed chunk
-  /// partition (bit-identical to the sequential loop for any
-  /// SYBIL_THREADS — each slot is written by exactly one chunk).
+  /// Batch extraction: clustering goes through the batched first-k
+  /// kernel, the remaining features are filled per subject over the
+  /// fixed chunk partition (bit-identical to the sequential loop for
+  /// any SYBIL_THREADS — each slot is written by exactly one chunk).
   std::vector<SybilFeatures> extract(
       const std::vector<osn::NodeId>& accounts) const;
 
-  const graph::CsrGraph& snapshot() const noexcept { return csr_; }
+  const graph::NeighborView& view() const noexcept { return view_; }
+  const graph::CsrGraph& snapshot() const noexcept { return view_.csr(); }
 
  private:
+  /// Ledger-derived features (everything but clustering).
+  void fill_rates(osn::NodeId account, SybilFeatures& f) const;
+
   const osn::Network& net_;
-  graph::CsrGraph csr_;
+  graph::NeighborView view_;
   double long_window_;
   std::size_t first_friends_;
 };

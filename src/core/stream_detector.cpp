@@ -131,7 +131,7 @@ void StreamDetector::attach_friend(osn::NodeId u, osn::NodeId v) {
 }
 
 void StreamDetector::add_edge(osn::NodeId u, osn::NodeId v, graph::Time) {
-  if (u == v || !edges_.insert(edge_key(u, v)).second) return;
+  if (u == v || !edges_.insert(edge_key(u, v))) return;
 
   // Accounts (other than the endpoints) watching BOTH endpoints gain an
   // internal link. Scan the smaller watcher list.
@@ -301,9 +301,11 @@ void StreamDetector::quarantine(const osn::Event& e, std::uint64_t seq,
 
 void StreamDetector::release_ready() {
   const graph::Time low = high_watermark_ - options_.ingest.watermark_hours;
-  while (!reorder_.empty() && reorder_.top().time <= low) {
+  while (!reorder_.empty() && reorder_.top().event.time <= low) {
+    const std::uint64_t seq = reorder_.top().seq;
     const osn::Event e = reorder_.top().event;
     reorder_.pop();
+    released_.emplace_back(e.time, seq);
     ++applied_total_;
     SYBIL_METRIC_COUNT("stream.ingest.applied", 1);
     dispatch(e);
@@ -311,10 +313,12 @@ void StreamDetector::release_ready() {
   // Prune duplicate-detection state that the watermark has passed: a
   // redelivery of a pruned seq necessarily carries an event time below
   // the low watermark and is quarantined as kTimeRegression before the
-  // dedup check can matter.
-  while (!seen_by_time_.empty() && seen_by_time_.top().first < low) {
-    seen_seqs_.erase(seen_by_time_.top().second);
-    seen_by_time_.pop();
+  // dedup check can matter. Releases come out of the heap in ascending
+  // (time, seq) order, so released_ is sorted and the prunable prefix
+  // sits at its front.
+  while (!released_.empty() && released_.front().first < low) {
+    seen_seqs_.erase(released_.front().second);
+    released_.pop_front();
   }
 }
 
@@ -327,7 +331,10 @@ void StreamDetector::ingest(const osn::Event& e, std::uint64_t seq) {
     quarantine(e, seq, reason);
     return;
   }
-  if (seen_seqs_.contains(seq)) {
+  // One probe does dedup-check and accept: a false return is exactly
+  // the old contains() hit. The insert is undone on the (rare) time-
+  // regression path below, so a quarantined seq is never remembered.
+  if (!seen_seqs_.insert(seq)) {
     ++deduped_total_;
     SYBIL_METRIC_COUNT("stream.ingest.deduped", 1);
     return;
@@ -335,12 +342,11 @@ void StreamDetector::ingest(const osn::Event& e, std::uint64_t seq) {
   // Before any event is accepted the high watermark is -inf, so the
   // low watermark is -inf too and no finite time can regress past it.
   if (e.time < high_watermark_ - options_.ingest.watermark_hours) {
+    seen_seqs_.erase(seq);
     quarantine(e, seq, StreamErrorCode::kTimeRegression);
     return;
   }
-  seen_seqs_.insert(seq);
-  seen_by_time_.push({e.time, seq});
-  reorder_.push(Buffered{e.time, seq, e});
+  reorder_.push(Buffered{seq, e});
   if (e.time > high_watermark_) high_watermark_ = e.time;
   release_ready();
   SYBIL_METRIC_GAUGE_SET("stream.ingest.buffered", reorder_.size());
@@ -348,8 +354,10 @@ void StreamDetector::ingest(const osn::Event& e, std::uint64_t seq) {
 
 void StreamDetector::finish() {
   while (!reorder_.empty()) {
+    const std::uint64_t seq = reorder_.top().seq;
     const osn::Event e = reorder_.top().event;
     reorder_.pop();
+    released_.emplace_back(e.time, seq);
     ++applied_total_;
     SYBIL_METRIC_COUNT("stream.ingest.applied", 1);
     dispatch(e);

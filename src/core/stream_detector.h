@@ -43,12 +43,12 @@
 #include <cstdint>
 #include <deque>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "core/detector.h"
 #include "core/detector_options.h"
 #include "core/features.h"
+#include "core/flat_set.h"
 #include "core/stream_error.h"
 #include "core/threshold_detector.h"
 #include "osn/events.h"
@@ -179,13 +179,14 @@ class StreamDetector {
 
   /// Reorder-buffer entry, released in (time, seq) order so replays of
   /// the same event multiset apply identically whatever the arrival
-  /// interleaving (the chaos-equivalence invariant).
+  /// interleaving (the chaos-equivalence invariant). The sort time is
+  /// the event's own time — not duplicated here, the entry is copied
+  /// around by every heap sift.
   struct Buffered {
-    graph::Time time;
     std::uint64_t seq;
     osn::Event event;
     bool operator>(const Buffered& other) const noexcept {
-      if (time != other.time) return time > other.time;
+      if (event.time != other.event.time) return event.time > other.event.time;
       return seq > other.seq;
     }
   };
@@ -215,7 +216,9 @@ class StreamDetector {
   /// watchers_[v] = accounts whose first-K friend set contains v.
   std::vector<std::vector<osn::NodeId>> watchers_;
   /// Existing edges, for the internal-link update (canonical u<v keys).
-  std::unordered_set<std::uint64_t> edges_;
+  /// Flat open-addressing set: the ingest hot path probes it per edge
+  /// event, and node-based sets cost an allocation per insert.
+  FlatSet64 edges_;
   std::vector<FlagRecord> newly_flagged_;
   std::size_t flagged_total_ = 0;
 
@@ -224,11 +227,14 @@ class StreamDetector {
       reorder_;
   /// Seqs accepted within the reorder horizon (duplicate detection);
   /// pruned as the low watermark advances past their event time.
-  std::unordered_set<std::uint64_t> seen_seqs_;
-  std::priority_queue<std::pair<graph::Time, std::uint64_t>,
-                      std::vector<std::pair<graph::Time, std::uint64_t>>,
-                      std::greater<>>
-      seen_by_time_;
+  SeqBitSet seen_seqs_;
+  /// Released-but-not-yet-pruned (time, seq) pairs, appended as events
+  /// leave the reorder buffer — which is already ascending (time, seq)
+  /// order, so pruning pops from the front instead of paying a second
+  /// per-event heap. Events still buffered need no entry: release (time
+  /// <= low) always precedes pruning (time < low) under the same low
+  /// watermark, so only released seqs are ever prunable.
+  std::deque<std::pair<graph::Time, std::uint64_t>> released_;
   graph::Time high_watermark_;  // max event time accepted so far
   std::deque<DeadLetter> dead_letters_;
   std::uint64_t next_auto_seq_;

@@ -10,7 +10,9 @@ namespace sybil::graph {
 namespace {
 
 /// Counts edges among the given candidate set using a hash set of the
-/// candidates and scanning each candidate's adjacency once.
+/// candidates and scanning each candidate's adjacency once. Kept as the
+/// reference kernel for the deprecated two-handle API and for full-
+/// neighborhood clustering (whose rows have no sorted twin).
 std::uint64_t edges_within(const CsrGraph& g, std::span<const NodeId> nodes) {
   std::unordered_set<NodeId> member(nodes.begin(), nodes.end());
   std::uint64_t twice_edges = 0;
@@ -22,6 +24,81 @@ std::uint64_t edges_within(const CsrGraph& g, std::span<const NodeId> nodes) {
   return twice_edges / 2;
 }
 
+/// Branchless lower bound: the compiler turns the half-select into a
+/// conditional move, so the search pipeline never mispredicts on the
+/// (random) comparison outcomes.
+const NodeId* branchless_lower_bound(const NodeId* first, std::size_t n,
+                                     NodeId x) noexcept {
+  while (n > 1) {
+    const std::size_t half = n / 2;
+    first = first[half - 1] < x ? first + half : first;
+    n -= half;
+  }
+  return (n == 1 && *first < x) ? first + 1 : first;
+}
+
+/// |a ∩ b| for two ascending id lists. When one side is much longer,
+/// gallops through it (exponential probe + branchless binary search,
+/// advancing the base past each hit so total work is
+/// O(small · log(large/small))); otherwise a two-pointer merge.
+std::uint64_t intersect_count(std::span<const NodeId> a,
+                              std::span<const NodeId> b) noexcept {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty() || b.empty()) return 0;
+  std::uint64_t hits = 0;
+  if (b.size() / (a.size() + 1) >= 8) {
+    const NodeId* base = b.data();
+    const NodeId* const end = b.data() + b.size();
+    for (NodeId x : a) {
+      // Exponential probe from the current base, then binary search
+      // inside the bracketing window.
+      std::size_t bound = 1;
+      const auto remaining = static_cast<std::size_t>(end - base);
+      if (remaining == 0) break;
+      while (bound < remaining && base[bound - 1] < x) bound <<= 1;
+      const std::size_t lo = bound >> 1;
+      const std::size_t hi = bound < remaining ? bound : remaining;
+      const NodeId* pos = branchless_lower_bound(base + lo, hi - lo, x);
+      hits += (pos != end && *pos == x) ? 1 : 0;
+      base = pos;
+    }
+    return hits;
+  }
+  const NodeId* pa = a.data();
+  const NodeId* pb = b.data();
+  const NodeId* const ea = pa + a.size();
+  const NodeId* const eb = pb + b.size();
+  while (pa != ea && pb != eb) {
+    const NodeId va = *pa;
+    const NodeId vb = *pb;
+    hits += va == vb ? 1 : 0;
+    pa += va <= vb ? 1 : 0;
+    pb += vb <= va ? 1 : 0;
+  }
+  return hits;
+}
+
+/// The first-k kernel: sorted-subset self-intersection against each
+/// member's sorted adjacency. Every subset edge (f, g) is counted once
+/// from each endpoint, hence the /2 — an exact integer, so the final
+/// double is bit-identical to the hash-set reference kernel.
+double first_k_kernel(const NeighborView& view, NodeId u, std::size_t k,
+                      ClusteringScratch& scratch) {
+  if (u >= view.node_count()) return 0.0;
+  const auto prefix = view.first_k(u, k);
+  const std::size_t d = prefix.size();
+  if (d < 2) return 0.0;
+  scratch.subset.assign(prefix.begin(), prefix.end());
+  std::sort(scratch.subset.begin(), scratch.subset.end());
+  std::uint64_t twice_edges = 0;
+  for (NodeId f : scratch.subset) {
+    twice_edges += intersect_count(view.sorted(f), scratch.subset);
+  }
+  const std::uint64_t links = twice_edges / 2;
+  return 2.0 * static_cast<double>(links) /
+         (static_cast<double>(d) * static_cast<double>(d - 1));
+}
+
 }  // namespace
 
 double local_clustering(const CsrGraph& g, NodeId u) {
@@ -31,6 +108,38 @@ double local_clustering(const CsrGraph& g, NodeId u) {
   const std::uint64_t links = edges_within(g, nbrs);
   return 2.0 * static_cast<double>(links) /
          (static_cast<double>(d) * static_cast<double>(d - 1));
+}
+
+double first_k_clustering(const NeighborView& view, NodeId u, std::size_t k) {
+  ClusteringScratch scratch;
+  return first_k_kernel(view, u, k, scratch);
+}
+
+double first_k_clustering(const NeighborView& view, NodeId u, std::size_t k,
+                          ClusteringScratch& scratch) {
+  return first_k_kernel(view, u, k, scratch);
+}
+
+void first_k_clustering_batch(const NeighborView& view,
+                              std::span<const NodeId> subjects, std::size_t k,
+                              std::span<double> out) {
+  core::parallel_for(subjects.size(), [&](const core::ChunkRange& c) {
+    // One scratch arena per chunk: the subset buffer allocates once and
+    // is recycled across every candidate the chunk evaluates.
+    ClusteringScratch scratch;
+    scratch.subset.reserve(k);
+    for (std::size_t i = c.begin; i < c.end; ++i) {
+      out[i] = first_k_kernel(view, subjects[i], k, scratch);
+    }
+  });
+}
+
+std::vector<double> first_k_clustering_batch(const NeighborView& view,
+                                             std::span<const NodeId> subjects,
+                                             std::size_t k) {
+  std::vector<double> out(subjects.size(), 0.0);
+  first_k_clustering_batch(view, subjects, k, out);
+  return out;
 }
 
 double clustering_of_subset(const CsrGraph& g,
@@ -112,20 +221,7 @@ std::uint64_t triangle_count(const CsrGraph& g) {
         std::uint64_t triangles = 0;
         for (std::size_t u = c.begin; u < c.end; ++u) {
           for (NodeId v : fwd[u]) {
-            // Count |fwd[u] ∩ fwd[v]| with a sorted merge.
-            auto a = fwd[u].begin();
-            auto b = fwd[v].begin();
-            while (a != fwd[u].end() && b != fwd[v].end()) {
-              if (*a < *b) {
-                ++a;
-              } else if (*b < *a) {
-                ++b;
-              } else {
-                ++triangles;
-                ++a;
-                ++b;
-              }
-            }
+            triangles += intersect_count(fwd[u], fwd[v]);
           }
         }
         return triangles;

@@ -5,6 +5,14 @@
 // a deliberately streaming-friendly variant that only needs invitation
 // data. Both that variant and the standard full-neighborhood coefficient
 // are provided.
+//
+// The first-k variant runs over a NeighborView (one handle carrying the
+// chronological and sorted orderings of the same snapshot): the first-k
+// prefix is read straight out of the chronological row and mutual links
+// are counted by sorted-adjacency intersection with galloping search,
+// instead of hashing the subset and scanning full adjacency lists. The
+// link count is an exact integer either way, so the old and new paths
+// return bit-identical doubles (asserted by the property tests).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +21,7 @@
 
 #include "graph/csr.h"
 #include "graph/graph.h"
+#include "graph/neighbor_view.h"
 
 namespace sybil::graph {
 
@@ -20,14 +29,49 @@ namespace sybil::graph {
 /// (# edges among neighbors) / (deg*(deg-1)/2). Zero for degree < 2.
 double local_clustering(const CsrGraph& g, NodeId u);
 
-/// Local clustering over an explicit friend subset (e.g. the first k
-/// friends by time). Links are looked up in `g`. Zero for < 2 friends.
+/// Reusable per-call scratch for the first-k kernel: one sorted-subset
+/// buffer, allocated once and recycled across every candidate of a
+/// sweep (the batch entry point keeps one per chunk).
+struct ClusteringScratch {
+  std::vector<NodeId> subset;
+};
+
+/// The paper's metric: clustering coefficient of u's first `k` friends
+/// in edge-creation order, over one NeighborView handle.
+double first_k_clustering(const NeighborView& view, NodeId u,
+                          std::size_t k = 50);
+
+/// Same, with caller-owned scratch (no allocation after warm-up).
+double first_k_clustering(const NeighborView& view, NodeId u, std::size_t k,
+                          ClusteringScratch& scratch);
+
+/// Batch form: coefficients for every subject, parallelized over the
+/// fixed chunk partition with one scratch arena per chunk — the sorted
+/// view built once per NeighborView is amortized across all candidates
+/// of a sweep. out[i] corresponds to subjects[i]; bit-identical to
+/// calling the scalar form per subject, for any SYBIL_THREADS.
+void first_k_clustering_batch(const NeighborView& view,
+                              std::span<const NodeId> subjects, std::size_t k,
+                              std::span<double> out);
+std::vector<double> first_k_clustering_batch(const NeighborView& view,
+                                             std::span<const NodeId> subjects,
+                                             std::size_t k = 50);
+
+// ---- Deprecated two-handle forms (one release of grace) -------------
+//
+// These predate NeighborView and take two handles to one logical graph
+// (the TimestampedGraph for chronology plus a CsrGraph for lookups).
+// They forward to the same exact integer link count, so results match
+// the view-based forms bit for bit. New code should construct a
+// NeighborView once and use the overloads above; these forwarders will
+// be removed next release.
+
+/// Deprecated: local clustering over an explicit friend subset, links
+/// looked up by scanning `g`'s rows. Zero for < 2 friends.
 double clustering_of_subset(const CsrGraph& g, std::span<const NodeId> subset);
 
-/// The paper's metric: clustering coefficient of u's first `k` friends in
-/// edge-creation order. Requires the timestamped graph (neighbor lists
-/// are chronological by construction) plus a CSR snapshot for the
-/// mutual-link lookups.
+/// Deprecated: first-k clustering from a (TimestampedGraph, CsrGraph)
+/// pair. Builds the prefix from `tg` and counts links in `g`.
 double first_k_clustering(const TimestampedGraph& tg, const CsrGraph& g,
                           NodeId u, std::size_t k = 50);
 

@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "core/parallel.h"
+
 namespace sybil::service {
 
 namespace fs = std::filesystem;
@@ -40,12 +42,12 @@ std::uint32_t shard_of(graph::NodeId id, std::uint32_t shards) noexcept {
   return static_cast<std::uint32_t>(x % shards);
 }
 
-std::vector<std::uint32_t> route_shards(const osn::Event& e,
-                                        std::uint32_t shards) {
-  std::vector<std::uint32_t> out;
+RoutePlan plan_route(const osn::Event& e, std::uint32_t shards) noexcept {
+  RoutePlan plan;
   switch (e.type) {
     case osn::EventType::kAccountCreated:
-      out.push_back(shard_of(e.actor, shards));
+      plan.count = 1;
+      plan.target[0] = shard_of(e.actor, shards);
       break;
     case osn::EventType::kRequestAccepted:
     case osn::EventType::kFriendshipSeeded:
@@ -53,8 +55,7 @@ std::vector<std::uint32_t> route_shards(const osn::Event& e,
       // Edge-creating events update the clustering coefficient of
       // third-party watchers on any shard; ban bits gate every handler.
       // Both are global dependencies: broadcast.
-      out.resize(shards);
-      for (std::uint32_t i = 0; i < shards; ++i) out[i] = i;
+      plan.broadcast = true;
       break;
     default: {
       // Two-party events (and unknown types, which each shard's
@@ -62,10 +63,24 @@ std::vector<std::uint32_t> route_shards(const osn::Event& e,
       // owners, collapsed to one copy on a shared shard.
       const std::uint32_t a = shard_of(e.actor, shards);
       const std::uint32_t b = shard_of(e.subject, shards);
-      out.push_back(std::min(a, b));
-      if (a != b) out.push_back(std::max(a, b));
+      plan.target[0] = std::min(a, b);
+      plan.target[1] = std::max(a, b);
+      plan.count = a == b ? 1 : 2;
       break;
     }
+  }
+  return plan;
+}
+
+std::vector<std::uint32_t> route_shards(const osn::Event& e,
+                                        std::uint32_t shards) {
+  const RoutePlan plan = plan_route(e, shards);
+  std::vector<std::uint32_t> out;
+  if (plan.broadcast) {
+    out.resize(shards);
+    for (std::uint32_t i = 0; i < shards; ++i) out[i] = i;
+  } else {
+    out.assign(plan.target.begin(), plan.target.begin() + plan.count);
   }
   return out;
 }
@@ -151,6 +166,12 @@ void ShardRouter::deliver(std::uint32_t i, const osn::Event& e,
     ++result.suppressed;
     return;
   }
+  if (in_batch_ && !group_open_[i]) {
+    // Lazy group open: a shard that only sees suppressed copies never
+    // opens (or pays the commit of) a group.
+    shards_[i]->begin_offer_batch();
+    group_open_[i] = 1;
+  }
   // Account the copy only after the shard's offer returns: a delivery
   // that dies mid-WAL-append never happened (the resume re-drives it),
   // so the copies identity survives a crash unwinding through here.
@@ -163,44 +184,106 @@ void ShardRouter::deliver(std::uint32_t i, const osn::Event& e,
   if (admitted) ++result.admitted;
 }
 
+void ShardRouter::route_one(const osn::Event& e, std::uint64_t seq,
+                            RouteResult& result) {
+  ++offers_;
+  const auto n = static_cast<std::uint32_t>(shards_.size());
+  const RoutePlan plan = plan_route(e, n);
+  if (plan.broadcast) {
+    for (std::uint32_t i = 0; i < n; ++i) deliver(i, e, seq, result);
+  } else {
+    for (std::uint32_t t = 0; t < plan.count; ++t) {
+      deliver(plan.target[t], e, seq, result);
+    }
+  }
+}
+
 RouteResult ShardRouter::offer(const osn::Event& e, std::uint64_t seq) {
   if (seq >= kExplicitSeqLimit) {
     throw std::invalid_argument(
         "ShardRouter::offer requires an explicit global seq (auto seqs "
         "cannot define a redelivery frontier)");
   }
-  ++offers_;
   RouteResult result;
-  const auto n = static_cast<std::uint32_t>(shards_.size());
-  switch (e.type) {
-    case osn::EventType::kAccountCreated:
-      deliver(shard_of(e.actor, n), e, seq, result);
-      break;
-    case osn::EventType::kRequestAccepted:
-    case osn::EventType::kFriendshipSeeded:
-    case osn::EventType::kAccountBanned:
-      for (std::uint32_t i = 0; i < n; ++i) deliver(i, e, seq, result);
-      break;
-    default: {
-      const std::uint32_t a = shard_of(e.actor, n);
-      const std::uint32_t b = shard_of(e.subject, n);
-      deliver(std::min(a, b), e, seq, result);
-      if (a != b) deliver(std::max(a, b), e, seq, result);
-      break;
+  route_one(e, seq, result);
+  return result;
+}
+
+RouteResult ShardRouter::offer_batch(std::span<const osn::Event> events,
+                                     std::uint64_t base_seq) {
+  if (base_seq + events.size() > kExplicitSeqLimit) {
+    throw std::invalid_argument(
+        "ShardRouter::offer_batch requires explicit global seqs (auto "
+        "seqs cannot define a redelivery frontier)");
+  }
+  RouteResult result;
+  if (group_open_.size() != shards_.size()) {
+    group_open_.assign(shards_.size(), 0);
+  }
+  in_batch_ = true;
+  try {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      route_one(events[i], base_seq + i, result);
     }
+    in_batch_ = false;
+    // Commit groups in ascending shard order: one fsync per touched
+    // shard, and a deterministic sequence of kWalGroupCommit crash
+    // points for the kill-at-every-boundary sweeps.
+    for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+      if (group_open_[i]) {
+        group_open_[i] = 0;
+        shards_[i]->commit_offer_batch();
+      }
+    }
+  } catch (...) {
+    // A crash (injected or real) unwinding mid-batch leaves the open
+    // groups unacknowledged; drop them without committing — exactly
+    // the durability state recovery handles — so surviving shards go
+    // back to per-record fsync until the stream is re-driven.
+    in_batch_ = false;
+    for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+      if (group_open_[i]) {
+        group_open_[i] = 0;
+        shards_[i]->abort_offer_batch();
+      }
+    }
+    throw;
   }
   return result;
 }
 
 std::size_t ShardRouter::pump(std::size_t max_per_shard) {
+  if (shards_.size() == 1) return shards_[0]->pump(max_per_shard);
+  // One fixed lane (chunk) per shard: disjoint supervisor state, no
+  // durability boundaries crossed, atomic metrics — so the drain is
+  // identical to the serial loop for any SYBIL_THREADS.
+  std::vector<std::size_t> pumped(shards_.size(), 0);
+  core::parallel_for(
+      shards_.size(),
+      [&](const core::ChunkRange& c) {
+        for (std::size_t i = c.begin; i < c.end; ++i) {
+          pumped[i] = shards_[i]->pump(max_per_shard);
+        }
+      },
+      /*grain=*/1);
   std::size_t n = 0;
-  for (auto& s : shards_) n += s->pump(max_per_shard);
+  for (std::size_t p : pumped) n += p;
   return n;
 }
 
 std::size_t ShardRouter::sweep_flags(graph::Time now) {
+  if (shards_.size() == 1) return shards_[0]->sweep_flags(now);
+  std::vector<std::size_t> flagged(shards_.size(), 0);
+  core::parallel_for(
+      shards_.size(),
+      [&](const core::ChunkRange& c) {
+        for (std::size_t i = c.begin; i < c.end; ++i) {
+          flagged[i] = shards_[i]->sweep_flags(now);
+        }
+      },
+      /*grain=*/1);
   std::size_t n = 0;
-  for (auto& s : shards_) n += s->sweep_flags(now);
+  for (std::size_t f : flagged) n += f;
   return n;
 }
 

@@ -45,9 +45,11 @@
 // reported separately, so unique-event math stays recoverable).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -59,9 +61,23 @@ namespace sybil::service {
 /// `shards`, so adjacent ids spread instead of striping.
 std::uint32_t shard_of(graph::NodeId id, std::uint32_t shards) noexcept;
 
+/// Allocation-free routing decision for one event: either a broadcast
+/// to every shard, or up to two explicit targets (ascending, already
+/// collapsed when both parties hash to one shard). This is the hot-path
+/// form — route_shards() materializes the same set as a vector.
+struct RoutePlan {
+  bool broadcast = false;
+  std::uint32_t count = 0;               // targets used when !broadcast
+  std::array<std::uint32_t, 2> target{};
+};
+
+/// Computes where an event goes, without touching the heap. The per-
+/// event dispatch (type switch + owner hashing) happens once here, so
+/// a broadcast to N shards costs one plan, not N re-dispatches.
+RoutePlan plan_route(const osn::Event& e, std::uint32_t shards) noexcept;
+
 /// The shards an event is delivered to, ascending and deduplicated.
-/// Exposed for tests and capacity planning; the router computes the
-/// same set allocation-free on its hot path.
+/// Exposed for tests and capacity planning; wraps plan_route().
 std::vector<std::uint32_t> route_shards(const osn::Event& e,
                                         std::uint32_t shards);
 
@@ -121,13 +137,30 @@ class ShardRouter {
   /// upstream, exactly-once per shard via the frontiers.
   RouteResult offer(const osn::Event& e, std::uint64_t seq);
 
+  /// Routes a contiguous run of the global stream: events[i] carries
+  /// seq base_seq + i. Equivalent to offering each in order, except
+  /// that every shard's WAL appends for the batch are group-committed
+  /// — ONE fsync per touched shard instead of one per copy (the
+  /// dominant cost under WalFsync::kEveryAppend). The batch's
+  /// durability boundary is the commit at the end (CrashPoint::
+  /// kWalGroupCommit per shard, ascending); callers must not
+  /// acknowledge the batch upstream before this returns. Verdicts,
+  /// accounting and the resulting detector state are identical to the
+  /// per-event path. Returns the summed RouteResult.
+  RouteResult offer_batch(std::span<const osn::Event> events,
+                          std::uint64_t base_seq);
+
   /// Drains up to `max_per_shard` events into each shard's detector
-  /// (0 = all), in shard order. Returns the total pumped.
+  /// (0 = all). With multiple shards the drains run on the deterministic
+  /// parallel layer, one fixed lane per shard — shard state is disjoint
+  /// and this path crosses no durability boundary, so the result is
+  /// identical to the serial drain for any SYBIL_THREADS. Returns the
+  /// total pumped.
   std::size_t pump(std::size_t max_per_shard = 0);
 
-  /// Sweeps every shard. Returns the total newly flagged, *before*
-  /// ownership filtering (non-owner replicas may flag accounts the
-  /// merge later drops).
+  /// Sweeps every shard (parallel per shard, like pump). Returns the
+  /// total newly flagged, *before* ownership filtering (non-owner
+  /// replicas may flag accounts the merge later drops).
   std::size_t sweep_flags(graph::Time now);
 
   /// Checkpoints every shard at its current WAL position.
@@ -187,11 +220,17 @@ class ShardRouter {
   ServiceOptions shard_options(std::uint32_t i) const;
   void deliver(std::uint32_t i, const osn::Event& e, std::uint64_t seq,
                RouteResult& result);
+  void route_one(const osn::Event& e, std::uint64_t seq,
+                 RouteResult& result);
 
   ShardRouterOptions options_;
   std::vector<std::unique_ptr<ServiceSupervisor>> shards_;
   /// Per-shard redelivery frontier (mirrors each shard's next_seq()).
   std::vector<std::uint64_t> frontier_;
+  /// offer_batch scratch: 1 where shard i has an open WAL commit group
+  /// (opened lazily at its first delivered copy of the batch).
+  std::vector<unsigned char> group_open_;
+  bool in_batch_ = false;
   bool started_ = false;
 
   std::uint64_t offers_ = 0;

@@ -378,6 +378,16 @@ bool ServiceSupervisor::offer(const osn::Event& e, std::uint64_t seq) {
   return !shed;
 }
 
+void ServiceSupervisor::begin_offer_batch() {
+  require_started("begin_offer_batch");
+  wal_->begin_group();
+}
+
+std::uint64_t ServiceSupervisor::commit_offer_batch() {
+  require_started("commit_offer_batch");
+  return wal_->commit_group();
+}
+
 std::size_t ServiceSupervisor::pump(std::size_t max_events) {
   require_started("pump");
   std::size_t n = 0;

@@ -133,6 +133,20 @@ class ServiceSupervisor {
   bool offer(const osn::Event& e,
              std::uint64_t seq = core::StreamDetector::kAutoSeq);
 
+  /// Group-commit bracket for a run of offer() calls (WalWriter::
+  /// begin_group). Between these, WAL appends buffer and the single
+  /// commit fsync in commit_offer_batch() is the batch's durability
+  /// boundary — callers must not acknowledge offers upstream until it
+  /// returns. Admission verdicts, accounting and queue effects of each
+  /// offer are unchanged. Returns records committed.
+  void begin_offer_batch();
+  std::uint64_t commit_offer_batch();
+  /// Unwind path: drops an open group without committing (see
+  /// WalWriter::abort_group). Safe before start() and with no group.
+  void abort_offer_batch() noexcept {
+    if (wal_) wal_->abort_group();
+  }
+
   /// Drains up to `max_events` queued events (0 = all) into the
   /// detector. Returns how many were pumped.
   std::size_t pump(std::size_t max_events = 0);

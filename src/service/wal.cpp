@@ -202,7 +202,11 @@ std::uint64_t WalWriter::append(const osn::Event& e, std::uint64_t seq,
     write_bytes(&crc, sizeof(crc));
     write_bytes(&rec, sizeof(rec));
   }
-  if (options_.fsync == WalFsync::kEveryAppend) {
+  if (in_group_) {
+    // Deferred durability: the record stays buffered until
+    // commit_group() issues the coalesced flush + fsync.
+    ++group_records_;
+  } else if (options_.fsync == WalFsync::kEveryAppend) {
     if (std::fflush(file_) != 0 || !fsync_file(file_)) {
       throw SnapshotError(SnapshotErrorCode::kWriteFailed,
                           "WAL fsync failed: " + segment_path_);
@@ -213,6 +217,33 @@ std::uint64_t WalWriter::append(const osn::Event& e, std::uint64_t seq,
   const std::uint64_t index = next_index_++;
   if (options_.crash_hook) options_.crash_hook(CrashPoint::kWalAppend);
   return index;
+}
+
+void WalWriter::begin_group() {
+  if (in_group_) {
+    throw std::logic_error("WalWriter: begin_group while a group is open");
+  }
+  in_group_ = true;
+  group_records_ = 0;
+}
+
+std::uint64_t WalWriter::commit_group() {
+  if (!in_group_) {
+    throw std::logic_error("WalWriter: commit_group without begin_group");
+  }
+  in_group_ = false;
+  const std::uint64_t n = group_records_;
+  group_records_ = 0;
+  if (options_.fsync == WalFsync::kEveryAppend && n > 0) {
+    if (std::fflush(file_) != 0 || !fsync_file(file_)) {
+      throw SnapshotError(SnapshotErrorCode::kWriteFailed,
+                          "WAL group-commit fsync failed: " + segment_path_);
+    }
+  }
+  SYBIL_METRIC_COUNT("service.wal.group_commit.groups", 1);
+  SYBIL_METRIC_COUNT("service.wal.group_commit.records", n);
+  if (options_.crash_hook) options_.crash_hook(CrashPoint::kWalGroupCommit);
+  return n;
 }
 
 void WalWriter::sync() {

@@ -54,6 +54,7 @@ enum class CrashPoint : std::uint32_t {
   kWalRotate = 2,           // new segment created and headered
   kCheckpointCommit = 3,    // checkpoint container about to commit
   kCheckpointCommitted = 4, // checkpoint durable, retention not yet pruned
+  kWalGroupCommit = 5,      // group-commit fsync completed (see begin_group)
 };
 
 constexpr const char* to_string(CrashPoint p) noexcept {
@@ -63,6 +64,7 @@ constexpr const char* to_string(CrashPoint p) noexcept {
     case CrashPoint::kWalRotate: return "wal-rotate";
     case CrashPoint::kCheckpointCommit: return "checkpoint-commit";
     case CrashPoint::kCheckpointCommitted: return "checkpoint-committed";
+    case CrashPoint::kWalGroupCommit: return "wal-group-commit";
   }
   return "unknown";
 }
@@ -130,6 +132,42 @@ class WalWriter {
   std::uint64_t append(const osn::Event& e, std::uint64_t seq,
                        std::uint32_t flags);
 
+  // ---- Group commit ----
+  //
+  // Under WalFsync::kEveryAppend each append pays an fsync — correct,
+  // and the dominant cost of the offer path. When the caller already
+  // holds a batch of offers (the supervisor pump), the appends between
+  // begin_group() and commit_group() buffer in the segment file and
+  // commit_group() issues ONE flush + fsync for all of them. The
+  // durability boundary moves from each record to the group commit:
+  // after commit_group() returns, every record of the group is exactly
+  // as durable as per-record fsync would have made it; a crash inside
+  // the group can lose the whole (unacknowledged) suffix, which
+  // recovery already tolerates via strict-prefix replay. Rotation
+  // mid-group still seals the outgoing segment. Other fsync policies
+  // are unaffected apart from metrics.
+
+  /// Starts a commit group. Throws std::logic_error if one is open.
+  void begin_group();
+
+  /// Ends the group: one flush+fsync covering every append since
+  /// begin_group() (under kEveryAppend; other policies just close the
+  /// group). Fires CrashPoint::kWalGroupCommit after the sync — the
+  /// batch's durability boundary. Returns records committed.
+  std::uint64_t commit_group();
+
+  /// Closes an open group WITHOUT the commit fsync or crash point
+  /// (no-op when none is open). For exception unwinding only: the
+  /// group's records stay buffered and unacknowledged, exactly as if
+  /// the process had died before the commit — which is the durability
+  /// state recovery already handles.
+  void abort_group() noexcept {
+    in_group_ = false;
+    group_records_ = 0;
+  }
+
+  bool in_group() const noexcept { return in_group_; }
+
   /// Flushes (and per policy fsyncs) the current segment.
   void sync();
 
@@ -146,6 +184,8 @@ class WalWriter {
   std::uint64_t segment_base_ = 0;
   std::uint64_t segments_opened_ = 0;
   std::string segment_path_;
+  bool in_group_ = false;
+  std::uint64_t group_records_ = 0;
 };
 
 /// What a recovery scan found and did.

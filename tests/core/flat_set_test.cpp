@@ -1,0 +1,130 @@
+// FlatSet64 / SeqBitSet unit suite. Both back the streaming hot path
+// (edge dedup and seq dedup respectively), and both have the subtle
+// bits worth pinning directly: backward-shift deletion across wrapped
+// probe chains, the reserved all-ones key, the bitmap set's word
+// sharing and slot reclamation, and iteration completeness (the
+// checkpoint codec iterates then sorts, so a dropped key corrupts
+// recovered state silently).
+#include "core/flat_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace sybil::core {
+namespace {
+
+template <typename Set>
+std::vector<std::uint64_t> sorted_contents(const Set& s) {
+  std::vector<std::uint64_t> out(s.begin(), s.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(FlatSet64, HandlesTheReservedAllOnesKey) {
+  FlatSet64 s;
+  const std::uint64_t all_ones = ~std::uint64_t{0};
+  EXPECT_FALSE(s.contains(all_ones));
+  EXPECT_TRUE(s.insert(all_ones));
+  EXPECT_FALSE(s.insert(all_ones));
+  EXPECT_TRUE(s.contains(all_ones));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(sorted_contents(s), std::vector<std::uint64_t>{all_ones});
+  EXPECT_EQ(s.erase(all_ones), 1u);
+  EXPECT_EQ(s.erase(all_ones), 0u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SeqBitSet, SequentialAndSparseRoundTrip) {
+  SeqBitSet s;
+  // A dense run shares words...
+  for (std::uint64_t q = 0; q < 1000; ++q) EXPECT_TRUE(s.insert(q));
+  for (std::uint64_t q = 0; q < 1000; ++q) EXPECT_FALSE(s.insert(q));
+  // ...and sparse outliers (auto-seq range, word boundaries) coexist.
+  const std::uint64_t outliers[] = {
+      1ull << 63, (1ull << 63) + 1, ~std::uint64_t{0}, 63, 64, 65, 1 << 20};
+  for (std::uint64_t q : outliers) s.insert(q);
+  EXPECT_EQ(s.size(), 1000u + 4u);  // 63/64/65 were already present
+  for (std::uint64_t q = 0; q < 1000; ++q) EXPECT_TRUE(s.contains(q));
+  for (std::uint64_t q : outliers) EXPECT_TRUE(s.contains(q));
+  EXPECT_FALSE(s.contains(1000));
+  EXPECT_FALSE(s.contains((1ull << 63) + 2));
+}
+
+TEST(SeqBitSet, EraseReclaimsWordsAndIterationStaysComplete) {
+  SeqBitSet s;
+  for (std::uint64_t q = 0; q < 256; ++q) s.insert(q);
+  // Erase a word-aligned stripe: words [64, 128) empty out entirely and
+  // their slots must be reclaimed without breaking later probes.
+  for (std::uint64_t q = 64; q < 128; ++q) EXPECT_EQ(s.erase(q), 1u);
+  EXPECT_EQ(s.erase(64), 0u);
+  EXPECT_EQ(s.size(), 192u);
+  std::vector<std::uint64_t> want;
+  for (std::uint64_t q = 0; q < 256; ++q) {
+    if (q < 64 || q >= 128) want.push_back(q);
+  }
+  EXPECT_EQ(sorted_contents(s), want);
+  // The emptied range reinserts cleanly.
+  for (std::uint64_t q = 64; q < 128; ++q) EXPECT_TRUE(s.insert(q));
+  EXPECT_EQ(s.size(), 256u);
+}
+
+TEST(SeqBitSet, ClearResetsEverything) {
+  SeqBitSet s;
+  for (std::uint64_t q = 0; q < 100; ++q) s.insert(q * 1000);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(sorted_contents(s).size(), 0u);
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+/// Randomized differential test against std::unordered_set: the mixed
+/// insert/erase/contains stream the detector produces (near-monotone
+/// inserts, watermark-ordered erases, occasional duplicates), applied
+/// identically to both implementations and to FlatSet64.
+TEST(SeqBitSet, AgreesWithReferenceUnderMixedWorkload) {
+  stats::Rng rng(99);
+  SeqBitSet bits;
+  FlatSet64 flat;
+  std::unordered_set<std::uint64_t> ref;
+  std::uint64_t frontier = 0;
+  for (int step = 0; step < 50000; ++step) {
+    const double roll = rng.uniform();
+    if (roll < 0.6) {
+      // Near-monotone insert with occasional duplicates and jitter.
+      const std::uint64_t seq =
+          frontier + static_cast<std::uint64_t>(rng.uniform() * 40.0) - 20;
+      ++frontier;
+      const bool fresh = ref.insert(seq).second;
+      EXPECT_EQ(bits.insert(seq), fresh) << "seq " << seq;
+      EXPECT_EQ(flat.insert(seq), fresh) << "seq " << seq;
+    } else if (roll < 0.9) {
+      // Erase from the low end, the watermark-prune pattern.
+      const std::uint64_t seq =
+          static_cast<std::uint64_t>(rng.uniform() * double(frontier + 1));
+      const std::size_t n = ref.erase(seq);
+      EXPECT_EQ(bits.erase(seq), n) << "seq " << seq;
+      EXPECT_EQ(flat.erase(seq), n) << "seq " << seq;
+    } else {
+      const std::uint64_t seq =
+          static_cast<std::uint64_t>(rng.uniform() * double(frontier + 25));
+      EXPECT_EQ(bits.contains(seq), ref.count(seq) != 0) << "seq " << seq;
+      EXPECT_EQ(flat.contains(seq), ref.count(seq) != 0) << "seq " << seq;
+    }
+    ASSERT_EQ(bits.size(), ref.size());
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  std::vector<std::uint64_t> want(ref.begin(), ref.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(sorted_contents(bits), want);
+  EXPECT_EQ(sorted_contents(flat), want);
+}
+
+}  // namespace
+}  // namespace sybil::core

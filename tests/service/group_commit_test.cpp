@@ -1,0 +1,339 @@
+// WAL group-commit suite (ISSUE 7 tentpole b):
+//
+//   * unit level: appends inside a begin_group()/commit_group() bracket
+//     buffer in the segment file and land with ONE flush at commit;
+//     commit reports the group size and fires CrashPoint::kWalGroupCommit
+//     after the sync; abort closes the bracket without either;
+//   * bracket misuse fails loudly (double begin, commit without begin);
+//   * trajectory identity: driving a ShardRouter through offer_batch()
+//     produces byte-identical per-shard stats JSON and merged flags to
+//     the per-event offer() path with the same pump cadence;
+//   * crash sweep: killing the router at EVERY kWalGroupCommit boundary
+//     and resuming from the recovered min frontier reproduces the
+//     uninterrupted run byte-for-byte (the PR 5/6 recovery contract,
+//     extended to the new coalesced durability boundary);
+//   * the parallel shard pump is byte-identical at SYBIL_THREADS 1 / 8.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/parallel.h"
+#include "faults/process_faults.h"
+#include "service/router.h"
+#include "service/wal.h"
+#include "service/workload.h"
+
+namespace sybil::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+class GroupCommit : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { ::setenv("SYBIL_IO_FSYNC", "0", 1); }
+  static void TearDownTestSuite() { ::unsetenv("SYBIL_IO_FSYNC"); }
+};
+
+// Heavy boundary sweep under its own fixture name, mirroring the
+// ShardedRecovery split (CMakePresets.json tsan filter).
+using GroupCommitRecovery = GroupCommit;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/sybil_gc_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+osn::Event event_at(std::uint64_t i) {
+  osn::Event e;
+  e.type = osn::EventType::kRequestSent;
+  e.actor = static_cast<graph::NodeId>(i + 1);
+  e.subject = static_cast<graph::NodeId>(i + 2);
+  e.time = 0.25 * static_cast<double>(i);
+  return e;
+}
+
+std::string only_segment(const std::string& dir) {
+  std::string found;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_TRUE(found.empty()) << "expected a single segment";
+    found = entry.path().string();
+  }
+  EXPECT_FALSE(found.empty());
+  return found;
+}
+
+constexpr std::uint64_t kWalHeaderBytes = 24;
+constexpr std::uint64_t kWalRecordBytes = 44;
+
+TEST_F(GroupCommit, AppendsBufferUntilTheCommitFlush) {
+  const std::string dir = fresh_dir("buffer");
+  WalOptions opts;
+  opts.dir = dir;
+  opts.fsync = WalFsync::kEveryAppend;
+  WalWriter w(opts, 0);
+
+  // Outside a group, kEveryAppend flushes per record.
+  w.append(event_at(0), 0, 0);
+  const std::string seg = only_segment(dir);
+  EXPECT_EQ(fs::file_size(seg), kWalHeaderBytes + kWalRecordBytes);
+
+  // Inside the bracket, records stay in the stdio buffer: the on-disk
+  // size must not move until commit_group() issues the single flush.
+  w.begin_group();
+  EXPECT_TRUE(w.in_group());
+  for (std::uint64_t i = 1; i <= 10; ++i) w.append(event_at(i), i, 0);
+  EXPECT_EQ(fs::file_size(seg), kWalHeaderBytes + kWalRecordBytes);
+  EXPECT_EQ(w.commit_group(), 10u);
+  EXPECT_FALSE(w.in_group());
+  EXPECT_EQ(fs::file_size(seg), kWalHeaderBytes + 11 * kWalRecordBytes);
+
+  // Every buffered record became exactly as durable as per-record
+  // fsync would have made it.
+  w.sync();
+  WalScanReport report;
+  const auto records = scan_wal(dir, 0, report);
+  ASSERT_EQ(records.size(), 11u);
+  EXPECT_EQ(report.torn_tails_healed, 0u);
+}
+
+TEST_F(GroupCommit, CommitFiresTheCrashPointAfterTheSync) {
+  const std::string dir = fresh_dir("boundary");
+  faults::CrashInjector crash(
+      0, static_cast<std::uint32_t>(CrashPoint::kWalGroupCommit));
+  WalOptions opts;
+  opts.dir = dir;
+  opts.fsync = WalFsync::kEveryAppend;
+  opts.crash_hook = std::ref(crash);
+  {
+    WalWriter w(opts, 0);
+    w.begin_group();
+    for (std::uint64_t i = 0; i < 5; ++i) w.append(event_at(i), i, 0);
+    // The hook throws at the commit boundary — AFTER the coalesced
+    // fsync, so the whole group is already durable.
+    EXPECT_THROW(w.commit_group(), faults::InjectedCrash);
+    EXPECT_EQ(crash.crossings(), 1u);
+  }
+  WalScanReport report;
+  EXPECT_EQ(scan_wal(dir, 0, report).size(), 5u);
+}
+
+TEST_F(GroupCommit, BracketMisuseThrowsAndAbortClosesQuietly) {
+  const std::string dir = fresh_dir("misuse");
+  std::uint64_t boundary_crossings = 0;
+  WalOptions opts;
+  opts.dir = dir;
+  opts.fsync = WalFsync::kEveryAppend;
+  opts.crash_hook = [&](CrashPoint p) {
+    if (p == CrashPoint::kWalGroupCommit) ++boundary_crossings;
+  };
+  WalWriter w(opts, 0);
+
+  EXPECT_THROW(w.commit_group(), std::logic_error);
+  w.begin_group();
+  EXPECT_THROW(w.begin_group(), std::logic_error);
+  w.append(event_at(0), 0, 0);
+
+  // Abort is the unwind path: it closes the bracket with neither the
+  // commit fsync nor the crash point, and is idempotent.
+  w.abort_group();
+  w.abort_group();
+  EXPECT_FALSE(w.in_group());
+  EXPECT_EQ(boundary_crossings, 0u);
+
+  // A fresh bracket opens cleanly after an abort.
+  w.begin_group();
+  w.append(event_at(1), 1, 0);
+  EXPECT_EQ(w.commit_group(), 1u);
+  EXPECT_EQ(boundary_crossings, 1u);
+}
+
+// ---- Router-level batch semantics ----------------------------------
+
+ShardRouterOptions router_options(const std::string& dir,
+                                  std::uint32_t shards,
+                                  ShardCrashHook hook = {}) {
+  ShardRouterOptions o;
+  o.shards = shards;
+  o.crash_hook = std::move(hook);
+  o.shard.dir = dir;
+  o.shard.wal_fsync = WalFsync::kNever;  // sweep speed; the boundary
+                                         // crash point fires regardless
+  o.shard.wal_segment_records = 32;
+  o.shard.checkpoint_every = 96;
+  o.shard.checkpoint_retain = 2;
+  o.shard.detector.rule.invite_rate_min = 4.0;
+  o.shard.detector.rule.outgoing_accept_max = 0.5;
+  o.shard.detector.rule.min_requests = 5;
+  return o;
+}
+
+WorkloadOptions workload_options() {
+  WorkloadOptions w;
+  w.accounts = 64;
+  w.events = 400;
+  w.hours = 6.0;
+  w.seed = 77;
+  w.burst_senders = 2;
+  w.burst_fraction = 0.3;
+  w.malformed_fraction = 0.02;
+  return w;
+}
+
+constexpr std::uint64_t kBatch = 64;
+
+/// Offers log[from..N) in kBatch-sized group-committed runs, pumping
+/// after each — the same cadence drive_serial uses, so the two paths
+/// must agree on every replay-exact counter.
+void drive_batched(ShardRouter& router, const std::vector<osn::Event>& log,
+                   std::uint64_t from) {
+  const std::span<const osn::Event> all(log);
+  for (std::uint64_t base = from; base < log.size(); base += kBatch) {
+    const std::size_t n =
+        std::min<std::size_t>(kBatch, log.size() - base);
+    router.offer_batch(all.subspan(base, n), base);
+    router.pump();
+  }
+  router.flush(/*checkpoint=*/true);
+}
+
+void drive_serial(ShardRouter& router, const std::vector<osn::Event>& log,
+                  std::uint64_t from) {
+  for (std::uint64_t i = from; i < log.size(); ++i) {
+    router.offer(log[i], i);
+    if ((i + 1 - from) % kBatch == 0) router.pump();
+  }
+  router.flush(/*checkpoint=*/true);
+}
+
+struct CapturedRun {
+  std::vector<std::string> shard_stats;
+  core::FlagBatch flags;
+};
+
+CapturedRun capture(ShardRouter& router, double sweep_at) {
+  router.sweep_flags(sweep_at);
+  EXPECT_TRUE(router.accounting_ok());
+  CapturedRun run;
+  for (std::uint32_t i = 0; i < router.shards(); ++i) {
+    run.shard_stats.push_back(router.shard(i).stats_json());
+  }
+  run.flags = router.take_flagged();
+  return run;
+}
+
+void expect_runs_equal(const CapturedRun& a, const CapturedRun& b) {
+  ASSERT_EQ(a.shard_stats.size(), b.shard_stats.size());
+  for (std::size_t i = 0; i < a.shard_stats.size(); ++i) {
+    EXPECT_EQ(a.shard_stats[i], b.shard_stats[i]) << "shard " << i;
+  }
+  ASSERT_EQ(a.flags.size(), b.flags.size());
+  for (std::size_t i = 0; i < a.flags.size(); ++i) {
+    EXPECT_EQ(a.flags[i].account, b.flags[i].account) << i;
+    EXPECT_DOUBLE_EQ(a.flags[i].flagged_at, b.flags[i].flagged_at) << i;
+    EXPECT_EQ(a.flags[i].features.as_vector(), b.flags[i].features.as_vector())
+        << i;
+  }
+}
+
+TEST_F(GroupCommit, BatchTrajectoryIdenticalToSerialOffers) {
+  const std::vector<osn::Event> log = synthetic_workload(workload_options());
+
+  ShardRouter serial(router_options(fresh_dir("traj_serial"), 3));
+  serial.start();
+  drive_serial(serial, log, 0);
+
+  ShardRouter batched(router_options(fresh_dir("traj_batch"), 3));
+  batched.start();
+  drive_batched(batched, log, 0);
+
+  // Transport accounting agrees too — batching changes fsync count,
+  // never fanout.
+  EXPECT_EQ(serial.offers(), batched.offers());
+  EXPECT_EQ(serial.copies_routed(), batched.copies_routed());
+  EXPECT_EQ(serial.copies_delivered(), batched.copies_delivered());
+
+  expect_runs_equal(capture(serial, 7.0), capture(batched, 7.0));
+}
+
+TEST_F(GroupCommit, ParallelPumpByteIdenticalAcrossThreadCounts) {
+  const std::vector<osn::Event> log = synthetic_workload(workload_options());
+
+  core::set_thread_count(1);
+  ShardRouter one(router_options(fresh_dir("pump_t1"), 4));
+  one.start();
+  drive_batched(one, log, 0);
+  const CapturedRun run_one = capture(one, 7.0);
+
+  core::set_thread_count(8);
+  ShardRouter eight(router_options(fresh_dir("pump_t8"), 4));
+  eight.start();
+  drive_batched(eight, log, 0);
+  const CapturedRun run_eight = capture(eight, 7.0);
+  core::set_thread_count(0);  // back to automatic
+
+  expect_runs_equal(run_one, run_eight);
+}
+
+/// Kill the fleet at EVERY group-commit boundary, recover, resume from
+/// the router's min frontier with the same batched drive, and demand
+/// the uninterrupted run's bytes. InjectedCrash unwinds through
+/// offer_batch's abort path, so surviving shards' open groups must not
+/// poison the restarted drive.
+TEST_F(GroupCommitRecovery, KillAtEveryGroupCommitBoundary) {
+  const std::vector<osn::Event> log = synthetic_workload(workload_options());
+
+  ShardRouter clean(router_options(fresh_dir("sweep_clean"), 3));
+  clean.start();
+  drive_batched(clean, log, 0);
+  const CapturedRun want = capture(clean, 7.0);
+
+  // Count the boundaries one uninterrupted batched drive crosses.
+  std::uint64_t boundaries = 0;
+  {
+    ShardRouter counter(router_options(
+        fresh_dir("sweep_count"), 3,
+        [&boundaries](std::uint32_t, CrashPoint p) {
+          if (p == CrashPoint::kWalGroupCommit) ++boundaries;
+        }));
+    counter.start();
+    drive_batched(counter, log, 0);
+  }
+  ASSERT_GT(boundaries, 10u) << "sweep would be vacuous";
+
+  for (std::uint64_t at = 0; at < boundaries; ++at) {
+    const std::string dir =
+        fresh_dir("sweep_" + std::to_string(at));
+    faults::ShardCrashInjector crash(
+        faults::ShardCrashInjector::kAnyShard, at,
+        static_cast<std::uint32_t>(CrashPoint::kWalGroupCommit));
+    bool crashed = false;
+    {
+      ShardRouter victim(router_options(dir, 3, std::ref(crash)));
+      victim.start();
+      try {
+        drive_batched(victim, log, 0);
+      } catch (const faults::InjectedCrash&) {
+        crashed = true;
+      }
+    }
+    ASSERT_TRUE(crashed) << "boundary " << at << " never crossed";
+
+    ShardRouter revived(router_options(dir, 3));
+    const RouterRecoveryReport report = revived.start();
+    ASSERT_LE(report.next_seq, log.size());
+    drive_batched(revived, log, report.next_seq);
+    const CapturedRun got = capture(revived, 7.0);
+    ASSERT_EQ(got.shard_stats, want.shard_stats) << "boundary " << at;
+    expect_runs_equal(got, want);
+  }
+}
+
+}  // namespace
+}  // namespace sybil::service
