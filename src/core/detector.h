@@ -25,6 +25,15 @@ struct FlagRecord {
   SybilFeatures features{};
   /// Event/sweep time of the detection (simulation hours).
   graph::Time flagged_at = 0.0;
+  /// Second-signal annotation columns, filled by the service's defense
+  /// tier (service::DefenseScorer) when DetectorOptions::defense is
+  /// enabled: the account's rolling SybilRank trust and clustering
+  /// coefficient at drain time. Defaults (defense_scored == false)
+  /// when the tier is off — annotation never changes who is flagged,
+  /// only what rides along (docs/DEFENSES.md §Hybrid merge rule).
+  double defense_rank = 0.0;
+  double defense_clustering = 0.0;
+  bool defense_scored = false;
 };
 
 /// Accounts newly flagged by one sweep / since the last drain. Each

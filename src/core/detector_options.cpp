@@ -64,6 +64,21 @@ void DetectorOptions::validate() const {
     reject(
         "overload.resume_watermark must be < shed_watermark (hysteresis)");
   }
+  if (!(defense.residual_epsilon >= 0.0) ||
+      !std::isfinite(defense.residual_epsilon)) {
+    reject("defense.residual_epsilon must be finite and >= 0");
+  }
+  if (!(defense.full_recompute_fraction > 0.0 &&
+        defense.full_recompute_fraction <= 1.0)) {
+    reject("defense.full_recompute_fraction must lie in (0, 1]");
+  }
+  if (defense.enabled) {
+    for (const graph::NodeId s : defense.seeds) {
+      if (s > ingest.max_account_id) {
+        reject("defense.seeds must lie within ingest.max_account_id");
+      }
+    }
+  }
 }
 
 }  // namespace sybil::core

@@ -15,9 +15,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "core/adaptive.h"
 #include "core/threshold_detector.h"
+#include "graph/graph.h"
 
 namespace sybil::core {
 
@@ -99,6 +101,34 @@ struct OverloadOptions {
   std::size_t resume_watermark = 1024;
 };
 
+/// Incremental structure-based defense tier of the supervised service
+/// (service::DefenseScorer, docs/DEFENSES.md). Off by default: with
+/// `enabled == false` the service's FlagBatch and stats_json stay
+/// byte-identical to builds that predate the tier. When on, supervisors
+/// maintain a rolling graph from pumped accept/seed events and publish
+/// incremental SybilRank + clustering scores as a *second signal*
+/// alongside the threshold verdicts (annotation columns; never gating
+/// who is flagged).
+struct DefenseOptions {
+  bool enabled = false;
+
+  /// SybilRank trust seeds (known-honest accounts). Empty disables the
+  /// rank tier; clustering maintenance still runs.
+  std::vector<graph::NodeId> seeds;
+
+  /// Power-iteration rounds; 0 = ceil(log2(max(2, n))) like the batch
+  /// path, recomputed as the graph grows.
+  std::size_t rank_iterations = 0;
+
+  /// Residual below which an incremental rank change stops propagating
+  /// (see detect::IncrementalRankOptions). 0 = exact propagation.
+  double residual_epsilon = 1e-12;
+
+  /// Full-recompute fallback when a delta's initial frontier exceeds
+  /// this fraction of the node count.
+  double full_recompute_fraction = 0.25;
+};
+
 struct DetectorOptions {
   /// The threshold rule both detector paths apply (paper Section 2.3).
   ThresholdRule rule{};
@@ -130,6 +160,10 @@ struct DetectorOptions {
   /// one candidate is always evaluated so successive sweeps make
   /// progress. Deterministic runs should use sweep_budget instead.
   double sweep_deadline_millis = 0.0;
+
+  /// Incremental graph-defense tier (see DefenseOptions; ignored by
+  /// detectors used without a ServiceSupervisor).
+  DefenseOptions defense{};
 
   /// Throws std::invalid_argument naming the offending field when the
   /// options cannot configure any detector (zero prefix length, zero

@@ -102,6 +102,20 @@ CsrGraph CsrGraph::from_edges(
   return csr;
 }
 
+CsrGraph CsrGraph::from_rows(std::vector<std::uint64_t> offsets,
+                             std::vector<NodeId> targets) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != targets.size() ||
+      !std::is_sorted(offsets.begin(), offsets.end())) {
+    throw std::invalid_argument("csr from_rows: malformed offsets");
+  }
+  CsrGraph csr;
+  csr.offsets_store_ = std::move(offsets);
+  csr.targets_store_ = std::move(targets);
+  csr.anchor();
+  return csr;
+}
+
 CsrGraph CsrGraph::view(std::span<const std::uint64_t> offsets,
                         std::span<const NodeId> targets,
                         std::shared_ptr<const void> backing) {

@@ -35,6 +35,13 @@ class CsrGraph {
   static CsrGraph from_edges(NodeId node_count,
                              std::span<const std::pair<NodeId, NodeId>> edges);
 
+  /// Adopts prebuilt CSR arrays as owning storage (no copy). Used by
+  /// DynamicGraph's compactor, which already holds rows in final form.
+  /// Preconditions: offsets is a valid CSR offset array (size n+1,
+  /// non-decreasing, offsets[0] == 0, offsets[n] == targets.size()).
+  static CsrGraph from_rows(std::vector<std::uint64_t> offsets,
+                            std::vector<NodeId> targets);
+
   /// Zero-copy view over CSR arrays owned elsewhere; `backing` keeps the
   /// storage (e.g. a file mapping) alive for the view's lifetime.
   /// Preconditions: offsets is a valid CSR offset array (size n+1,

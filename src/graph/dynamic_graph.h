@@ -1,0 +1,117 @@
+// Growable graph with edge-arrival deltas and dirty-vertex tracking.
+//
+// The static pipeline snapshots a TimestampedGraph into a CsrGraph once
+// and runs batch algorithms over it. The live service cannot afford
+// that: edges arrive one accepted friend request at a time, and the
+// incremental defenses (detect::IncrementalSybilRank,
+// detect::IncrementalClustering) only want to know *which vertices
+// changed* since they last looked. DynamicGraph is that delta API:
+//
+//   add_edge(u, v, t)   O(deg) sorted insert + chronological append;
+//                       marks both endpoints dirty
+//   dirty()             the distinct vertices touched since the last
+//                       clear_dirty(), ascending
+//   view()              a cached NeighborView over the current graph,
+//                       rebuilt lazily only when edges arrived since
+//                       the last call
+//
+// Both orderings of NeighborView are maintained *incrementally*: each
+// node keeps a chronological row (append) and a sorted row (ordered
+// insert), so a view() rebuild is a pure concatenation — no re-sort.
+// The chronological rows match what CsrGraph::from(TimestampedGraph)
+// would produce for the same arrival sequence, which is what lets the
+// incremental SybilRank pin bit-exactness against the batch path.
+//
+// Not thread-safe; the service drives one DynamicGraph per shard from
+// that shard's (serial) pump lane.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/neighbor_view.h"
+
+namespace sybil::graph {
+
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+
+  /// Seeds the dynamic graph from a static base (rows copied; sorted
+  /// twins built once). Nothing is marked dirty — the base is the
+  /// "already scored" state.
+  explicit DynamicGraph(const TimestampedGraph& base);
+
+  NodeId node_count() const noexcept {
+    return static_cast<NodeId>(chrono_.size());
+  }
+  std::uint64_t edge_count() const noexcept { return edge_count_; }
+
+  /// Ensures ids [0, n) exist. New nodes are isolated and not dirty.
+  void ensure_nodes(NodeId n);
+
+  /// Adds undirected edge {u, v} at time t and marks both endpoints
+  /// dirty. Returns false (and changes nothing, including dirtiness)
+  /// for self-loops and duplicate edges. Endpoints beyond the current
+  /// node count grow the graph (callers bound ids before offering —
+  /// the service reuses IngestOptions::max_account_id).
+  bool add_edge(NodeId u, NodeId v, Time t, bool weak = false);
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  NodeId degree(NodeId u) const {
+    return static_cast<NodeId>(chrono_[u].size());
+  }
+
+  /// Neighbors of u in arrival order, with timestamps.
+  std::span<const Neighbor> chronological(NodeId u) const {
+    return chrono_[u];
+  }
+
+  /// Neighbors of u in ascending id order.
+  std::span<const NodeId> sorted_neighbors(NodeId u) const {
+    return sorted_[u];
+  }
+
+  /// Distinct vertices with edge activity since the last clear_dirty(),
+  /// in ascending id order.
+  std::span<const NodeId> dirty() const;
+
+  /// True when u is in the current dirty set.
+  bool is_dirty(NodeId u) const {
+    return u < dirty_flag_.size() && dirty_flag_[u] != 0;
+  }
+
+  /// Re-marks a vertex dirty without touching edges. Checkpoint restore
+  /// uses this to rebuild the pending dirty set a crash interrupted.
+  void mark_dirty(NodeId u);
+
+  void clear_dirty();
+
+  /// The current graph as a NeighborView (chronological CSR rows plus
+  /// the sorted twin). Cached: rebuilt only when edges arrived since the
+  /// previous call, and the rebuild concatenates the incrementally
+  /// maintained rows — O(V + E) copies, zero sorting. The reference is
+  /// invalidated by the next mutating call.
+  const NeighborView& view() const;
+
+ private:
+  std::vector<std::vector<Neighbor>> chrono_;
+  std::vector<std::vector<NodeId>> sorted_;
+  std::uint64_t edge_count_ = 0;
+
+  // Dirty set: byte mask for O(1) dedup plus the insertion log; dirty()
+  // sorts the log lazily.
+  std::vector<std::uint8_t> dirty_flag_;
+  mutable std::vector<NodeId> dirty_;
+  mutable bool dirty_sorted_ = true;
+
+  // view() cache.
+  mutable NeighborView view_;
+  mutable std::uint64_t view_version_ = 0;  // structure version at build
+  std::uint64_t version_ = 1;               // bumped by every mutation
+};
+
+}  // namespace sybil::graph

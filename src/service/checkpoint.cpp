@@ -23,12 +23,16 @@ constexpr std::uint32_t kSecMeta = 1;
 constexpr std::uint32_t kSecQueue = 2;
 constexpr std::uint32_t kSecStream = 3;
 constexpr std::uint32_t kSecRealtime = 4;
+constexpr std::uint32_t kSecDefense = 5;
 
 // v1: PR 5 single-instance layout. v2 appends the shard identity
 // (shard_id/shard_count) and the redelivery frontier (next_seq) to the
 // meta section; every other section is unchanged, so v1 blobs load with
-// the new fields defaulted (shard_count 0 = identity unknown).
-constexpr std::uint32_t kCheckpointVersion = 2;
+// the new fields defaulted (shard_count 0 = identity unknown). v3 adds
+// the optional kSecDefense section carrying the defense-scorer state;
+// the meta layout is unchanged, and v1/v2 blobs load with it empty
+// (docs/FORMATS.md §5.4).
+constexpr std::uint32_t kCheckpointVersion = 3;
 
 }  // namespace
 
@@ -69,6 +73,9 @@ void save_service_checkpoint(const std::string& path,
 
   writer.add_section(kSecStream, state.stream_state);
   writer.add_section(kSecRealtime, state.realtime_state);
+  if (!state.defense_state.empty()) {
+    writer.add_section(kSecDefense, state.defense_state);
+  }
   // SyncMode::kEnv: durable by default; the SYBIL_IO_FSYNC knob can
   // turn sync off for throwaway state dirs (benches, crash sweeps).
   writer.commit(path, io::SyncMode::kEnv);
@@ -125,6 +132,10 @@ ServiceCheckpointState load_service_checkpoint(const std::string& path) {
   state.stream_state.assign(stream.begin(), stream.end());
   const auto realtime = reader.section(kSecRealtime);
   state.realtime_state.assign(realtime.begin(), realtime.end());
+  if (reader.has_section(kSecDefense)) {
+    const auto defense = reader.section(kSecDefense);
+    state.defense_state.assign(defense.begin(), defense.end());
+  }
   SYBIL_METRIC_COUNT("service.checkpoint.loaded", 1);
   return state;
 }

@@ -56,6 +56,11 @@ struct ServiceCheckpointState {
   /// core::serialize_stream_state / serialize_realtime_state blobs.
   std::vector<std::byte> stream_state;
   std::vector<std::byte> realtime_state;
+  /// service::DefenseScorer::serialize blob (format v3, section written
+  /// only when non-empty — i.e. when DetectorOptions::defense is on).
+  /// A v2/v1 checkpoint, or a v3 one written with the tier off, loads
+  /// with this empty.
+  std::vector<std::byte> defense_state;
 };
 
 /// Atomically commits `state` to `path`, durably unless the

@@ -1,0 +1,94 @@
+// Rolling structure-based defense scores for one service shard.
+//
+// The registry defenses (detectors/defense.h) are batch algorithms over
+// a static graph. DefenseScorer is their live-service counterpart — the
+// `service.defense.*` sweep tier (docs/DEFENSES.md): the supervisor
+// feeds it every *pumped* event, it grows a graph::DynamicGraph from
+// the edge-bearing kinds (accepted requests, seeded friendships), and
+// each flag sweep refresh()es two incremental defenses over the dirty
+// vertices:
+//
+//   detect::IncrementalSybilRank      rolling trust propagation
+//   detect::IncrementalClustering     rolling clustering coefficients
+//
+// Scores are a *second signal*: take_flagged() annotates the threshold
+// detector's FlagRecords with them (defense_rank / defense_clustering
+// columns), never changing who is flagged — so every byte-identical
+// contract of the defense-off service survives unchanged.
+//
+// Determinism: the scorer sees exactly the pumped event sequence, which
+// WAL replay reproduces exactly; duplicate edges and out-of-bound ids
+// are skipped deterministically; and both incremental defenses are
+// single-threaded with fixed evaluation order. Checkpoints carry the
+// full scorer state (serialize()/restore()), so a recovered shard
+// scores byte-identically to one that never crashed. Counted caveat:
+// enabling `defense` on a service whose WAL was already pruned loses
+// the pre-checkpoint edges — enable the tier from the service's birth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/detector_options.h"
+#include "detectors/incremental_clustering.h"
+#include "detectors/incremental_rank.h"
+#include "graph/dynamic_graph.h"
+#include "io/container.h"
+#include "osn/events.h"
+
+namespace sybil::service {
+
+class DefenseScorer {
+ public:
+  explicit DefenseScorer(const core::DetectorOptions& options);
+
+  /// Folds one pumped event into the rolling graph. Non-edge kinds are
+  /// ignored; self-loops, duplicates and ids beyond
+  /// ingest.max_account_id are counted as `ignored` and skipped.
+  void observe(const osn::Event& e);
+
+  /// Sweep-tier refresh: updates rank scores from the dirty vertices
+  /// (first call = initial full recompute) and clears the dirty set.
+  /// Clustering needs no refresh — it is maintained per edge.
+  void refresh();
+
+  /// Degree-normalized SybilRank trust (0.0 before the first refresh,
+  /// for unknown nodes, and when no seeds are configured).
+  double rank_score(graph::NodeId u) const { return rank_.score(u); }
+
+  /// Rolling local clustering coefficient (0.0 for unknown nodes).
+  double clustering_score(graph::NodeId u) const {
+    return clustering_.coefficient(u);
+  }
+
+  const graph::DynamicGraph& graph() const noexcept { return graph_; }
+  const detect::IncrementalSybilRank& rank() const noexcept { return rank_; }
+  const detect::IncrementalClustering& clustering() const noexcept {
+    return clustering_;
+  }
+
+  // Replay-exact counters (reported in stats_json's "defense" object).
+  std::uint64_t edges_observed() const noexcept { return edges_observed_; }
+  std::uint64_t ignored() const noexcept { return ignored_; }
+  std::uint64_t refreshes() const noexcept { return refreshes_; }
+  /// Dirty vertices folded across all refreshes.
+  std::uint64_t dirty_processed() const noexcept { return dirty_processed_; }
+
+  /// Byte-exact state blob for the service checkpoint's defense
+  /// section; restore() rebuilds an identical scorer.
+  std::vector<std::byte> serialize() const;
+  void restore(const std::vector<std::byte>& bytes);
+
+ private:
+  std::uint32_t max_account_id_;
+  std::vector<graph::NodeId> seeds_;
+  graph::DynamicGraph graph_;
+  detect::IncrementalSybilRank rank_;
+  detect::IncrementalClustering clustering_;
+  std::uint64_t edges_observed_ = 0;
+  std::uint64_t ignored_ = 0;
+  std::uint64_t refreshes_ = 0;
+  std::uint64_t dirty_processed_ = 0;
+};
+
+}  // namespace sybil::service

@@ -7,6 +7,7 @@
 #include "core/detector_state.h"
 #include "core/metrics/instrument.h"
 #include "io/error.h"
+#include "service/defense_scorer.h"
 
 namespace sybil::service {
 
@@ -61,7 +62,11 @@ struct ServiceSupervisor::Metrics {
     core::metrics::Counter* local = nullptr;
     core::metrics::Counter* agg = nullptr;  // aggregate twin (sharded only)
     void add(std::uint64_t n = 1) const noexcept {
-      if (n == 0 || !core::metrics::metrics_enabled()) return;
+      // Unregistered handles (the defense family with the tier off)
+      // no-op, so a defense-off build exports exactly the PR 7 rows.
+      if (n == 0 || local == nullptr || !core::metrics::metrics_enabled()) {
+        return;
+      }
       local->add(n);
       if (agg != nullptr) agg->add(n);
     }
@@ -87,6 +92,13 @@ struct ServiceSupervisor::Metrics {
   Count deadletter[core::kStreamErrorCodeCount];
   Count deadletter_total;
   Count deadletter_dropped;
+  // Defense tier (registered only when DetectorOptions::defense is on;
+  // unregistered handles no-op — see Count::add).
+  Count defense_edges;
+  Count defense_dirty;
+  Count defense_rounds;
+  Count defense_full;
+  Count defense_scores;
   Level queue_depth;
   Level tier;
 
@@ -122,6 +134,13 @@ struct ServiceSupervisor::Metrics {
     }
     deadletter_total = count("deadletter.total");
     deadletter_dropped = count("deadletter.dropped");
+    if (o.detector.defense.enabled) {
+      defense_edges = count("defense.edges_observed");
+      defense_dirty = count("defense.dirty_vertices");
+      defense_rounds = count("defense.propagation_rounds");
+      defense_full = count("defense.full_recomputes");
+      defense_scores = count("defense.scores_published");
+    }
     queue_depth = level("queue.depth");
     tier = level("tier");
   }
@@ -168,6 +187,9 @@ ServiceSupervisor::ServiceSupervisor(const ServiceOptions& options)
     : options_((options.validate(), options)),
       detector_(options.detector),
       realtime_(options.detector) {
+  if (options_.detector.defense.enabled) {
+    scorer_ = std::make_unique<DefenseScorer>(options_.detector);
+  }
 #if SYBIL_METRICS_COMPILED
   metrics_ = std::make_unique<Metrics>(options_);
 #endif
@@ -185,6 +207,9 @@ void ServiceSupervisor::require_started(const char* what) const {
 void ServiceSupervisor::reset_state() {
   detector_ = core::StreamDetector(options_.detector);
   realtime_ = core::RealTimeDetector(options_.detector);
+  if (scorer_ != nullptr) {
+    scorer_ = std::make_unique<DefenseScorer>(options_.detector);
+  }
   queue_.clear();
   tier_ = core::ServiceTier::kFull;
   offered_ = admitted_ = pumped_ = 0;
@@ -230,6 +255,22 @@ RecoveryReport ServiceSupervisor::start() {
       }
       core::restore_stream_state(detector_, state.stream_state);
       core::restore_realtime_state(realtime_, state.realtime_state);
+      if (scorer_ != nullptr) {
+        // A defense-enabled supervisor refuses a checkpoint without a
+        // scorer section: typed SnapshotError, so the fallback loop
+        // tries an older generation and ultimately rebuilds the scorer
+        // from the full WAL (cold start) rather than resuming with a
+        // silently empty graph. A defense-off supervisor ignores any
+        // defense_state it finds.
+        if (state.defense_state.empty()) {
+          throw io::SnapshotError(
+              io::SnapshotErrorCode::kFormatViolation,
+              "checkpoint " + generations[i].second +
+                  " carries no defense-scorer section but "
+                  "DetectorOptions::defense is enabled");
+        }
+        scorer_->restore(state.defense_state);
+      }
       queue_.assign(state.queue.begin(), state.queue.end());
       tier_ = static_cast<core::ServiceTier>(state.tier);
       offered_ = state.offered;
@@ -397,6 +438,7 @@ std::size_t ServiceSupervisor::pump(std::size_t max_events) {
     ++pumped_;
     ++n;
     detector_.ingest(r.event, r.seq);
+    if (scorer_ != nullptr) scorer_->observe(r.event);
   }
   SYBIL_SERVICE_METRIC(queue_depth.set(static_cast<double>(queue_.size())));
   publish_metrics();
@@ -408,8 +450,25 @@ std::size_t ServiceSupervisor::sweep_flags(graph::Time now) {
   ++sweeps_;
   const std::size_t n = detector_.sweep_flags(now);
   sweep_flagged_ += n;
+  // Defense refresh rides the sweep cadence: scores fold in everything
+  // pumped before this sweep, a pure function of the event prefix —
+  // what keeps N-shard and 1-shard annotations identical.
+  if (scorer_ != nullptr) scorer_->refresh();
   SYBIL_SERVICE_METRIC(sweeps.add(1));
   return n;
+}
+
+core::FlagBatch ServiceSupervisor::take_flagged() {
+  core::FlagBatch batch = detector_.take_flagged();
+  if (scorer_ != nullptr) {
+    for (core::FlagRecord& r : batch.records) {
+      r.defense_scored = true;
+      r.defense_rank = scorer_->rank_score(r.account);
+      r.defense_clustering = scorer_->clustering_score(r.account);
+    }
+    SYBIL_SERVICE_METRIC(defense_scores.add(batch.records.size()));
+  }
+  return batch;
 }
 
 void ServiceSupervisor::publish_metrics() {
@@ -428,6 +487,21 @@ void ServiceSupervisor::publish_metrics() {
   const std::uint64_t dropped = detector_.dead_letters_dropped();
   metrics_->deadletter_dropped.add(dropped - published_deadletter_dropped_);
   published_deadletter_dropped_ = dropped;
+  if (scorer_ != nullptr) {
+    const auto publish = [](const Metrics::Count& c, std::uint64_t now,
+                            std::uint64_t& prev) {
+      c.add(now - prev);
+      prev = now;
+    };
+    publish(metrics_->defense_edges, scorer_->edges_observed(),
+            published_defense_edges_);
+    publish(metrics_->defense_dirty, scorer_->dirty_processed(),
+            published_defense_dirty_);
+    publish(metrics_->defense_rounds, scorer_->rank().rounds_total(),
+            published_defense_rounds_);
+    publish(metrics_->defense_full, scorer_->rank().full_recomputes(),
+            published_defense_full_);
+  }
 #endif
 }
 
@@ -458,6 +532,7 @@ void ServiceSupervisor::checkpoint_now() {
   state.queue.assign(queue_.begin(), queue_.end());
   state.stream_state = core::serialize_stream_state(detector_);
   state.realtime_state = core::serialize_realtime_state(realtime_);
+  if (scorer_ != nullptr) state.defense_state = scorer_->serialize();
 
   const std::string ckpt_dir = options_.dir + "/ckpt";
   save_service_checkpoint(checkpoint_path(ckpt_dir, state.wal_position),
@@ -525,6 +600,23 @@ std::string ServiceSupervisor::stats_json() const {
   append_field(out, "sweeps", sweeps_);
   append_field(out, "sweep_flagged", sweep_flagged_);
   append_field(out, "next_seq", next_seq_);
+  if (scorer_ != nullptr) {
+    // Replay-exact like everything else here: the scorer's counters are
+    // checkpointed and WAL replay re-derives them deterministically.
+    out += ",\"defense\":{";
+    append_field(out, "edges", scorer_->edges_observed());
+    append_field(out, "ignored", scorer_->ignored());
+    append_field(out, "refreshes", scorer_->refreshes());
+    append_field(out, "dirty", scorer_->dirty_processed());
+    append_field(out, "rank_full_recomputes",
+                 scorer_->rank().full_recomputes());
+    append_field(out, "rank_updates", scorer_->rank().incremental_updates());
+    append_field(out, "rank_rounds", scorer_->rank().rounds_total());
+    append_field(out, "rank_propagated", scorer_->rank().propagated_total());
+    append_field(out, "triangles_closed",
+                 scorer_->clustering().triangles_closed());
+    out += '}';
+  }
   out += ",\"tier\":\"";
   out += core::to_string(tier_);
   out += "\"}";

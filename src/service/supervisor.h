@@ -48,6 +48,8 @@
 
 namespace sybil::service {
 
+class DefenseScorer;
+
 /// Explicit transport seqs live below this bound; values at or above it
 /// are reserved for StreamDetector's auto-assigned seqs plus the
 /// kAutoSeq sentinel, and never advance the redelivery frontier.
@@ -171,7 +173,11 @@ class ServiceSupervisor {
   /// exposed so tests and ops loops can force a publish point.
   void publish_metrics();
 
-  core::FlagBatch take_flagged() { return detector_.take_flagged(); }
+  /// Drains the detector's newly flagged accounts. When the defense
+  /// tier is on (DetectorOptions::defense), each record is annotated
+  /// with the scorer's rolling rank/clustering columns — a second
+  /// signal that never changes *who* is flagged (docs/DEFENSES.md).
+  core::FlagBatch take_flagged();
 
   core::ServiceTier tier() const noexcept { return tier_; }
   std::size_t queue_depth() const noexcept { return queue_.size(); }
@@ -213,6 +219,8 @@ class ServiceSupervisor {
   core::StreamDetector& detector() noexcept { return detector_; }
   const core::StreamDetector& detector() const noexcept { return detector_; }
   core::RealTimeDetector& realtime() noexcept { return realtime_; }
+  /// The defense tier's scorer, or nullptr when the tier is off.
+  const DefenseScorer* defense() const noexcept { return scorer_.get(); }
 
  private:
   struct Metrics;  // per-instance handles; see supervisor.cpp
@@ -225,6 +233,9 @@ class ServiceSupervisor {
   ServiceOptions options_;
   core::StreamDetector detector_;
   core::RealTimeDetector realtime_;
+  /// Built iff options_.detector.defense.enabled; observes every pumped
+  /// event, refreshes at every flag sweep, state rides in checkpoints.
+  std::unique_ptr<DefenseScorer> scorer_;
   std::unique_ptr<Metrics> metrics_;
   std::unique_ptr<WalWriter> wal_;
   std::deque<WalRecord> queue_;
@@ -247,6 +258,11 @@ class ServiceSupervisor {
   /// publish_metrics() emits exact deltas (ops-only, not checkpointed).
   std::uint64_t published_deadletter_[core::kStreamErrorCodeCount] = {};
   std::uint64_t published_deadletter_dropped_ = 0;
+  /// Scorer counters already published (same delta pattern; ops-only).
+  std::uint64_t published_defense_edges_ = 0;
+  std::uint64_t published_defense_dirty_ = 0;
+  std::uint64_t published_defense_rounds_ = 0;
+  std::uint64_t published_defense_full_ = 0;
 };
 
 }  // namespace sybil::service

@@ -1,0 +1,417 @@
+// Property suite for the incremental defenses (docs/DEFENSES.md):
+//
+//   * IncrementalSybilRank vs the batch sybilrank_scores() kernel,
+//     across 6 graph regimes × 3 edge-arrival orders × SYBIL_THREADS
+//     1 and 8 — within the documented residual bound while streaming,
+//     and BIT-exact after a forced full recompute on the quiesced
+//     graph (the equivalence contract the service leans on);
+//   * exact propagation (residual_epsilon = 0) is bit-exact with NO
+//     recompute — every streamed update lands on the batch bytes;
+//   * IncrementalClustering vs local_clustering_all(), bit-exact at
+//     every comparison point (integer link counts, same expression);
+//   * the counted full-recompute fallbacks (frontier fraction, auto
+//     iteration-depth growth);
+//   * serialize()/restore() round-trips byte-exactly and the restored
+//     scorer continues identically.
+//
+// SYBIL_THREADS only affects the batch kernel (the incremental path is
+// deliberately serial); running both settings pins that neither side
+// depends on thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/parallel.h"
+#include "detectors/incremental_clustering.h"
+#include "detectors/incremental_rank.h"
+#include "detectors/sybilrank.h"
+#include "graph/clustering.h"
+#include "graph/dynamic_graph.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "io/container.h"
+#include "stats/rng.h"
+
+namespace sybil::detect {
+namespace {
+
+using graph::DynamicGraph;
+using graph::NodeId;
+using graph::TimestampedGraph;
+
+struct Arrival {
+  NodeId u, v;
+  graph::Time t;
+};
+
+/// Distinct edges of g with their creation timestamps, in per-row
+/// discovery order (≈ the generator's own arrival order).
+std::vector<Arrival> edges_of(const TimestampedGraph& g) {
+  std::vector<Arrival> out;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const graph::Neighbor& nb : g.neighbors(u)) {
+      if (u < nb.node) out.push_back({u, nb.node, nb.created_at});
+    }
+  }
+  return out;
+}
+
+/// The 6 regimes the acceptance gate names: sparse/dense ER, heavy-
+/// tailed BA, small-world WS, the OSN-like generator, and OSN-like
+/// with an injected Sybil community (the adversarial case).
+std::vector<std::pair<std::string, TimestampedGraph>> regimes() {
+  std::vector<std::pair<std::string, TimestampedGraph>> out;
+  {
+    stats::Rng rng(101);
+    out.emplace_back("er_sparse", graph::erdos_renyi(300, 0.015, rng));
+  }
+  {
+    stats::Rng rng(102);
+    out.emplace_back("er_dense", graph::erdos_renyi(150, 0.12, rng));
+  }
+  {
+    stats::Rng rng(103);
+    out.emplace_back("ba", graph::barabasi_albert(300, 3, rng));
+  }
+  {
+    stats::Rng rng(104);
+    out.emplace_back("ws", graph::watts_strogatz(300, 6, 0.1, rng));
+  }
+  graph::OsnGraphParams p;
+  p.nodes = 250;
+  p.mean_links = 8.0;
+  {
+    stats::Rng rng(105);
+    out.emplace_back("osn", graph::osn_like_graph(p, rng));
+  }
+  {
+    stats::Rng rng(106);
+    const TimestampedGraph honest = graph::osn_like_graph(p, rng);
+    out.emplace_back("osn_sybil", graph::inject_sybil_community(
+                                      honest, 40, 0.3, 25, rng));
+  }
+  return out;
+}
+
+const std::vector<NodeId> kSeeds = {0, 3, 7, 11, 19};
+
+enum class Order { kChronological, kReversed, kShuffled };
+
+std::vector<Arrival> reorder(std::vector<Arrival> edges, Order order,
+                             std::uint64_t seed) {
+  switch (order) {
+    case Order::kChronological:
+      break;
+    case Order::kReversed:
+      std::reverse(edges.begin(), edges.end());
+      break;
+    case Order::kShuffled:
+      std::shuffle(edges.begin(), edges.end(), std::mt19937_64(seed));
+      break;
+  }
+  return edges;
+}
+
+/// Streams `edges` into a DynamicGraph in batches, refreshing both
+/// incremental defenses after each batch (the service's sweep cadence
+/// in miniature). Node count is fixed up front so the auto iteration
+/// depth never changes — every post-initial update takes the pure
+/// incremental path (full_recompute_fraction = 1 disables the frontier
+/// fallback; it has its own test below).
+struct StreamResult {
+  DynamicGraph g;
+  IncrementalSybilRank rank;
+  IncrementalClustering clustering;
+};
+
+StreamResult stream(NodeId nodes, const std::vector<Arrival>& edges,
+                    std::size_t batch, IncrementalRankOptions opts) {
+  StreamResult r{DynamicGraph{}, IncrementalSybilRank(opts), {}};
+  r.g.ensure_nodes(nodes);
+  r.rank.recompute(r.g, kSeeds);
+  std::size_t in_batch = 0;
+  for (const Arrival& e : edges) {
+    if (r.g.add_edge(e.u, e.v, e.t)) {
+      r.clustering.on_edge_added(r.g, e.u, e.v);
+    }
+    if (++in_batch == batch) {
+      in_batch = 0;
+      r.rank.update(r.g, r.g.dirty());
+      r.g.clear_dirty();
+    }
+  }
+  if (in_batch != 0) {
+    r.rank.update(r.g, r.g.dirty());
+    r.g.clear_dirty();
+  }
+  return r;
+}
+
+void expect_bitwise_equal(const std::vector<double>& got,
+                          const std::vector<double>& want,
+                          const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << what << " node " << i;
+  }
+}
+
+// The documented deviation bound for incremental updates: each round
+// may skip per-node deltas up to residual_epsilon, and the propagation
+// matrix is column-stochastic, so the accumulated L1 (hence L∞) error
+// is at most rounds · n · ε per streamed history (docs/DEFENSES.md
+// §Incremental contracts). The 16× headroom covers the final degree
+// normalization and float non-associativity slack.
+double residual_bound(std::size_t iters, std::size_t n, double eps) {
+  return 16.0 * static_cast<double>(iters) * static_cast<double>(n) * eps;
+}
+
+TEST(IncrementalRank, MatchesBatchAcrossRegimesOrdersAndThreads) {
+  IncrementalRankOptions opts;
+  opts.residual_epsilon = 1e-12;
+  opts.full_recompute_fraction = 1.0;
+
+  for (int threads : {1, 8}) {
+    core::set_thread_count(threads);
+    for (const auto& [name, base] : regimes()) {
+      const NodeId n = base.node_count();
+      const std::vector<Arrival> chrono = edges_of(base);
+      ASSERT_GT(chrono.size(), 100u) << name;
+      for (Order order :
+           {Order::kChronological, Order::kReversed, Order::kShuffled}) {
+        const std::string what = name + "/order" +
+                                 std::to_string(static_cast<int>(order)) +
+                                 "/threads" + std::to_string(threads);
+        const std::vector<Arrival> edges = reorder(chrono, order, 7);
+        StreamResult r = stream(n, edges, 32, opts);
+        ASSERT_GT(r.rank.incremental_updates(), 0u) << what;
+
+        // Batch kernel over the quiesced graph (parallel under the
+        // current SYBIL_THREADS — its values must not depend on it).
+        const std::vector<double> batch =
+            sybilrank_scores(r.g.view().csr(), kSeeds);
+
+        // Streaming scores: within the documented residual bound.
+        const double bound =
+            residual_bound(r.rank.iterations(), n, opts.residual_epsilon);
+        ASSERT_EQ(r.rank.scores().size(), batch.size()) << what;
+        for (NodeId u = 0; u < n; ++u) {
+          ASSERT_NEAR(r.rank.scores()[u], batch[u], bound)
+              << what << " node " << u;
+        }
+
+        // Forced full recompute on the quiesced graph: bit-exact.
+        r.rank.recompute(r.g, kSeeds);
+        expect_bitwise_equal(r.rank.scores(), batch, what + "/recomputed");
+
+        // Clustering is maintained per edge and must already be
+        // bit-exact — integer link counts, same expression as batch.
+        expect_bitwise_equal(r.clustering.coefficients(),
+                             graph::local_clustering_all(r.g.view().csr()),
+                             what + "/clustering");
+      }
+    }
+  }
+  core::set_thread_count(0);
+}
+
+// With residual_epsilon = 0 every bit flip propagates, so the streamed
+// scores land on the batch bytes with NO recompute — the strongest form
+// of the equivalence contract.
+TEST(IncrementalRank, ExactPropagationIsBitIdenticalWhileStreaming) {
+  IncrementalRankOptions opts;
+  opts.residual_epsilon = 0.0;
+  opts.full_recompute_fraction = 1.0;
+
+  stats::Rng rng(205);
+  const TimestampedGraph base = graph::erdos_renyi(200, 0.03, rng);
+  const std::vector<Arrival> edges = edges_of(base);
+
+  StreamResult r = stream(base.node_count(), edges, 16, opts);
+  ASSERT_GT(r.rank.incremental_updates(), 4u);
+  EXPECT_EQ(r.rank.full_recomputes(), 1u) << "only the initial recompute";
+  expect_bitwise_equal(r.rank.scores(),
+                       sybilrank_scores(r.g.view().csr(), kSeeds),
+                       "exact streaming");
+}
+
+TEST(IncrementalRank, LargeFrontierFallsBackToFullRecompute) {
+  IncrementalRankOptions opts;
+  // Any non-empty dirty set produces a frontier of at least two nodes,
+  // which exceeds this fraction of n — every update must fall back.
+  opts.full_recompute_fraction = 1e-4;
+
+  stats::Rng rng(207);
+  const TimestampedGraph base = graph::erdos_renyi(200, 0.04, rng);
+  const std::size_t n_edges = edges_of(base).size();
+  StreamResult r = stream(base.node_count(), edges_of(base), 64, opts);
+
+  EXPECT_EQ(r.rank.incremental_updates(), 0u);
+  EXPECT_EQ(r.rank.full_recomputes(), 1 + (n_edges + 63) / 64)
+      << "initial recompute plus one counted fallback per batch";
+  expect_bitwise_equal(r.rank.scores(),
+                       sybilrank_scores(r.g.view().csr(), kSeeds),
+                       "fallback path");
+}
+
+TEST(IncrementalRank, AutoIterationDepthGrowthForcesRecompute) {
+  DynamicGraph g;
+  g.ensure_nodes(120);  // ceil(log2 120) = 7
+  stats::Rng rng(211);
+  for (int i = 0; i < 300; ++i) {
+    g.add_edge(static_cast<NodeId>(rng.uniform_index(120)),
+               static_cast<NodeId>(rng.uniform_index(120)),
+               static_cast<double>(i));
+  }
+  IncrementalSybilRank rank;
+  rank.recompute(g, kSeeds);
+  ASSERT_EQ(rank.iterations(), 7u);
+  g.clear_dirty();
+
+  g.add_edge(0, 200, 1000.0);  // growth: n = 201, ceil(log2 201) = 8
+  const std::uint64_t before = rank.full_recomputes();
+  rank.update(g, g.dirty());
+  g.clear_dirty();
+  EXPECT_EQ(rank.iterations(), 8u);
+  EXPECT_EQ(rank.full_recomputes(), before + 1)
+      << "layer depth changed, the update must recompute";
+  expect_bitwise_equal(rank.scores(), sybilrank_scores(g.view().csr(), kSeeds),
+                       "post-growth");
+}
+
+TEST(IncrementalRank, EmptySeedsYieldAllZeroWithoutThrowing) {
+  DynamicGraph g;
+  g.ensure_nodes(8);
+  g.add_edge(0, 1, 0.0);
+  IncrementalSybilRank rank;
+  rank.recompute(g, {});
+  for (NodeId u = 0; u < 8; ++u) EXPECT_EQ(rank.score(u), 0.0);
+}
+
+TEST(IncrementalClustering, HandComputedCases) {
+  DynamicGraph g;
+  IncrementalClustering cc;
+  // Triangle 0-1-2: every node has cc 1.
+  for (auto [u, v] : {std::pair<NodeId, NodeId>{0, 1}, {1, 2}, {0, 2}}) {
+    ASSERT_TRUE(g.add_edge(u, v, 0.0));
+    cc.on_edge_added(g, u, v);
+  }
+  EXPECT_EQ(cc.coefficient(0), 1.0);
+  EXPECT_EQ(cc.coefficient(1), 1.0);
+  EXPECT_EQ(cc.coefficient(2), 1.0);
+  EXPECT_EQ(cc.triangles_closed(), 1u);
+
+  // Pendant 3 on node 0: cc(3) = 0 (degree 1), cc(0) drops to 1/3
+  // (one closed pair of three).
+  ASSERT_TRUE(g.add_edge(0, 3, 1.0));
+  cc.on_edge_added(g, 0, 3);
+  EXPECT_EQ(cc.coefficient(3), 0.0);
+  EXPECT_DOUBLE_EQ(cc.coefficient(0), 1.0 / 3.0);
+  EXPECT_EQ(cc.links(0), 1u);
+
+  // Close 3-1: 0 now has pairs {1,2},{1,3} closed of 3 → 2/3; 3 has
+  // its single pair {0,1} closed → 1; 1 has {0,2},{0,3} of 3 → 2/3.
+  ASSERT_TRUE(g.add_edge(3, 1, 2.0));
+  cc.on_edge_added(g, 3, 1);
+  EXPECT_DOUBLE_EQ(cc.coefficient(0), 2.0 / 3.0);
+  EXPECT_EQ(cc.coefficient(3), 1.0);
+  EXPECT_DOUBLE_EQ(cc.coefficient(1), 2.0 / 3.0);
+  EXPECT_EQ(cc.triangles_closed(), 2u);
+
+  expect_bitwise_equal(cc.coefficients(),
+                       graph::local_clustering_all(g.view().csr()),
+                       "hand case");
+}
+
+TEST(IncrementalClustering, LazyRecomputeFromMidStreamAttachIsExact) {
+  stats::Rng rng(213);
+  const TimestampedGraph base = graph::osn_like_graph(
+      [] {
+        graph::OsnGraphParams p;
+        p.nodes = 150;
+        p.mean_links = 6.0;
+        return p;
+      }(),
+      rng);
+  // Attach the maintainer to an already-populated graph (the lazy
+  // recompute path), then stream more edges through it.
+  DynamicGraph g(base);
+  IncrementalClustering cc;
+  const NodeId n = g.node_count();
+  for (int i = 0; i < 200; ++i) {
+    const auto u = static_cast<NodeId>(rng.uniform_index(n));
+    const auto v = static_cast<NodeId>(rng.uniform_index(n));
+    if (g.add_edge(u, v, 100.0 + i)) cc.on_edge_added(g, u, v);
+  }
+  ASSERT_GT(cc.edges_applied(), 100u);
+  expect_bitwise_equal(cc.coefficients(),
+                       graph::local_clustering_all(g.view().csr()),
+                       "lazy attach");
+}
+
+TEST(IncrementalState, SerializeRestoreRoundTripsAndContinuesIdentically) {
+  stats::Rng rng(301);
+  const TimestampedGraph base = graph::erdos_renyi(180, 0.03, rng);
+  const std::vector<Arrival> edges = edges_of(base);
+  const std::size_t half = edges.size() / 2;
+
+  IncrementalRankOptions opts;
+  opts.full_recompute_fraction = 1.0;
+  StreamResult a = stream(base.node_count(),
+                          {edges.begin(), edges.begin() + half}, 24, opts);
+
+  io::ByteWriter wr;
+  a.rank.serialize(wr);
+  io::ByteWriter wc;
+  a.clustering.serialize(wc);
+  const std::vector<std::byte> rank_bytes = std::move(wr).take();
+  const std::vector<std::byte> cc_bytes = std::move(wc).take();
+
+  IncrementalSybilRank rank_b(opts);
+  IncrementalClustering cc_b;
+  {
+    io::ByteReader rr(rank_bytes);
+    rank_b.restore(rr);
+    io::ByteReader rc(cc_bytes);
+    cc_b.restore(rc);
+  }
+  expect_bitwise_equal(rank_b.scores(), a.rank.scores(), "restored rank");
+  expect_bitwise_equal(cc_b.coefficients(), a.clustering.coefficients(),
+                       "restored clustering");
+  EXPECT_EQ(rank_b.full_recomputes(), a.rank.full_recomputes());
+  EXPECT_EQ(rank_b.incremental_updates(), a.rank.incremental_updates());
+  EXPECT_EQ(cc_b.edges_applied(), a.clustering.edges_applied());
+
+  // Re-serializing the restored state reproduces the bytes exactly.
+  io::ByteWriter wr2;
+  rank_b.serialize(wr2);
+  EXPECT_EQ(std::move(wr2).take(), rank_bytes);
+
+  // Both copies stream the second half and stay bit-identical.
+  for (std::size_t i = half; i < edges.size(); ++i) {
+    const Arrival& e = edges[i];
+    if (a.g.add_edge(e.u, e.v, e.t)) {
+      a.clustering.on_edge_added(a.g, e.u, e.v);
+      cc_b.on_edge_added(a.g, e.u, e.v);
+    }
+    if ((i - half) % 24 == 23) {
+      a.rank.update(a.g, a.g.dirty());
+      rank_b.update(a.g, a.g.dirty());
+      a.g.clear_dirty();
+    }
+  }
+  a.rank.update(a.g, a.g.dirty());
+  rank_b.update(a.g, a.g.dirty());
+  a.g.clear_dirty();
+  expect_bitwise_equal(rank_b.scores(), a.rank.scores(), "continued rank");
+  expect_bitwise_equal(cc_b.coefficients(), a.clustering.coefficients(),
+                       "continued clustering");
+}
+
+}  // namespace
+}  // namespace sybil::detect
