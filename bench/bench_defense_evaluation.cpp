@@ -15,11 +15,14 @@
 // one ranker that flips the other way.
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "chaos/manifest.h"
+#include "chaos/orchestrator.h"
 #include "runner.h"
 
 namespace {
@@ -28,6 +31,7 @@ constexpr char kUsage[] =
     "[--save-graph <path>] [--load-graph <path>] "
     "[--chaos-seed <n>] [--chaos-rate <r>] [--chaos-skew <hours>] "
     "[--crash-every <n>] [--shards <n>] "
+    "[--scenario <manifest[,manifest...]>] "
     "[normal_users] [sybils] [campaign_hours]";
 
 /// Extracts "--flag <value>" from argv, compacting the remaining
@@ -47,6 +51,61 @@ std::string take_flag(int& argc, char** argv, const char* flag) {
   return {};
 }
 
+/// `--scenario` battery: runs each chaos manifest through the
+/// orchestrator (with the undisturbed control and byte-identity check
+/// when the manifest promises it) and prints one row per scenario.
+/// Early-exits the binary — the defense battery is a different lab.
+int run_scenario_battery(const std::string& list) {
+  namespace fs = std::filesystem;
+  const std::string root =
+      (fs::temp_directory_path() / "sybil_bench_scenarios").string();
+  std::printf("# chaos scenario battery (docs/ROBUSTNESS.md §Scenario "
+              "harness)\n");
+  std::printf("%-32s %10s %10s %6s %6s %9s %10s\n", "scenario", "events",
+              "arrivals", "kills", "recov", "identity", "ms");
+  bool all_ok = true;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string path = list.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    start = comma == std::string::npos ? list.size() + 1 : comma + 1;
+    if (path.empty()) continue;
+    sybil::chaos::ScenarioManifest manifest;
+    try {
+      manifest = sybil::chaos::load_manifest(path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "scenario %s: %s\n", path.c_str(), e.what());
+      return 2;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    sybil::chaos::ScenarioOutcome outcome;
+    const char* verdict = "n/a";
+    if (manifest.identity_expected()) {
+      const sybil::chaos::IdentityVerdict v = sybil::chaos::verify_identity(
+          manifest, root + "/" + manifest.name, &outcome);
+      verdict = v.ok() ? "ok" : "FAIL";
+      all_ok = all_ok && v.ok();
+    } else {
+      sybil::chaos::ChaosOrchestrator orchestrator(manifest);
+      sybil::chaos::ChaosRunOptions run;
+      run.dir = root + "/" + manifest.name + "/disturbed";
+      outcome = orchestrator.run(run);
+      verdict = outcome.identity_failures == 0 ? "acct-ok" : "FAIL";
+      all_ok = all_ok && outcome.identity_failures == 0;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    std::printf("%-32s %10llu %10llu %6llu %6llu %9s %10.1f\n",
+                manifest.name.c_str(),
+                static_cast<unsigned long long>(manifest.workload.events),
+                static_cast<unsigned long long>(outcome.arrivals_total),
+                static_cast<unsigned long long>(outcome.kills),
+                static_cast<unsigned long long>(outcome.recoveries), verdict,
+                std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -58,6 +117,10 @@ int main(int argc, char** argv) {
   const std::string chaos_skew = take_flag(argc, argv, "--chaos-skew");
   const std::string crash_every_arg = take_flag(argc, argv, "--crash-every");
   const std::string shards_arg = take_flag(argc, argv, "--shards");
+  if (const std::string scenarios = take_flag(argc, argv, "--scenario");
+      !scenarios.empty()) {
+    return run_scenario_battery(scenarios);
+  }
   const bool chaos =
       !chaos_seed.empty() || !chaos_rate.empty() || !chaos_skew.empty();
   if ((chaos || !crash_every_arg.empty()) && !load_path.empty()) {

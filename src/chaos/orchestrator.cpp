@@ -1,0 +1,373 @@
+#include "chaos/orchestrator.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+namespace sybil::chaos {
+
+namespace fs = std::filesystem;
+
+ChaosOrchestrator::ChaosOrchestrator(ScenarioManifest manifest)
+    : manifest_(std::move(manifest)) {
+  manifest_.validate();
+}
+
+bool flags_equal(const core::FlagBatch& a, const core::FlagBatch& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const core::FlagRecord& ra = a[i];
+    const core::FlagRecord& rb = b[i];
+    if (ra.account != rb.account || ra.flagged_at != rb.flagged_at ||
+        ra.features.as_vector() != rb.features.as_vector() ||
+        ra.defense_scored != rb.defense_scored ||
+        ra.defense_rank != rb.defense_rank ||
+        ra.defense_clustering != rb.defense_clustering) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ScenarioOutcome ChaosOrchestrator::run(const ChaosRunOptions& options) {
+  if (options.dir.empty()) {
+    throw std::invalid_argument("ChaosRunOptions::dir must be set");
+  }
+  const bool disturbed = options.disturbed;
+  fs::remove_all(options.dir);
+
+  const std::vector<osn::Event> events =
+      service::synthetic_workload(manifest_.workload);
+
+  ScenarioOutcome out;
+  const std::vector<faults::Arrival> arrivals =
+      disturbed
+          ? faults::apply_fault_schedule(events, manifest_.fault_windows,
+                                         &out.faults)
+          : faults::apply_fault_schedule(events, {}, &out.faults);
+
+  // The boundary schedule: a pure function of the manifest, so the
+  // disturbed and undisturbed runs fire the same pump/sweep/checkpoint
+  // sequence at the same global-seq points (see orchestrator.h).
+  struct Boundary {
+    std::uint64_t seq = 0;
+    bool sweep = false;
+    double time = 0.0;  // clean time of event seq-1 (sweep stamp)
+    std::size_t phase = 0;
+  };
+  std::vector<Boundary> boundaries;
+  std::vector<std::size_t> sweep_at;  // boundary index of the k-th sweep
+  {
+    std::uint64_t prev = 0;
+    for (std::size_t pi = 0; pi < manifest_.phases.size(); ++pi) {
+      const PhaseSpec& p = manifest_.phases[pi];
+      for (std::uint64_t s = prev + p.pump_interval; s < p.until_event;
+           s += p.pump_interval) {
+        boundaries.push_back({s, false, events[s - 1].time, pi});
+      }
+      boundaries.push_back(
+          {p.until_event, p.sweep, events[p.until_event - 1].time, pi});
+      if (p.sweep) sweep_at.push_back(boundaries.size() - 1);
+      prev = p.until_event;
+    }
+  }
+
+  out.phases.resize(manifest_.phases.size());
+  {
+    std::uint64_t prev = 0;
+    for (std::size_t pi = 0; pi < manifest_.phases.size(); ++pi) {
+      out.phases[pi].name = manifest_.phases[pi].name;
+      out.phases[pi].first_event = prev;
+      out.phases[pi].until_event = manifest_.phases[pi].until_event;
+      prev = manifest_.phases[pi].until_event;
+    }
+  }
+
+  service::ShardRouterOptions ro;
+  ro.shards = manifest_.shards;
+  ro.shard.dir = options.dir;
+  ro.shard.detector = manifest_.detector_options();
+  ro.shard.wal_fsync = manifest_.fsync;
+  ro.shard.wal_segment_records = manifest_.wal_segment_records;
+  // The boundary schedule owns every checkpoint: index-triggered
+  // checkpoints would fire at different WAL positions after a rewind
+  // and desynchronize the runs.
+  ro.shard.checkpoint_every = 0;
+  ro.shard.checkpoint_retain = manifest_.checkpoint_retain;
+
+  std::vector<std::uint64_t> crossings(manifest_.shards, 0);
+  std::optional<faults::ShardCrashInjector> injector;
+  ro.crash_hook = [&crossings, &injector](std::uint32_t s,
+                                          service::CrashPoint p) {
+    ++crossings[s];
+    if (injector) (*injector)(s, p);
+  };
+
+  service::ShardRouter router(ro);
+  router.start();
+
+  // Schedule state.
+  struct Downtime {
+    KillSpec spec;
+    std::uint64_t restart_at = 0;  // head position that triggers restart
+  };
+  std::optional<KillSpec> armed;
+  std::optional<Downtime> down;
+  std::size_t kill_idx = 0;
+  std::vector<std::size_t> bidx(manifest_.shards, 0);  // next boundary, per shard
+  std::size_t gb = 0;          // next boundary not yet fired globally
+  std::uint64_t head = 0;      // one past the highest fresh seq offered
+  std::size_t cursor = 0;      // next arrival
+  std::size_t cur_phase = 0;
+  std::uint64_t tier_base = 0;
+
+  const auto fleet_tiers = [&]() {
+    std::uint64_t n = 0;
+    for (std::uint32_t i = 0; i < manifest_.shards; ++i) {
+      if (!router.is_down(i)) n += router.shard(i).tier_transitions();
+    }
+    return n;
+  };
+
+  const auto check_identity = [&]() {
+    ++out.identity_checks;
+    ++out.phases[cur_phase].identity_checks;
+    if (!router.accounting_ok()) {
+      ++out.identity_failures;
+      ++out.phases[cur_phase].identity_failures;
+    }
+  };
+
+  const auto fleet_level = [&]() {
+    if (down) return false;
+    for (std::size_t b : bidx) {
+      if (b != gb) return false;
+    }
+    return true;
+  };
+
+  // One shard's boundary ops, in the canonical order: pump to the
+  // boundary's stream position, sweep (if scheduled), checkpoint.
+  // pump_through and checkpoint_now are idempotent re-fired at the same
+  // position; sweeps are not, which is why recovery counts durable
+  // sweeps to find the re-fire start (do_restart below).
+  const auto fire_for_shard = [&](std::uint32_t i, const Boundary& b) {
+    service::ServiceSupervisor& s = router.shard(i);
+    s.pump_through(b.seq - 1);
+    if (b.sweep) s.sweep_flags(b.time);
+    s.checkpoint_now();
+  };
+
+  const auto on_crash = [&](std::uint32_t victim) {
+    router.mark_down(victim);
+    injector.reset();
+    down = Downtime{*armed, head + armed->down_for};
+    armed.reset();
+    ++out.kills;
+    ++out.phases[cur_phase].kills;
+  };
+
+  const auto fire_global = [&](const Boundary& b) {
+    ++out.phases[b.phase].boundaries;
+    if (b.sweep) ++out.phases[b.phase].sweeps;
+    if (fleet_level()) {
+      // Steady state: one parallel pump lane per shard — the same
+      // deterministic-parallel path pump() uses.
+      router.pump_through(b.seq - 1);
+    } else {
+      for (std::uint32_t i = 0; i < manifest_.shards; ++i) {
+        if (!router.is_down(i) && bidx[i] == gb) {
+          router.shard(i).pump_through(b.seq - 1);
+        }
+      }
+    }
+    for (std::uint32_t i = 0; i < manifest_.shards; ++i) {
+      if (router.is_down(i) || bidx[i] != gb) continue;
+      try {
+        if (b.sweep) router.shard(i).sweep_flags(b.time);
+        router.shard(i).checkpoint_now();
+        bidx[i] = gb + 1;
+      } catch (const faults::InjectedCrash&) {
+        // Death at the checkpoint boundary: the sweep above ran but
+        // died with the process; do_restart recomputes bidx from what
+        // proved durable.
+        on_crash(i);
+      }
+    }
+  };
+
+  const auto do_restart = [&]() {
+    const std::uint32_t v = down->spec.shard;
+    const service::RecoveryReport rec = router.restart_shard(v);
+    ++out.recoveries;
+    ++out.phases[cur_phase].recoveries;
+    // The recovered state retains exactly the sweeps its newest durable
+    // checkpoint saw; pumps and checkpoints re-fire idempotently, so
+    // the sweep count alone pins the boundary to resume from.
+    const std::uint64_t durable_sweeps = router.shard(v).sweeps();
+    bidx[v] = durable_sweeps == 0
+                  ? 0
+                  : sweep_at[static_cast<std::size_t>(durable_sweeps) - 1] + 1;
+    // Rewind to the victim's redelivery frontier: every live shard
+    // suppresses the re-walked copies, the victim replays its exact
+    // undisturbed admission trajectory.
+    std::size_t r = 0;
+    while (r < arrivals.size() && arrivals[r].seq < rec.next_seq) ++r;
+    cursor = std::min(cursor, r);
+    down.reset();
+  };
+
+  const auto maybe_arm = [&]() {
+    if (!disturbed || armed || down || kill_idx >= manifest_.kills.size()) {
+      return;
+    }
+    // A kill never arms while the fleet is uneven (a victim catching
+    // up): one disturbance at a time keeps recovery analyzable.
+    if (!fleet_level()) return;
+    const KillSpec& k = manifest_.kills[kill_idx];
+    if (k.use_boundary) {
+      if (k.at_boundary < crossings[k.shard]) {
+        ++out.kills_missed;  // crossing already passed (deferred too long)
+        ++kill_idx;
+        return;
+      }
+      injector.emplace(k.shard, k.at_boundary - crossings[k.shard]);
+      armed = k;
+      ++kill_idx;
+    } else if (head >= k.at_event) {
+      injector.emplace(k.shard, std::uint64_t{0});
+      armed = k;
+      ++kill_idx;
+    }
+  };
+
+  while (cursor < arrivals.size() || down) {
+    if (cursor >= arrivals.size()) {
+      // Stream ended with the victim still down: recover now and let
+      // the rewound cursor drive the catch-up.
+      do_restart();
+      continue;
+    }
+    maybe_arm();
+    const faults::Arrival& a = arrivals[cursor];
+
+    // A recovered victim lagging behind the global boundary schedule
+    // fires its missed boundaries exactly where the undisturbed run
+    // fired them: before the first offer at or past each boundary seq.
+    for (std::uint32_t i = 0; i < manifest_.shards; ++i) {
+      if (router.is_down(i)) continue;
+      while (bidx[i] < gb && boundaries[bidx[i]].seq <= a.seq) {
+        fire_for_shard(i, boundaries[bidx[i]]);
+        ++bidx[i];
+      }
+    }
+
+    try {
+      router.offer(a.event, a.seq);
+    } catch (const faults::InjectedCrash&) {
+      if (!armed) throw;  // cannot happen: only the armed injector throws
+      on_crash(armed->shard);
+      // Complete the torn delivery: shards ordered after the victim in
+      // the route plan have not seen this seq, and later offers would
+      // advance their frontiers past it — re-offer before anything
+      // newer (the min-frontier contract; see ShardRouter::mark_down).
+      router.offer(a.event, a.seq);
+    }
+    ++out.arrivals_total;
+    ++out.phases[cur_phase].arrivals;
+    check_identity();
+
+    const bool fresh = a.seq >= head;
+    ++cursor;
+    if (!fresh) continue;
+    head = a.seq + 1;
+    while (cur_phase + 1 < out.phases.size() &&
+           head > manifest_.phases[cur_phase].until_event) {
+      const std::uint64_t t = fleet_tiers();
+      // Saturate: a restarted shard re-bases its (ops-only, never
+      // checkpointed) transition counter, so the fleet sum can step
+      // backwards across a recovery.
+      out.phases[cur_phase].tier_transitions = t > tier_base ? t - tier_base : 0;
+      tier_base = t;
+      ++cur_phase;
+    }
+    while (gb < boundaries.size() && boundaries[gb].seq <= head) {
+      fire_global(boundaries[gb]);
+      ++gb;
+      check_identity();
+    }
+    if (down && head >= down->restart_at) do_restart();
+  }
+
+  // A kill whose trigger never arrived (no further traffic on the
+  // victim) is reported, not silently dropped.
+  if (injector) {
+    injector.reset();
+    if (armed) {
+      armed.reset();
+      ++out.kills_missed;
+    }
+  }
+  while (kill_idx < manifest_.kills.size()) {
+    ++out.kills_missed;
+    ++kill_idx;
+  }
+
+  // Level the fleet: any boundary still owed (a victim recovered at
+  // stream end, or a final stretch of dropped events) fires now, in
+  // order, before the terminal flush.
+  for (std::uint32_t i = 0; i < manifest_.shards; ++i) {
+    while (bidx[i] < gb) {
+      fire_for_shard(i, boundaries[bidx[i]]);
+      ++bidx[i];
+    }
+  }
+  while (gb < boundaries.size()) {
+    fire_global(boundaries[gb]);
+    ++gb;
+  }
+  check_identity();
+
+  router.flush(true);
+  router.sweep_flags(manifest_.workload.hours + 1.0);
+  check_identity();
+
+  {
+    const std::uint64_t t = fleet_tiers();
+    out.phases[cur_phase].tier_transitions = t > tier_base ? t - tier_base : 0;
+  }
+  out.copies_skipped_down = router.copies_skipped_down();
+  out.boundary_crossings = crossings;
+  out.flags = router.take_flagged();
+  out.shard_stats.reserve(manifest_.shards);
+  for (std::uint32_t i = 0; i < manifest_.shards; ++i) {
+    out.shard_stats.push_back(router.shard(i).stats_json());
+  }
+  out.router_stats = router.stats_json();
+  return out;
+}
+
+IdentityVerdict verify_identity(const ScenarioManifest& manifest,
+                                const std::string& dir,
+                                ScenarioOutcome* disturbed,
+                                ScenarioOutcome* undisturbed) {
+  ChaosOrchestrator orchestrator(manifest);
+  ChaosRunOptions d;
+  d.dir = dir + "/disturbed";
+  d.disturbed = true;
+  ChaosRunOptions u;
+  u.dir = dir + "/undisturbed";
+  u.disturbed = false;
+  ScenarioOutcome dd = orchestrator.run(d);
+  ScenarioOutcome uu = orchestrator.run(u);
+  IdentityVerdict v;
+  v.flags_identical = flags_equal(dd.flags, uu.flags);
+  v.stats_identical = dd.shard_stats == uu.shard_stats;
+  v.accounting_held =
+      dd.identity_failures == 0 && uu.identity_failures == 0;
+  if (disturbed != nullptr) *disturbed = std::move(dd);
+  if (undisturbed != nullptr) *undisturbed = std::move(uu);
+  return v;
+}
+
+}  // namespace sybil::chaos

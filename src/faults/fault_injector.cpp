@@ -42,9 +42,7 @@ stats::Rng kind_rng(std::uint64_t seed, std::uint64_t index,
   return stats::Rng(stats::splitmix64_next(state));
 }
 
-/// Synthesized events (banned-party probes) get seqs from their own
-/// range: above any log index, below StreamDetector's auto-seq range.
-constexpr std::uint64_t kSynthSeqBase = std::uint64_t{1} << 62;
+constexpr std::uint64_t kSynthSeqBase = FaultInjector::kSynthSeqBase;
 
 }  // namespace
 

@@ -114,6 +114,14 @@ class FaultInjector {
   /// plausible ingest.max_account_id bound.
   static constexpr graph::NodeId kMalformedNodeId = 0xFFFFFFF0u;
 
+  /// Synthesized events (banned-party probes) get seqs from their own
+  /// range starting here: above any log index, below StreamDetector's
+  /// auto-seq range. NOTE: these are *explicit* seqs as far as a
+  /// ShardRouter is concerned (below kExplicitSeqLimit), so a stream
+  /// carrying them must never feed a router frontier — the scenario
+  /// manifest layer rejects banned_party rates for exactly this reason.
+  static constexpr std::uint64_t kSynthSeqBase = std::uint64_t{1} << 62;
+
  private:
   FaultRates rates_;
   FaultReport report_;

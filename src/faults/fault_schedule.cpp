@@ -1,0 +1,103 @@
+#include "faults/fault_schedule.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace sybil::faults {
+
+void validate_fault_windows(std::span<const FaultWindow> windows,
+                            std::uint64_t total_events) {
+  std::uint64_t prev_end = 0;
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    const FaultWindow& win = windows[w];
+    if (win.from_event >= win.to_event) {
+      throw std::invalid_argument(
+          "FaultWindow[" + std::to_string(w) +
+          "]: from_event must be < to_event");
+    }
+    if (win.to_event > total_events) {
+      throw std::invalid_argument(
+          "FaultWindow[" + std::to_string(w) +
+          "]: to_event exceeds the stream length");
+    }
+    if (w > 0 && win.from_event < prev_end) {
+      throw std::invalid_argument(
+          "FaultWindow[" + std::to_string(w) +
+          "]: windows must be sorted and disjoint");
+    }
+    win.rates.validate();
+    prev_end = win.to_event;
+  }
+}
+
+std::vector<Arrival> apply_fault_schedule(std::span<const osn::Event> events,
+                                          std::span<const FaultWindow> windows,
+                                          FaultScheduleReport* report) {
+  validate_fault_windows(windows, events.size());
+  std::vector<Arrival> out;
+  out.reserve(events.size() + events.size() / 8);
+  if (report != nullptr) {
+    *report = FaultScheduleReport{};
+    report->per_window.reserve(windows.size());
+  }
+
+  // Identity segments track the same transport clock the injector uses:
+  // the running max of clean event times. Windows recompute it locally
+  // from their slice, which matches because workload times are
+  // nondecreasing (see file comment in fault_schedule.h).
+  graph::Time envelope = -std::numeric_limits<graph::Time>::infinity();
+  std::uint64_t synth_out = 0;  // schedule-global synthesized-seq count
+  std::uint64_t next = 0;       // first event not yet emitted
+
+  const auto emit_identity = [&](std::uint64_t upto) {
+    for (std::uint64_t i = next; i < upto; ++i) {
+      envelope = std::max(envelope, events[i].time);
+      out.push_back(Arrival{events[i], i, envelope});
+    }
+    next = upto;
+  };
+
+  for (const FaultWindow& win : windows) {
+    emit_identity(win.from_event);
+    FaultInjector injector(win.rates);
+    std::vector<Arrival> slice = injector.corrupt(
+        events.subspan(win.from_event, win.to_event - win.from_event));
+    for (Arrival& a : slice) {
+      if (a.seq >= FaultInjector::kSynthSeqBase) {
+        a.seq = FaultInjector::kSynthSeqBase + synth_out++;
+      } else {
+        a.seq += win.from_event;
+      }
+      out.push_back(a);
+    }
+    // The envelope stays the running max of *clean* event times, so the
+    // identity segments are a pure function of the input stream no
+    // matter what the windows did (injected delays do not propagate).
+    for (std::uint64_t i = win.from_event; i < win.to_event; ++i) {
+      envelope = std::max(envelope, events[i].time);
+    }
+    next = win.to_event;
+    if (report != nullptr) {
+      const FaultReport& r = injector.report();
+      report->per_window.push_back(r);
+      report->total.events_in += r.events_in;
+      report->total.events_out += r.events_out;
+      report->total.dropped += r.dropped;
+      report->total.reordered += r.reordered;
+      report->total.duplicated += r.duplicated;
+      report->total.regressed += r.regressed;
+      report->total.malformed += r.malformed;
+      report->total.banned_party_injected += r.banned_party_injected;
+    }
+  }
+  emit_identity(events.size());
+  if (report != nullptr) {
+    report->total.events_in = events.size();
+    report->total.events_out = out.size();
+  }
+  return out;
+}
+
+}  // namespace sybil::faults

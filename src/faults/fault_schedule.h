@@ -1,0 +1,69 @@
+// Scheduled fault windows: FaultInjector rate ramps over event ranges.
+//
+// A FaultInjector corrupts a whole stream at one set of rates; real
+// incidents come and go. A fault schedule is an ordered list of
+// non-overlapping [from_event, to_event) windows, each with its own
+// FaultRates — the transport is clean outside the windows and degraded
+// inside them. apply_fault_schedule() composes per-window FaultInjector
+// passes into one arrival sequence whose seqs stay in *global* stream
+// coordinates:
+//
+//   - outside any window, event i arrives as the identity Arrival
+//     {event, seq = i, arrival = running max of event times};
+//   - inside a window, the slice runs through a fresh FaultInjector
+//     (seeded from the window's own rates.seed) and the slice-local
+//     seqs are shifted by from_event, so an undropped original keeps
+//     seq == its log index and a duplicate keeps sharing its
+//     original's seq;
+//   - synthesized banned-party events are renumbered into a single
+//     schedule-global range at FaultInjector::kSynthSeqBase, so two
+//     windows can never collide.
+//
+// Determinism matches the injector's: the output is a pure function of
+// (events, windows). With an empty schedule the output is the identity
+// arrival sequence — which is also the cheapest way to turn a clean
+// log into Arrivals.
+//
+// Time envelope: event times in the service workloads are nondecreasing
+// (service/workload.h), so each window's slice-local arrival clock
+// equals the global one and the composed sequence is sorted by arrival
+// within each segment. Across a window seam the clock may step back by
+// up to the window's skew — harmless to a seq-addressed router, and
+// absorbed by the detector watermark like any other transport jitter.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "faults/fault_injector.h"
+
+namespace sybil::faults {
+
+/// One degraded-transport interval over the clean stream, in event
+/// (= global seq) coordinates. Half-open: [from_event, to_event).
+struct FaultWindow {
+  std::uint64_t from_event = 0;
+  std::uint64_t to_event = 0;
+  FaultRates rates{};
+};
+
+/// Throws std::invalid_argument unless windows are sorted, pairwise
+/// disjoint, non-empty, within [0, total_events], and each window's
+/// rates pass FaultRates::validate().
+void validate_fault_windows(std::span<const FaultWindow> windows,
+                            std::uint64_t total_events);
+
+/// Per-window injector reports plus the schedule-wide sum.
+struct FaultScheduleReport {
+  FaultReport total;
+  std::vector<FaultReport> per_window;
+};
+
+/// The composed arrival sequence for the whole stream (see file
+/// comment). `report`, when non-null, receives what each window did.
+std::vector<Arrival> apply_fault_schedule(std::span<const osn::Event> events,
+                                          std::span<const FaultWindow> windows,
+                                          FaultScheduleReport* report = nullptr);
+
+}  // namespace sybil::faults

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "chaos/manifest.h"
+#include "chaos/orchestrator.h"
 #include "core/detector.h"
 #include "service/router.h"
 #include "service/workload.h"
@@ -46,6 +48,10 @@ options:
   --no-final-checkpoint skip the checkpoint inside the final flush
   --verify-single       run N shards then 1 shard; fail unless the merged
                         FlagBatches are byte-identical
+  --scenario PATH       run a chaos scenario manifest (docs/FORMATS.md §9)
+                        instead of the plain workload: prints a per-phase
+                        report and, when the manifest is identity-expected,
+                        verifies the final flags against an undisturbed run
   --stats               print the full router stats JSON
   --help                this text
 
@@ -161,6 +167,85 @@ RunResult run_once(const CliOptions& cli,
   return result;
 }
 
+/// `--scenario` mode: run the manifest, print the per-phase report, and
+/// (when the manifest promises it) verify byte-identity against the
+/// undisturbed control run. Returns the process exit code.
+int run_scenario(const std::string& path, const std::string& dir,
+                 bool print_stats) {
+  chaos::ScenarioManifest manifest;
+  try {
+    manifest = chaos::load_manifest(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sybil_service: %s\n", e.what());
+    return 2;
+  }
+  const bool identity = manifest.identity_expected();
+  std::printf("scenario: %s  (events=%llu shards=%u phases=%zu faults=%zu "
+              "kills=%zu identity=%s)\n",
+              manifest.name.c_str(),
+              static_cast<unsigned long long>(manifest.workload.events),
+              manifest.shards, manifest.phases.size(),
+              manifest.fault_windows.size(), manifest.kills.size(),
+              identity ? "expected" : "not-expected");
+
+  chaos::ScenarioOutcome outcome;
+  bool ok = true;
+  if (identity) {
+    const chaos::IdentityVerdict verdict =
+        chaos::verify_identity(manifest, dir, &outcome);
+    ok = verdict.ok();
+    std::printf("identity: flags %s  shard-stats %s  accounting %s\n",
+                verdict.flags_identical ? "==" : "!=",
+                verdict.stats_identical ? "==" : "!=",
+                verdict.accounting_held ? "held" : "VIOLATED");
+  } else {
+    chaos::ChaosRunOptions run;
+    run.dir = dir + "/disturbed";
+    chaos::ChaosOrchestrator orchestrator(std::move(manifest));
+    outcome = orchestrator.run(run);
+    ok = outcome.identity_failures == 0;
+  }
+
+  for (const chaos::PhaseReport& p : outcome.phases) {
+    std::printf("phase %-12s [%6llu,%6llu)  arrivals=%-7llu boundaries=%-5llu "
+                "sweeps=%-3llu kills=%llu recoveries=%llu tier-transitions=%llu "
+                "identity=%llu/%llu\n",
+                p.name.c_str(), static_cast<unsigned long long>(p.first_event),
+                static_cast<unsigned long long>(p.until_event),
+                static_cast<unsigned long long>(p.arrivals),
+                static_cast<unsigned long long>(p.boundaries),
+                static_cast<unsigned long long>(p.sweeps),
+                static_cast<unsigned long long>(p.kills),
+                static_cast<unsigned long long>(p.recoveries),
+                static_cast<unsigned long long>(p.tier_transitions),
+                static_cast<unsigned long long>(p.identity_checks -
+                                                p.identity_failures),
+                static_cast<unsigned long long>(p.identity_checks));
+  }
+  std::printf("faults: arrivals=%llu dropped=%llu duplicated=%llu "
+              "regressed=%llu malformed=%llu\n",
+              static_cast<unsigned long long>(outcome.faults.total.events_out),
+              static_cast<unsigned long long>(outcome.faults.total.dropped),
+              static_cast<unsigned long long>(outcome.faults.total.duplicated),
+              static_cast<unsigned long long>(outcome.faults.total.regressed),
+              static_cast<unsigned long long>(outcome.faults.total.malformed));
+  std::printf("kills: fired=%llu recovered=%llu missed=%llu  "
+              "copies-skipped-down=%llu\n",
+              static_cast<unsigned long long>(outcome.kills),
+              static_cast<unsigned long long>(outcome.recoveries),
+              static_cast<unsigned long long>(outcome.kills_missed),
+              static_cast<unsigned long long>(outcome.copies_skipped_down));
+  std::printf("flags: %zu  digest: %016llx  identity-checks: %llu passed, "
+              "%llu failed\n",
+              outcome.flags.size(),
+              static_cast<unsigned long long>(flag_digest(outcome.flags)),
+              static_cast<unsigned long long>(outcome.identity_checks -
+                                              outcome.identity_failures),
+              static_cast<unsigned long long>(outcome.identity_failures));
+  if (print_stats) std::printf("%s\n", outcome.router_stats.c_str());
+  return ok ? 0 : 1;
+}
+
 bool batches_identical(const core::FlagBatch& a, const core::FlagBatch& b) {
   if (a.size() != b.size()) return false;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -230,11 +315,19 @@ int main(int argc, char** argv) {
   if (!take_flag(argc, argv, "--verify-single", 0).empty()) {
     cli.verify_single = true;
   }
+  std::string scenario_path;
+  if (const auto v = take_flag(argc, argv, "--scenario", 1); !v.empty()) {
+    scenario_path = v[0];
+  }
   if (!take_flag(argc, argv, "--stats", 0).empty()) cli.stats = true;
   if (argc > 1) {
     std::fprintf(stderr, "sybil_service: unknown argument %s\n%s", argv[1],
                  kUsage);
     return 2;
+  }
+
+  if (!scenario_path.empty()) {
+    return run_scenario(scenario_path, cli.dir, cli.stats);
   }
 
   // Account ids must fit the ingestion bound.

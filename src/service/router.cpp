@@ -106,6 +106,7 @@ ShardRouter::ShardRouter(const ShardRouterOptions& options)
     shards_.push_back(std::make_unique<ServiceSupervisor>(shard_options(i)));
   }
   frontier_.assign(options_.shards, 0);
+  down_.assign(options_.shards, 0);
 }
 
 ShardRouter::~ShardRouter() = default;
@@ -157,6 +158,14 @@ RouterRecoveryReport ShardRouter::start() {
 
 void ShardRouter::deliver(std::uint32_t i, const osn::Event& e,
                           std::uint64_t seq, RouteResult& result) {
+  if (down_[i]) {
+    // Owed, not routed: the dead shard's frontier entry is stale, so
+    // neither leg of the routed == delivered + suppressed identity can
+    // honestly claim this copy. The post-restart re-drive delivers it.
+    ++copies_skipped_down_;
+    ++result.skipped_down;
+    return;
+  }
   if (seq < frontier_[i]) {
     // Already durable on this shard from a previous process lifetime:
     // redelivery is the upstream at-least-once contract doing its job.
@@ -232,7 +241,7 @@ RouteResult ShardRouter::offer_batch(std::span<const osn::Event> events,
     for (std::uint32_t i = 0; i < shards_.size(); ++i) {
       if (group_open_[i]) {
         group_open_[i] = 0;
-        shards_[i]->commit_offer_batch();
+        if (shards_[i]) shards_[i]->commit_offer_batch();
       }
     }
   } catch (...) {
@@ -244,7 +253,7 @@ RouteResult ShardRouter::offer_batch(std::span<const osn::Event> events,
     for (std::uint32_t i = 0; i < shards_.size(); ++i) {
       if (group_open_[i]) {
         group_open_[i] = 0;
-        shards_[i]->abort_offer_batch();
+        if (shards_[i]) shards_[i]->abort_offer_batch();
       }
     }
     throw;
@@ -253,7 +262,7 @@ RouteResult ShardRouter::offer_batch(std::span<const osn::Event> events,
 }
 
 std::size_t ShardRouter::pump(std::size_t max_per_shard) {
-  if (shards_.size() == 1) return shards_[0]->pump(max_per_shard);
+  if (shards_.size() == 1 && shards_[0]) return shards_[0]->pump(max_per_shard);
   // One fixed lane (chunk) per shard: disjoint supervisor state, no
   // durability boundaries crossed, atomic metrics — so the drain is
   // identical to the serial loop for any SYBIL_THREADS.
@@ -262,7 +271,25 @@ std::size_t ShardRouter::pump(std::size_t max_per_shard) {
       shards_.size(),
       [&](const core::ChunkRange& c) {
         for (std::size_t i = c.begin; i < c.end; ++i) {
-          pumped[i] = shards_[i]->pump(max_per_shard);
+          if (shards_[i]) pumped[i] = shards_[i]->pump(max_per_shard);
+        }
+      },
+      /*grain=*/1);
+  std::size_t n = 0;
+  for (std::size_t p : pumped) n += p;
+  return n;
+}
+
+std::size_t ShardRouter::pump_through(std::uint64_t seq_bound) {
+  if (shards_.size() == 1 && shards_[0]) {
+    return shards_[0]->pump_through(seq_bound);
+  }
+  std::vector<std::size_t> pumped(shards_.size(), 0);
+  core::parallel_for(
+      shards_.size(),
+      [&](const core::ChunkRange& c) {
+        for (std::size_t i = c.begin; i < c.end; ++i) {
+          if (shards_[i]) pumped[i] = shards_[i]->pump_through(seq_bound);
         }
       },
       /*grain=*/1);
@@ -272,13 +299,13 @@ std::size_t ShardRouter::pump(std::size_t max_per_shard) {
 }
 
 std::size_t ShardRouter::sweep_flags(graph::Time now) {
-  if (shards_.size() == 1) return shards_[0]->sweep_flags(now);
+  if (shards_.size() == 1 && shards_[0]) return shards_[0]->sweep_flags(now);
   std::vector<std::size_t> flagged(shards_.size(), 0);
   core::parallel_for(
       shards_.size(),
       [&](const core::ChunkRange& c) {
         for (std::size_t i = c.begin; i < c.end; ++i) {
-          flagged[i] = shards_[i]->sweep_flags(now);
+          if (shards_[i]) flagged[i] = shards_[i]->sweep_flags(now);
         }
       },
       /*grain=*/1);
@@ -288,17 +315,22 @@ std::size_t ShardRouter::sweep_flags(graph::Time now) {
 }
 
 void ShardRouter::checkpoint_now() {
-  for (auto& s : shards_) s->checkpoint_now();
+  for (auto& s : shards_) {
+    if (s) s->checkpoint_now();
+  }
 }
 
 void ShardRouter::flush(bool checkpoint) {
-  for (auto& s : shards_) s->flush(checkpoint);
+  for (auto& s : shards_) {
+    if (s) s->flush(checkpoint);
+  }
 }
 
 core::FlagBatch ShardRouter::take_flagged() {
   core::FlagBatch merged;
   const auto n = static_cast<std::uint32_t>(shards_.size());
   for (std::uint32_t i = 0; i < n; ++i) {
+    if (!shards_[i]) continue;
     core::FlagBatch batch = shards_[i]->take_flagged();
     for (const core::FlagRecord& r : batch.records) {
       // Non-owner replicas see only the slice of an account's history
@@ -317,6 +349,49 @@ core::FlagBatch ShardRouter::take_flagged() {
   return merged;
 }
 
+void ShardRouter::mark_down(std::uint32_t i) {
+  if (i >= shards_.size()) {
+    throw std::out_of_range("ShardRouter::mark_down: no such shard");
+  }
+  if (down_[i]) {
+    throw std::logic_error("ShardRouter::mark_down: shard already down");
+  }
+  // The supervisor's destructor closes the WAL FILE*, flushing any
+  // buffered appends — the same bytes a dead host's page cache would
+  // have drained. An open batch group dies unacknowledged with it
+  // (other shards' groups are untouched).
+  if (i < group_open_.size()) group_open_[i] = 0;
+  shards_[i].reset();
+  down_[i] = 1;
+}
+
+bool ShardRouter::is_down(std::uint32_t i) const {
+  if (i >= shards_.size()) {
+    throw std::out_of_range("ShardRouter::is_down: no such shard");
+  }
+  return down_[i] != 0;
+}
+
+std::uint32_t ShardRouter::down_count() const noexcept {
+  std::uint32_t n = 0;
+  for (unsigned char d : down_) n += d;
+  return n;
+}
+
+ServiceSupervisor& ShardRouter::shard(std::uint32_t i) {
+  if (i < shards_.size() && !shards_[i]) {
+    throw std::logic_error("ShardRouter::shard: shard is down");
+  }
+  return *shards_.at(i);
+}
+
+const ServiceSupervisor& ShardRouter::shard(std::uint32_t i) const {
+  if (i < shards_.size() && !shards_[i]) {
+    throw std::logic_error("ShardRouter::shard: shard is down");
+  }
+  return *shards_.at(i);
+}
+
 RecoveryReport ShardRouter::restart_shard(std::uint32_t i) {
   if (i >= shards_.size()) {
     throw std::out_of_range("ShardRouter::restart_shard: no such shard");
@@ -324,6 +399,7 @@ RecoveryReport ShardRouter::restart_shard(std::uint32_t i) {
   shards_[i] = std::make_unique<ServiceSupervisor>(shard_options(i));
   const RecoveryReport report = shards_[i]->start();
   frontier_[i] = report.next_seq;
+  down_[i] = 0;
   return report;
 }
 
@@ -334,6 +410,10 @@ std::uint64_t ShardRouter::next_seq() const noexcept {
 bool ShardRouter::accounting_ok() const noexcept {
   if (copies_routed_ != copies_delivered_ + copies_suppressed_) return false;
   for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+    // A down shard has no live state to check; its durable state is
+    // re-audited by restart_shard's recovery. The live fleet's
+    // identities must hold at every instant regardless.
+    if (!shards_[i]) continue;
     if (!shards_[i]->accounting_ok()) return false;
     if (frontier_[i] != shards_[i]->next_seq()) return false;
   }
@@ -348,6 +428,7 @@ std::string ShardRouter::stats_json() const {
   std::uint64_t banned_party = 0, flagged = 0, sweeps = 0, sweep_flagged = 0;
   std::uint64_t by_reason[core::kStreamErrorCodeCount] = {};
   for (const auto& s : shards_) {
+    if (!s) continue;  // down shard: excluded from aggregates
     offered += s->offered();
     admitted += s->admitted();
     pumped += s->pumped();
@@ -377,6 +458,9 @@ std::string ShardRouter::stats_json() const {
   append_field(out, "routed", copies_routed_);
   append_field(out, "delivered", copies_delivered_);
   append_field(out, "suppressed", copies_suppressed_);
+  if (copies_skipped_down_ > 0) {
+    append_field(out, "skipped_down", copies_skipped_down_);
+  }
   out += '}';
   // Aggregate identity: counts *delivered copies*, so it is the exact
   // sum of the per-shard identities (cross-shard fanout is visible in
@@ -411,7 +495,7 @@ std::string ShardRouter::stats_json() const {
   out += ",\"per_shard\":[";
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     if (i > 0) out += ',';
-    out += shards_[i]->stats_json();
+    out += shards_[i] ? shards_[i]->stats_json() : "{\"down\":true}";
   }
   out += "]}";
   return out;

@@ -116,6 +116,11 @@ struct RouteResult {
   std::uint32_t delivered = 0;   // copies offered into a shard
   std::uint32_t suppressed = 0;  // copies dropped by a shard's frontier
   std::uint32_t admitted = 0;    // delivered copies that were not shed
+  /// Copies addressed to a down shard and skipped. NOT part of `routed`
+  /// (or the routed == delivered + suppressed identity): a down shard's
+  /// copies are owed, not routed, and the re-drive after restart_shard
+  /// delivers them.
+  std::uint32_t skipped_down = 0;
 };
 
 class ShardRouter {
@@ -154,9 +159,18 @@ class ShardRouter {
   /// (0 = all). With multiple shards the drains run on the deterministic
   /// parallel layer, one fixed lane per shard — shard state is disjoint
   /// and this path crosses no durability boundary, so the result is
-  /// identical to the serial drain for any SYBIL_THREADS. Returns the
-  /// total pumped.
+  /// identical to the serial drain for any SYBIL_THREADS. Down shards
+  /// are skipped. Returns the total pumped.
   std::size_t pump(std::size_t max_per_shard = 0);
+
+  /// pump() cut at a global stream position instead of a count: drains
+  /// each live shard's queue while the head's explicit seq is <=
+  /// `seq_bound` (ServiceSupervisor::pump_through per shard, same
+  /// parallel lanes as pump). Idempotent at a fixed bound — the chaos
+  /// orchestrator's pump boundaries are defined this way so a
+  /// recovered shard can be re-driven through the exact boundary
+  /// sequence of an undisturbed run. Returns the total pumped.
+  std::size_t pump_through(std::uint64_t seq_bound);
 
   /// Sweeps every shard (parallel per shard, like pump). Returns the
   /// total newly flagged, *before* ownership filtering (non-owner
@@ -175,26 +189,56 @@ class ShardRouter {
   /// account flags at most once globally after filtering.
   core::FlagBatch take_flagged();
 
+  /// Takes shard `i` out of service, destroying its supervisor — the
+  /// in-process analogue of the shard's host dying (buffered WAL bytes
+  /// flush on close, exactly the durability a crashed process's page
+  /// cache would drain). While down: copies routed to it are skipped
+  /// and counted in copies_skipped_down() (owed, not routed — the
+  /// routed == delivered + suppressed identity keeps holding on the
+  /// live fleet), pump/sweep/checkpoint/flush/take_flagged ignore it,
+  /// accounting_ok() checks only live shards, and next_seq() is NOT a
+  /// valid resume point (the dead shard's frontier entry is its last
+  /// in-memory value, which can overstate what is durable) — call
+  /// restart_shard(i) first. A caller that keeps offering live traffic
+  /// while a shard is down MUST, when a crash unwinds mid-offer,
+  /// re-offer the interrupted (event, seq) before any later seq:
+  /// lower-indexed shards already hold that seq, and advancing past it
+  /// would strand it below their frontiers forever (the min-frontier
+  /// contract assumes each seq is offered until every live target has
+  /// it). Typically invoked from inside a ShardCrashHook after an
+  /// InjectedCrash unwinds out of offer().
+  void mark_down(std::uint32_t i);
+  bool is_down(std::uint32_t i) const;
+  std::uint32_t down_count() const noexcept;
+  std::uint64_t copies_skipped_down() const noexcept {
+    return copies_skipped_down_;
+  }
+
   /// Replaces shard `i` with a fresh supervisor recovered from its own
-  /// directory — the single-shard crash path. The caller must then
-  /// re-drive the global stream from the *router's* next_seq() (the
-  /// minimum frontier, not the restarted shard's: the crash may have
-  /// left a later-ordered shard missing a seq the victim already made
-  /// durable). Every shard's frontier suppresses copies it has.
+  /// directory — the single-shard crash path (clears the down state if
+  /// mark_down(i) preceded it). The caller must then re-drive the
+  /// global stream from the *router's* next_seq() (the minimum
+  /// frontier, not the restarted shard's: the crash may have left a
+  /// later-ordered shard missing a seq the victim already made
+  /// durable). Every shard's frontier suppresses copies it has. Safe
+  /// to call repeatedly on the same shard across one stream — the
+  /// frontier math never assumes shards recover together (regression-
+  /// tested with one shard restarted twice mid-stream).
   RecoveryReport restart_shard(std::uint32_t i);
 
   /// Global redelivery frontier: the minimum shard frontier. Re-driving
   /// the stream from here reaches every missing copy; everything below
-  /// it is durable wherever it was routed.
+  /// it is durable wherever it was routed. Only meaningful with no
+  /// shard down (see mark_down).
   std::uint64_t next_seq() const noexcept;
 
   std::uint32_t shards() const noexcept {
     return static_cast<std::uint32_t>(shards_.size());
   }
-  ServiceSupervisor& shard(std::uint32_t i) { return *shards_.at(i); }
-  const ServiceSupervisor& shard(std::uint32_t i) const {
-    return *shards_.at(i);
-  }
+  /// Throws std::logic_error for a down shard (there is no supervisor
+  /// to hand out until restart_shard brings one back).
+  ServiceSupervisor& shard(std::uint32_t i);
+  const ServiceSupervisor& shard(std::uint32_t i) const;
   std::uint32_t owner_of(graph::NodeId id) const noexcept {
     return shard_of(id, static_cast<std::uint32_t>(shards_.size()));
   }
@@ -227,6 +271,8 @@ class ShardRouter {
   std::vector<std::unique_ptr<ServiceSupervisor>> shards_;
   /// Per-shard redelivery frontier (mirrors each shard's next_seq()).
   std::vector<std::uint64_t> frontier_;
+  /// 1 where mark_down() killed the shard (shards_[i] is null there).
+  std::vector<unsigned char> down_;
   /// offer_batch scratch: 1 where shard i has an open WAL commit group
   /// (opened lazily at its first delivered copy of the batch).
   std::vector<unsigned char> group_open_;
@@ -237,6 +283,7 @@ class ShardRouter {
   std::uint64_t copies_routed_ = 0;
   std::uint64_t copies_delivered_ = 0;
   std::uint64_t copies_suppressed_ = 0;
+  std::uint64_t copies_skipped_down_ = 0;
 };
 
 }  // namespace sybil::service

@@ -445,6 +445,23 @@ std::size_t ServiceSupervisor::pump(std::size_t max_events) {
   return n;
 }
 
+std::size_t ServiceSupervisor::pump_through(std::uint64_t seq_bound) {
+  require_started("pump_through");
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.front().seq < kExplicitSeqLimit &&
+         queue_.front().seq <= seq_bound) {
+    const WalRecord r = queue_.front();
+    queue_.pop_front();
+    ++pumped_;
+    ++n;
+    detector_.ingest(r.event, r.seq);
+    if (scorer_ != nullptr) scorer_->observe(r.event);
+  }
+  SYBIL_SERVICE_METRIC(queue_depth.set(static_cast<double>(queue_.size())));
+  publish_metrics();
+  return n;
+}
+
 std::size_t ServiceSupervisor::sweep_flags(graph::Time now) {
   require_started("sweep_flags");
   ++sweeps_;

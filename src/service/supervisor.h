@@ -153,6 +153,17 @@ class ServiceSupervisor {
   /// detector. Returns how many were pumped.
   std::size_t pump(std::size_t max_events = 0);
 
+  /// Drains queued events while their explicit transport seq is <=
+  /// `seq_bound` (auto-seq records stop the drain too — they carry no
+  /// position in the global stream). The queue is seq-ascending when
+  /// fed through a ShardRouter, so this is pump() cut at a stream
+  /// position instead of a count — and it is idempotent at a fixed
+  /// bound, which is what lets a chaos orchestrator *re*-drive a
+  /// recovered shard through the exact pump boundaries of an
+  /// undisturbed run (docs/ROBUSTNESS.md §Scenario harness). Returns
+  /// how many were pumped.
+  std::size_t pump_through(std::uint64_t seq_bound);
+
   /// Flag-sweep-only tier's periodic pass: re-evaluates existing
   /// evidence without new ingestion. Returns newly flagged count.
   std::size_t sweep_flags(graph::Time now);

@@ -1,7 +1,10 @@
 #include "service/workload.h"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "stats/rng.h"
 
@@ -44,6 +47,62 @@ class PendingRing {
   std::size_t size_ = 0;
 };
 
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+void validate_windows(const std::vector<TrafficWindow>& windows,
+                      double hours, const char* field) {
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const TrafficWindow& w = windows[i];
+    const std::string name =
+        std::string("WorkloadOptions::") + field + "[" + std::to_string(i) + "]";
+    if (!(w.start_hour >= 0.0) || !std::isfinite(w.start_hour)) {
+      throw std::invalid_argument(name + ".start_hour must be >= 0");
+    }
+    if (!(w.span_hours > 0.0) || !std::isfinite(w.span_hours)) {
+      throw std::invalid_argument(name + ".span_hours must be > 0");
+    }
+    if (w.start_hour + w.span_hours > hours) {
+      throw std::invalid_argument(name + " must end within `hours`");
+    }
+    if (!(w.intensity >= 0.0) || !std::isfinite(w.intensity)) {
+      throw std::invalid_argument(name + ".intensity must be >= 0 and finite");
+    }
+  }
+}
+
+/// Cumulative expected events (unnormalized) on [0, t] under the shaped
+/// rate 1 + A*sin(2*pi*t/P) + sum of active flash-crowd intensities.
+/// Strictly increasing for A < 1, which is what validate() guarantees.
+double shaped_cumulative(const WorkloadOptions& o, double t) {
+  double sum = t;
+  if (o.diurnal_amplitude != 0.0) {
+    const double p = o.diurnal_period_hours;
+    sum += o.diurnal_amplitude * (p / kTwoPi) * (1.0 - std::cos(kTwoPi * t / p));
+  }
+  for (const TrafficWindow& w : o.flash_crowds) {
+    const double lo = w.start_hour;
+    const double hi = w.start_hour + w.span_hours;
+    if (t > lo) sum += w.intensity * (std::min(t, hi) - lo);
+  }
+  return sum;
+}
+
+/// Inverse of shaped_cumulative by bisection: deterministic, monotone
+/// in `target`, and exact enough (64 halvings of [0, hours]) that equal
+/// targets give bit-equal times on every platform.
+double shaped_time(const WorkloadOptions& o, double target) {
+  double lo = 0.0, hi = o.hours;
+  for (int iter = 0; iter < 64 && lo < hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (shaped_cumulative(o, mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
 }  // namespace
 
 void WorkloadOptions::validate() const {
@@ -67,6 +126,25 @@ void WorkloadOptions::validate() const {
     throw std::invalid_argument(
         "WorkloadOptions: event-mix fractions must sum to <= 0.9 "
         "(the remainder is organic request traffic)");
+  }
+  if (!(diurnal_amplitude >= 0.0 && diurnal_amplitude < 1.0)) {
+    throw std::invalid_argument(
+        "WorkloadOptions::diurnal_amplitude must be in [0, 1)");
+  }
+  if (!(diurnal_period_hours > 0.0) || !std::isfinite(diurnal_period_hours)) {
+    throw std::invalid_argument(
+        "WorkloadOptions::diurnal_period_hours must be > 0 and finite");
+  }
+  validate_windows(flash_crowds, hours, "flash_crowds");
+  validate_windows(registration_storms, hours, "registration_storms");
+  // Conservative bound: even with every storm active at once, the mix
+  // must leave organic request mass (the generator's remainder branch).
+  double storm_boost = 0.0;
+  for (const TrafficWindow& w : registration_storms) storm_boost += w.intensity;
+  if (mix + storm_boost > 0.9) {
+    throw std::invalid_argument(
+        "WorkloadOptions: registration_storms intensities plus the "
+        "event-mix fractions must sum to <= 0.9");
   }
 }
 
@@ -93,30 +171,51 @@ std::vector<osn::Event> synthetic_workload(const WorkloadOptions& o) {
                rng.uniform_index(o.accounts - o.burst_senders - 1));
   };
 
+  // Traffic shape. `shaped` guards the timeline: with the default flat
+  // shape the legacy expression below is used verbatim, keeping old
+  // streams byte-identical (tested). Storms only move probability mass
+  // between two branches of the same single draw, so they leave the
+  // timeline and the RNG draw sequence untouched.
+  const bool shaped = o.diurnal_amplitude != 0.0 || !o.flash_crowds.empty();
+  const double total_mass = shaped ? shaped_cumulative(o, o.hours) : 0.0;
+  const bool storms = !o.registration_storms.empty();
+
   std::uint64_t malformed_shape = 0;
   for (std::uint64_t i = 0; i < o.events; ++i) {
-    const double t = o.hours * static_cast<double>(i) /
+    const double t =
+        shaped ? shaped_time(o, total_mass * static_cast<double>(i) /
+                                    static_cast<double>(o.events))
+               : o.hours * static_cast<double>(i) /
                      static_cast<double>(o.events);
+    double created_upper = t_created;
+    if (storms) {
+      for (const TrafficWindow& w : o.registration_storms) {
+        if (t >= w.start_hour && t < w.start_hour + w.span_hours) {
+          created_upper += w.intensity;
+        }
+      }
+    }
+    const double storm_shift = created_upper - t_created;
     const double u = rng.uniform();
-    if (u < t_created) {
+    if (u < created_upper) {
       const graph::NodeId a = organic();
       out.push_back({EventType::kAccountCreated, a, a, t});
-    } else if (u < t_ban) {
+    } else if (u < t_ban + storm_shift) {
       const graph::NodeId a = organic();
       out.push_back({EventType::kAccountBanned, a, a, t});
-    } else if (u < t_accept && !pending.empty()) {
+    } else if (u < t_accept + storm_shift && !pending.empty()) {
       const auto [from, to] = pending.pop(rng);
       // Dispatch convention: the accepter acts, the sender is subject.
       out.push_back({EventType::kRequestAccepted, to, from, t});
-    } else if (u < t_reject && !pending.empty()) {
+    } else if (u < t_reject + storm_shift && !pending.empty()) {
       const auto [from, to] = pending.pop(rng);
       out.push_back({EventType::kRequestRejected, to, from, t});
-    } else if (u < t_seed) {
+    } else if (u < t_seed + storm_shift) {
       const graph::NodeId a = organic();
       graph::NodeId b = organic();
       while (b == a) b = organic();
       out.push_back({EventType::kFriendshipSeeded, a, b, t});
-    } else if (u < t_malformed) {
+    } else if (u < t_malformed + storm_shift) {
       const graph::NodeId a = organic();
       graph::NodeId b = organic();
       while (b == a) b = organic();

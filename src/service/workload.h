@@ -25,6 +25,18 @@
 
 namespace sybil::service {
 
+/// One timed traffic disturbance over the stream's simulated clock.
+/// Meaning of `intensity` depends on where the window is used:
+/// in `flash_crowds` it is extra event *rate* (1.0 doubles the base
+/// rate inside the window); in `registration_storms` it is extra
+/// kAccountCreated probability mass added to the event mix inside the
+/// window (0.1 adds ten points of registrations).
+struct TrafficWindow {
+  double start_hour = 0.0;
+  double span_hours = 0.0;
+  double intensity = 0.0;
+};
+
 struct WorkloadOptions {
   std::uint32_t accounts = 2000;
   std::uint64_t events = 20000;
@@ -44,6 +56,30 @@ struct WorkloadOptions {
   /// Structurally invalid events (0 = clean feed). Cycled through the
   /// four watermark-independent dead-letter shapes.
   double malformed_fraction = 0.0;
+
+  // Traffic shape (scenario manifests; docs/ROBUSTNESS.md §Scenario
+  // harness). With every field at its default the stream is
+  // byte-identical to the legacy flat-rate workload: event i stamped
+  // hours*i/events, same RNG draws, same mix.
+  //
+  /// Diurnal rate curve: instantaneous rate 1 + A*sin(2*pi*t/period).
+  /// 0 (default) keeps the flat legacy timeline; must stay in [0, 1)
+  /// so the rate never reaches zero.
+  double diurnal_amplitude = 0.0;
+  double diurnal_period_hours = 24.0;
+  /// Extra-rate windows: event timestamps compress inside each window
+  /// (more events per simulated hour), stretching elsewhere to keep the
+  /// total count and span fixed. Event *content* RNG is positional, so
+  /// shapes change when, never what.
+  std::vector<TrafficWindow> flash_crowds;
+  /// Registration storms: inside each window, `intensity` is added to
+  /// created_fraction (taken from organic request mass). Timestamps are
+  /// unaffected, and the stream *before* the first storm window is
+  /// byte-identical to the unstormed stream; from the window on, the
+  /// branch-dependent RNG consumption (a created event draws fewer
+  /// values than a request) shifts the content sequence — deterministic,
+  /// but not a positional splice.
+  std::vector<TrafficWindow> registration_storms;
 
   /// Throws std::invalid_argument naming the offending field.
   void validate() const;
