@@ -1,6 +1,8 @@
 #include "chaos/manifest.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <utility>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -28,6 +30,18 @@ std::string fmt_double(double v) {
     if (back == v) return shorter;
   }
   return buf;
+}
+
+const char* disk_kind_name(DiskFaultSpec::Kind k) {
+  switch (k) {
+    case DiskFaultSpec::Kind::kNoSpace:
+      return "enospc";
+    case DiskFaultSpec::Kind::kIoError:
+      return "eio";
+    case DiskFaultSpec::Kind::kPowerLoss:
+      return "powerloss";
+  }
+  return "enospc";
 }
 
 const char* fsync_name(service::WalFsync f) {
@@ -196,6 +210,40 @@ void ScenarioManifest::validate() const {
     // defers an arm while any shard is down or catching up, and
     // reports kills whose boundary never arrives as missed.
   }
+  for (std::size_t i = 0; i < disk_faults.size(); ++i) {
+    const DiskFaultSpec& d = disk_faults[i];
+    if (d.shard >= shards) {
+      throw std::invalid_argument(
+          "ScenarioManifest: disk[" + std::to_string(i) +
+          "].shard out of range");
+    }
+    if (d.from_event >= d.to_event || d.to_event > workload.events) {
+      throw std::invalid_argument(
+          "ScenarioManifest: disk[" + std::to_string(i) +
+          "] window must satisfy from_event < to_event <= events");
+    }
+  }
+  // One disturbance at a time: every event-triggered kill downtime and
+  // every disk-fault window must form a single non-overlapping chain —
+  // the orchestrator's recovery state machine handles one victim, and
+  // overlapping disturbances would make the re-drive schedule ambiguous.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> spans;
+  for (const KillSpec& k : kills) {
+    if (!k.use_boundary) {
+      spans.emplace_back(k.at_event, k.at_event + k.down_for);
+    }
+  }
+  for (const DiskFaultSpec& d : disk_faults) {
+    spans.emplace_back(d.from_event, d.to_event);
+  }
+  std::sort(spans.begin(), spans.end());
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    if (spans[i].first < spans[i - 1].second) {
+      throw std::invalid_argument(
+          "ScenarioManifest: kill downtimes and disk-fault windows must "
+          "not overlap (one disturbance at a time)");
+    }
+  }
 }
 
 bool ScenarioManifest::identity_expected() const {
@@ -213,6 +261,7 @@ ScenarioManifest ScenarioManifest::undisturbed() const {
   ScenarioManifest m = *this;
   m.fault_windows.clear();
   m.kills.clear();
+  m.disk_faults.clear();
   return m;
 }
 
@@ -287,6 +336,14 @@ std::string ScenarioManifest::serialize() const {
     }
     out += "down_for = " + std::to_string(k.down_for) + "\n";
   }
+  for (const DiskFaultSpec& d : disk_faults) {
+    out += "\n[disk]\n";
+    out += "shard = " + std::to_string(d.shard) + "\n";
+    out += std::string("kind = ") + disk_kind_name(d.kind) + "\n";
+    out += "from_event = " + std::to_string(d.from_event) + "\n";
+    out += "to_event = " + std::to_string(d.to_event) + "\n";
+    out += "seed = " + std::to_string(d.seed) + "\n";
+  }
   return out;
 }
 
@@ -295,7 +352,9 @@ ScenarioManifest parse_manifest(const std::string& text) {
   std::string raw;
   std::size_t lineno = 0;
   bool magic_seen = false;
-  enum class Section { kNone, kWorkload, kService, kPhase, kFaults, kKill };
+  enum class Section {
+    kNone, kWorkload, kService, kPhase, kFaults, kKill, kDisk
+  };
   Section section = Section::kNone;
   ScenarioManifest m;
   m.phases.clear();
@@ -334,6 +393,9 @@ ScenarioManifest parse_manifest(const std::string& text) {
       } else if (s == "kill") {
         section = Section::kKill;
         m.kills.emplace_back();
+      } else if (s == "disk") {
+        section = Section::kDisk;
+        m.disk_faults.emplace_back();
       } else {
         fail(lineno, "unknown section [" + s + "]");
       }
@@ -495,6 +557,32 @@ ScenarioManifest parse_manifest(const std::string& text) {
           k.down_for = parse_u64(l);
         } else {
           fail(lineno, "unknown [kill] key '" + l.key + "'");
+        }
+        break;
+      }
+      case Section::kDisk: {
+        DiskFaultSpec& d = m.disk_faults.back();
+        if (l.key == "shard") {
+          d.shard = static_cast<std::uint32_t>(parse_u64(l));
+        } else if (l.key == "kind") {
+          const std::string& v = l.values[0];
+          if (v == "enospc") {
+            d.kind = DiskFaultSpec::Kind::kNoSpace;
+          } else if (v == "eio") {
+            d.kind = DiskFaultSpec::Kind::kIoError;
+          } else if (v == "powerloss") {
+            d.kind = DiskFaultSpec::Kind::kPowerLoss;
+          } else {
+            fail(lineno, "kind: expected enospc|eio|powerloss");
+          }
+        } else if (l.key == "from_event") {
+          d.from_event = parse_u64(l);
+        } else if (l.key == "to_event") {
+          d.to_event = parse_u64(l);
+        } else if (l.key == "seed") {
+          d.seed = parse_u64(l);
+        } else {
+          fail(lineno, "unknown [disk] key '" + l.key + "'");
         }
         break;
       }

@@ -73,6 +73,29 @@ struct KillSpec {
   std::uint64_t down_for = 1;
 };
 
+/// One shard-addressed disk-fault window ([disk] section): while the
+/// head of the stream is in [from_event, to_event), the named shard's
+/// storage (its io::FaultyVfs) rejects writes with the given kind. The
+/// shard rides the window in storage-degraded mode — verdicts from
+/// memory, WAL appends buffered, checkpoints suspended — and the
+/// orchestrator closes the window by clearing the fault and forcing a
+/// retry, which flushes the backlog. kPowerLoss instead cuts the
+/// shard's "disk" at its next write/fsync (unsynced bytes lost or torn
+/// per `seed`), and the orchestrator treats it like a kill: restart,
+/// recover, re-drive. Windows never break the identity contract.
+struct DiskFaultSpec {
+  enum class Kind : std::uint32_t {
+    kNoSpace = 0,   // ENOSPC on every write
+    kIoError = 1,   // EIO on every write
+    kPowerLoss = 2  // power cut at the next write/fsync in the window
+  };
+  std::uint32_t shard = 0;
+  Kind kind = Kind::kNoSpace;
+  std::uint64_t from_event = 0;  // arm when the head reaches this seq
+  std::uint64_t to_event = 0;    // exclusive; fault cleared here
+  std::uint64_t seed = 0;        // power-loss tear determinism
+};
+
 struct ScenarioManifest {
   std::string name = "scenario";
 
@@ -94,6 +117,7 @@ struct ScenarioManifest {
   std::vector<PhaseSpec> phases;
   std::vector<faults::FaultWindow> fault_windows;
   std::vector<KillSpec> kills;
+  std::vector<DiskFaultSpec> disk_faults;
 
   /// Throws std::invalid_argument naming the offending field. Requires
   /// at least one phase, phases ending exactly at workload.events, and
@@ -107,7 +131,7 @@ struct ScenarioManifest {
   bool identity_expected() const;
 
   /// The control run: same traffic shape, geometry and phases, no
-  /// fault windows, no kills.
+  /// fault windows, no kills, no disk faults.
   ScenarioManifest undisturbed() const;
 
   /// The DetectorOptions every shard runs with (rule relaxation +

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <memory>
 #include <stdexcept>
+
+#include "io/faulty_vfs.h"
+#include "io/vfs.h"
 
 namespace sybil::chaos {
 
@@ -95,6 +99,20 @@ ScenarioOutcome ChaosOrchestrator::run(const ChaosRunOptions& options) {
   ro.shard.checkpoint_every = 0;
   ro.shard.checkpoint_retain = manifest_.checkpoint_retain;
 
+  // Per-shard injectable storage: only a disturbed run with [disk]
+  // windows pays for the indirection; otherwise every shard writes
+  // through the real vfs exactly as before.
+  std::vector<std::unique_ptr<io::FaultyVfs>> disk_vfs;
+  if (disturbed && !manifest_.disk_faults.empty()) {
+    disk_vfs.reserve(manifest_.shards);
+    for (std::uint32_t i = 0; i < manifest_.shards; ++i) {
+      disk_vfs.push_back(std::make_unique<io::FaultyVfs>());
+    }
+    ro.shard_vfs = [&disk_vfs](std::uint32_t i) -> io::Vfs* {
+      return disk_vfs[i].get();
+    };
+  }
+
   std::vector<std::uint64_t> crossings(manifest_.shards, 0);
   std::optional<faults::ShardCrashInjector> injector;
   ro.crash_hook = [&crossings, &injector](std::uint32_t s,
@@ -114,6 +132,8 @@ ScenarioOutcome ChaosOrchestrator::run(const ChaosRunOptions& options) {
   std::optional<KillSpec> armed;
   std::optional<Downtime> down;
   std::size_t kill_idx = 0;
+  std::optional<DiskFaultSpec> disk_active;
+  std::size_t disk_idx = 0;
   std::vector<std::size_t> bidx(manifest_.shards, 0);  // next boundary, per shard
   std::size_t gb = 0;          // next boundary not yet fired globally
   std::uint64_t head = 0;      // one past the highest fresh seq offered
@@ -167,6 +187,24 @@ ScenarioOutcome ChaosOrchestrator::run(const ChaosRunOptions& options) {
     ++out.phases[cur_phase].kills;
   };
 
+  // A power cut fired on the active [disk] window's shard: its "disk"
+  // is dead (unsynced tail lost or torn per the window's seed). Treat
+  // it like a kill — mark down, reboot the vfs so recovery can read
+  // what survived, restart when the window closes, re-drive from the
+  // victim's frontier.
+  const auto on_power_cut = [&]() {
+    const std::uint32_t victim = disk_active->shard;
+    router.mark_down(victim);
+    disk_vfs[victim]->reboot();
+    KillSpec spec;
+    spec.shard = victim;
+    down = Downtime{spec, disk_active->to_event};
+    disk_active.reset();
+    ++out.power_cuts;
+    ++out.kills;
+    ++out.phases[cur_phase].kills;
+  };
+
   const auto fire_global = [&](const Boundary& b) {
     ++out.phases[b.phase].boundaries;
     if (b.sweep) ++out.phases[b.phase].sweeps;
@@ -192,6 +230,13 @@ ScenarioOutcome ChaosOrchestrator::run(const ChaosRunOptions& options) {
         // died with the process; do_restart recomputes bidx from what
         // proved durable.
         on_crash(i);
+      } catch (const io::VfsError& e) {
+        // ENOSPC/EIO at a boundary degrade in place inside the
+        // supervisor and never unwind to here; only a power cut (the
+        // boundary's WAL sync or checkpoint fsync hit the window's
+        // cut_at_op) escapes — the shard "lost power" mid-boundary.
+        if (e.kind() != io::VfsFaultKind::kPowerLoss || !disk_active) throw;
+        on_power_cut();
       }
     }
   };
@@ -218,7 +263,8 @@ ScenarioOutcome ChaosOrchestrator::run(const ChaosRunOptions& options) {
   };
 
   const auto maybe_arm = [&]() {
-    if (!disturbed || armed || down || kill_idx >= manifest_.kills.size()) {
+    if (!disturbed || armed || down || disk_active ||
+        kill_idx >= manifest_.kills.size()) {
       return;
     }
     // A kill never arms while the fleet is uneven (a victim catching
@@ -241,6 +287,67 @@ ScenarioOutcome ChaosOrchestrator::run(const ChaosRunOptions& options) {
     }
   };
 
+  // Close the active [disk] window: clear the fault plan, then force
+  // the shard's storage retry so the buffered WAL backlog flushes and
+  // full durability resumes before any later disturbance arms.
+  const auto close_disk_window = [&]() {
+    const std::uint32_t s = disk_active->shard;
+    disk_vfs[s]->clear_faults();
+    if (!router.is_down(s) &&
+        disk_active->kind != DiskFaultSpec::Kind::kPowerLoss &&
+        router.shard(s).storage_degraded()) {
+      ++out.storage_degraded;
+      if (router.shard(s).retry_storage_now()) ++out.storage_recoveries;
+    }
+    disk_active.reset();
+  };
+
+  const auto disk_tick = [&]() {
+    if (disk_vfs.empty()) return;
+    if (disk_active && head >= disk_active->to_event) close_disk_window();
+    if (disk_active || armed || down) return;
+    while (disk_idx < manifest_.disk_faults.size()) {
+      const DiskFaultSpec& d = manifest_.disk_faults[disk_idx];
+      if (head >= d.to_event) {
+        // The whole range passed while the fleet was uneven or another
+        // disturbance was live: reported, never silently dropped.
+        ++out.disk_windows_missed;
+        ++disk_idx;
+        continue;
+      }
+      if (head >= d.from_event && fleet_level()) {
+        io::FaultyVfs& v = *disk_vfs[d.shard];
+        // The window models a fault beginning *now* on an otherwise
+        // healthy device: everything the run wrote before it is
+        // declared durable (the barrier the fsync knob may have
+        // skipped), so a power cut risks only in-window state — a prior
+        // checkpoint that already justified a WAL prune cannot be
+        // retroactively unrenamed into a recovery hole.
+        v.settle();
+        io::FaultConfig cfg;
+        cfg.seed = d.seed;
+        switch (d.kind) {
+          case DiskFaultSpec::Kind::kNoSpace:
+            cfg.byte_budget = 0;  // every write from here is ENOSPC
+            break;
+          case DiskFaultSpec::Kind::kIoError:
+            cfg.fail_from = v.ops();  // every op from here is EIO...
+            cfg.fail_count = io::FaultConfig::kNever;  // ...until cleared
+            cfg.fail_kind = io::VfsFaultKind::kIoError;
+            break;
+          case DiskFaultSpec::Kind::kPowerLoss:
+            cfg.cut_at_op = v.ops();  // cut at the shard's next disk op
+            break;
+        }
+        v.configure(cfg);
+        disk_active = d;
+        ++out.disk_windows;
+        ++disk_idx;
+      }
+      break;
+    }
+  };
+
   while (cursor < arrivals.size() || down) {
     if (cursor >= arrivals.size()) {
       // Stream ended with the victim still down: recover now and let
@@ -248,6 +355,7 @@ ScenarioOutcome ChaosOrchestrator::run(const ChaosRunOptions& options) {
       do_restart();
       continue;
     }
+    disk_tick();
     maybe_arm();
     const faults::Arrival& a = arrivals[cursor];
 
@@ -271,6 +379,13 @@ ScenarioOutcome ChaosOrchestrator::run(const ChaosRunOptions& options) {
       // the route plan have not seen this seq, and later offers would
       // advance their frontiers past it — re-offer before anything
       // newer (the min-frontier contract; see ShardRouter::mark_down).
+      router.offer(a.event, a.seq);
+    } catch (const io::VfsError& e) {
+      // Only a power cut unwinds out of offer() — ENOSPC/EIO degrade in
+      // place inside the supervisor. Same torn-delivery protocol as a
+      // process kill: mark down, complete the delivery to survivors.
+      if (e.kind() != io::VfsFaultKind::kPowerLoss || !disk_active) throw;
+      on_power_cut();
       router.offer(a.event, a.seq);
     }
     ++out.arrivals_total;
@@ -311,6 +426,15 @@ ScenarioOutcome ChaosOrchestrator::run(const ChaosRunOptions& options) {
   while (kill_idx < manifest_.kills.size()) {
     ++out.kills_missed;
     ++kill_idx;
+  }
+
+  // A [disk] window still open at stream end (to_event == events, or a
+  // tail of dropped arrivals) closes before the terminal boundaries and
+  // flush — the run must end fully durable, with the backlog flushed.
+  if (disk_active) close_disk_window();
+  while (disk_idx < manifest_.disk_faults.size()) {
+    ++out.disk_windows_missed;
+    ++disk_idx;
   }
 
   // Level the fleet: any boundary still owed (a victim recovered at

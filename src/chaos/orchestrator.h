@@ -90,6 +90,12 @@ struct ScenarioOutcome {
   std::uint64_t identity_checks = 0;
   std::uint64_t identity_failures = 0;
   std::uint64_t copies_skipped_down = 0;
+  // [disk] execution (disturbed runs only).
+  std::uint64_t disk_windows = 0;         // windows armed
+  std::uint64_t disk_windows_missed = 0;  // ranges passed while deferred
+  std::uint64_t power_cuts = 0;           // power-loss cuts fired
+  std::uint64_t storage_degraded = 0;     // shards seen storage-degraded
+  std::uint64_t storage_recoveries = 0;   // degraded exits forced at close
   /// Durability-boundary crossings per shard over the whole run (the
   /// kill-at-every-boundary sweeps learn their iteration space here).
   std::vector<std::uint64_t> boundary_crossings;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "io/error.h"
+#include "io/vfs.h"
 
 namespace sybil::graph {
 
@@ -28,17 +29,16 @@ void save_edge_list(const TimestampedGraph& g, std::ostream& os) {
 }
 
 void save_edge_list(const TimestampedGraph& g, const std::string& path) {
-  std::ofstream os(path);
-  if (!os) {
-    throw SnapshotError(SnapshotErrorCode::kOpenFailed,
-                        "cannot open for writing: " + path);
-  }
+  // Serialize in memory, then write through the vfs: storage faults
+  // (ENOSPC/EIO/short write) surface as typed io::VfsError — including
+  // close-time write-back failures the old ofstream destructor
+  // silently swallowed — and are injectable in tests.
+  std::ostringstream os;
   save_edge_list(g, os);
-  os.flush();
-  if (!os) {
-    throw SnapshotError(SnapshotErrorCode::kWriteFailed,
-                        "write failed: " + path);
-  }
+  const std::string text = os.str();
+  auto f = io::default_vfs()->open(path, io::VfsMode::kTruncate);
+  if (!text.empty()) f->write(text.data(), text.size());
+  f->close();
 }
 
 namespace {

@@ -130,47 +130,41 @@ std::vector<std::byte> ContainerWriter::serialize() const {
   return out;
 }
 
-void ContainerWriter::commit(const std::string& path, SyncMode sync) const {
+void ContainerWriter::commit(const std::string& path, SyncMode sync,
+                             Vfs* vfs) const {
   SYBIL_METRIC_SCOPED_TIMER(span, "io.container.commit");
+  if (vfs == nullptr) vfs = default_vfs();
   const bool want_sync =
       sync == SyncMode::kAlways || (sync == SyncMode::kEnv && fsync_enabled());
   const std::vector<std::byte> image = serialize();
   const std::string tmp = path + ".tmp";
   // Write-to-temp-then-rename: the target name only ever points at a
-  // complete image, so a process crash mid-save cannot corrupt an
-  // existing snapshot or leave a short file under the final name.
+  // complete image, so a crash mid-save cannot corrupt an existing
+  // snapshot or leave a short file under the final name — under *any*
+  // storage fault, which is why every step goes through the vfs: on a
+  // thrown VfsError (ENOSPC, EIO, short write, power cut) the temp file
+  // is best-effort removed and the target was never touched.
   // Machine-crash durability additionally requires fsync of the image
   // and, after the rename, of the parent directory (the rename itself
   // lives in directory metadata) — governed by `sync`.
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    throw SnapshotError(SnapshotErrorCode::kWriteFailed,
-                        "cannot create " + tmp);
-  }
-  const bool wrote =
-      image.empty() ||
-      std::fwrite(image.data(), 1, image.size(), f) == image.size();
-  bool synced = wrote && std::fflush(f) == 0;
-#if defined(__unix__) || defined(__APPLE__)
-  if (want_sync) {
-    synced = synced && ::fsync(::fileno(f)) == 0;
-    if (synced) SYBIL_METRIC_COUNT("io.fsyncs", 1);
-  }
-#endif
-  const bool closed = std::fclose(f) == 0;
-  if (!wrote || !synced || !closed) {
-    std::remove(tmp.c_str());
-    throw SnapshotError(SnapshotErrorCode::kWriteFailed,
-                        "write failed: " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw SnapshotError(SnapshotErrorCode::kWriteFailed,
-                        "rename failed: " + tmp + " -> " + path);
-  }
-  if (want_sync && !fsync_parent_dir(path)) {
-    throw SnapshotError(SnapshotErrorCode::kWriteFailed,
-                        "directory fsync failed for " + path);
+  try {
+    auto f = vfs->open(tmp, VfsMode::kTruncate);
+    if (!image.empty()) f->write(image.data(), image.size());
+    if (want_sync) {
+      f->fsync();
+      SYBIL_METRIC_COUNT("io.fsyncs", 1);
+    }
+    // close() surfaces close-time write-back failures (the classic
+    // silently-swallowed fclose error) as typed VfsErrors.
+    f->close();
+    vfs->rename(tmp, path);
+    if (want_sync) {
+      vfs->sync_parent_dir(path);
+      SYBIL_METRIC_COUNT("io.fsyncs", 1);
+    }
+  } catch (const VfsError&) {
+    vfs->remove(tmp);
+    throw;
   }
   SYBIL_METRIC_COUNT("io.bytes_written", image.size());
   SYBIL_METRIC_COUNT("io.snapshots_saved", 1);

@@ -29,6 +29,7 @@
 
 #include "io/error.h"
 #include "io/mmap_file.h"
+#include "io/vfs.h"
 
 namespace sybil::io {
 
@@ -95,11 +96,15 @@ class ContainerWriter {
   }
 
   /// Serializes header + table + payloads and atomically replaces
-  /// `path`. Throws SnapshotError(kWriteFailed) on any I/O failure; the
+  /// `path`. All I/O goes through `vfs` (null → default_vfs()), so
+  /// fault-injection tests can fail any individual write/fsync/rename.
+  /// Throws io::VfsError (a SnapshotError; kWriteFailed for write-path
+  /// failures, kOpenFailed when the temp file cannot be created); the
   /// temp file is removed, the target is left untouched. `sync` decides
   /// whether the image and the parent directory are fsync'd before the
   /// commit is reported durable (see SyncMode).
-  void commit(const std::string& path, SyncMode sync = SyncMode::kEnv) const;
+  void commit(const std::string& path, SyncMode sync = SyncMode::kEnv,
+              Vfs* vfs = nullptr) const;
 
   /// In-memory serialization (what commit() writes) — for tests and
   /// corruption-injection tooling.

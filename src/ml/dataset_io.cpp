@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "io/vfs.h"
+
 namespace sybil::ml {
 
 void save_csv(const Dataset& data, std::ostream& os) {
@@ -21,10 +23,16 @@ void save_csv(const Dataset& data, std::ostream& os) {
 }
 
 void save_csv(const Dataset& data, const std::string& path) {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+  // Serialize in memory, then write through the vfs: storage faults —
+  // including close-time write-back errors the ofstream path never
+  // checked — surface as typed io::VfsError (a std::runtime_error, so
+  // existing catch sites still hold) and are injectable in tests.
+  std::ostringstream os;
   save_csv(data, os);
-  if (!os) throw std::runtime_error("write failed: " + path);
+  const std::string text = os.str();
+  auto f = io::default_vfs()->open(path, io::VfsMode::kTruncate);
+  if (!text.empty()) f->write(text.data(), text.size());
+  f->close();
 }
 
 Dataset load_csv(std::istream& is) {

@@ -37,7 +37,8 @@ constexpr std::uint32_t kCheckpointVersion = 3;
 }  // namespace
 
 void save_service_checkpoint(const std::string& path,
-                             const ServiceCheckpointState& state) {
+                             const ServiceCheckpointState& state,
+                             io::Vfs* vfs) {
   SYBIL_METRIC_SCOPED_TIMER(span, "service.checkpoint.save");
   io::ContainerWriter writer(io::PayloadKind::kServiceCheckpoint);
 
@@ -78,7 +79,7 @@ void save_service_checkpoint(const std::string& path,
   }
   // SyncMode::kEnv: durable by default; the SYBIL_IO_FSYNC knob can
   // turn sync off for throwaway state dirs (benches, crash sweeps).
-  writer.commit(path, io::SyncMode::kEnv);
+  writer.commit(path, io::SyncMode::kEnv, vfs);
   SYBIL_METRIC_COUNT("service.checkpoint.saved", 1);
 }
 

@@ -66,9 +66,13 @@ struct ServiceCheckpointState {
 /// Atomically commits `state` to `path`, durably unless the
 /// SYBIL_IO_FSYNC knob opts out (io::SyncMode::kEnv — the machine-crash
 /// recovery proof assumes the knob is on, its default; process-crash
-/// recovery holds either way). Throws io::SnapshotError.
+/// recovery holds either way). All I/O goes through `vfs` (null →
+/// io::default_vfs()); on any storage fault the temp file is removed
+/// and the existing generation is untouched. Throws io::SnapshotError
+/// (io::VfsError for storage faults).
 void save_service_checkpoint(const std::string& path,
-                             const ServiceCheckpointState& state);
+                             const ServiceCheckpointState& state,
+                             io::Vfs* vfs = nullptr);
 
 /// Loads and fully validates one generation; throws the matching typed
 /// io::SnapshotError on any corruption (the supervisor catches it and

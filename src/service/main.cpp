@@ -181,11 +181,12 @@ int run_scenario(const std::string& path, const std::string& dir,
   }
   const bool identity = manifest.identity_expected();
   std::printf("scenario: %s  (events=%llu shards=%u phases=%zu faults=%zu "
-              "kills=%zu identity=%s)\n",
+              "kills=%zu disk=%zu identity=%s)\n",
               manifest.name.c_str(),
               static_cast<unsigned long long>(manifest.workload.events),
               manifest.shards, manifest.phases.size(),
               manifest.fault_windows.size(), manifest.kills.size(),
+              manifest.disk_faults.size(),
               identity ? "expected" : "not-expected");
 
   chaos::ScenarioOutcome outcome;
@@ -235,6 +236,13 @@ int run_scenario(const std::string& path, const std::string& dir,
               static_cast<unsigned long long>(outcome.recoveries),
               static_cast<unsigned long long>(outcome.kills_missed),
               static_cast<unsigned long long>(outcome.copies_skipped_down));
+  std::printf("disk: windows=%llu missed=%llu power-cuts=%llu "
+              "storage-degraded=%llu recovered=%llu\n",
+              static_cast<unsigned long long>(outcome.disk_windows),
+              static_cast<unsigned long long>(outcome.disk_windows_missed),
+              static_cast<unsigned long long>(outcome.power_cuts),
+              static_cast<unsigned long long>(outcome.storage_degraded),
+              static_cast<unsigned long long>(outcome.storage_recoveries));
   std::printf("flags: %zu  digest: %016llx  identity-checks: %llu passed, "
               "%llu failed\n",
               outcome.flags.size(),

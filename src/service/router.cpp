@@ -116,6 +116,7 @@ ServiceOptions ShardRouter::shard_options(std::uint32_t i) const {
   o.dir = options_.shard.dir + "/" + shard_dir_name(i);
   o.shard_id = i;
   o.shard_count = options_.shards;
+  if (options_.shard_vfs) o.vfs = options_.shard_vfs(i);
   if (options_.crash_hook) {
     const ShardCrashHook hook = options_.crash_hook;
     o.crash_hook = [i, hook](CrashPoint p) { hook(i, p); };

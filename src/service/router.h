@@ -94,6 +94,12 @@ struct ShardRouterOptions {
   ServiceOptions shard{};
   std::uint32_t shards = 1;
   ShardCrashHook crash_hook{};
+  /// Shard-addressed storage backend: when set, shard i's supervisor
+  /// runs every durable path through shard_vfs(i) instead of the
+  /// template's `shard.vfs` — how the chaos [disk] section injects
+  /// ENOSPC/EIO/power-loss into exactly one shard's disk while its
+  /// peers stay clean. May return null (→ io::default_vfs()).
+  std::function<io::Vfs*(std::uint32_t)> shard_vfs{};
 
   /// Throws std::invalid_argument naming the offending field.
   void validate() const;

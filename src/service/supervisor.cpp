@@ -99,6 +99,13 @@ struct ServiceSupervisor::Metrics {
   Count defense_rounds;
   Count defense_full;
   Count defense_scores;
+  // Storage-degraded mode incidents (docs/OBSERVABILITY.md §storage.*).
+  Count storage_entries;
+  Count storage_exits;
+  Count storage_retries;
+  Count storage_retry_failures;
+  Count storage_checkpoints_suspended;
+  Level storage_buffered;
   Level queue_depth;
   Level tier;
 
@@ -141,6 +148,12 @@ struct ServiceSupervisor::Metrics {
       defense_full = count("defense.full_recomputes");
       defense_scores = count("defense.scores_published");
     }
+    storage_entries = count("storage.degraded_entries");
+    storage_exits = count("storage.degraded_exits");
+    storage_retries = count("storage.retries");
+    storage_retry_failures = count("storage.retry_failures");
+    storage_checkpoints_suspended = count("storage.checkpoints_suspended");
+    storage_buffered = level("storage.buffered");
     queue_depth = level("queue.depth");
     tier = level("tier");
   }
@@ -161,8 +174,22 @@ struct ServiceSupervisor::Metrics {};
 
 #endif  // SYBIL_METRICS_COMPILED
 
+void StorageOptions::validate() const {
+  if (buffer_records == 0) {
+    throw std::invalid_argument("StorageOptions::buffer_records must be >= 1");
+  }
+  if (retry_backoff == 0) {
+    throw std::invalid_argument("StorageOptions::retry_backoff must be >= 1");
+  }
+  if (retry_backoff_cap < retry_backoff) {
+    throw std::invalid_argument(
+        "StorageOptions::retry_backoff_cap must be >= retry_backoff");
+  }
+}
+
 void ServiceOptions::validate() const {
   detector.validate();
+  storage.validate();
   if (dir.empty()) {
     throw std::invalid_argument("ServiceOptions::dir must be non-empty");
   }
@@ -216,6 +243,8 @@ void ServiceSupervisor::reset_state() {
   shed_low_priority_ = shed_sweep_only_ = shed_capacity_ = 0;
   sweeps_ = sweep_flagged_ = 0;
   next_seq_ = 0;
+  storage_degraded_ = false;
+  storage_backoff_ = storage_retry_in_ = 0;
 }
 
 RecoveryReport ServiceSupervisor::start() {
@@ -301,7 +330,7 @@ RecoveryReport ServiceSupervisor::start() {
   // replay only indices at or above it, so nothing is applied twice.
   WalScanReport scan;
   const std::vector<WalRecord> records =
-      scan_wal(wal_dir, from_index, scan, options_.shard_id);
+      scan_wal(wal_dir, from_index, scan, options_.shard_id, options_.vfs);
   for (const WalRecord& r : records) {
     ++offered_;
     if (r.seq < kExplicitSeqLimit) {
@@ -335,6 +364,7 @@ RecoveryReport ServiceSupervisor::start() {
   wal_opts.fsync = options_.wal_fsync;
   wal_opts.shard_id = options_.shard_id;
   wal_opts.crash_hook = options_.crash_hook;
+  wal_opts.vfs = options_.vfs;
   wal_ = std::make_unique<WalWriter>(wal_opts, next);
 
   report.next_index = next;
@@ -396,7 +426,43 @@ bool ServiceSupervisor::offer(const osn::Event& e, std::uint64_t seq) {
   // Durability first: the verdict is logged before it takes effect, so
   // a crash between append and enqueue loses only counter increments
   // that replay re-derives from the record itself.
-  const std::uint64_t index = wal_->append(e, seq, flags);
+  //
+  // Storage faults (ENOSPC/EIO) do NOT lose the offer: the supervisor
+  // enters storage-degraded mode, where the record lands in the WAL
+  // writer's bounded in-memory buffer and everything downstream —
+  // verdict, counters, queue, detector — proceeds identically to the
+  // undisturbed run. Power loss is the exception: the process is
+  // "dead", so the error propagates.
+  std::uint64_t index;
+  if (storage_degraded_) {
+    const std::uint64_t buffered = wal_->unsynced_records();
+    if (buffered >= options_.storage.buffer_records) {
+      throw StorageBufferOverflow(options_.shard_id, buffered,
+                                  options_.storage.buffer_records);
+    }
+    index = wal_->append(e, seq, flags);  // suspended: cannot throw
+  } else {
+    const std::uint64_t before = wal_->next_index();
+    try {
+      index = wal_->append(e, seq, flags);
+    } catch (const io::VfsError& err) {
+      if (err.kind() == io::VfsFaultKind::kPowerLoss) throw;
+      enter_storage_degraded(err);
+      if (wal_->next_index() == before) {
+        // Rotation failed before anything was appended; now that sync
+        // is suspended the append is buffer-only and cannot throw.
+        index = wal_->append(e, seq, flags);
+      } else {
+        // The record IS appended (buffered, not durable); the failure
+        // was the post-append flush/fsync.
+        index = wal_->next_index() - 1;
+      }
+    }
+  }
+  if (storage_degraded_) {
+    SYBIL_SERVICE_METRIC(
+        storage_buffered.set(static_cast<double>(wal_->unsynced_records())));
+  }
   ++offered_;
   if (seq < kExplicitSeqLimit) next_seq_ = std::max(next_seq_, seq + 1);
   if (shed) {
@@ -416,6 +482,7 @@ bool ServiceSupervisor::offer(const osn::Event& e, std::uint64_t seq) {
   }
   SYBIL_SERVICE_METRIC(queue_depth.set(static_cast<double>(queue_.size())));
   maybe_checkpoint();
+  storage_tick();
   return !shed;
 }
 
@@ -426,7 +493,19 @@ void ServiceSupervisor::begin_offer_batch() {
 
 std::uint64_t ServiceSupervisor::commit_offer_batch() {
   require_started("commit_offer_batch");
-  return wal_->commit_group();
+  try {
+    return wal_->commit_group();
+  } catch (const io::VfsError& err) {
+    // The group's records are appended and buffered; only the commit
+    // fsync failed. Degrade instead of unwinding — the caller simply
+    // must not acknowledge the batch upstream yet (and recovery already
+    // treats an unsynced group as losable, which is the contract).
+    if (err.kind() == io::VfsFaultKind::kPowerLoss) throw;
+    if (!storage_degraded_) enter_storage_degraded(err);
+    SYBIL_SERVICE_METRIC(
+        storage_buffered.set(static_cast<double>(wal_->unsynced_records())));
+    return 0;
+  }
 }
 
 std::size_t ServiceSupervisor::pump(std::size_t max_events) {
@@ -529,8 +608,16 @@ void ServiceSupervisor::maybe_checkpoint() {
 
 void ServiceSupervisor::checkpoint_now() {
   require_started("checkpoint_now");
+  // Checkpointing is suspended while storage-degraded: a checkpoint's
+  // WAL position must never outrun durable records, and the disk is
+  // rejecting writes anyway. Counted, never silent — the backlog of
+  // suspended checkpoints shows up in storage.checkpoints_suspended.
+  if (storage_degraded_) {
+    ++storage_checkpoints_suspended_;
+    SYBIL_SERVICE_METRIC(storage_checkpoints_suspended.add(1));
+    return;
+  }
   fire(options_.crash_hook, CrashPoint::kCheckpointCommit);
-  wal_->sync();  // a checkpoint must never claim a position past the WAL
 
   ServiceCheckpointState state;
   state.wal_position = wal_->next_index();
@@ -552,8 +639,21 @@ void ServiceSupervisor::checkpoint_now() {
   if (scorer_ != nullptr) state.defense_state = scorer_->serialize();
 
   const std::string ckpt_dir = options_.dir + "/ckpt";
-  save_service_checkpoint(checkpoint_path(ckpt_dir, state.wal_position),
-                          state);
+  try {
+    // A checkpoint must never claim a position past the durable WAL,
+    // so the WAL syncs first; the container commit is atomic and
+    // removes its temp file on any storage fault, so a failure here
+    // never touches existing generations.
+    wal_->sync();
+    save_service_checkpoint(checkpoint_path(ckpt_dir, state.wal_position),
+                            state, options_.vfs);
+  } catch (const io::VfsError& err) {
+    if (err.kind() == io::VfsFaultKind::kPowerLoss) throw;
+    enter_storage_degraded(err);
+    ++storage_checkpoints_suspended_;
+    SYBIL_SERVICE_METRIC(storage_checkpoints_suspended.add(1));
+    return;
+  }
   fire(options_.crash_hook, CrashPoint::kCheckpointCommitted);
 
   // Retention, then WAL pruning up to the oldest *retained* generation
@@ -561,7 +661,7 @@ void ServiceSupervisor::checkpoint_now() {
   prune_checkpoints(ckpt_dir, options_.checkpoint_retain);
   const auto generations = list_checkpoints(ckpt_dir);
   if (!generations.empty()) {
-    prune_wal(options_.dir + "/wal", generations.front().first);
+    prune_wal(options_.dir + "/wal", generations.front().first, options_.vfs);
   }
 }
 
@@ -570,7 +670,56 @@ void ServiceSupervisor::flush(bool checkpoint) {
   pump(0);
   detector_.finish();
   publish_metrics();
+  // End-of-stream is the loud boundary: a flush cannot leave records
+  // buffered behind a degraded disk, so it forces one retry and throws
+  // the original fault kind if the disk still refuses.
+  if (storage_degraded_ && !retry_storage_now()) {
+    throw io::VfsError(
+        storage_error_kind_,
+        "flush: storage still degraded on shard " +
+            std::to_string(options_.shard_id) + " with " +
+            std::to_string(wal_->unsynced_records()) + " records buffered");
+  }
   if (checkpoint) checkpoint_now();
+}
+
+void ServiceSupervisor::enter_storage_degraded(const io::VfsError& err) {
+  storage_degraded_ = true;
+  storage_error_kind_ = err.kind();
+  wal_->suspend_sync();
+  storage_backoff_ = options_.storage.retry_backoff;
+  storage_retry_in_ = storage_backoff_;
+  ++storage_entries_;
+  SYBIL_SERVICE_METRIC(storage_entries.add(1));
+}
+
+void ServiceSupervisor::storage_tick() {
+  if (!storage_degraded_) return;
+  if (storage_retry_in_ > 0) --storage_retry_in_;
+  if (storage_retry_in_ == 0) retry_storage_now();
+}
+
+bool ServiceSupervisor::retry_storage_now() {
+  if (!storage_degraded_) return true;
+  ++storage_retries_;
+  SYBIL_SERVICE_METRIC(storage_retries.add(1));
+  try {
+    wal_->resume_sync();
+  } catch (const io::VfsError& err) {
+    if (err.kind() == io::VfsFaultKind::kPowerLoss) throw;
+    ++storage_retry_failures_;
+    SYBIL_SERVICE_METRIC(storage_retry_failures.add(1));
+    storage_backoff_ =
+        std::min(storage_backoff_ * 2, options_.storage.retry_backoff_cap);
+    storage_retry_in_ = storage_backoff_;
+    return false;
+  }
+  storage_degraded_ = false;
+  storage_backoff_ = storage_retry_in_ = 0;
+  ++storage_exits_;
+  SYBIL_SERVICE_METRIC(storage_exits.add(1));
+  SYBIL_SERVICE_METRIC(storage_buffered.set(0));
+  return true;
 }
 
 bool ServiceSupervisor::accounting_ok() const noexcept {

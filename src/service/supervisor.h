@@ -30,6 +30,20 @@
 // extends the hardened-ingest invariant and holds at every instant
 // (accounting_ok()).
 //
+// Storage degradation (the fourth degradation response, alongside the
+// three queue tiers): when the disk under the WAL rejects writes
+// (ENOSPC/EIO — io::VfsError), the supervisor does not crash and does
+// not lose the offer. It enters storage-degraded mode: verdicts keep
+// being served from memory, WAL appends accumulate in the writer's
+// bounded in-memory buffer, checkpointing is suspended (counted, not
+// silently skipped), and writes are retried on a deterministic capped
+// exponential backoff. If the buffer fills before the disk recovers,
+// offer() fails loudly with a typed StorageBufferOverflow. When the
+// fault window closes (a retry succeeds), the whole backlog flushes and
+// full durability resumes — a run that degraded through a disk-fault
+// window is byte-identical (flags, stats_json) to one that never did
+// (docs/ROBUSTNESS.md §Storage fault model).
+//
 // Threading: the supervisor is single-threaded by design — determinism
 // is the property the recovery proof rests on. SYBIL_THREADS affects
 // nothing on this path (asserted by the recovery tests at 1 and 8).
@@ -38,6 +52,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "core/detector_options.h"
@@ -54,6 +69,44 @@ class DefenseScorer;
 /// are reserved for StreamDetector's auto-assigned seqs plus the
 /// kAutoSeq sentinel, and never advance the redelivery frontier.
 inline constexpr std::uint64_t kExplicitSeqLimit = std::uint64_t{1} << 63;
+
+/// Storage-degraded mode policy (ServiceOptions::storage).
+struct StorageOptions {
+  /// Degraded-mode buffer bound: offers that would leave more than this
+  /// many records unflushed throw StorageBufferOverflow. The buffer is
+  /// the WAL writer's retained write buffer, so nothing is copied.
+  std::size_t buffer_records = 4096;
+  /// Retry cadence, measured in offers (the supervisor's only clock —
+  /// wall time would break replay determinism): first retry after this
+  /// many offers, doubling per failure up to the cap.
+  std::uint64_t retry_backoff = 4;
+  std::uint64_t retry_backoff_cap = 64;
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
+
+/// Thrown by offer() when the disk-fault window outlives the bounded
+/// degraded-mode buffer: the loud, typed end of graceful degradation.
+/// The offer was NOT logged; the supervisor remains usable (still
+/// degraded) and the caller decides whether to drop, spill or abort.
+class StorageBufferOverflow : public std::runtime_error {
+ public:
+  StorageBufferOverflow(std::uint32_t shard, std::uint64_t buffered,
+                        std::size_t bound)
+      : std::runtime_error(
+            "storage-degraded buffer full on shard " + std::to_string(shard) +
+            ": " + std::to_string(buffered) + " records buffered (bound " +
+            std::to_string(bound) + ") and the disk still rejects writes"),
+        shard_(shard),
+        buffered_(buffered) {}
+  std::uint32_t shard() const noexcept { return shard_; }
+  std::uint64_t buffered() const noexcept { return buffered_; }
+
+ private:
+  std::uint32_t shard_;
+  std::uint64_t buffered_;
+};
 
 struct ServiceOptions {
   core::DetectorOptions detector{};
@@ -82,9 +135,16 @@ struct ServiceOptions {
   std::size_t checkpoint_retain = 2;
   /// Test seam: invoked at every durability boundary (see CrashPoint).
   CrashHook crash_hook{};
+  /// Storage backend for every durable path this supervisor owns — WAL
+  /// segments, checkpoint containers, pruning (null → io::default_vfs()).
+  /// Fault-injection tests and the chaos [disk] section hand each shard
+  /// its own io::FaultyVfs.
+  io::Vfs* vfs = nullptr;
+  /// Storage-degraded mode policy (see file comment).
+  StorageOptions storage{};
 
   /// Throws std::invalid_argument naming the offending field (also
-  /// validates the embedded DetectorOptions).
+  /// validates the embedded DetectorOptions and StorageOptions).
   void validate() const;
 };
 
@@ -194,6 +254,43 @@ class ServiceSupervisor {
   std::size_t queue_depth() const noexcept { return queue_.size(); }
   const RecoveryReport& recovery() const noexcept { return recovery_; }
 
+  // ---- Storage-degraded mode (see file comment) ----
+
+  /// True while the disk under the WAL is rejecting writes and appends
+  /// are accumulating in the bounded in-memory buffer.
+  bool storage_degraded() const noexcept { return storage_degraded_; }
+  /// Records currently buffered un-durably (0 when not degraded and
+  /// outside an open offer batch).
+  std::uint64_t storage_buffered() const noexcept {
+    return wal_ ? wal_->unsynced_records() : 0;
+  }
+  /// The fault kind that triggered the current/most recent degradation.
+  io::VfsFaultKind storage_error_kind() const noexcept {
+    return storage_error_kind_;
+  }
+  /// Forces one storage retry NOW regardless of backoff (the chaos
+  /// orchestrator calls this when a fault window closes). Returns true
+  /// if the service is fully durable afterwards (including the
+  /// not-degraded case). Throws only for power-loss faults, which are
+  /// not retryable in-process.
+  bool retry_storage_now();
+
+  // Storage-incident counters (ops-only, not in stats_json: a degraded
+  // run must keep stats_json byte-identical to an undisturbed one).
+  std::uint64_t storage_degraded_entries() const noexcept {
+    return storage_entries_;
+  }
+  std::uint64_t storage_degraded_exits() const noexcept {
+    return storage_exits_;
+  }
+  std::uint64_t storage_retries() const noexcept { return storage_retries_; }
+  std::uint64_t storage_retry_failures() const noexcept {
+    return storage_retry_failures_;
+  }
+  std::uint64_t storage_checkpoints_suspended() const noexcept {
+    return storage_checkpoints_suspended_;
+  }
+
   // Replay-exact workload counters (the same values stats_json reports).
   std::uint64_t offered() const noexcept { return offered_; }
   std::uint64_t admitted() const noexcept { return admitted_; }
@@ -240,6 +337,8 @@ class ServiceSupervisor {
   void reset_state();
   void update_tier();
   void maybe_checkpoint();
+  void enter_storage_degraded(const io::VfsError& err);
+  void storage_tick();
 
   ServiceOptions options_;
   core::StreamDetector detector_;
@@ -265,6 +364,16 @@ class ServiceSupervisor {
   std::uint64_t sweep_flagged_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t tier_transitions_ = 0;  // ops-only, not in stats_json
+  // Storage-degraded mode state + incident counters (all ops-only).
+  bool storage_degraded_ = false;
+  io::VfsFaultKind storage_error_kind_ = io::VfsFaultKind::kIoError;
+  std::uint64_t storage_backoff_ = 0;   // current backoff, in offers
+  std::uint64_t storage_retry_in_ = 0;  // offers until the next retry
+  std::uint64_t storage_entries_ = 0;
+  std::uint64_t storage_exits_ = 0;
+  std::uint64_t storage_retries_ = 0;
+  std::uint64_t storage_retry_failures_ = 0;
+  std::uint64_t storage_checkpoints_suspended_ = 0;
   /// Registry values already published per dead-letter reason, so
   /// publish_metrics() emits exact deltas (ops-only, not checkpointed).
   std::uint64_t published_deadletter_[core::kStreamErrorCodeCount] = {};

@@ -1,18 +1,15 @@
 #include "service/wal.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <stdexcept>
 
 #include "core/metrics/instrument.h"
-#include "io/container.h"
 #include "io/crc32.h"
 #include "io/error.h"
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <unistd.h>
-#endif
 
 namespace sybil::service {
 
@@ -67,6 +64,39 @@ std::uint32_t payload_crc(const RecordDisk& rec) noexcept {
   return io::crc32({reinterpret_cast<const std::byte*>(&rec), sizeof(rec)});
 }
 
+/// Chunked read adapter for recovery scans: the scan reads a 4-byte
+/// CRC and a 40-byte record at a time, which through the raw VFS
+/// passthrough is a syscall (plus a metric bump) per call — a 64 KiB
+/// front buffer amortizes both without changing read semantics (short
+/// reads still only happen at end of file).
+class ScanReader {
+ public:
+  explicit ScanReader(io::VfsFile& inner) : inner_(inner) {}
+
+  std::size_t read(void* buf, std::size_t n) {
+    auto* dst = static_cast<unsigned char*>(buf);
+    std::size_t done = 0;
+    while (done < n) {
+      if (pos_ == len_) {
+        len_ = inner_.read(buffer_, sizeof buffer_);
+        pos_ = 0;
+        if (len_ == 0) break;
+      }
+      const std::size_t take = std::min(n - done, len_ - pos_);
+      std::memcpy(dst + done, buffer_ + pos_, take);
+      pos_ += take;
+      done += take;
+    }
+    return done;
+  }
+
+ private:
+  io::VfsFile& inner_;
+  unsigned char buffer_[1 << 16];
+  std::size_t pos_ = 0;
+  std::size_t len_ = 0;
+};
+
 /// Segment files in `dir`, sorted by base index parsed from the name.
 std::vector<std::pair<std::uint64_t, fs::path>> list_segments(
     const std::string& dir) {
@@ -90,17 +120,6 @@ std::vector<std::pair<std::uint64_t, fs::path>> list_segments(
   return out;
 }
 
-bool fsync_file(std::FILE* f) noexcept {
-#if defined(__unix__) || defined(__APPLE__)
-  if (::fsync(::fileno(f)) != 0) return false;
-  SYBIL_METRIC_COUNT("service.wal.fsyncs", 1);
-  return true;
-#else
-  (void)f;
-  return true;
-#endif
-}
-
 }  // namespace
 
 void WalOptions::validate() const {
@@ -113,7 +132,9 @@ void WalOptions::validate() const {
 }
 
 WalWriter::WalWriter(const WalOptions& options, std::uint64_t next_index)
-    : options_(options), next_index_(next_index) {
+    : options_(options),
+      vfs_(options.vfs != nullptr ? options.vfs : io::default_vfs()),
+      next_index_(next_index) {
   options_.validate();
   std::error_code ec;
   fs::create_directories(options_.dir, ec);
@@ -124,60 +145,91 @@ WalWriter::WalWriter(const WalOptions& options, std::uint64_t next_index)
   open_segment();
 }
 
-WalWriter::~WalWriter() {
-  if (file_ != nullptr) std::fclose(file_);
-}
+// BufferedVfsFile's destructor best-effort flushes and closes without
+// throwing; destruction of a degraded writer simply drops the backlog.
+WalWriter::~WalWriter() = default;
 
 void WalWriter::open_segment() {
   if (file_ != nullptr) {
     // Seal the outgoing segment: whatever durability the policy
-    // promises must hold before the writer moves on.
-    std::fflush(file_);
-    if (options_.fsync != WalFsync::kNever) fsync_file(file_);
-    std::fclose(file_);
-    file_ = nullptr;
+    // promises must hold before the writer moves on. Throws VfsError
+    // (backlog retained, rotation not started) if the disk refuses.
+    sync_per_policy();
   }
-  segment_base_ = next_index_;
-  segment_path_ = options_.dir + "/" + segment_name(segment_base_);
-  file_ = std::fopen(segment_path_.c_str(), "wb");
-  if (file_ == nullptr) {
-    throw SnapshotError(SnapshotErrorCode::kWriteFailed,
-                        "cannot create WAL segment " + segment_path_);
+  const std::uint64_t base = next_index_;
+  const std::string path = options_.dir + "/" + segment_name(base);
+  std::unique_ptr<io::BufferedVfsFile> fresh;
+  try {
+    fresh = std::make_unique<io::BufferedVfsFile>(
+        vfs_->open(path, io::VfsMode::kTruncate));
+    SegmentHeader header{};
+    header.magic = kWalMagic;
+    header.endian_tag = kWalEndianTag;
+    header.header_size = kWalHeaderSize;
+    header.format_version = kWalFormatVersion;
+    header.shard_id = options_.shard_id;
+    header.base_index = base;
+    fresh->write(&header, sizeof(header));
+    fresh->flush();
+    if (options_.fsync != WalFsync::kNever) {
+      fresh->fsync();
+      SYBIL_METRIC_COUNT("service.wal.fsyncs", 1);
+      // Make the directory entry itself durable: a synced segment that
+      // vanishes on power loss is no WAL at all.
+      vfs_->sync_parent_dir(path);
+      SYBIL_METRIC_COUNT("io.fsyncs", 1);
+    }
+  } catch (const io::VfsError&) {
+    // Remove the stillborn segment so no file claims base `base`: the
+    // scan/prune range invariant (segment i covers [base_i, base_{i+1}))
+    // must keep holding while the sealed segment absorbs further
+    // records in degraded mode.
+    fresh.reset();
+    vfs_->remove(path);
+    throw;
   }
-  SegmentHeader header{};
-  header.magic = kWalMagic;
-  header.endian_tag = kWalEndianTag;
-  header.header_size = kWalHeaderSize;
-  header.format_version = kWalFormatVersion;
-  header.shard_id = options_.shard_id;
-  header.base_index = segment_base_;
-  write_bytes(&header, sizeof(header));
-  if (std::fflush(file_) != 0) {
-    throw SnapshotError(SnapshotErrorCode::kWriteFailed,
-                        "cannot write WAL segment header " + segment_path_);
+  if (file_ != nullptr) {
+    try {
+      file_->close();
+    } catch (const io::VfsError&) {
+      // The outgoing segment was flushed (and per policy fsync'd)
+      // above; a close failure after that cannot lose acknowledged
+      // records but must still surface typed — undo the rotation first.
+      fresh.reset();
+      vfs_->remove(path);
+      throw;
+    }
   }
-  if (options_.fsync != WalFsync::kNever) {
-    fsync_file(file_);
-    // Make the directory entry itself durable: a synced segment that
-    // vanishes on power loss is no WAL at all.
-    io::fsync_parent_dir(segment_path_);
-  }
+  file_ = std::move(fresh);
+  segment_base_ = base;
+  segment_path_ = path;
   ++segments_opened_;
   SYBIL_METRIC_COUNT("service.wal.segments", 1);
   if (options_.crash_hook) options_.crash_hook(CrashPoint::kWalRotate);
 }
 
 void WalWriter::write_bytes(const void* data, std::size_t n) {
-  if (std::fwrite(data, 1, n, file_) != n) {
-    throw SnapshotError(SnapshotErrorCode::kWriteFailed,
-                        "WAL write failed: " + segment_path_);
+  file_->write(data, n);  // buffered: cannot fail
+}
+
+void WalWriter::flush_buffer() {
+  file_->flush();
+  unsynced_records_ = 0;
+}
+
+void WalWriter::sync_per_policy() {
+  flush_buffer();
+  if (options_.fsync != WalFsync::kNever) {
+    file_->fsync();
+    SYBIL_METRIC_COUNT("service.wal.fsyncs", 1);
   }
 }
 
 std::uint64_t WalWriter::append(const osn::Event& e, std::uint64_t seq,
                                 std::uint32_t flags) {
-  if (next_index_ - segment_base_ >= options_.segment_records) {
-    open_segment();
+  if (!sync_suspended_ &&
+      next_index_ - segment_base_ >= options_.segment_records) {
+    open_segment();  // may throw: nothing appended, writer unchanged
   }
   RecordDisk rec{};
   rec.index = next_index_;
@@ -188,33 +240,45 @@ std::uint64_t WalWriter::append(const osn::Event& e, std::uint64_t seq,
   rec.type = static_cast<std::uint32_t>(e.type);
   rec.flags = flags;
   const std::uint32_t crc = payload_crc(rec);
+  const auto* bytes = reinterpret_cast<const std::byte*>(&rec);
+  write_bytes(&crc, sizeof(crc));
   if (options_.crash_hook) {
     // Two-phase write so a hook throwing at kWalRecordHalf leaves a
     // genuinely torn record on disk (the flushed first half survives
     // the simulated crash; the second half was never written).
-    const auto* bytes = reinterpret_cast<const std::byte*>(&rec);
-    write_bytes(&crc, sizeof(crc));
     write_bytes(bytes, kRecordPayloadSize / 2);
-    std::fflush(file_);
+    try {
+      if (!sync_suspended_) file_->flush();
+    } catch (const io::VfsError&) {
+      // A storage fault mid-record: complete the record in the buffer
+      // so the on-disk torn prefix is exactly the head of the retained
+      // bytes — the next successful flush heals the tear seamlessly —
+      // then report the record appended-but-not-durable.
+      write_bytes(bytes + kRecordPayloadSize / 2, kRecordPayloadSize / 2);
+      ++unsynced_records_;
+      ++next_index_;
+      SYBIL_METRIC_COUNT("service.wal.appends", 1);
+      SYBIL_METRIC_COUNT("service.wal.bytes", kRecordSize);
+      throw;
+    }
     options_.crash_hook(CrashPoint::kWalRecordHalf);
     write_bytes(bytes + kRecordPayloadSize / 2, kRecordPayloadSize / 2);
   } else {
-    write_bytes(&crc, sizeof(crc));
-    write_bytes(&rec, sizeof(rec));
+    write_bytes(bytes, sizeof(rec));
   }
+  SYBIL_METRIC_COUNT("service.wal.appends", 1);
+  SYBIL_METRIC_COUNT("service.wal.bytes", kRecordSize);
+  ++unsynced_records_;
+  const std::uint64_t index = next_index_++;
   if (in_group_) {
     // Deferred durability: the record stays buffered until
     // commit_group() issues the coalesced flush + fsync.
     ++group_records_;
-  } else if (options_.fsync == WalFsync::kEveryAppend) {
-    if (std::fflush(file_) != 0 || !fsync_file(file_)) {
-      throw SnapshotError(SnapshotErrorCode::kWriteFailed,
-                          "WAL fsync failed: " + segment_path_);
-    }
+  } else if (options_.fsync == WalFsync::kEveryAppend && !sync_suspended_) {
+    // Throws VfsError on a storage fault — after the index advanced:
+    // the record is appended but not durable (see the header contract).
+    sync_per_policy();
   }
-  SYBIL_METRIC_COUNT("service.wal.appends", 1);
-  SYBIL_METRIC_COUNT("service.wal.bytes", kRecordSize);
-  const std::uint64_t index = next_index_++;
   if (options_.crash_hook) options_.crash_hook(CrashPoint::kWalAppend);
   return index;
 }
@@ -234,11 +298,11 @@ std::uint64_t WalWriter::commit_group() {
   in_group_ = false;
   const std::uint64_t n = group_records_;
   group_records_ = 0;
-  if (options_.fsync == WalFsync::kEveryAppend && n > 0) {
-    if (std::fflush(file_) != 0 || !fsync_file(file_)) {
-      throw SnapshotError(SnapshotErrorCode::kWriteFailed,
-                          "WAL group-commit fsync failed: " + segment_path_);
-    }
+  if (options_.fsync == WalFsync::kEveryAppend && n > 0 && !sync_suspended_) {
+    // Throws VfsError on a storage fault: the group's records stay
+    // appended (and retained in the buffer); the caller decides whether
+    // to degrade. The group is closed either way.
+    sync_per_policy();
   }
   SYBIL_METRIC_COUNT("service.wal.group_commit.groups", 1);
   SYBIL_METRIC_COUNT("service.wal.group_commit.records", n);
@@ -247,17 +311,28 @@ std::uint64_t WalWriter::commit_group() {
 }
 
 void WalWriter::sync() {
-  if (std::fflush(file_) != 0) {
-    throw SnapshotError(SnapshotErrorCode::kWriteFailed,
-                        "WAL flush failed: " + segment_path_);
+  if (sync_suspended_) return;  // degraded: nothing to promise
+  sync_per_policy();
+}
+
+void WalWriter::resume_sync() {
+  // Push the whole degraded backlog, then restore the configured
+  // durability policy. Retention makes this all-or-nothing: on a
+  // VfsError the unwritten suffix stays buffered and the writer stays
+  // suspended for the next retry.
+  flush_buffer();
+  if (options_.fsync != WalFsync::kNever) {
+    file_->fsync();
+    SYBIL_METRIC_COUNT("service.wal.fsyncs", 1);
   }
-  if (options_.fsync != WalFsync::kNever) fsync_file(file_);
+  sync_suspended_ = false;
 }
 
 std::vector<WalRecord> scan_wal(const std::string& dir,
                                 std::uint64_t from_index,
                                 WalScanReport& report,
-                                std::uint32_t expected_shard) {
+                                std::uint32_t expected_shard, io::Vfs* vfs) {
+  if (vfs == nullptr) vfs = io::default_vfs();
   report = WalScanReport{};
   report.next_index = from_index;
   std::vector<WalRecord> out;
@@ -271,14 +346,17 @@ std::vector<WalRecord> scan_wal(const std::string& dir,
       continue;
     }
     ++report.segments_scanned;
-    std::FILE* f = std::fopen(path.string().c_str(), "rb");
-    if (f == nullptr) {
+    std::unique_ptr<io::VfsFile> f;
+    try {
+      f = vfs->open(path.string(), io::VfsMode::kRead);
+    } catch (const io::VfsError&) {
       throw SnapshotError(SnapshotErrorCode::kOpenFailed,
                           "cannot open WAL segment " + path.string());
     }
+    const auto reader = std::make_unique<ScanReader>(*f);
     SegmentHeader header{};
     const bool header_ok =
-        std::fread(&header, 1, sizeof(header), f) == sizeof(header) &&
+        reader->read(&header, sizeof(header)) == sizeof(header) &&
         header.magic == kWalMagic && header.endian_tag == kWalEndianTag &&
         header.header_size == kWalHeaderSize &&
         header.format_version <= kWalFormatVersion &&
@@ -287,14 +365,12 @@ std::vector<WalRecord> scan_wal(const std::string& dir,
       // An unreadable header means the whole segment is untrustworthy
       // (created but never secured). Nothing in it can be replayed;
       // leave the file for a writer at this base to overwrite.
-      std::fclose(f);
       ++report.torn_tails_healed;
       SYBIL_METRIC_COUNT("service.wal.torn_tails", 1);
       continue;
     }
     if (expected_shard != kWalAnyShard && header.format_version >= 2 &&
         header.shard_id != expected_shard) {
-      std::fclose(f);
       throw SnapshotError(
           SnapshotErrorCode::kFormatViolation,
           "WAL segment " + path.string() + " belongs to shard " +
@@ -306,11 +382,10 @@ std::vector<WalRecord> scan_wal(const std::string& dir,
     for (;;) {
       std::uint32_t crc = 0;
       RecordDisk rec{};
-      const std::size_t got_crc = std::fread(&crc, 1, sizeof(crc), f);
+      const std::size_t got_crc = reader->read(&crc, sizeof(crc));
       if (got_crc == 0) break;  // clean end of segment
-      const std::size_t got_rec = got_crc == sizeof(crc)
-                                      ? std::fread(&rec, 1, sizeof(rec), f)
-                                      : 0;
+      const std::size_t got_rec =
+          got_crc == sizeof(crc) ? reader->read(&rec, sizeof(rec)) : 0;
       if (got_rec != sizeof(rec) || payload_crc(rec) != crc ||
           rec.index != base + valid) {
         tail_bad = true;
@@ -338,7 +413,6 @@ std::vector<WalRecord> scan_wal(const std::string& dir,
       // so the next scan is clean.
       std::error_code size_ec;
       const auto file_size = fs::file_size(path, size_ec);
-      std::fclose(f);
       const std::uint64_t keep = kWalHeaderSize + valid * kRecordSize;
       if (!size_ec && file_size > keep) {
         const std::uint64_t dropped_bytes = file_size - keep;
@@ -346,9 +420,9 @@ std::vector<WalRecord> scan_wal(const std::string& dir,
         // one truncated record each.
         report.records_truncated +=
             (dropped_bytes + kRecordSize - 1) / kRecordSize;
-        std::error_code resize_ec;
-        fs::resize_file(path, keep, resize_ec);
-        if (resize_ec) {
+        try {
+          vfs->truncate(path.string(), keep);
+        } catch (const io::VfsError&) {
           throw SnapshotError(SnapshotErrorCode::kWriteFailed,
                               "cannot heal WAL segment " + path.string());
         }
@@ -357,15 +431,15 @@ std::vector<WalRecord> scan_wal(const std::string& dir,
         SYBIL_METRIC_COUNT("service.wal.truncated_records",
                            (dropped_bytes + kRecordSize - 1) / kRecordSize);
       }
-    } else {
-      std::fclose(f);
     }
   }
   SYBIL_METRIC_COUNT("service.wal.scanned_records", report.records_scanned);
   return out;
 }
 
-std::uint64_t prune_wal(const std::string& dir, std::uint64_t index) {
+std::uint64_t prune_wal(const std::string& dir, std::uint64_t index,
+                        io::Vfs* vfs) {
+  if (vfs == nullptr) vfs = io::default_vfs();
   if (!fs::exists(dir)) return 0;
   const auto segments = list_segments(dir);
   std::uint64_t removed = 0;
@@ -373,8 +447,7 @@ std::uint64_t prune_wal(const std::string& dir, std::uint64_t index) {
     // Segment i covers [base_i, base_{i+1}); delete it only when every
     // record it can hold is behind the oldest retained checkpoint.
     if (segments[i + 1].first <= index) {
-      std::error_code ec;
-      if (fs::remove(segments[i].second, ec) && !ec) ++removed;
+      if (vfs->remove(segments[i].second.string())) ++removed;
     }
   }
   if (removed > 0) SYBIL_METRIC_COUNT("service.wal.segments_pruned", removed);

@@ -29,16 +29,20 @@
 // crash-consistency proof assumes) fsyncs after every record; kOnRotate
 // fsyncs only at segment boundaries (bounded loss window); kNever is
 // for benches. Directory entries are fsync'd when a segment is created
-// (io::fsync_parent_dir), so a machine crash cannot unlink a synced
-// segment.
+// (io::Vfs::sync_parent_dir), so a machine crash cannot unlink a synced
+// segment. All file I/O goes through the segment's io::Vfs (WalOptions::
+// vfs), so storage faults — ENOSPC, EIO, short writes, power cuts — are
+// injectable per shard; see suspend_sync()/resume_sync() for how the
+// supervisor rides out a disk-fault window without losing records.
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "io/vfs.h"
 #include "osn/events.h"
 
 namespace sybil::service {
@@ -91,6 +95,10 @@ struct WalOptions {
   /// appends to a two-phase write so kWalRecordHalf can tear records.
   CrashHook crash_hook{};
 
+  /// Storage backend (null → io::default_vfs()). Fault-injection tests
+  /// and the chaos [disk] section hand each shard its own FaultyVfs.
+  io::Vfs* vfs = nullptr;
+
   /// Throws std::invalid_argument naming the offending field.
   void validate() const;
 };
@@ -128,7 +136,16 @@ class WalWriter {
   WalWriter& operator=(const WalWriter&) = delete;
 
   /// Appends one record; returns its global index. Rotates first when
-  /// the current segment is full.
+  /// the current segment is full (unless sync is suspended — a degraded
+  /// writer never rotates, so a segment may temporarily overfill).
+  ///
+  /// Storage faults: a thrown io::VfsError from rotation leaves the
+  /// writer untouched (nothing appended, next_index() unchanged). A
+  /// VfsError from the post-append flush/fsync means the record IS
+  /// appended (next_index() advanced, bytes retained in the write
+  /// buffer for a later retry) but NOT yet durable — the caller decides
+  /// whether to degrade (suspend_sync) or fail loudly. While sync is
+  /// suspended, append never throws on storage faults.
   std::uint64_t append(const osn::Event& e, std::uint64_t seq,
                        std::uint32_t flags);
 
@@ -168,8 +185,33 @@ class WalWriter {
 
   bool in_group() const noexcept { return in_group_; }
 
-  /// Flushes (and per policy fsyncs) the current segment.
+  /// Flushes (and per policy fsyncs) the current segment. Throws
+  /// io::VfsError on storage failure (bytes stay retained for retry).
   void sync();
+
+  // ---- Storage-degraded operation ----
+  //
+  // When the disk rejects writes (ENOSPC/EIO), the supervisor parks the
+  // writer in suspended-sync mode: appends land only in the in-memory
+  // write buffer (bounded by the supervisor's storage buffer policy),
+  // rotation and every flush/fsync are skipped, and nothing can throw.
+  // resume_sync() pushes the whole backlog and restores the configured
+  // durability policy — all-or-nothing thanks to buffer retention.
+
+  /// Enters suspended-sync mode. Idempotent.
+  void suspend_sync() noexcept { sync_suspended_ = true; }
+
+  /// Flushes the buffered backlog and (per policy) fsyncs, then leaves
+  /// suspended-sync mode. Throws io::VfsError if the disk still rejects
+  /// the backlog — the writer stays suspended and the unwritten suffix
+  /// stays buffered.
+  void resume_sync();
+
+  bool sync_suspended() const noexcept { return sync_suspended_; }
+
+  /// Records appended since the last successful flush to the OS — the
+  /// occupancy of the degraded-mode buffer.
+  std::uint64_t unsynced_records() const noexcept { return unsynced_records_; }
 
   std::uint64_t next_index() const noexcept { return next_index_; }
   std::uint64_t segments_opened() const noexcept { return segments_opened_; }
@@ -177,15 +219,20 @@ class WalWriter {
  private:
   void open_segment();
   void write_bytes(const void* data, std::size_t n);
+  void flush_buffer();      // file flush + unsynced reset
+  void sync_per_policy();   // flush + fsync unless WalFsync::kNever
 
   WalOptions options_;
-  std::FILE* file_ = nullptr;
+  io::Vfs* vfs_ = nullptr;
+  std::unique_ptr<io::BufferedVfsFile> file_;
   std::uint64_t next_index_;
   std::uint64_t segment_base_ = 0;
   std::uint64_t segments_opened_ = 0;
   std::string segment_path_;
   bool in_group_ = false;
+  bool sync_suspended_ = false;
   std::uint64_t group_records_ = 0;
+  std::uint64_t unsynced_records_ = 0;
 };
 
 /// What a recovery scan found and did.
@@ -217,14 +264,17 @@ inline constexpr std::uint32_t kWalAnyShard = ~std::uint32_t{0};
 /// A v2 segment header carrying a shard id other than `expected_shard`
 /// throws SnapshotError(kFormatViolation): a foreign shard's log is
 /// misconfiguration, not corruption, and must never be replayed here
-/// (v1 headers predate shard identity and are exempt).
+/// (v1 headers predate shard identity and are exempt). Reads and tail
+/// healing go through `vfs` (null → io::default_vfs()).
 std::vector<WalRecord> scan_wal(const std::string& dir,
                                 std::uint64_t from_index,
                                 WalScanReport& report,
-                                std::uint32_t expected_shard = kWalAnyShard);
+                                std::uint32_t expected_shard = kWalAnyShard,
+                                io::Vfs* vfs = nullptr);
 
 /// Deletes segments whose entire record range lies below `index` (all
 /// retained checkpoints are at or above it). Returns segments removed.
-std::uint64_t prune_wal(const std::string& dir, std::uint64_t index);
+std::uint64_t prune_wal(const std::string& dir, std::uint64_t index,
+                        io::Vfs* vfs = nullptr);
 
 }  // namespace sybil::service

@@ -15,7 +15,8 @@
 //     restart_shard heals the same shard twice under live traffic (the
 //     min-frontier regression);
 //   * the orchestrator: the golden manifest — duplicate window + crash
-//     during overload + recovery under fire — produces flags and
+//     during overload + recovery under fire + an ENOSPC [disk] window
+//     (storage-degraded tier) + a power cut — produces flags and
 //     per-shard stats byte-identical to its undisturbed control, at
 //     SYBIL_THREADS 1 and 8;
 //   * ScenarioKillSweep (not Chaos*, so the tsan name filter skips it):
@@ -123,6 +124,13 @@ TEST_F(ChaosManifest, SerializeParseRoundTrip) {
   k2.use_boundary = true;
   k2.down_for = 25;
   m.kills = {k1, k2};
+  DiskFaultSpec d;
+  d.shard = 0;
+  d.kind = DiskFaultSpec::Kind::kIoError;
+  d.from_event = 210;
+  d.to_event = 260;
+  d.seed = 9;
+  m.disk_faults = {d};
   m.validate();
 
   const std::string text = m.serialize();
@@ -144,6 +152,11 @@ TEST_F(ChaosManifest, SerializeParseRoundTrip) {
   EXPECT_EQ(back.kills[0].at_event, 150u);
   EXPECT_TRUE(back.kills[1].use_boundary);
   EXPECT_EQ(back.kills[1].at_boundary, 7u);
+  ASSERT_EQ(back.disk_faults.size(), 1u);
+  EXPECT_EQ(back.disk_faults[0].kind, DiskFaultSpec::Kind::kIoError);
+  EXPECT_EQ(back.disk_faults[0].from_event, 210u);
+  EXPECT_EQ(back.disk_faults[0].to_event, 260u);
+  EXPECT_EQ(back.disk_faults[0].seed, 9u);
   EXPECT_TRUE(back.identity_expected());
 }
 
@@ -156,11 +169,16 @@ TEST_F(ChaosManifest, GoldenFileParses) {
   EXPECT_EQ(m.phases[1].name, "overload");
   EXPECT_EQ(m.fault_windows.size(), 1u);
   EXPECT_EQ(m.kills.size(), 2u);
+  ASSERT_EQ(m.disk_faults.size(), 2u);
+  EXPECT_EQ(m.disk_faults[0].kind, DiskFaultSpec::Kind::kNoSpace);
+  EXPECT_EQ(m.disk_faults[1].kind, DiskFaultSpec::Kind::kPowerLoss);
+  EXPECT_EQ(m.disk_faults[1].seed, 7u);
   EXPECT_TRUE(m.identity_expected());
   // The undisturbed control keeps the shape but drops the chaos.
   const ScenarioManifest u = m.undisturbed();
   EXPECT_TRUE(u.fault_windows.empty());
   EXPECT_TRUE(u.kills.empty());
+  EXPECT_TRUE(u.disk_faults.empty());
   EXPECT_EQ(u.phases.size(), 3u);
 }
 
@@ -210,6 +228,49 @@ TEST_F(ChaosManifest, RejectsBadPhasesAndKills) {
   late.down_for = 20;  // cannot recover within the stream
   m.kills = {late};
   EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST_F(ChaosManifest, RejectsBadDiskWindows) {
+  ScenarioManifest m = small_manifest();
+  DiskFaultSpec d;
+  d.shard = 3;  // out of range for 3 shards
+  d.from_event = 10;
+  d.to_event = 20;
+  m.disk_faults = {d};
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+
+  m = small_manifest();
+  d = {};
+  d.from_event = 20;
+  d.to_event = 20;  // empty window
+  m.disk_faults = {d};
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+
+  m = small_manifest();
+  d = {};
+  d.from_event = 300;
+  d.to_event = 500;  // beyond the stream
+  m.disk_faults = {d};
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+
+  // One disturbance at a time: a disk window may not overlap a kill
+  // downtime (and vice versa), but adjacency is fine.
+  m = small_manifest();
+  KillSpec k;
+  k.shard = 1;
+  k.at_event = 100;
+  k.down_for = 50;
+  m.kills = {k};
+  d = {};
+  d.from_event = 120;
+  d.to_event = 180;  // inside the kill's [100, 150) downtime
+  m.disk_faults = {d};
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.disk_faults[0].from_event = 150;  // adjacent
+  m.disk_faults[0].to_event = 180;
+  EXPECT_NO_THROW(m.validate());
+  // Disk windows never break the identity contract.
+  EXPECT_TRUE(m.identity_expected());
 }
 
 TEST_F(ChaosManifest, ParseFailsWithLineNumbers) {
@@ -604,8 +665,9 @@ TEST_F(ChaosScenario, GoldenManifestIdentityUnderFire) {
   EXPECT_TRUE(v.accounting_held);
   ASSERT_TRUE(v.ok());
 
-  EXPECT_EQ(disturbed.kills, 2u);
-  EXPECT_EQ(disturbed.recoveries, 2u);
+  // Two process kills plus the [disk] power cut (reported as a kill).
+  EXPECT_EQ(disturbed.kills, 3u);
+  EXPECT_EQ(disturbed.recoveries, 3u);
   EXPECT_EQ(disturbed.kills_missed, 0u);
   EXPECT_GT(disturbed.copies_skipped_down, 0u);
   EXPECT_GT(disturbed.faults.total.duplicated, 0u);
@@ -614,13 +676,25 @@ TEST_F(ChaosScenario, GoldenManifestIdentityUnderFire) {
   EXPECT_EQ(control.kills, 0u);
   EXPECT_EQ(control.copies_skipped_down, 0u);
 
+  // Both [disk] windows armed; the ENOSPC window rode shard 0 through
+  // the storage-degraded tier and the close flushed it back; the
+  // power-loss window cut shard 0's disk in cooldown.
+  EXPECT_EQ(disturbed.disk_windows, 2u);
+  EXPECT_EQ(disturbed.disk_windows_missed, 0u);
+  EXPECT_EQ(disturbed.power_cuts, 1u);
+  EXPECT_EQ(disturbed.storage_degraded, 1u);
+  EXPECT_EQ(disturbed.storage_recoveries, 1u);
+  EXPECT_EQ(control.disk_windows, 0u);
+  EXPECT_EQ(control.power_cuts, 0u);
+
   // The crash-during-overload kill fired inside the overload phase and
   // the phase pushed shards through tier transitions.
   ASSERT_EQ(disturbed.phases.size(), 3u);
   EXPECT_EQ(disturbed.phases[1].name, "overload");
   EXPECT_EQ(disturbed.phases[1].kills, 1u);
   EXPECT_GT(disturbed.phases[1].tier_transitions, 0u);
-  EXPECT_EQ(disturbed.phases[2].kills, 1u);
+  // Cooldown holds the recovery-under-fire kill and the power cut.
+  EXPECT_EQ(disturbed.phases[2].kills, 2u);
   // Recovery under fire: live traffic kept flowing while down, so the
   // arrivals attributed to each kill's phase exceed its event range.
   EXPECT_GT(disturbed.arrivals_total, m.workload.events);

@@ -1,0 +1,329 @@
+// Storage-degraded service tier (docs/ROBUSTNESS.md §Storage fault
+// model): the fourth degradation response, alongside the three queue
+// tiers. When the disk under the WAL rejects writes the supervisor
+// serves verdicts from memory, buffers appends in the WAL writer's
+// bounded buffer, suspends checkpoints (counted), and retries on a
+// deterministic capped exponential backoff clocked in offers.
+//
+//   * a run that degrades through an ENOSPC window and heals is
+//     byte-identical (flags, stats_json) to one that never degraded —
+//     pinned at SYBIL_THREADS=1 and 8 (the tsan preset runs this);
+//   * the buffer bound fails loudly: a typed StorageBufferOverflow
+//     that does NOT count the offer, leaving the caller free to
+//     re-offer it after the disk heals;
+//   * the backoff schedule is an exact function of the offer count;
+//   * suspended checkpoints are counted, never silently skipped, and
+//     never touch the generation directory;
+//   * flush() while degraded forces a retry and throws the original
+//     fault kind if the disk still refuses;
+//   * power loss never degrades: it propagates typed (the machine is
+//     gone; recovery is the crash path's job).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/parallel.h"
+#include "io/faulty_vfs.h"
+#include "io/vfs.h"
+#include "osn/events.h"
+#include "service/checkpoint.h"
+#include "service/supervisor.h"
+#include "service/workload.h"
+
+namespace sybil::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StorageDegraded : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { ::setenv("SYBIL_IO_FSYNC", "0", 1); }
+  static void TearDownTestSuite() { ::unsetenv("SYBIL_IO_FSYNC"); }
+};
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/sybil_deg_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<osn::Event> build_log(std::uint64_t events = 240) {
+  WorkloadOptions w;
+  w.accounts = 48;
+  w.events = events;
+  w.hours = 6.0;
+  w.seed = 5;
+  w.burst_senders = 2;
+  w.burst_fraction = 0.3;
+  return synthetic_workload(w);
+}
+
+ServiceOptions make_options(const std::string& dir, io::Vfs* vfs) {
+  ServiceOptions o;
+  o.dir = dir;
+  o.vfs = vfs;
+  // Every append reaches the disk through the vfs immediately, so a
+  // configured fault fires on the very next offer.
+  o.wal_fsync = WalFsync::kEveryAppend;
+  o.wal_segment_records = 32;
+  o.checkpoint_every = 64;
+  o.checkpoint_retain = 2;
+  o.detector.ingest.watermark_hours = 500.0;
+  o.detector.rule.invite_rate_min = 4.0;
+  o.detector.rule.min_requests = 5;
+  return o;
+}
+
+void expect_flags_equal(const core::FlagBatch& a, const core::FlagBatch& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].account, b[i].account) << i;
+    ASSERT_DOUBLE_EQ(a[i].flagged_at, b[i].flagged_at) << i;
+  }
+}
+
+struct RunResult {
+  std::string stats;
+  core::FlagBatch flags;
+};
+
+/// One full run; when `faulted`, the disk fills at offer 100 and heals
+/// (with a forced retry) at offer 180 — the degraded window rides ~80
+/// offers, several failed backoff retries and two checkpoint
+/// boundaries.
+RunResult run_stream(const std::vector<osn::Event>& log, bool faulted,
+                     const std::string& tag) {
+  const std::string dir = fresh_dir(tag);
+  io::FaultyVfs v;
+  ServiceSupervisor s(make_options(dir, &v));
+  EXPECT_TRUE(s.start().cold_start);
+  for (std::uint64_t i = 0; i < log.size(); ++i) {
+    if (faulted && i == 100) {
+      io::FaultConfig cfg;
+      cfg.byte_budget = 0;
+      v.configure(cfg);
+    }
+    if (faulted && i == 180) {
+      v.clear_faults();
+      EXPECT_TRUE(s.retry_storage_now());
+    }
+    s.offer(log[i], i);
+    if (i % 7 == 6) s.pump(3);
+  }
+  s.flush();
+  EXPECT_TRUE(s.accounting_ok());
+  if (faulted) {
+    EXPECT_GE(s.storage_degraded_entries(), 1u);
+    EXPECT_GE(s.storage_degraded_exits(), 1u);
+    EXPECT_GE(s.storage_retry_failures(), 1u);  // backoff retries failed
+    EXPECT_FALSE(s.storage_degraded());
+    EXPECT_EQ(s.storage_error_kind(), io::VfsFaultKind::kNoSpace);
+    EXPECT_GE(s.storage_checkpoints_suspended(), 1u);
+  } else {
+    EXPECT_EQ(s.storage_degraded_entries(), 0u);
+  }
+  RunResult r;
+  r.stats = s.stats_json();
+  r.flags = s.take_flagged();
+  return r;
+}
+
+// The name the tsan preset's filter regex pins — the degraded tier is
+// single-threaded by design and SYBIL_THREADS must not perturb it.
+TEST_F(StorageDegraded, ByteIdenticalAcrossThreadCounts) {
+  const std::vector<osn::Event> log = build_log();
+  RunResult first_clean;
+  for (const int threads : {1, 8}) {
+    SCOPED_TRACE("SYBIL_THREADS=" + std::to_string(threads));
+    core::set_thread_count(threads);
+    const std::string tag = "t" + std::to_string(threads);
+    const RunResult clean = run_stream(log, false, "clean_" + tag);
+    const RunResult degraded = run_stream(log, true, "deg_" + tag);
+    ASSERT_FALSE(clean.flags.empty());
+    // The degraded window is invisible in everything replay-exact.
+    EXPECT_EQ(degraded.stats, clean.stats);
+    expect_flags_equal(degraded.flags, clean.flags);
+    // ...and the whole property is thread-count-invariant.
+    if (threads == 1) {
+      first_clean = clean;
+    } else {
+      EXPECT_EQ(clean.stats, first_clean.stats);
+      expect_flags_equal(clean.flags, first_clean.flags);
+    }
+  }
+  core::set_thread_count(0);
+}
+
+TEST_F(StorageDegraded, BufferOverflowThrowsTypedAndDropsNothing) {
+  const std::vector<osn::Event> log = build_log(40);
+  RunResult control;
+  {
+    const std::string dir = fresh_dir("ovf_control");
+    io::FaultyVfs v;
+    ServiceSupervisor s(make_options(dir, &v));
+    s.start();
+    for (std::uint64_t i = 0; i < log.size(); ++i) s.offer(log[i], i);
+    s.flush();
+    control.stats = s.stats_json();
+    control.flags = s.take_flagged();
+  }
+
+  const std::string dir = fresh_dir("ovf");
+  io::FaultyVfs v;
+  ServiceOptions o = make_options(dir, &v);
+  o.storage.buffer_records = 8;
+  ServiceSupervisor s(o);
+  s.start();
+  io::FaultConfig cfg;
+  cfg.byte_budget = 0;
+  v.configure(cfg);
+
+  // Offer 0 enters degraded mode with its record retained; offers 1..7
+  // buffer behind it. Offer 8 would exceed the bound.
+  for (std::uint64_t i = 0; i < 8; ++i) s.offer(log[i], i);
+  EXPECT_TRUE(s.storage_degraded());
+  EXPECT_EQ(s.storage_buffered(), 8u);
+  const std::uint64_t offered_before = s.offered();
+  try {
+    s.offer(log[8], 8);
+    FAIL() << "expected StorageBufferOverflow";
+  } catch (const StorageBufferOverflow& e) {
+    EXPECT_EQ(e.shard(), 0u);
+    EXPECT_EQ(e.buffered(), 8u);
+  }
+  // The overflowed offer was not logged and not counted: the caller
+  // may simply re-offer it once the disk heals.
+  EXPECT_EQ(s.offered(), offered_before);
+  EXPECT_TRUE(s.accounting_ok());
+
+  v.clear_faults();
+  ASSERT_TRUE(s.retry_storage_now());
+  EXPECT_EQ(s.storage_buffered(), 0u);  // the backlog flushed whole
+  for (std::uint64_t i = 8; i < log.size(); ++i) s.offer(log[i], i);
+  s.flush();
+  EXPECT_EQ(s.stats_json(), control.stats);
+  expect_flags_equal(s.take_flagged(), control.flags);
+}
+
+TEST_F(StorageDegraded, BackoffScheduleIsDeterministic) {
+  const std::vector<osn::Event> log = build_log(64);
+  const std::string dir = fresh_dir("backoff");
+  io::FaultyVfs v;
+  ServiceOptions o = make_options(dir, &v);
+  o.checkpoint_every = 0;  // no checkpoint noise in the op sequence
+  o.storage.retry_backoff = 2;
+  o.storage.retry_backoff_cap = 8;
+  ServiceSupervisor s(o);
+  s.start();
+  io::FaultConfig cfg;
+  cfg.byte_budget = 0;
+  v.configure(cfg);
+
+  // Offer 0 enters degraded mode (backoff 2). Retries then fire when
+  // the per-offer countdown hits zero: post-entry offers 1 (backoff
+  // doubles to 4), 5 (→8), 13 (capped at 8), 21, 29 — five retries,
+  // all failing against the still-full disk.
+  s.offer(log[0], 0);
+  ASSERT_TRUE(s.storage_degraded());
+  const std::uint64_t expected_at[] = {1, 5, 13, 21, 29};
+  std::size_t expected_idx = 0;
+  for (std::uint64_t i = 1; i <= 30; ++i) {
+    s.offer(log[i], i);
+    if (expected_idx < 5 && i == expected_at[expected_idx]) ++expected_idx;
+    EXPECT_EQ(s.storage_retries(), expected_idx) << "after offer " << i;
+  }
+  EXPECT_EQ(s.storage_retries(), 5u);
+  EXPECT_EQ(s.storage_retry_failures(), 5u);
+
+  v.clear_faults();
+  EXPECT_TRUE(s.retry_storage_now());
+  EXPECT_EQ(s.storage_retries(), 6u);
+  EXPECT_EQ(s.storage_retry_failures(), 5u);
+  EXPECT_EQ(s.storage_degraded_exits(), 1u);
+}
+
+TEST_F(StorageDegraded, SuspendedCheckpointsAreCountedNotSilent) {
+  const std::vector<osn::Event> log = build_log(16);
+  const std::string dir = fresh_dir("ckpt_susp");
+  io::FaultyVfs v;
+  ServiceOptions o = make_options(dir, &v);
+  o.checkpoint_every = 0;  // explicit checkpoints only
+  ServiceSupervisor s(o);
+  s.start();
+  io::FaultConfig cfg;
+  cfg.byte_budget = 0;
+  v.configure(cfg);
+  s.offer(log[0], 0);
+  ASSERT_TRUE(s.storage_degraded());
+
+  const std::string ckpt_dir = dir + "/ckpt";
+  ASSERT_TRUE(list_checkpoints(ckpt_dir).empty());
+  for (int i = 0; i < 3; ++i) s.checkpoint_now();
+  EXPECT_EQ(s.storage_checkpoints_suspended(), 3u);
+  // Suspension never touches the generation directory.
+  EXPECT_TRUE(list_checkpoints(ckpt_dir).empty());
+
+  v.clear_faults();
+  ASSERT_TRUE(s.retry_storage_now());
+  s.checkpoint_now();
+  EXPECT_EQ(s.storage_checkpoints_suspended(), 3u);
+  EXPECT_EQ(list_checkpoints(ckpt_dir).size(), 1u);
+}
+
+TEST_F(StorageDegraded, FlushWhileDegradedForcesRetryAndThrowsTyped) {
+  const std::vector<osn::Event> log = build_log(16);
+  const std::string dir = fresh_dir("flush_deg");
+  io::FaultyVfs v;
+  ServiceSupervisor s(make_options(dir, &v));
+  s.start();
+  io::FaultConfig cfg;
+  cfg.byte_budget = 0;
+  v.configure(cfg);
+  s.offer(log[0], 0);
+  ASSERT_TRUE(s.storage_degraded());
+
+  // End-of-stream is the loud boundary: records may not stay buffered
+  // behind a disk that still refuses writes.
+  try {
+    s.flush();
+    FAIL() << "expected VfsError from flush";
+  } catch (const io::VfsError& e) {
+    EXPECT_EQ(e.kind(), io::VfsFaultKind::kNoSpace);
+  }
+  EXPECT_TRUE(s.storage_degraded());
+
+  v.clear_faults();
+  EXPECT_NO_THROW(s.flush());
+  EXPECT_FALSE(s.storage_degraded());
+  EXPECT_EQ(s.storage_buffered(), 0u);
+}
+
+TEST_F(StorageDegraded, PowerLossNeverDegrades) {
+  const std::vector<osn::Event> log = build_log(16);
+  const std::string dir = fresh_dir("powerloss");
+  io::FaultyVfs v;
+  ServiceSupervisor s(make_options(dir, &v));
+  s.start();
+  io::FaultConfig cfg;
+  cfg.cut_at_op = v.ops();  // the very next mutating op: offer 0's append
+  v.configure(cfg);
+  try {
+    s.offer(log[0], 0);
+    FAIL() << "expected kPowerLoss";
+  } catch (const io::VfsError& e) {
+    EXPECT_EQ(e.kind(), io::VfsFaultKind::kPowerLoss);
+  }
+  // The machine is gone: no graceful tier for that, the crash/recovery
+  // path owns it.
+  EXPECT_FALSE(s.storage_degraded());
+  EXPECT_TRUE(v.dead());
+}
+
+}  // namespace
+}  // namespace sybil::service
